@@ -1,0 +1,108 @@
+// Ablation — contention sensitivity: key skew and batch sizing.
+//
+// The paper evaluates uniform YCSB and lightly-contended TPC-C; this
+// ablation maps where the blind-reject timestamp CC (section 4.7) starts to
+// hurt and what the two mitigation knobs buy:
+//   * Zipfian skew sweep on a YCSB update mix — retry rate vs theta, with
+//     and without the wait-on-dirty extension;
+//   * interleaving batch size (softcore context count) sweep on the TPC-C
+//     mix — bigger batches expose more index parallelism but put more
+//     uncommitted writers in flight on the hot warehouse row.
+#include "bench/bench_util.h"
+#include "workload/tpcc.h"
+#include "workload/ycsb.h"
+
+namespace bionicdb {
+namespace {
+
+struct Outcome {
+  double ktps = 0;
+  double retry_rate = 0;
+};
+
+Outcome RunSkewed(const bench::BenchArgs& args, bool zipfian,
+                  uint32_t wait_cycles) {
+  core::EngineOptions opts;
+  opts.n_workers = 4;
+  opts.coproc.hash.dirty_wait_cycles = wait_cycles;
+  core::BionicDb engine(opts);
+  workload::YcsbOptions yopts;
+  yopts.mode = workload::YcsbOptions::Mode::kUpdateMix;
+  yopts.records_per_partition = args.quick ? 5'000 : 20'000;
+  yopts.payload_len = 64;
+  yopts.accesses_per_txn = 16;
+  yopts.updates_per_txn = 8;
+  yopts.zipfian = zipfian;
+  workload::Ycsb ycsb(&engine, yopts);
+  if (!ycsb.Setup().ok()) return {};
+  Rng rng(args.seed);
+  const uint64_t txns = args.quick ? 150 : 800;
+  host::TxnList list;
+  for (uint32_t w = 0; w < 4; ++w) {
+    for (uint64_t i = 0; i < txns; ++i) {
+      list.emplace_back(w, ycsb.MakeTxn(&rng, w));
+    }
+  }
+  auto r = host::RunToCompletion(&engine, list);
+  return {r.tps / 1e3,
+          r.committed ? double(r.retries) / double(r.committed) : 0};
+}
+
+Outcome RunTpccBatch(const bench::BenchArgs& args, uint32_t max_contexts) {
+  core::EngineOptions opts;
+  opts.n_workers = 4;
+  opts.softcore.max_contexts = max_contexts;
+  core::BionicDb engine(opts);
+  workload::TpccOptions topts;
+  if (args.quick) {
+    topts.districts_per_warehouse = 4;
+    topts.customers_per_district = 100;
+    topts.items = 2'000;
+  }
+  workload::Tpcc tpcc(&engine, topts);
+  if (!tpcc.Setup().ok()) return {};
+  Rng rng(args.seed);
+  const uint64_t txns = args.quick ? 100 : 500;
+  host::TxnList list;
+  for (uint32_t w = 0; w < 4; ++w) {
+    for (uint64_t i = 0; i < txns; ++i) {
+      list.emplace_back(w, tpcc.MakeMixed(&rng, w));
+    }
+  }
+  auto r = host::RunToCompletion(&engine, list);
+  return {r.tps / 1e3,
+          r.committed ? double(r.retries) / double(r.committed) : 0};
+}
+
+}  // namespace
+}  // namespace bionicdb
+
+int main(int argc, char** argv) {
+  using namespace bionicdb;
+  auto args = bench::BenchArgs::Parse(argc, argv);
+  bench::PrintHeader("Ablation", "Contention: skew and batch sizing");
+
+  std::printf("\nYCSB update mix (8 of 16 accesses update):\n");
+  TablePrinter skew({"distribution", "CC policy", "throughput (kTps)",
+                     "retry rate"});
+  for (bool zipfian : {false, true}) {
+    for (uint32_t wait : {0u, 1024u}) {
+      auto o = RunSkewed(args, zipfian, wait);
+      skew.AddRow({zipfian ? "zipfian(0.99)" : "uniform",
+                   wait == 0 ? "blind reject (paper)" : "wait 1024c",
+                   TablePrinter::Num(o.ktps, 1),
+                   TablePrinter::Num(o.retry_rate, 2)});
+    }
+  }
+  skew.Print();
+
+  std::printf("\nTPC-C mix vs interleaving batch size (softcore contexts):\n");
+  TablePrinter batch({"max contexts", "throughput (kTps)", "retry rate"});
+  for (uint32_t contexts : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    auto o = RunTpccBatch(args, contexts);
+    batch.AddRow({std::to_string(contexts), TablePrinter::Num(o.ktps, 1),
+                  TablePrinter::Num(o.retry_rate, 2)});
+  }
+  batch.Print();
+  return 0;
+}

@@ -1,0 +1,114 @@
+// google-benchmark microbenchmarks for the software-baseline building
+// blocks: index point lookups, inserts and scans. These calibrate the
+// Silo side of the comparisons (the other bench binaries are experiment
+// harnesses over the deterministic simulator, where google-benchmark's
+// repeated-timing model does not apply).
+#include <benchmark/benchmark.h>
+
+#include "baseline/hash_index.h"
+#include "baseline/olc_btree.h"
+#include "baseline/sw_skiplist.h"
+#include "common/random.h"
+
+namespace bionicdb::baseline {
+namespace {
+
+constexpr uint64_t kRecords = 100'000;
+
+template <typename Index>
+std::unique_ptr<Index> BuildIndex(Arena* arena) {
+  std::unique_ptr<Index> index;
+  if constexpr (std::is_same_v<Index, HashIndex>) {
+    index = std::make_unique<HashIndex>(arena, kRecords);
+  } else {
+    index = std::make_unique<Index>(arena);
+  }
+  for (uint64_t k = 0; k < kRecords; ++k) {
+    index->Insert(k, arena->AllocateRecord(8));
+  }
+  return index;
+}
+
+void BM_BTreeFind(benchmark::State& state) {
+  static Arena arena;
+  static auto index = BuildIndex<OlcBTree>(&arena);
+  Rng rng(state.thread_index());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index->Find(rng.NextUint64(kRecords)));
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()));
+}
+BENCHMARK(BM_BTreeFind)->Threads(1)->Threads(4);
+
+void BM_HashFind(benchmark::State& state) {
+  static Arena arena;
+  static auto index = BuildIndex<HashIndex>(&arena);
+  Rng rng(state.thread_index());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index->Find(rng.NextUint64(kRecords)));
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()));
+}
+BENCHMARK(BM_HashFind)->Threads(1)->Threads(4);
+
+void BM_SkiplistFind(benchmark::State& state) {
+  static Arena arena;
+  static auto index = BuildIndex<SwSkiplist>(&arena);
+  Rng rng(state.thread_index());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index->Find(rng.NextUint64(kRecords)));
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()));
+}
+BENCHMARK(BM_SkiplistFind)->Threads(1)->Threads(4);
+
+void BM_BTreeScan50(benchmark::State& state) {
+  static Arena arena;
+  static auto index = BuildIndex<OlcBTree>(&arena);
+  Rng rng(state.thread_index() + 7);
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    index->Scan(rng.NextUint64(kRecords - 50), 50,
+                [&](uint64_t k, Record*) {
+                  sum += k;
+                  return true;
+                });
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * 50);
+}
+BENCHMARK(BM_BTreeScan50)->Threads(1)->Threads(4);
+
+void BM_SkiplistScan50(benchmark::State& state) {
+  static Arena arena;
+  static auto index = BuildIndex<SwSkiplist>(&arena);
+  Rng rng(state.thread_index() + 7);
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    index->Scan(rng.NextUint64(kRecords - 50), 50,
+                [&](uint64_t k, Record*) {
+                  sum += k;
+                  return true;
+                });
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * 50);
+}
+BENCHMARK(BM_SkiplistScan50)->Threads(1)->Threads(4);
+
+void BM_BTreeInsert(benchmark::State& state) {
+  static Arena arena;
+  static OlcBTree index(&arena);
+  static std::atomic<uint64_t> next{1ull << 40};
+  for (auto _ : state) {
+    uint64_t k = next.fetch_add(1, std::memory_order_relaxed);
+    index.Insert(k, arena.AllocateRecord(8));
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()));
+}
+BENCHMARK(BM_BTreeInsert)->Threads(1)->Threads(4);
+
+}  // namespace
+}  // namespace bionicdb::baseline
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+// Shared plumbing for the experiment harnesses.
+//
+// Every bench binary regenerates one table or figure from the paper's
+// evaluation (section 5): it builds the simulated BionicDB engine (and,
+// where the figure calls for it, the native Silo baseline), runs the
+// workload, and prints the same rows/series the paper reports.
+//
+// All binaries accept:
+//   --quick     smaller populations/transaction counts (CI-friendly)
+//   --seed=N    workload RNG seed (default 42)
+#ifndef BIONICDB_BENCH_BENCH_UTIL_H_
+#define BIONICDB_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "common/random.h"
+#include "common/table_printer.h"
+#include "core/engine.h"
+#include "host/driver.h"
+
+namespace bionicdb::bench {
+
+struct BenchArgs {
+  bool quick = false;
+  uint64_t seed = 42;
+
+  static BenchArgs Parse(int argc, char** argv) {
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--quick") == 0) {
+        args.quick = true;
+      } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+        args.seed = std::strtoull(argv[i] + 7, nullptr, 10);
+      }
+    }
+    return args;
+  }
+};
+
+inline void PrintHeader(const char* id, const char* what) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s — %s\n", id, what);
+  std::printf("==============================================================\n");
+}
+
+/// Threads to sweep for the Silo baseline (the paper used up to 24). On
+/// hosts with few cores the sweep still runs up to 4 oversubscribed
+/// threads so the comparison table has shape; the harness prints the
+/// actual core count so readers can judge the scaling rows.
+inline uint32_t MaxBaselineThreads() {
+  uint32_t hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 4;
+  uint32_t cap = hw < 4 ? 4 : hw;
+  return cap < 24 ? cap : 24;
+}
+
+inline void PrintHostInfo() {
+  std::printf("(Silo baseline host: %u hardware threads)\n",
+              std::thread::hardware_concurrency());
+}
+
+/// Formats ops/s as the paper's units.
+inline std::string Ktps(double tps) {
+  return TablePrinter::Num(tps / 1e3, 1);
+}
+inline std::string Mops(double ops) {
+  return TablePrinter::Num(ops / 1e6, 2);
+}
+
+}  // namespace bionicdb::bench
+
+#endif  // BIONICDB_BENCH_BENCH_UTIL_H_

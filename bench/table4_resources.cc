@@ -1,0 +1,61 @@
+// Table 4 + section 5.8 — FPGA resource utilization and power consumption.
+//
+// Reproduces the per-module flip-flop / LUT / BRAM breakdown of the
+// 4-worker design on the Virtex-5 LX330, the ~11.5 W power estimate against
+// the 380 W 4-chip Xeon TDP, and the datacenter-part worker-count
+// projection the paper's scaling discussion (sections 4.6/7) relies on.
+#include "bench/bench_util.h"
+#include "power/model.h"
+
+int main(int argc, char** argv) {
+  using namespace bionicdb;
+  auto args = bench::BenchArgs::Parse(argc, argv);
+  (void)args;
+
+  bench::PrintHeader("Table 4",
+                     "Resource utilization of BionicDB with 4 workers");
+  power::DesignConfig cfg;
+  cfg.n_workers = 4;
+  power::ResourceModel model(cfg);
+  TablePrinter table({"module", "flip-flops", "look-up tables", "block RAMs"});
+  for (const auto& row : model.ModuleBreakdown()) {
+    table.AddRow({row.name, std::to_string(row.usage.flip_flops),
+                  std::to_string(row.usage.luts),
+                  std::to_string(row.usage.brams)});
+  }
+  auto device = power::Virtex5Lx330();
+  table.AddRow({device.name + " total",
+                std::to_string(device.capacity.flip_flops),
+                std::to_string(device.capacity.luts),
+                std::to_string(device.capacity.brams)});
+  table.AddRow({"Utilization",
+                TablePrinter::Num(model.UtilizationFf(device) * 100, 0) + "%",
+                TablePrinter::Num(model.UtilizationLut(device) * 100, 0) + "%",
+                TablePrinter::Num(model.UtilizationBram(device) * 100, 0) +
+                    "%"});
+  table.Print();
+
+  bench::PrintHeader("Section 5.8", "Power consumption");
+  TablePrinter power_table({"system", "power (W)"});
+  power_table.AddRow(
+      {"BionicDB (Virtex-5, 4 workers)",
+       TablePrinter::Num(power::PowerModel::BionicDbWatts(4), 1)});
+  power_table.AddRow({"Xeon E7-4807 x4 (TDP)",
+                      TablePrinter::Num(power::PowerModel::XeonWatts(4), 0)});
+  power_table.Print();
+  std::printf("Power saving: %.1fx\n",
+              power::PowerModel::XeonWatts(4) /
+                  power::PowerModel::BionicDbWatts(4));
+
+  bench::PrintHeader("Scaling projection",
+                     "Workers per datacenter-grade FPGA (80% usable)");
+  TablePrinter proj({"device", "max BionicDB workers"});
+  power::DesignConfig per_worker;
+  for (const auto& dev : {power::VirtexUltrascalePlusVu9p(),
+                          power::IntelArria10Gx1150()}) {
+    proj.AddRow({dev.name, std::to_string(power::ResourceModel::MaxWorkers(
+                               dev, per_worker))});
+  }
+  proj.Print();
+  return 0;
+}

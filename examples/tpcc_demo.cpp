@@ -1,0 +1,112 @@
+// TPC-C demo: the NewOrder/Payment mix on a 4-warehouse BionicDB, with
+// end-of-run verification of the database invariants (district order
+// counters and money conservation) straight out of the simulated DRAM.
+//
+//   ./tpcc_demo
+#include <cstdio>
+
+#include "common/random.h"
+#include "db/tuple.h"
+#include "host/driver.h"
+#include "workload/tpcc.h"
+
+using namespace bionicdb;
+
+namespace {
+
+uint64_t PayloadField(core::BionicDb* engine, db::TableId table,
+                      db::PartitionId partition, uint64_t key,
+                      int64_t offset) {
+  sim::Addr tuple = engine->database().FindU64Le(table, partition, key);
+  if (tuple == sim::kNullAddr) return 0;
+  db::TupleAccessor accessor(engine->database().dram(), tuple);
+  uint64_t v = 0;
+  engine->database().dram()->ReadBytes(accessor.payload_addr() + offset, &v,
+                                       8);
+  return v;
+}
+
+}  // namespace
+
+int main() {
+  core::EngineOptions opts;
+  opts.n_workers = 4;
+  opts.softcore.max_contexts = 4;  // contention-friendly batches
+  core::BionicDb engine(opts);
+
+  workload::TpccOptions topts;
+  topts.districts_per_warehouse = 10;
+  topts.customers_per_district = 300;
+  topts.items = 10'000;
+  topts.ol_cnt = 10;
+  workload::Tpcc tpcc(&engine, topts);
+  if (auto s = tpcc.Setup(); !s.ok()) {
+    std::fprintf(stderr, "setup: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("Populated %u warehouses (%llu bytes of simulated DRAM)\n",
+              opts.n_workers,
+              (unsigned long long)engine.database().dram()->allocated_bytes());
+
+  Rng rng(7);
+  host::TxnList txns;
+  constexpr uint64_t kPerWorker = 400;
+  for (uint32_t w = 0; w < opts.n_workers; ++w) {
+    for (uint64_t i = 0; i < kPerWorker; ++i) {
+      txns.emplace_back(w, tpcc.MakeMixed(&rng, w));
+    }
+  }
+  auto result = host::RunToCompletion(&engine, txns);
+  std::printf("committed %llu / %llu (retries %llu) -> %.1f kTps "
+              "at %.0f MHz\n",
+              (unsigned long long)result.committed,
+              (unsigned long long)result.submitted,
+              (unsigned long long)result.retries, result.tps / 1e3,
+              opts.timing.clock_mhz);
+
+  // --- Verification against the paper's schema semantics -----------------
+  // 1. Every committed NewOrder advanced exactly one district counter.
+  uint64_t advanced = 0;
+  for (uint32_t w = 0; w < opts.n_workers; ++w) {
+    for (uint32_t d = 0; d < topts.districts_per_warehouse; ++d) {
+      advanced += PayloadField(&engine, workload::Tpcc::kDistrict, w,
+                               tpcc.DistrictKey(w, d),
+                               workload::Tpcc::kDistrictNextOid) -
+                  3001;
+    }
+  }
+  // 2. Payment money conservation: sum of committed amounts == sum of
+  //    warehouse YTDs == sum of district YTDs.
+  uint64_t total_amount = 0, neworders = 0;
+  for (const auto& [w, addr] : txns) {
+    db::TxnBlock block(&engine.simulator().dram(), addr);
+    if (block.state() != db::TxnState::kCommitted) continue;
+    if (block.txn_type() == workload::Tpcc::kPaymentTxn) {
+      total_amount += block.ReadU64(40);
+    } else {
+      ++neworders;
+    }
+  }
+  uint64_t w_ytd = 0, d_ytd = 0;
+  for (uint32_t w = 0; w < opts.n_workers; ++w) {
+    w_ytd += PayloadField(&engine, workload::Tpcc::kWarehouse, w,
+                          tpcc.WarehouseKey(w), workload::Tpcc::kWarehouseYtd);
+    for (uint32_t d = 0; d < topts.districts_per_warehouse; ++d) {
+      d_ytd += PayloadField(&engine, workload::Tpcc::kDistrict, w,
+                            tpcc.DistrictKey(w, d),
+                            workload::Tpcc::kDistrictYtd);
+    }
+  }
+  std::printf("NewOrder commits: %llu, district counters advanced: %llu %s\n",
+              (unsigned long long)neworders, (unsigned long long)advanced,
+              neworders == advanced ? "[OK]" : "[MISMATCH]");
+  std::printf("Payment sum: %llu, warehouse YTD: %llu, district YTD: %llu %s\n",
+              (unsigned long long)total_amount, (unsigned long long)w_ytd,
+              (unsigned long long)d_ytd,
+              (total_amount == w_ytd && total_amount == d_ytd)
+                  ? "[OK]"
+                  : "[MISMATCH]");
+  bool ok = neworders == advanced && total_amount == w_ytd &&
+            total_amount == d_ytd && result.failed == 0;
+  return ok ? 0 : 1;
+}

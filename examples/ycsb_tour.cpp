@@ -1,0 +1,123 @@
+// YCSB tour: drives the engine through the paper's key workload and shows
+// what the acceleration machinery is doing — index pipelining, transaction
+// interleaving, on-chip message passing — via the hardware counters.
+//
+//   ./ycsb_tour
+#include <cstdio>
+
+#include "common/random.h"
+#include "host/driver.h"
+#include "workload/ycsb.h"
+
+using namespace bionicdb;
+
+namespace {
+
+void Report(const char* name, const host::RunResult& r,
+            core::BionicDb* engine) {
+  std::printf("%-28s %8.1f kTps  (%llu committed, %llu cycles)\n", name,
+              r.tps / 1e3, (unsigned long long)r.committed,
+              (unsigned long long)r.cycles);
+  const auto& stats = engine->worker(0).softcore().stats();
+  std::printf("    worker 0: %llu batches, %llu context switches, "
+              "%llu instructions\n",
+              (unsigned long long)stats.batches,
+              (unsigned long long)stats.context_switches,
+              (unsigned long long)stats.instructions);
+}
+
+host::RunResult Run(core::BionicDb* engine, workload::Ycsb* ycsb,
+                    uint64_t txns_per_worker, uint64_t seed) {
+  Rng rng(seed);
+  host::TxnList txns;
+  for (uint32_t w = 0; w < engine->database().n_partitions(); ++w) {
+    for (uint64_t i = 0; i < txns_per_worker; ++i) {
+      txns.emplace_back(w, ycsb->MakeTxn(&rng, w));
+    }
+  }
+  return host::RunToCompletion(engine, txns);
+}
+
+}  // namespace
+
+int main() {
+  constexpr uint64_t kTxns = 500;
+
+  // --- YCSB-C: read-only, local ------------------------------------------
+  {
+    core::EngineOptions opts;
+    opts.n_workers = 4;
+    core::BionicDb engine(opts);
+    workload::YcsbOptions yopts;
+    yopts.mode = workload::YcsbOptions::Mode::kReadOnly;
+    yopts.records_per_partition = 10'000;
+    yopts.payload_len = 256;
+    workload::Ycsb ycsb(&engine, yopts);
+    if (!ycsb.Setup().ok()) return 1;
+    auto r = Run(&engine, &ycsb, kTxns, 1);
+    Report("YCSB-C (read-only)", r, &engine);
+    auto& counters = engine.worker(0).coprocessor().hash_pipeline().counters();
+    std::printf("    hash pipeline: %llu ops admitted, "
+                "%llu lock-stall cycles\n",
+                (unsigned long long)counters.Get("ops_admitted"),
+                (unsigned long long)counters.Get("hash_lock_stall_cycles"));
+  }
+
+  // --- YCSB update mix: exercises UNDO logging + commit protocol ---------
+  {
+    core::EngineOptions opts;
+    opts.n_workers = 4;
+    core::BionicDb engine(opts);
+    workload::YcsbOptions yopts;
+    yopts.mode = workload::YcsbOptions::Mode::kUpdateMix;
+    yopts.records_per_partition = 10'000;
+    yopts.payload_len = 256;
+    yopts.updates_per_txn = 8;
+    workload::Ycsb ycsb(&engine, yopts);
+    if (!ycsb.Setup().ok()) return 1;
+    auto r = Run(&engine, &ycsb, kTxns, 2);
+    Report("YCSB update mix (8/16)", r, &engine);
+    std::printf("    retries due to CC conflicts: %llu\n",
+                (unsigned long long)r.retries);
+  }
+
+  // --- Modified YCSB-E: scans over the hardware skiplist ------------------
+  {
+    core::EngineOptions opts;
+    opts.n_workers = 4;
+    core::BionicDb engine(opts);
+    workload::YcsbOptions yopts;
+    yopts.mode = workload::YcsbOptions::Mode::kScanOnly;
+    yopts.records_per_partition = 10'000;
+    yopts.payload_len = 256;
+    yopts.scan_len = 50;
+    workload::Ycsb ycsb(&engine, yopts);
+    if (!ycsb.Setup().ok()) return 1;
+    auto r = Run(&engine, &ycsb, 200, 3);
+    Report("YCSB-E (scan-only, 50)", r, &engine);
+    auto& counters =
+        engine.worker(0).coprocessor().skiplist_pipeline().counters();
+    std::printf("    skiplist pipeline: %llu scans, %llu tower visits\n",
+                (unsigned long long)counters.Get("scans_completed"),
+                (unsigned long long)counters.Get("tower_visits"));
+  }
+
+  // --- Cross-partition: 75% remote accesses over the channels -------------
+  {
+    core::EngineOptions opts;
+    opts.n_workers = 4;
+    core::BionicDb engine(opts);
+    workload::YcsbOptions yopts;
+    yopts.mode = workload::YcsbOptions::Mode::kMultisite;
+    yopts.records_per_partition = 10'000;
+    yopts.payload_len = 256;
+    yopts.remote_fraction = 0.75;
+    workload::Ycsb ycsb(&engine, yopts);
+    if (!ycsb.Setup().ok()) return 1;
+    auto r = Run(&engine, &ycsb, kTxns, 4);
+    Report("YCSB-C multisite (75% rem)", r, &engine);
+    std::printf("    on-chip messages exchanged: %llu\n",
+                (unsigned long long)engine.fabric().messages_sent());
+  }
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Concurrent chaining hash index for the Silo baseline.
+//
+// Lock-free reads; inserts CAS-prepend onto per-bucket chains. Nodes are
+// never removed (deletion is logical via the record's absent bit), so
+// readers need no reclamation protocol.
+#ifndef BIONICDB_BASELINE_HASH_INDEX_H_
+#define BIONICDB_BASELINE_HASH_INDEX_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "baseline/record.h"
+#include "common/hash.h"
+
+namespace bionicdb::baseline {
+
+class HashIndex {
+ public:
+  HashIndex(Arena* arena, uint64_t n_buckets)
+      : arena_(arena), buckets_(RoundUp(n_buckets)) {
+    mask_ = buckets_.size() - 1;
+    for (auto& b : buckets_) b.store(nullptr, std::memory_order_relaxed);
+  }
+
+  /// Returns the record for `key`, or nullptr.
+  Record* Find(uint64_t key) const {
+    Node* n = buckets_[Fnv1aHash64(key) & mask_].load(
+        std::memory_order_acquire);
+    while (n != nullptr) {
+      if (n->key == key) return n->record;
+      n = n->next.load(std::memory_order_acquire);
+    }
+    return nullptr;
+  }
+
+  /// Inserts key -> record. Returns false if the key already exists.
+  bool Insert(uint64_t key, Record* record) {
+    auto& head = buckets_[Fnv1aHash64(key) & mask_];
+    Node* node = new (arena_->Allocate(sizeof(Node))) Node();
+    node->key = key;
+    node->record = record;
+    while (true) {
+      Node* first = head.load(std::memory_order_acquire);
+      for (Node* n = first; n != nullptr;
+           n = n->next.load(std::memory_order_acquire)) {
+        if (n->key == key) return false;
+      }
+      node->next.store(first, std::memory_order_relaxed);
+      if (head.compare_exchange_weak(first, node,
+                                     std::memory_order_release)) {
+        return true;
+      }
+    }
+  }
+
+ private:
+  struct Node {
+    std::atomic<Node*> next{nullptr};
+    uint64_t key = 0;
+    Record* record = nullptr;
+  };
+
+  static uint64_t RoundUp(uint64_t v) {
+    uint64_t p = 1;
+    while (p < v) p <<= 1;
+    return p;
+  }
+
+  Arena* arena_;
+  std::vector<std::atomic<Node*>> buckets_;
+  uint64_t mask_;
+};
+
+}  // namespace bionicdb::baseline
+
+#endif  // BIONICDB_BASELINE_HASH_INDEX_H_

@@ -1,0 +1,241 @@
+#include "baseline/olc_btree.h"
+
+namespace bionicdb::baseline {
+
+OlcBTree::Leaf* OlcBTree::SplitLeaf(Leaf* leaf, uint64_t* sep) {
+  // Caller holds write locks on `leaf` (and its parent); plain relaxed
+  // copies, ordered for optimistic readers by the version bumps at unlock.
+  auto rx = [](const auto& a) { return a.load(std::memory_order_relaxed); };
+  Leaf* right = NewLeaf();
+  uint32_t n = rx(leaf->count);
+  uint32_t half = n / 2;
+  right->count.store(n - half, std::memory_order_relaxed);
+  for (uint32_t i = 0; i < n - half; ++i) {
+    right->keys[i].store(rx(leaf->keys[half + i]),
+                         std::memory_order_relaxed);
+    right->values[i].store(rx(leaf->values[half + i]),
+                           std::memory_order_relaxed);
+  }
+  leaf->count.store(half, std::memory_order_relaxed);
+  right->next.store(leaf->next.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+  leaf->next.store(right, std::memory_order_release);
+  *sep = rx(right->keys[0]);
+  return right;
+}
+
+OlcBTree::Inner* OlcBTree::SplitInner(Inner* inner, uint64_t* sep) {
+  auto rx = [](const auto& a) { return a.load(std::memory_order_relaxed); };
+  Inner* right = NewInner();
+  uint32_t n = rx(inner->count);
+  uint32_t half = n / 2;
+  *sep = rx(inner->keys[half]);
+  uint32_t right_n = n - half - 1;
+  right->count.store(right_n, std::memory_order_relaxed);
+  for (uint32_t i = 0; i < right_n; ++i) {
+    right->keys[i].store(rx(inner->keys[half + 1 + i]),
+                         std::memory_order_relaxed);
+  }
+  for (uint32_t i = 0; i <= right_n; ++i) {
+    right->children[i].store(rx(inner->children[half + 1 + i]),
+                             std::memory_order_relaxed);
+  }
+  inner->count.store(half, std::memory_order_relaxed);
+  return right;
+}
+
+void OlcBTree::MakeRoot(uint64_t sep, Node* left, Node* right) {
+  Inner* root = NewInner();
+  root->count.store(1, std::memory_order_relaxed);
+  root->keys[0].store(sep, std::memory_order_relaxed);
+  root->children[0].store(left, std::memory_order_relaxed);
+  root->children[1].store(right, std::memory_order_relaxed);
+  root_.store(root, std::memory_order_release);
+}
+
+Record* OlcBTree::Find(uint64_t key) const {
+  while (true) {
+    uint64_t leaf_version;
+    const Leaf* leaf = FindLeaf(key, &leaf_version);
+    if (leaf == nullptr) continue;  // restart
+    uint32_t pos = leaf->LowerBound(key);
+    Record* result = nullptr;
+    if (pos < leaf->count.load(std::memory_order_relaxed) &&
+        leaf->keys[pos].load(std::memory_order_relaxed) == key) {
+      result = leaf->values[pos].load(std::memory_order_relaxed);
+    }
+    bool restart = false;
+    leaf->ReadUnlockOrRestart(leaf_version, &restart);
+    if (!restart) return result;
+  }
+}
+
+const OlcBTree::Leaf* OlcBTree::FindLeaf(uint64_t key,
+                                         uint64_t* leaf_version) const {
+  bool restart = false;
+  const Node* node = root_.load(std::memory_order_acquire);
+  uint64_t version = node->ReadLockOrRestart(&restart);
+  if (restart || node != root_.load(std::memory_order_acquire)) {
+    return nullptr;
+  }
+  const Node* parent = nullptr;
+  uint64_t parent_version = 0;
+  while (!node->is_leaf) {
+    const Inner* inner = static_cast<const Inner*>(node);
+    if (parent != nullptr) {
+      parent->ReadUnlockOrRestart(parent_version, &restart);
+      if (restart) return nullptr;
+    }
+    parent = node;
+    parent_version = version;
+    const Node* child =
+        inner->children[inner->LowerBound(key)].load(
+            std::memory_order_relaxed);
+    inner->CheckOrRestart(version, &restart);
+    if (restart) return nullptr;
+    node = child;
+    version = node->ReadLockOrRestart(&restart);
+    if (restart) return nullptr;
+  }
+  if (parent != nullptr) {
+    parent->ReadUnlockOrRestart(parent_version, &restart);
+    if (restart) return nullptr;
+  }
+  *leaf_version = version;
+  return static_cast<const Leaf*>(node);
+}
+
+Record* OlcBTree::Insert(uint64_t key, Record* value) {
+restart:
+  bool restart = false;
+  Node* node = root_.load(std::memory_order_acquire);
+  uint64_t version = node->ReadLockOrRestart(&restart);
+  if (restart || node != root_.load(std::memory_order_acquire)) {
+    goto restart;
+  }
+  Node* parent = nullptr;
+  uint64_t parent_version = 0;
+
+  while (!node->is_leaf) {
+    Inner* inner = static_cast<Inner*>(node);
+    // Eager split of full inner nodes keeps the lock scope to two levels.
+    if (inner->count.load(std::memory_order_relaxed) == kInnerCap) {
+      if (parent != nullptr) {
+        parent->UpgradeToWriteLockOrRestart(&parent_version, &restart);
+        if (restart) goto restart;
+      }
+      node->UpgradeToWriteLockOrRestart(&version, &restart);
+      if (restart) {
+        if (parent != nullptr) parent->WriteUnlock();
+        goto restart;
+      }
+      if (parent == nullptr &&
+          node != root_.load(std::memory_order_acquire)) {
+        node->WriteUnlock();
+        goto restart;
+      }
+      uint64_t sep;
+      Inner* right = SplitInner(inner, &sep);
+      if (parent != nullptr) {
+        static_cast<Inner*>(parent)->InsertAt(sep, right);
+        parent->WriteUnlock();
+      } else {
+        MakeRoot(sep, inner, right);
+      }
+      node->WriteUnlock();
+      goto restart;
+    }
+    if (parent != nullptr) {
+      parent->ReadUnlockOrRestart(parent_version, &restart);
+      if (restart) goto restart;
+    }
+    parent = node;
+    parent_version = version;
+    Node* child = inner->children[inner->LowerBound(key)].load(
+        std::memory_order_relaxed);
+    inner->CheckOrRestart(version, &restart);
+    if (restart) goto restart;
+    node = child;
+    version = node->ReadLockOrRestart(&restart);
+    if (restart) goto restart;
+  }
+
+  Leaf* leaf = static_cast<Leaf*>(node);
+  if (leaf->count.load(std::memory_order_relaxed) == kLeafCap) {
+    if (parent != nullptr) {
+      parent->UpgradeToWriteLockOrRestart(&parent_version, &restart);
+      if (restart) goto restart;
+    }
+    node->UpgradeToWriteLockOrRestart(&version, &restart);
+    if (restart) {
+      if (parent != nullptr) parent->WriteUnlock();
+      goto restart;
+    }
+    if (parent == nullptr && node != root_.load(std::memory_order_acquire)) {
+      node->WriteUnlock();
+      goto restart;
+    }
+    uint64_t sep;
+    Leaf* right = SplitLeaf(leaf, &sep);
+    if (parent != nullptr) {
+      static_cast<Inner*>(parent)->InsertAt(sep, right);
+      parent->WriteUnlock();
+    } else {
+      MakeRoot(sep, leaf, right);
+    }
+    node->WriteUnlock();
+    goto restart;
+  }
+  if (parent != nullptr) {
+    parent->ReadUnlockOrRestart(parent_version, &restart);
+    if (restart) goto restart;
+  }
+  node->UpgradeToWriteLockOrRestart(&version, &restart);
+  if (restart) goto restart;
+  Record* existing = leaf->InsertIfAbsent(key, value);
+  node->WriteUnlock();
+  return existing;
+}
+
+uint32_t OlcBTree::Scan(uint64_t start, uint32_t count,
+                        const std::function<bool(uint64_t, Record*)>& fn)
+    const {
+restart:
+  uint64_t leaf_version;
+  const Leaf* leaf = FindLeaf(start, &leaf_version);
+  if (leaf == nullptr) goto restart;
+
+  uint32_t visited = 0;
+  uint64_t resume_key = start;
+  while (leaf != nullptr && visited < count) {
+    // Buffer the leaf's qualifying entries under its version, emit after a
+    // successful validation (classic OLC leaf-at-a-time scan).
+    uint64_t keys[kLeafCap];
+    Record* values[kLeafCap];
+    uint32_t n = 0;
+    uint32_t leaf_count = leaf->count.load(std::memory_order_relaxed);
+    for (uint32_t i = leaf->LowerBound(resume_key);
+         i < leaf_count && visited + n < count; ++i) {
+      keys[n] = leaf->keys[i].load(std::memory_order_relaxed);
+      values[n] = leaf->values[i].load(std::memory_order_relaxed);
+      ++n;
+    }
+    const Leaf* next = leaf->next.load(std::memory_order_acquire);
+    bool restart = false;
+    leaf->ReadUnlockOrRestart(leaf_version, &restart);
+    if (restart) goto restart;
+    for (uint32_t i = 0; i < n; ++i) {
+      if (!fn(keys[i], values[i])) return visited + i + 1;
+    }
+    visited += n;
+    if (next == nullptr) break;
+    resume_key = 0;  // from the next leaf's first entry
+    leaf = next;
+    restart = false;
+    leaf_version = leaf->ReadLockOrRestart(&restart);
+    if (restart) goto restart;
+  }
+  return visited;
+}
+
+}  // namespace bionicdb::baseline

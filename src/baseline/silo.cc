@@ -1,0 +1,222 @@
+#include "baseline/silo.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace bionicdb::baseline {
+
+uint32_t SiloDb::CreateTable(const TableDef& def) {
+  auto t = std::make_unique<Table>();
+  t->def = def;
+  switch (def.index) {
+    case SiloIndexKind::kHash:
+      t->hash = std::make_unique<HashIndex>(&arena_, def.expected_records);
+      break;
+    case SiloIndexKind::kBTree:
+      t->btree = std::make_unique<OlcBTree>(&arena_);
+      break;
+    case SiloIndexKind::kSkiplist:
+      t->skiplist = std::make_unique<SwSkiplist>(&arena_);
+      break;
+  }
+  tables_.push_back(std::move(t));
+  return uint32_t(tables_.size() - 1);
+}
+
+Record* SiloDb::Load(uint32_t table_id, uint64_t key, const void* payload) {
+  Table* t = table(table_id);
+  Record* r = arena_.AllocateRecord(t->def.payload_len);
+  std::memcpy(r->payload(), payload, t->def.payload_len);
+  r->tid.store(tid::Make(1, 0), std::memory_order_release);  // committed
+  switch (t->def.index) {
+    case SiloIndexKind::kHash:
+      t->hash->Insert(key, r);
+      break;
+    case SiloIndexKind::kBTree:
+      t->btree->Insert(key, r);
+      break;
+    case SiloIndexKind::kSkiplist:
+      t->skiplist->Insert(key, r);
+      break;
+  }
+  return r;
+}
+
+Record* SiloDb::Find(uint32_t table_id, uint64_t key) const {
+  Table* t = table(table_id);
+  switch (t->def.index) {
+    case SiloIndexKind::kHash:
+      return t->hash->Find(key);
+    case SiloIndexKind::kBTree:
+      return t->btree->Find(key);
+    case SiloIndexKind::kSkiplist:
+      return t->skiplist->Find(key);
+  }
+  return nullptr;
+}
+
+Record* SiloTxn::Get(uint32_t table, uint64_t key) const {
+  return db_->Find(table, key);
+}
+
+bool SiloTxn::Read(Record* record, void* out) {
+  uint64_t t = record->ReadConsistent(out);
+  if (tid::Absent(t)) return false;
+  read_set_.push_back(ReadEntry{record, t});
+  return true;
+}
+
+void SiloTxn::Write(uint32_t table, Record* record, const void* value) {
+  // Last write to the same record wins.
+  for (WriteEntry& w : write_set_) {
+    if (w.record == record) {
+      std::memcpy(w.value.data(), value, w.value.size());
+      return;
+    }
+  }
+  WriteEntry w;
+  w.table = table;
+  w.record = record;
+  w.value.assign(static_cast<const uint8_t*>(value),
+                 static_cast<const uint8_t*>(value) +
+                     db_->payload_len(table));
+  w.is_insert = false;
+  write_set_.push_back(std::move(w));
+}
+
+Record* SiloTxn::Insert(uint32_t table_id, uint64_t key, const void* value) {
+  SiloDb::Table* t = db_->table(table_id);
+
+  // An existing ABSENT record (an earlier aborted insert, possibly our own
+  // retry) can be claimed: we validate its TID at commit, so two racing
+  // claimers cannot both succeed. A committed record is a true duplicate.
+  auto claim = [&](Record* existing) -> Record* {
+    uint64_t observed = existing->StableTid();
+    if (!tid::Absent(observed)) return nullptr;  // live duplicate
+    read_set_.push_back(ReadEntry{existing, observed});
+    WriteEntry w;
+    w.table = table_id;
+    w.record = existing;
+    w.value.assign(static_cast<const uint8_t*>(value),
+                   static_cast<const uint8_t*>(value) + t->def.payload_len);
+    w.is_insert = true;
+    write_set_.push_back(std::move(w));
+    return existing;
+  };
+
+  Record* existing = db_->Find(table_id, key);
+  if (existing != nullptr) return claim(existing);
+
+  // Fresh insert. All three indexes provide insert-if-absent semantics
+  // decided inside their own critical section, so two racing inserters of
+  // one key always agree on a single resident record; the loser claims the
+  // winner's (still-absent) record below. Anything weaker (e.g. upsert)
+  // lets the loser's transaction commit a row the index no longer points
+  // to.
+  Record* r = db_->arena_.AllocateRecord(t->def.payload_len);
+  Record* resident = nullptr;
+  switch (t->def.index) {
+    case SiloIndexKind::kHash:
+      if (!t->hash->Insert(key, r)) resident = db_->Find(table_id, key);
+      break;
+    case SiloIndexKind::kBTree:
+      resident = t->btree->Insert(key, r);
+      break;
+    case SiloIndexKind::kSkiplist:
+      resident = t->skiplist->Insert(key, r);
+      break;
+  }
+  if (resident != nullptr) return claim(resident);
+  // Validate our own insert: if a racing claimer of this record commits
+  // first, the TID changes and our commit must fail.
+  read_set_.push_back(ReadEntry{r, tid::kAbsentBit});
+  WriteEntry w;
+  w.table = table_id;
+  w.record = r;
+  w.value.assign(static_cast<const uint8_t*>(value),
+                 static_cast<const uint8_t*>(value) +
+                     t->def.payload_len);
+  w.is_insert = true;
+  write_set_.push_back(std::move(w));
+  return r;
+}
+
+uint32_t SiloTxn::Scan(uint32_t table_id, uint64_t start, uint32_t count,
+                       const std::function<bool(uint64_t, const uint8_t*)>&
+                           fn) {
+  SiloDb::Table* t = db_->table(table_id);
+  std::vector<uint8_t> buf(t->def.payload_len);
+  auto visit = [&](uint64_t key, Record* r) {
+    uint64_t tid_word = r->ReadConsistent(buf.data());
+    if (tid::Absent(tid_word)) return true;  // skip, do not count
+    return fn(key, buf.data());
+  };
+  switch (t->def.index) {
+    case SiloIndexKind::kBTree:
+      return t->btree->Scan(start, count, visit);
+    case SiloIndexKind::kSkiplist:
+      return t->skiplist->Scan(start, count, visit);
+    case SiloIndexKind::kHash:
+      return 0;  // hash tables do not support range scans
+  }
+  return 0;
+}
+
+bool SiloTxn::InWriteSet(const Record* r) const {
+  for (const WriteEntry& w : write_set_) {
+    if (w.record == r) return true;
+  }
+  return false;
+}
+
+bool SiloTxn::Commit() {
+  if (aborted_) return false;
+  // Phase 1: lock the write set in a global order (record address).
+  std::sort(write_set_.begin(), write_set_.end(),
+            [](const WriteEntry& a, const WriteEntry& b) {
+              return a.record < b.record;
+            });
+  for (WriteEntry& w : write_set_) w.record->Lock();
+
+  std::atomic_thread_fence(std::memory_order_acq_rel);
+  const uint64_t epoch = db_->epoch();
+
+  // Phase 2: validate the read set.
+  uint64_t max_seen = 0;
+  bool ok = true;
+  for (const ReadEntry& r : read_set_) {
+    uint64_t cur = r.record->tid.load(std::memory_order_acquire);
+    if ((cur & ~tid::kLockBit) != r.observed_tid) {
+      ok = false;
+      break;
+    }
+    if (tid::Locked(cur) && !InWriteSet(r.record)) {
+      ok = false;
+      break;
+    }
+    max_seen = std::max(max_seen, r.observed_tid & tid::kDataMask);
+  }
+  if (!ok) {
+    for (WriteEntry& w : write_set_) w.record->Unlock();
+    return false;
+  }
+  for (const WriteEntry& w : write_set_) {
+    uint64_t cur = w.record->tid.load(std::memory_order_relaxed);
+    max_seen = std::max(max_seen, cur & tid::kDataMask);
+  }
+
+  // Phase 3: install writes with a TID greater than everything observed
+  // and within the current epoch.
+  uint64_t seq = (max_seen & 0xffffffffull) + 1;
+  uint64_t new_tid = std::max(tid::Make(epoch, seq), max_seen + 1) &
+                     tid::kDataMask;
+  for (WriteEntry& w : write_set_) {
+    RelaxedStore(w.record->payload(), w.value.data(), w.value.size());
+    // Store clears lock + absent in one release write.
+    w.record->tid.store(new_tid, std::memory_order_release);
+  }
+  committed_tid_ = new_tid;
+  return true;
+}
+
+}  // namespace bionicdb::baseline

@@ -1,0 +1,139 @@
+// The Silo-style software OLTP engine (the paper's comparison system).
+//
+// Reproduces the essentials of Silo [Tu et al., SOSP'13]: optimistic
+// concurrency control with epoch-based TIDs and the three-phase commit —
+// (1) lock the write set in address order, (2) read the global epoch and
+// validate the read set (TID unchanged, not locked by others), (3) install
+// writes with a fresh TID greater than everything observed. Shared-
+// everything: any thread may touch any record; indexes are fully
+// concurrent. Inserts are eager with absent-marked records, finalized or
+// abandoned at commit/abort.
+//
+// Simplifications relative to full Silo, all irrelevant to the paper's
+// experiments: no physical deletion or garbage collection, scans validate
+// leaf versions but not full phantom protection (all scanned workloads are
+// read-only), and durable logging is out of scope (the paper measures both
+// systems without logging).
+#ifndef BIONICDB_BASELINE_SILO_H_
+#define BIONICDB_BASELINE_SILO_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baseline/hash_index.h"
+#include "baseline/olc_btree.h"
+#include "baseline/record.h"
+#include "baseline/sw_skiplist.h"
+
+namespace bionicdb::baseline {
+
+enum class SiloIndexKind : uint8_t {
+  kHash,      // chaining hash (point-only tables)
+  kBTree,     // OLC B+tree — the Masstree stand-in
+  kSkiplist,  // software skiplist comparator
+};
+
+class SiloDb {
+ public:
+  struct TableDef {
+    std::string name;
+    SiloIndexKind index = SiloIndexKind::kBTree;
+    uint32_t payload_len = 8;
+    uint64_t expected_records = 1 << 20;  // hash sizing hint
+  };
+
+  /// Returns the new table's id (dense, starting at 0).
+  uint32_t CreateTable(const TableDef& def);
+
+  /// Bulk load (single-threaded setup path): inserts a committed record.
+  Record* Load(uint32_t table, uint64_t key, const void* payload);
+
+  Record* Find(uint32_t table, uint64_t key) const;
+
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+  void AdvanceEpoch() { epoch_.fetch_add(1, std::memory_order_acq_rel); }
+
+  Arena& arena() { return arena_; }
+  uint32_t payload_len(uint32_t table) const {
+    return tables_[table]->def.payload_len;
+  }
+
+ private:
+  friend class SiloTxn;
+
+  struct Table {
+    TableDef def;
+    std::unique_ptr<HashIndex> hash;
+    std::unique_ptr<OlcBTree> btree;
+    std::unique_ptr<SwSkiplist> skiplist;
+  };
+
+  Table* table(uint32_t id) const { return tables_[id].get(); }
+
+  Arena arena_;
+  std::vector<std::unique_ptr<Table>> tables_;
+  std::atomic<uint64_t> epoch_{1};
+};
+
+/// One transaction attempt. Not reusable after Commit/Abort.
+class SiloTxn {
+ public:
+  explicit SiloTxn(SiloDb* db) : db_(db) {}
+
+  /// Index lookup; nullptr when missing.
+  Record* Get(uint32_t table, uint64_t key) const;
+
+  /// Optimistic consistent read into `out` (payload_len bytes); records the
+  /// observed TID in the read set. False when the record is absent
+  /// (uncommitted insert or logically deleted).
+  bool Read(Record* record, void* out);
+
+  /// Buffers a full-payload overwrite of `record`.
+  void Write(uint32_t table, Record* record, const void* value);
+
+  /// Eagerly inserts an absent record (payload installed at commit).
+  /// Returns nullptr when the key already exists.
+  Record* Insert(uint32_t table, uint64_t key, const void* value);
+
+  /// Read-only range scan over a btree/skiplist table: visits up to `count`
+  /// committed records with key >= start. Returns records visited.
+  uint32_t Scan(uint32_t table, uint64_t start, uint32_t count,
+                const std::function<bool(uint64_t, const uint8_t*)>& fn);
+
+  /// Silo's three-phase commit. False = validation failure (caller should
+  /// retry the whole transaction); the write set is rolled back.
+  bool Commit();
+
+  /// Abandons buffered writes (inserted records stay absent forever).
+  void Abort() { aborted_ = true; }
+
+  uint64_t committed_tid() const { return committed_tid_; }
+
+ private:
+  struct ReadEntry {
+    Record* record;
+    uint64_t observed_tid;
+  };
+  struct WriteEntry {
+    uint32_t table;
+    Record* record;
+    std::vector<uint8_t> value;
+    bool is_insert;
+  };
+
+  bool InWriteSet(const Record* r) const;
+
+  SiloDb* db_;
+  std::vector<ReadEntry> read_set_;
+  std::vector<WriteEntry> write_set_;
+  uint64_t committed_tid_ = 0;
+  bool aborted_ = false;
+};
+
+}  // namespace bionicdb::baseline
+
+#endif  // BIONICDB_BASELINE_SILO_H_

@@ -1,0 +1,137 @@
+// Concurrent lock-free software skiplist (insert + lookup + scan).
+//
+// The paper's Fig. 11d compares the hardware skiplist's scan throughput
+// against a software skiplist on the Xeon; this is that comparator. The
+// algorithm is the standard CAS-based lock-free skiplist without physical
+// deletion (deletes in the Silo engine are logical via record absent bits):
+// insert links the bottom level first with CAS, then each upper level,
+// re-locating predecessors on contention.
+#ifndef BIONICDB_BASELINE_SW_SKIPLIST_H_
+#define BIONICDB_BASELINE_SW_SKIPLIST_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+
+#include "baseline/record.h"
+#include "common/random.h"
+
+namespace bionicdb::baseline {
+
+class SwSkiplist {
+ public:
+  static constexpr int kMaxHeight = 20;
+
+  explicit SwSkiplist(Arena* arena) : arena_(arena) {
+    head_ = NewNode(0, nullptr, kMaxHeight);
+  }
+
+  Record* Find(uint64_t key) const {
+    const Node* n = FindGreaterOrEqual(key);
+    return (n != nullptr && n->key == key) ? n->record : nullptr;
+  }
+
+  /// Insert-if-absent: links key -> record and returns nullptr, or returns
+  /// the already-resident record. The bottom-level CAS is the
+  /// linearization point — two racing inserters of one key always agree on
+  /// a single resident record.
+  Record* Insert(uint64_t key, Record* record) {
+    int height = RandomHeight();
+    Node* node = NewNode(key, record, height);
+    while (true) {
+      Node* pred = FindPred(key, 0);
+      Node* succ = pred->next[0].load(std::memory_order_acquire);
+      while (succ != nullptr && succ->key < key) {
+        pred = succ;
+        succ = pred->next[0].load(std::memory_order_acquire);
+      }
+      if (succ != nullptr && succ->key == key) return succ->record;
+      node->next[0].store(succ, std::memory_order_relaxed);
+      if (pred->next[0].compare_exchange_strong(succ, node,
+                                                std::memory_order_release)) {
+        break;
+      }
+    }
+    for (int level = 1; level < height; ++level) {
+      while (true) {
+        Node* pred = FindPred(key, level);
+        Node* succ = pred->next[level].load(std::memory_order_acquire);
+        while (succ != nullptr && succ->key < key) {
+          pred = succ;
+          succ = pred->next[level].load(std::memory_order_acquire);
+        }
+        node->next[level].store(succ, std::memory_order_relaxed);
+        if (pred->next[level].compare_exchange_strong(
+                succ, node, std::memory_order_release)) {
+          break;
+        }
+      }
+    }
+    return nullptr;
+  }
+
+  /// Visits up to `count` entries with key >= start in ascending order.
+  uint32_t Scan(uint64_t start, uint32_t count,
+                const std::function<bool(uint64_t, Record*)>& fn) const {
+    const Node* n = FindGreaterOrEqual(start);
+    uint32_t visited = 0;
+    while (n != nullptr && visited < count) {
+      ++visited;
+      if (!fn(n->key, n->record)) break;
+      n = n->next[0].load(std::memory_order_acquire);
+    }
+    return visited;
+  }
+
+ private:
+  struct Node {
+    uint64_t key;
+    Record* record;
+    int height;
+    std::atomic<Node*> next[1];  // `height` slots, arena-allocated
+  };
+
+  Node* NewNode(uint64_t key, Record* record, int height) {
+    size_t bytes = sizeof(Node) + sizeof(std::atomic<Node*>) * (height - 1);
+    Node* n = static_cast<Node*>(arena_->Allocate(bytes));
+    n->key = key;
+    n->record = record;
+    n->height = height;
+    for (int i = 0; i < height; ++i) {
+      new (&n->next[i]) std::atomic<Node*>(nullptr);
+    }
+    return n;
+  }
+
+  int RandomHeight() {
+    thread_local Rng rng(0x5eed ^
+                         uint64_t(reinterpret_cast<uintptr_t>(&rng)));
+    int h = 1;
+    while (h < kMaxHeight && (rng.Next() & 1)) ++h;
+    return h;
+  }
+
+  /// Rightmost node with key < probe at `level` (descending from the top).
+  Node* FindPred(uint64_t key, int level) const {
+    Node* cur = head_;
+    for (int l = kMaxHeight - 1; l >= level; --l) {
+      Node* next = cur->next[l].load(std::memory_order_acquire);
+      while (next != nullptr && next->key < key) {
+        cur = next;
+        next = cur->next[l].load(std::memory_order_acquire);
+      }
+    }
+    return cur;
+  }
+
+  const Node* FindGreaterOrEqual(uint64_t key) const {
+    return FindPred(key, 0)->next[0].load(std::memory_order_acquire);
+  }
+
+  Arena* arena_;
+  Node* head_;
+};
+
+}  // namespace bionicdb::baseline
+
+#endif  // BIONICDB_BASELINE_SW_SKIPLIST_H_

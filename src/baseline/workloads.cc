@@ -1,0 +1,363 @@
+#include "baseline/workloads.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+namespace bionicdb::baseline {
+
+namespace {
+
+/// Runs `body(thread_id)` on `threads` std::threads with an epoch advancer
+/// (Silo advances the global epoch periodically; 1 ms here) and returns the
+/// wall-clock seconds of the parallel region.
+double RunParallel(SiloDb* db, uint32_t threads,
+                   const std::function<void(uint32_t)>& body) {
+  std::atomic<bool> done{false};
+  std::thread epoch_thread([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      db->AdvanceEpoch();
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (uint32_t t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] { body(t); });
+  }
+  for (auto& t : pool) t.join();
+  auto end = std::chrono::steady_clock::now();
+  done.store(true, std::memory_order_release);
+  epoch_thread.join();
+  return std::chrono::duration<double>(end - start).count();
+}
+
+uint64_t GetU64(const uint8_t* buf, size_t off) {
+  uint64_t v;
+  std::memcpy(&v, buf + off, 8);
+  return v;
+}
+void PutU64(uint8_t* buf, size_t off, uint64_t v) {
+  std::memcpy(buf + off, &v, 8);
+}
+
+// TPC-C payload sizes (match the BionicDB workload module).
+constexpr uint32_t kWarehousePayload = 96;
+constexpr uint32_t kDistrictPayload = 96;
+constexpr uint32_t kCustomerPayload = 240;
+constexpr uint32_t kHistoryPayload = 32;
+constexpr uint32_t kNewOrderPayload = 8;
+constexpr uint32_t kOrderPayload = 32;
+constexpr uint32_t kOrderLinePayload = 48;
+constexpr uint32_t kItemPayload = 64;
+constexpr uint32_t kStockPayload = 128;
+constexpr uint64_t kInitialNextOid = 3001;
+
+}  // namespace
+
+// --- YCSB ------------------------------------------------------------------
+
+SiloYcsb::SiloYcsb(const SiloYcsbOptions& options) : options_(options) {
+  db_ = std::make_unique<SiloDb>();
+}
+
+void SiloYcsb::Setup() {
+  SiloDb::TableDef def;
+  def.name = "usertable";
+  def.index = options_.index;
+  def.payload_len = options_.payload_len;
+  def.expected_records = options_.records;
+  table_ = db_->CreateTable(def);
+  std::vector<uint8_t> payload(options_.payload_len);
+  for (size_t i = 0; i < payload.size(); ++i) payload[i] = uint8_t(i * 131);
+  for (uint64_t k = 0; k < options_.records; ++k) {
+    db_->Load(table_, k, payload.data());
+  }
+}
+
+BaselineResult SiloYcsb::RunPointTxns(uint32_t threads,
+                                      uint64_t txns_per_thread) {
+  BaselineResult result;
+  std::atomic<uint64_t> committed{0}, aborted{0};
+  result.seconds = RunParallel(db_.get(), threads, [&](uint32_t tid) {
+    Rng rng(tid * 7919 + 13);
+    std::vector<uint8_t> buf(options_.payload_len);
+    std::vector<uint8_t> newval(options_.payload_len, uint8_t(tid));
+    for (uint64_t i = 0; i < txns_per_thread; ++i) {
+      while (true) {
+        SiloTxn txn(db_.get());
+        bool ok = true;
+        for (uint32_t a = 0; a < options_.accesses_per_txn && ok; ++a) {
+          uint64_t key = rng.NextUint64(options_.records);
+          Record* r = txn.Get(table_, key);
+          if (r == nullptr || !txn.Read(r, buf.data())) {
+            ok = false;
+            break;
+          }
+          if (a < options_.updates_per_txn) {
+            txn.Write(table_, r, newval.data());
+          }
+        }
+        if (ok && txn.Commit()) {
+          committed.fetch_add(1, std::memory_order_relaxed);
+          break;
+        }
+        aborted.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  result.committed = committed.load();
+  result.aborted = aborted.load();
+  result.tps = double(result.committed) / result.seconds;
+  return result;
+}
+
+BaselineResult SiloYcsb::RunScans(uint32_t threads,
+                                  uint64_t txns_per_thread) {
+  BaselineResult result;
+  std::atomic<uint64_t> committed{0};
+  result.seconds = RunParallel(db_.get(), threads, [&](uint32_t tid) {
+    Rng rng(tid * 104729 + 17);
+    for (uint64_t i = 0; i < txns_per_thread; ++i) {
+      SiloTxn txn(db_.get());
+      uint64_t headroom = options_.records > options_.scan_len
+                              ? options_.records - options_.scan_len
+                              : 1;
+      uint64_t start = rng.NextUint64(headroom);
+      uint64_t sum = 0;
+      txn.Scan(table_, start, options_.scan_len,
+               [&](uint64_t key, const uint8_t* payload) {
+                 sum += key + payload[0];
+                 return true;
+               });
+      if (txn.Commit()) committed.fetch_add(1, std::memory_order_relaxed);
+      // Keep `sum` alive so the scan is not optimised away.
+      if (sum == UINT64_MAX) std::abort();
+    }
+  });
+  result.committed = committed.load();
+  result.tps = double(result.committed) / result.seconds;
+  return result;
+}
+
+// --- TPC-C -------------------------------------------------------------------
+
+SiloTpcc::SiloTpcc(const SiloTpccOptions& options) : options_(options) {
+  db_ = std::make_unique<SiloDb>();
+}
+
+void SiloTpcc::Setup() {
+  auto def = [](const char* name, uint32_t payload, uint64_t expected) {
+    SiloDb::TableDef d;
+    d.name = name;
+    d.index = SiloIndexKind::kBTree;
+    d.payload_len = payload;
+    d.expected_records = expected;
+    return d;
+  };
+  const auto& o = options_;
+  warehouse_ = db_->CreateTable(def("warehouse", kWarehousePayload, 64));
+  district_ = db_->CreateTable(def("district", kDistrictPayload, 1024));
+  customer_ = db_->CreateTable(def(
+      "customer", kCustomerPayload,
+      uint64_t(o.warehouses) * o.districts_per_warehouse *
+          o.customers_per_district));
+  history_ = db_->CreateTable(def("history", kHistoryPayload, 1 << 20));
+  neworder_ = db_->CreateTable(def("new_order", kNewOrderPayload, 1 << 20));
+  order_ = db_->CreateTable(def("order", kOrderPayload, 1 << 20));
+  orderline_ = db_->CreateTable(def("order_line", kOrderLinePayload, 1 << 22));
+  item_ = db_->CreateTable(def("item", kItemPayload, o.items));
+  stock_ = db_->CreateTable(
+      def("stock", kStockPayload, uint64_t(o.warehouses) * o.items));
+
+  std::vector<uint8_t> buf(256, 0);
+  for (uint32_t w = 0; w < o.warehouses; ++w) {
+    std::fill(buf.begin(), buf.end(), 0);
+    db_->Load(warehouse_, WarehouseKey(w), buf.data());
+    for (uint32_t d = 0; d < o.districts_per_warehouse; ++d) {
+      std::fill(buf.begin(), buf.end(), 0);
+      PutU64(buf.data(), 0, kInitialNextOid);
+      db_->Load(district_, DistrictKey(w, d), buf.data());
+      for (uint32_t c = 0; c < o.customers_per_district; ++c) {
+        std::fill(buf.begin(), buf.end(), 0);
+        db_->Load(customer_, CustomerKey(w, d, c), buf.data());
+      }
+    }
+    for (uint32_t i = 0; i < o.items; ++i) {
+      std::fill(buf.begin(), buf.end(), 0);
+      PutU64(buf.data(), 0, 50 + i % 50);
+      db_->Load(stock_, StockKey(w, i), buf.data());
+    }
+  }
+  for (uint32_t i = 0; i < o.items; ++i) {
+    std::fill(buf.begin(), buf.end(), 0);
+    PutU64(buf.data(), 0, ItemPrice(i));
+    db_->Load(item_, ItemKey(i), buf.data());
+  }
+}
+
+bool SiloTpcc::RunNewOrder(SiloTxn* txn, Rng* rng, uint32_t home,
+                           std::atomic<uint64_t>* history_seq) {
+  (void)history_seq;
+  const auto& o = options_;
+  uint32_t d = uint32_t(rng->NextUint64(o.districts_per_warehouse));
+  uint32_t c = uint32_t(rng->NextUint64(o.customers_per_district));
+
+  uint8_t wbuf[kWarehousePayload], cbuf[kCustomerPayload];
+  uint8_t dbuf[kDistrictPayload];
+  Record* wr = txn->Get(warehouse_, WarehouseKey(home));
+  Record* cr = txn->Get(customer_, CustomerKey(home, d, c));
+  Record* dr = txn->Get(district_, DistrictKey(home, d));
+  if (wr == nullptr || cr == nullptr || dr == nullptr) return false;
+  if (!txn->Read(wr, wbuf) || !txn->Read(cr, cbuf) || !txn->Read(dr, dbuf)) {
+    return false;
+  }
+  uint64_t o_id = GetU64(dbuf, 0);
+  PutU64(dbuf, 0, o_id + 1);
+  txn->Write(district_, dr, dbuf);
+
+  uint8_t obuf[kOrderPayload] = {0};
+  PutU64(obuf, 0, c);
+  PutU64(obuf, 16, o.ol_cnt);
+  if (txn->Insert(order_, OrderKey(home, d, o_id), obuf) == nullptr) {
+    return false;
+  }
+  uint8_t nobuf[kNewOrderPayload] = {0};
+  if (txn->Insert(neworder_, OrderKey(home, d, o_id), nobuf) == nullptr) {
+    return false;
+  }
+
+  const bool remote_txn =
+      o.warehouses > 1 && rng->NextBool(o.remote_neworder_fraction);
+  const uint32_t remote_line =
+      remote_txn ? uint32_t(rng->NextUint64(o.ol_cnt)) : UINT32_MAX;
+  // Distinct items per order (TPC-C), matching the BionicDB generator.
+  std::vector<uint32_t> items;
+  while (items.size() < o.ol_cnt) {
+    uint32_t cand = uint32_t(rng->NextUint64(o.items));
+    if (std::find(items.begin(), items.end(), cand) == items.end()) {
+      items.push_back(cand);
+    }
+  }
+  for (uint32_t l = 0; l < o.ol_cnt; ++l) {
+    uint32_t item = items[l];
+    uint32_t qty = 1 + uint32_t(rng->NextUint64(10));
+    uint32_t supply = home;
+    if (l == remote_line) {
+      supply = uint32_t(rng->NextUint64(o.warehouses - 1));
+      if (supply >= home) ++supply;
+    }
+    uint8_t ibuf[kItemPayload], sbuf[kStockPayload];
+    Record* ir = txn->Get(item_, ItemKey(item));
+    Record* sr = txn->Get(stock_, StockKey(supply, item));
+    if (ir == nullptr || sr == nullptr) return false;
+    if (!txn->Read(ir, ibuf) || !txn->Read(sr, sbuf)) return false;
+    uint64_t squant = GetU64(sbuf, 0);
+    squant = squant >= qty ? squant - qty : squant + 91 - qty;
+    if (squant < 10) squant += 91;
+    PutU64(sbuf, 0, squant);
+    PutU64(sbuf, 8, GetU64(sbuf, 8) + qty);  // s_ytd
+    txn->Write(stock_, sr, sbuf);
+
+    uint8_t olbuf[kOrderLinePayload] = {0};
+    PutU64(olbuf, 0, item);
+    PutU64(olbuf, 8, supply);
+    PutU64(olbuf, 16, qty);
+    PutU64(olbuf, 24, qty * ItemPrice(item));
+    if (txn->Insert(orderline_, OrderKey(home, d, o_id) * 16 + l, olbuf) ==
+        nullptr) {
+      return false;
+    }
+  }
+  return txn->Commit();
+}
+
+bool SiloTpcc::RunPayment(SiloTxn* txn, Rng* rng, uint32_t home,
+                          std::atomic<uint64_t>* history_seq) {
+  const auto& o = options_;
+  uint32_t d = uint32_t(rng->NextUint64(o.districts_per_warehouse));
+  uint32_t c = uint32_t(rng->NextUint64(o.customers_per_district));
+  uint32_t cw = home;
+  if (o.warehouses > 1 && rng->NextBool(o.remote_payment_fraction)) {
+    cw = uint32_t(rng->NextUint64(o.warehouses - 1));
+    if (cw >= home) ++cw;
+  }
+  uint64_t amount = 1 + rng->NextUint64(5000);
+
+  uint8_t wbuf[kWarehousePayload], dbuf[kDistrictPayload],
+      cbuf[kCustomerPayload];
+  Record* wr = txn->Get(warehouse_, WarehouseKey(home));
+  Record* dr = txn->Get(district_, DistrictKey(home, d));
+  Record* cr = txn->Get(customer_, CustomerKey(cw, d, c));
+  if (wr == nullptr || dr == nullptr || cr == nullptr) return false;
+  if (!txn->Read(wr, wbuf) || !txn->Read(dr, dbuf) || !txn->Read(cr, cbuf)) {
+    return false;
+  }
+  PutU64(wbuf, 0, GetU64(wbuf, 0) + amount);  // w_ytd
+  txn->Write(warehouse_, wr, wbuf);
+  PutU64(dbuf, 8, GetU64(dbuf, 8) + amount);  // d_ytd
+  txn->Write(district_, dr, dbuf);
+  PutU64(cbuf, 0, GetU64(cbuf, 0) - amount);       // c_balance
+  PutU64(cbuf, 8, GetU64(cbuf, 8) + amount);       // c_ytd_payment
+  PutU64(cbuf, 16, GetU64(cbuf, 16) + 1);          // c_payment_cnt
+  txn->Write(customer_, cr, cbuf);
+
+  uint8_t hbuf[kHistoryPayload] = {0};
+  PutU64(hbuf, 0, amount);
+  uint64_t hkey = history_seq->fetch_add(1, std::memory_order_relaxed);
+  if (txn->Insert(history_, hkey, hbuf) == nullptr) return false;
+  return txn->Commit();
+}
+
+BaselineResult SiloTpcc::RunMix(uint32_t threads, uint64_t txns_per_thread) {
+  BaselineResult result;
+  std::atomic<uint64_t> committed{0}, aborted{0};
+  std::vector<std::unique_ptr<std::atomic<uint64_t>>> history_seqs;
+  for (uint32_t t = 0; t < threads; ++t) {
+    history_seqs.push_back(
+        std::make_unique<std::atomic<uint64_t>>((uint64_t(t) << 40) | 1));
+  }
+  result.seconds = RunParallel(db_.get(), threads, [&](uint32_t tid) {
+    Rng rng(tid * 31337 + 23);
+    uint32_t home = tid % options_.warehouses;
+    for (uint64_t i = 0; i < txns_per_thread; ++i) {
+      bool is_neworder = rng.NextBool(options_.neworder_fraction);
+      // Retry until the transaction commits (client retry semantics).
+      while (true) {
+        SiloTxn txn(db_.get());
+        bool ok = is_neworder
+                      ? RunNewOrder(&txn, &rng, home, history_seqs[tid].get())
+                      : RunPayment(&txn, &rng, home, history_seqs[tid].get());
+        if (ok) {
+          committed.fetch_add(1, std::memory_order_relaxed);
+          break;
+        }
+        aborted.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  result.committed = committed.load();
+  result.aborted = aborted.load();
+  result.tps = double(result.committed) / result.seconds;
+  return result;
+}
+
+uint64_t SiloTpcc::WarehouseYtd(uint32_t w) {
+  Record* r = db_->Find(warehouse_, WarehouseKey(w));
+  uint8_t buf[kWarehousePayload];
+  r->ReadConsistent(buf);
+  return GetU64(buf, 0);
+}
+
+uint64_t SiloTpcc::DistrictNextOid(uint32_t w, uint32_t d) {
+  Record* r = db_->Find(district_, DistrictKey(w, d));
+  uint8_t buf[kDistrictPayload];
+  r->ReadConsistent(buf);
+  return GetU64(buf, 0);
+}
+
+}  // namespace bionicdb::baseline

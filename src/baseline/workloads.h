@@ -1,0 +1,116 @@
+// Workload drivers for the Silo baseline (natively multithreaded).
+//
+// These run the same YCSB and TPC-C transactions as the BionicDB side, on
+// the host CPU, measuring wall-clock throughput — the software half of the
+// paper's Figures 9, 11d and the power-efficiency comparison.
+#ifndef BIONICDB_BASELINE_WORKLOADS_H_
+#define BIONICDB_BASELINE_WORKLOADS_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "baseline/silo.h"
+#include "common/random.h"
+
+namespace bionicdb::baseline {
+
+struct BaselineResult {
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+  double seconds = 0;
+  double tps = 0;
+};
+
+// --- YCSB ----------------------------------------------------------------
+
+struct SiloYcsbOptions {
+  uint64_t records = 400'000;  // total key space (all threads share it)
+  uint32_t payload_len = 128;
+  uint32_t accesses_per_txn = 16;
+  uint32_t updates_per_txn = 0;  // 0 = YCSB-C
+  uint32_t scan_len = 50;
+  SiloIndexKind index = SiloIndexKind::kBTree;  // Masstree stand-in
+};
+
+class SiloYcsb {
+ public:
+  explicit SiloYcsb(const SiloYcsbOptions& options);
+
+  void Setup();
+
+  /// YCSB-C (or update-mix when updates_per_txn > 0).
+  BaselineResult RunPointTxns(uint32_t threads, uint64_t txns_per_thread);
+
+  /// Modified YCSB-E: one fixed-length scan per transaction.
+  BaselineResult RunScans(uint32_t threads, uint64_t txns_per_thread);
+
+  SiloDb& db() { return *db_; }
+  uint32_t table() const { return table_; }
+
+ private:
+  SiloYcsbOptions options_;
+  std::unique_ptr<SiloDb> db_;
+  uint32_t table_ = 0;
+};
+
+// --- TPC-C ----------------------------------------------------------------
+
+struct SiloTpccOptions {
+  uint32_t warehouses = 4;
+  uint32_t districts_per_warehouse = 10;
+  uint32_t customers_per_district = 3000;
+  uint32_t items = 100'000;
+  uint32_t ol_cnt = 10;
+  double remote_neworder_fraction = 0.01;
+  double remote_payment_fraction = 0.15;
+  /// Fraction of NewOrder in the mix (paper: 50:50 with Payment).
+  double neworder_fraction = 0.5;
+};
+
+class SiloTpcc {
+ public:
+  explicit SiloTpcc(const SiloTpccOptions& options);
+
+  void Setup();
+
+  /// Runs the NewOrder/Payment mix; thread i homes warehouse i % W.
+  BaselineResult RunMix(uint32_t threads, uint64_t txns_per_thread);
+
+  SiloDb& db() { return *db_; }
+
+  /// Test oracles.
+  uint64_t WarehouseYtd(uint32_t w);
+  uint64_t DistrictNextOid(uint32_t w, uint32_t d);
+
+  // Key encodings (identical to the BionicDB TPC-C workload).
+  uint64_t WarehouseKey(uint32_t w) const { return w; }
+  uint64_t DistrictKey(uint32_t w, uint32_t d) const { return w * 100 + d; }
+  uint64_t CustomerKey(uint32_t w, uint32_t d, uint32_t c) const {
+    return (uint64_t(w) * options_.districts_per_warehouse + d) * 100'000 + c;
+  }
+  uint64_t ItemKey(uint32_t i) const { return i; }
+  uint64_t StockKey(uint32_t w, uint32_t i) const {
+    return uint64_t(w) * 1'000'000 + i;
+  }
+  uint64_t OrderKey(uint32_t w, uint32_t d, uint64_t o) const {
+    return (uint64_t(w) * options_.districts_per_warehouse + d) *
+               (1ull << 24) +
+           o;
+  }
+  uint64_t ItemPrice(uint32_t i) const { return 100 + (i % 900); }
+
+ private:
+  bool RunNewOrder(SiloTxn* txn, Rng* rng, uint32_t home,
+                   std::atomic<uint64_t>* history_seq);
+  bool RunPayment(SiloTxn* txn, Rng* rng, uint32_t home,
+                  std::atomic<uint64_t>* history_seq);
+
+  SiloTpccOptions options_;
+  std::unique_ptr<SiloDb> db_;
+  uint32_t warehouse_ = 0, district_ = 0, customer_ = 0, history_ = 0;
+  uint32_t neworder_ = 0, order_ = 0, orderline_ = 0, item_ = 0, stock_ = 0;
+};
+
+}  // namespace bionicdb::baseline
+
+#endif  // BIONICDB_BASELINE_WORKLOADS_H_

@@ -1,0 +1,53 @@
+#include "cc/visibility.h"
+
+namespace bionicdb::cc {
+
+VisibilityResult CheckVisibility(db::TupleAccessor* tuple, db::Timestamp ts,
+                                 AccessMode mode) {
+  VisibilityResult out;
+  uint8_t flags = tuple->flags();
+  if (flags & db::kFlagDirty) {
+    // Blind rejection of any access to an uncommitted tuple.
+    out.status = isa::CpStatus::kRejected;
+    out.dirty_conflict = true;
+    return out;
+  }
+  if (flags & db::kFlagTombstone) {
+    out.status = isa::CpStatus::kNotFound;
+    return out;
+  }
+  const db::Timestamp wts = tuple->write_ts();
+  const db::Timestamp rts = tuple->read_ts();
+  switch (mode) {
+    case AccessMode::kRead:
+      if (wts > ts) {
+        out.status = isa::CpStatus::kRejected;
+        return out;
+      }
+      if (rts < ts) {
+        tuple->set_read_ts(ts);
+        out.header_dirtied = true;
+      }
+      return out;
+    case AccessMode::kUpdate:
+    case AccessMode::kRemove:
+      if (wts > ts || rts > ts) {
+        out.status = isa::CpStatus::kRejected;
+        return out;
+      }
+      tuple->SetFlag(db::kFlagDirty);
+      if (mode == AccessMode::kRemove) tuple->SetFlag(db::kFlagTombstone);
+      out.header_dirtied = true;
+      return out;
+  }
+  out.status = isa::CpStatus::kError;
+  return out;
+}
+
+bool ScanVisible(const db::TupleAccessor& tuple, db::Timestamp ts) {
+  uint8_t flags = tuple.flags();
+  if (flags & (db::kFlagDirty | db::kFlagTombstone)) return false;
+  return tuple.write_ts() <= ts;
+}
+
+}  // namespace bionicdb::cc

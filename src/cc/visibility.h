@@ -1,0 +1,61 @@
+// Single-version timestamp-ordering concurrency control (paper section 4.7).
+//
+// BionicDB uses a variant of basic T/O [Bernstein & Goodman 81]:
+//  * every transaction carries a hardware begin timestamp;
+//  * each tuple stores the latest read and write timestamps;
+//  * read permission requires the tuple's write time to be lower than the
+//    transaction timestamp; write permission additionally requires a lower
+//    read time;
+//  * any access to a dirty (uncommitted) tuple is blindly rejected and
+//    aborts the transaction;
+//  * read sets are not buffered: a re-read denied by a concurrent update
+//    aborts to preserve repeatable read — which these rules give for free.
+//
+// The functions here are the *functional* core the index pipeline stages
+// invoke at their terminal steps; the stages charge the DRAM write for the
+// header update themselves.
+#ifndef BIONICDB_CC_VISIBILITY_H_
+#define BIONICDB_CC_VISIBILITY_H_
+
+#include "db/tuple.h"
+#include "db/types.h"
+#include "isa/instruction.h"
+
+namespace bionicdb::cc {
+
+/// What a DB instruction wants from the tuple it matched.
+enum class AccessMode : uint8_t {
+  kRead,    // SEARCH / SCAN visibility
+  kUpdate,  // UPDATE: mark dirty, in-place update applied by the softcore
+  kRemove,  // REMOVE: mark dirty + tombstone
+};
+
+/// Outcome of a visibility check.
+struct VisibilityResult {
+  isa::CpStatus status = isa::CpStatus::kOk;
+  /// True when the tuple header was modified (read_ts bump or dirty marks)
+  /// and the caller must charge one DRAM write.
+  bool header_dirtied = false;
+  /// True when the rejection was caused by the tuple's dirty bit (an
+  /// uncommitted writer) — the transient conflict class a wait-on-dirty
+  /// policy can ride out, unlike timestamp-order violations.
+  bool dirty_conflict = false;
+};
+
+/// Checks and applies the access at timestamp `ts` on a matched tuple.
+///
+/// Tombstoned committed tuples are reported kNotFound for every mode (the
+/// tuple is logically deleted). Dirty tuples are kRejected. Permission
+/// failures are kRejected (the initiating transaction must abort).
+VisibilityResult CheckVisibility(db::TupleAccessor* tuple, db::Timestamp ts,
+                                 AccessMode mode);
+
+/// Passive visibility used by the scanner: does this tuple exist, committed,
+/// for a reader at `ts`? Never modifies the tuple (scan results do not bump
+/// read timestamps in BionicDB's scanner; towers inserted after the scan
+/// started "are ignored by timestamp-based visibility check", section 4.4.2).
+bool ScanVisible(const db::TupleAccessor& tuple, db::Timestamp ts);
+
+}  // namespace bionicdb::cc
+
+#endif  // BIONICDB_CC_VISIBILITY_H_

@@ -1,0 +1,31 @@
+#include "cc/write_set.h"
+
+namespace bionicdb::cc {
+
+void ApplyCommit(sim::DramMemory* dram, const WriteSetEntry& entry,
+                 db::Timestamp commit_ts) {
+  db::TupleAccessor t(dram, entry.tuple_addr);
+  t.ClearFlag(db::kFlagDirty);
+  t.set_write_ts(commit_ts);
+}
+
+void ApplyAbort(sim::DramMemory* dram, const WriteSetEntry& entry) {
+  db::TupleAccessor t(dram, entry.tuple_addr);
+  switch (entry.kind) {
+    case WriteKind::kInsert:
+      t.SetFlag(db::kFlagTombstone);
+      t.ClearFlag(db::kFlagDirty);
+      break;
+    case WriteKind::kUpdate:
+      t.ClearFlag(db::kFlagDirty);
+      break;
+    case WriteKind::kRemove:
+      t.ClearFlag(db::kFlagTombstone);
+      t.ClearFlag(db::kFlagDirty);
+      break;
+    case WriteKind::kNone:
+      break;
+  }
+}
+
+}  // namespace bionicdb::cc

@@ -1,0 +1,46 @@
+// Per-transaction write-set bookkeeping and the commit/abort protocol.
+//
+// The softcore tracks one entry per successful INSERT/UPDATE/REMOVE in the
+// transaction context (BRAM). The COMMIT instruction iterates the set,
+// clearing dirty marks and stamping the transaction's begin timestamp as
+// the new write time; the ABORT path undoes the index-side marks (payload
+// bytes of updated tuples are restored by the user-defined abort handler
+// from the UNDO log in the transaction block, per paper sections 4.3/4.7).
+#ifndef BIONICDB_CC_WRITE_SET_H_
+#define BIONICDB_CC_WRITE_SET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "db/tuple.h"
+#include "db/types.h"
+#include "sim/memory.h"
+
+namespace bionicdb::cc {
+
+enum class WriteKind : uint8_t {
+  kNone = 0,
+  kInsert,
+  kUpdate,
+  kRemove,
+};
+
+struct WriteSetEntry {
+  sim::Addr tuple_addr = sim::kNullAddr;
+  WriteKind kind = WriteKind::kNone;
+};
+
+/// Publishes one write at commit: clears the dirty bit and stamps the write
+/// timestamp (removals keep their tombstone — the tuple is now logically
+/// deleted for everyone).
+void ApplyCommit(sim::DramMemory* dram, const WriteSetEntry& entry,
+                 db::Timestamp commit_ts);
+
+/// Rolls back one write at abort: inserts become tombstones (the tuple is
+/// already chained into the index and cannot be unlinked by the pipeline),
+/// removals drop their tombstone, updates only lose the dirty mark.
+void ApplyAbort(sim::DramMemory* dram, const WriteSetEntry& entry);
+
+}  // namespace bionicdb::cc
+
+#endif  // BIONICDB_CC_WRITE_SET_H_

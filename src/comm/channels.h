@@ -1,0 +1,130 @@
+// On-chip message-passing channels for inter-worker communication
+// (paper section 4.6, Fig. 1b).
+//
+// Each partition worker owns a communication link consisting of a request
+// channel and a response channel. A DB instruction targeting a remote
+// partition is packed into a request packet (piggybacking the transaction
+// timestamp and source/destination worker ids) and sent asynchronously; the
+// remote background unit dispatches it to its index coprocessor and the
+// result returns through the response channel. A request/response pair
+// costs 6 cycles total (3 per hop at 125 MHz = 24 ns each way, Table 3) —
+// no memory round trips, no thread synchronization.
+//
+// Topology: the paper implements a crossbar and notes it "does not scale",
+// suggesting ring or tree for datacenter-grade parts. Both crossbar and
+// ring are provided; with a ring, hop latency scales with worker distance,
+// which the scaling ablation bench exercises.
+#ifndef BIONICDB_COMM_CHANNELS_H_
+#define BIONICDB_COMM_CHANNELS_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/stats.h"
+#include "db/types.h"
+#include "index/db_op.h"
+#include "sim/component.h"
+#include "sim/config.h"
+
+namespace bionicdb::comm {
+
+enum class Topology : uint8_t {
+  kCrossbar,  // any-to-any, fixed one-hop latency
+  kRing,      // latency scales with ring distance
+};
+
+class CommFabric : public sim::Component {
+ public:
+  /// Multi-chip/multi-node deployment (paper section 4.6 future work:
+  /// "the message-passing channels should be diversified with additional
+  /// connectivities for inter-node communication"). Workers are grouped
+  /// into nodes of `workers_per_node`; messages crossing a node boundary
+  /// pay `inter_node_cycles` instead of the on-chip hop. 0 = single node.
+  struct ClusterConfig {
+    uint32_t workers_per_node = 0;
+    /// ~2 us one-way (RDMA-class network) at 125 MHz.
+    uint32_t inter_node_cycles = 250;
+  };
+
+  CommFabric(uint32_t n_workers, const sim::TimingConfig& timing,
+             Topology topology, ClusterConfig cluster);
+  CommFabric(uint32_t n_workers, const sim::TimingConfig& timing,
+             Topology topology = Topology::kCrossbar)
+      : CommFabric(n_workers, timing, topology, ClusterConfig{}) {}
+
+  /// Sends a DB-instruction request packet from `src` to `dst`.
+  void SendRequest(uint64_t now, db::WorkerId src, db::WorkerId dst,
+                   const index::DbOp& op);
+
+  /// Sends a result packet back to the initiating worker.
+  void SendResponse(uint64_t now, db::WorkerId src, db::WorkerId dst,
+                    const index::DbResult& result);
+
+  /// Delivered inbound request packets for `worker` (drained by its
+  /// background unit).
+  std::deque<index::DbOp>& requests(db::WorkerId worker) {
+    return request_inbox_[worker];
+  }
+  /// Delivered inbound response packets for `worker`.
+  std::deque<index::DbResult>& responses(db::WorkerId worker) {
+    return response_inbox_[worker];
+  }
+
+  void Tick(uint64_t cycle) override;
+  bool Idle() const override;
+
+  /// One-way latency in cycles between two workers under the configured
+  /// topology.
+  uint64_t HopLatency(db::WorkerId src, db::WorkerId dst) const;
+
+  uint64_t messages_sent() const { return messages_sent_; }
+  CounterSet& counters() { return counters_; }
+
+ private:
+  template <typename T>
+  struct InFlight {
+    uint64_t deliver_at;
+    db::WorkerId dst;
+    T payload;
+  };
+
+  uint32_t n_workers_;
+  sim::TimingConfig timing_;
+  Topology topology_;
+  ClusterConfig cluster_;
+
+  std::deque<InFlight<index::DbOp>> request_wire_;
+  std::deque<InFlight<index::DbResult>> response_wire_;
+  std::vector<std::deque<index::DbOp>> request_inbox_;
+  std::vector<std::deque<index::DbResult>> response_inbox_;
+
+  uint64_t messages_sent_ = 0;
+  CounterSet counters_;
+};
+
+/// Analytic communication-latency model behind Table 3: a request/response
+/// exchange costs two message-passing iterations. Software message passing
+/// pays either shared-cache or DRAM latency per primitive; DRAM additionally
+/// pays a read AND a write per iteration (the paper's 4x multiplier).
+struct MessagingLatencyModel {
+  double onchip_hop_ns;   // one on-chip hop
+  double l3_ns = 20.0;    // one shared-L3 access
+  double ddr3_ns = 80.0;  // one DRAM access
+
+  explicit MessagingLatencyModel(const sim::TimingConfig& timing)
+      : onchip_hop_ns(timing.onchip_hop_cycles * 1000.0 /
+                      timing.clock_mhz) {}
+
+  double OnchipPrimitive() const { return onchip_hop_ns; }
+  double OnchipRoundTrip() const { return 2 * onchip_hop_ns; }
+  double L3Primitive() const { return l3_ns; }
+  double L3RoundTrip() const { return 2 * l3_ns; }
+  double Ddr3Primitive() const { return ddr3_ns; }
+  /// Two iterations x (memory read + memory write).
+  double Ddr3RoundTrip() const { return 4 * ddr3_ns; }
+};
+
+}  // namespace bionicdb::comm
+
+#endif  // BIONICDB_COMM_CHANNELS_H_

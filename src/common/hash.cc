@@ -1,0 +1,37 @@
+#include "common/hash.h"
+
+namespace bionicdb {
+
+uint64_t SdbmHash(const uint8_t* data, size_t len) {
+  uint64_t h = 0;
+  for (size_t i = 0; i < len; ++i) {
+    h = data[i] + (h << 6) + (h << 16) - h;
+  }
+  return h;
+}
+
+uint64_t SdbmHash64(uint64_t key) {
+  uint8_t bytes[8];
+  for (int i = 0; i < 8; ++i) bytes[i] = static_cast<uint8_t>(key >> (8 * i));
+  return SdbmHash(bytes, 8);
+}
+
+uint64_t Fnv1aHash64(uint64_t value) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (int i = 0; i < 8; ++i) {
+    h ^= (value >> (8 * i)) & 0xff;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+uint64_t Fnv1aHash(const uint8_t* data, size_t len) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace bionicdb

@@ -1,0 +1,32 @@
+// Hash functions used by BionicDB.
+//
+// The hardware hash index uses the Sdbm hash (paper §4.4.1) because it is
+// cheap to realise in FPGA fabric: one multiply-by-shift-add per input byte
+// and no lookup tables. FNV-1a is used host-side for scrambling.
+#ifndef BIONICDB_COMMON_HASH_H_
+#define BIONICDB_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace bionicdb {
+
+/// Sdbm hash over a byte string: h = c + (h << 6) + (h << 16) - h.
+///
+/// This is the exact function the BionicDB hardware computes in its Hash
+/// pipeline stage; it needs neither a lookup table nor a modulo unit.
+uint64_t SdbmHash(const uint8_t* data, size_t len);
+
+/// Sdbm over a fixed-width 64-bit key (little-endian byte order), matching
+/// how the hardware hashes fixed-size integer keys.
+uint64_t SdbmHash64(uint64_t key);
+
+/// FNV-1a over a 64-bit value; used for key-space scrambling host-side.
+uint64_t Fnv1aHash64(uint64_t value);
+
+/// FNV-1a over bytes.
+uint64_t Fnv1aHash(const uint8_t* data, size_t len);
+
+}  // namespace bionicdb
+
+#endif  // BIONICDB_COMMON_HASH_H_

@@ -1,0 +1,86 @@
+#include "common/random.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/hash.h"
+
+namespace bionicdb {
+
+Rng::Rng(uint64_t seed) {
+  // SplitMix64 expansion of the seed so that nearby seeds give unrelated
+  // streams.
+  auto splitmix = [](uint64_t& x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  };
+  uint64_t x = seed;
+  s0_ = splitmix(x);
+  s1_ = splitmix(x);
+  if (s0_ == 0 && s1_ == 0) s1_ = 1;  // xorshift must not start at all-zero
+}
+
+uint64_t Rng::Next() {
+  uint64_t x = s0_;
+  const uint64_t y = s1_;
+  s0_ = y;
+  x ^= x << 23;
+  s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+  return s1_ + y;
+}
+
+uint64_t Rng::NextUint64(uint64_t bound) {
+  assert(bound > 0);
+  // Multiply-shift bounded sampling (Lemire); bias is negligible for the
+  // bounds used in workloads.
+  return static_cast<uint64_t>(
+      (static_cast<__uint128_t>(Next()) * bound) >> 64);
+}
+
+uint64_t Rng::NextInRange(uint64_t lo, uint64_t hi) {
+  assert(lo <= hi);
+  return lo + NextUint64(hi - lo + 1);
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool Rng::NextBool(double p) { return NextDouble() < p; }
+
+namespace {
+double Zeta(uint64_t n, double theta) {
+  double sum = 0;
+  for (uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(double(i), theta);
+  return sum;
+}
+}  // namespace
+
+ZipfianGenerator::ZipfianGenerator(uint64_t n, double theta)
+    : n_(n), theta_(theta) {
+  assert(n > 0);
+  zetan_ = Zeta(n, theta);
+  zeta2theta_ = Zeta(2, theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  eta_ = (1.0 - std::pow(2.0 / double(n), 1.0 - theta)) /
+         (1.0 - zeta2theta_ / zetan_);
+}
+
+uint64_t ZipfianGenerator::Next(Rng* rng) {
+  const double u = rng->NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const uint64_t v = static_cast<uint64_t>(
+      double(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return v >= n_ ? n_ - 1 : v;
+}
+
+uint64_t ScrambledZipfianGenerator::Next(Rng* rng) {
+  return Fnv1aHash64(zipf_.Next(rng)) % n_;
+}
+
+}  // namespace bionicdb

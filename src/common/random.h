@@ -1,0 +1,78 @@
+// Deterministic pseudo-random generators for workloads and simulation.
+//
+// The BionicDB simulator is single-threaded and fully deterministic: every
+// random decision flows from an explicitly seeded generator, so any
+// experiment can be replayed bit-for-bit.
+#ifndef BIONICDB_COMMON_RANDOM_H_
+#define BIONICDB_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace bionicdb {
+
+/// xorshift128+ generator: fast, decent quality, fully deterministic.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform value in [0, bound). bound must be > 0.
+  uint64_t NextUint64(uint64_t bound);
+
+  /// Uniform value in [lo, hi] inclusive. Requires lo <= hi.
+  uint64_t NextInRange(uint64_t lo, uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p (p in [0,1]).
+  bool NextBool(double p);
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+/// Zipfian-distributed key generator over [0, n), YCSB-style.
+///
+/// Uses the Gray et al. rejection-free inverse-CDF approximation, the same
+/// construction as the YCSB reference implementation; theta defaults to the
+/// YCSB standard 0.99.
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t n, double theta = 0.99);
+
+  /// Draws the next Zipfian value in [0, n).
+  uint64_t Next(Rng* rng);
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2theta_;
+};
+
+/// Scrambled Zipfian: spreads the hot keys across the key space by hashing,
+/// matching YCSB's scrambled_zipfian request distribution.
+class ScrambledZipfianGenerator {
+ public:
+  explicit ScrambledZipfianGenerator(uint64_t n, double theta = 0.99)
+      : n_(n), zipf_(n, theta) {}
+
+  uint64_t Next(Rng* rng);
+
+ private:
+  uint64_t n_;
+  ZipfianGenerator zipf_;
+};
+
+}  // namespace bionicdb
+
+#endif  // BIONICDB_COMMON_RANDOM_H_

@@ -1,0 +1,68 @@
+// Fixed-capacity single-threaded FIFO.
+//
+// Models the BRAM FIFOs that sit between hardware pipeline stages: bounded
+// capacity (backpressure when full), O(1) push/pop, no allocation after
+// construction. Used pervasively by the cycle simulator.
+#ifndef BIONICDB_COMMON_RING_QUEUE_H_
+#define BIONICDB_COMMON_RING_QUEUE_H_
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace bionicdb {
+
+template <typename T>
+class RingQueue {
+ public:
+  explicit RingQueue(size_t capacity) : buf_(capacity + 1) {
+    assert(capacity > 0);
+  }
+
+  bool empty() const { return head_ == tail_; }
+  bool full() const { return Advance(tail_) == head_; }
+  size_t size() const {
+    return tail_ >= head_ ? tail_ - head_ : buf_.size() - head_ + tail_;
+  }
+  size_t capacity() const { return buf_.size() - 1; }
+
+  /// Pushes a value; returns false (and drops nothing) when full.
+  bool Push(T value) {
+    if (full()) return false;
+    buf_[tail_] = std::move(value);
+    tail_ = Advance(tail_);
+    return true;
+  }
+
+  /// Front element; queue must be non-empty.
+  T& Front() {
+    assert(!empty());
+    return buf_[head_];
+  }
+  const T& Front() const {
+    assert(!empty());
+    return buf_[head_];
+  }
+
+  /// Pops and returns the front element; queue must be non-empty.
+  T Pop() {
+    assert(!empty());
+    T v = std::move(buf_[head_]);
+    head_ = Advance(head_);
+    return v;
+  }
+
+  void Clear() { head_ = tail_ = 0; }
+
+ private:
+  size_t Advance(size_t i) const { return (i + 1) % buf_.size(); }
+
+  std::vector<T> buf_;
+  size_t head_ = 0;
+  size_t tail_ = 0;
+};
+
+}  // namespace bionicdb
+
+#endif  // BIONICDB_COMMON_RING_QUEUE_H_

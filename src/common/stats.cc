@@ -1,0 +1,34 @@
+#include "common/stats.h"
+
+#include <cmath>
+
+namespace bionicdb {
+
+void Summary::Add(double v) {
+  if (count_ == 0 || v < min_) min_ = v;
+  if (count_ == 0 || v > max_) max_ = v;
+  ++count_;
+  sum_ += v;
+  ++seen_;
+  if (reservoir_.size() < kReservoirSize) {
+    reservoir_.push_back(v);
+  } else {
+    // Vitter's algorithm R with a deterministic LCG keyed on seen_.
+    uint64_t r = seen_ * 6364136223846793005ULL + 1442695040888963407ULL;
+    r = (r >> 16) % seen_;
+    if (r < kReservoirSize) reservoir_[r] = v;
+  }
+}
+
+double Summary::Quantile(double q) const {
+  if (reservoir_.empty()) return 0;
+  std::vector<double> sorted = reservoir_;
+  std::sort(sorted.begin(), sorted.end());
+  double pos = q * double(sorted.size() - 1);
+  size_t lo = static_cast<size_t>(std::floor(pos));
+  size_t hi = static_cast<size_t>(std::ceil(pos));
+  double frac = pos - double(lo);
+  return sorted[lo] * (1 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace bionicdb

@@ -1,0 +1,60 @@
+// Counters and histograms for experiment reporting.
+#ifndef BIONICDB_COMMON_STATS_H_
+#define BIONICDB_COMMON_STATS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace bionicdb {
+
+/// Streaming summary of a scalar series: count/min/max/mean plus quantiles
+/// from a bounded reservoir.
+class Summary {
+ public:
+  void Add(double v);
+
+  uint64_t count() const { return count_; }
+  double min() const { return count_ ? min_ : 0; }
+  double max() const { return count_ ? max_ : 0; }
+  double mean() const { return count_ ? sum_ / double(count_) : 0; }
+  double sum() const { return sum_; }
+
+  /// Quantile in [0,1] from the reservoir sample (exact while the series is
+  /// shorter than the reservoir).
+  double Quantile(double q) const;
+
+ private:
+  static constexpr size_t kReservoirSize = 4096;
+
+  uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+  std::vector<double> reservoir_;
+  uint64_t seen_ = 0;  // for reservoir sampling
+};
+
+/// Named monotonic counters keyed by string, for simulator bookkeeping
+/// (stall cycles, hazard blocks, channel congestion, ...).
+class CounterSet {
+ public:
+  void Add(const std::string& name, uint64_t delta = 1) {
+    counters_[name] += delta;
+  }
+  uint64_t Get(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+  const std::map<std::string, uint64_t>& counters() const { return counters_; }
+  void Clear() { counters_.clear(); }
+
+ private:
+  std::map<std::string, uint64_t> counters_;
+};
+
+}  // namespace bionicdb
+
+#endif  // BIONICDB_COMMON_STATS_H_

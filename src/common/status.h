@@ -1,0 +1,112 @@
+// Lightweight error-handling primitives used across BionicDB.
+//
+// We avoid exceptions in the hot simulation paths (Google style); routine
+// per-operation failures (not-found, CC rejection) are expressed with typed
+// result codes, while Status is reserved for API-level errors such as
+// malformed stored procedures or invalid configuration.
+#ifndef BIONICDB_COMMON_STATUS_H_
+#define BIONICDB_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace bionicdb {
+
+/// Error categories for API-level operations.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kInternal,
+  kUnimplemented,
+};
+
+/// Human-readable name of a StatusCode ("OK", "InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error value for API-level operations.
+///
+/// Cheap to copy in the OK case (no allocation); error statuses carry a
+/// message describing what went wrong.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// A Status plus a value; the value is only meaningful when ok().
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {}  // NOLINT
+  StatusOr(T value) : value_(std::move(value)) {}          // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+  const T& value() const& { return value_; }
+  T& value() & { return value_; }
+  T&& value() && { return std::move(value_); }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace bionicdb
+
+/// Propagates a non-OK Status to the caller.
+#define BIONICDB_RETURN_IF_ERROR(expr)            \
+  do {                                            \
+    ::bionicdb::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                    \
+  } while (0)
+
+#endif  // BIONICDB_COMMON_STATUS_H_

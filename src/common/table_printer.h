@@ -1,0 +1,35 @@
+// Plain-text table formatting for benchmark harness output.
+//
+// Every bench binary prints the rows/series of the paper table or figure it
+// regenerates; this helper keeps that output aligned and diff-friendly.
+#ifndef BIONICDB_COMMON_TABLE_PRINTER_H_
+#define BIONICDB_COMMON_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace bionicdb {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string Num(double v, int precision = 2);
+
+  /// Renders the full table (header, rule, rows) to a string.
+  std::string ToString() const;
+
+  /// Prints to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace bionicdb
+
+#endif  // BIONICDB_COMMON_TABLE_PRINTER_H_

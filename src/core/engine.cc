@@ -1,0 +1,54 @@
+#include "core/engine.h"
+
+namespace bionicdb::core {
+
+BionicDb::BionicDb(const EngineOptions& options) : options_(options) {
+  sim_ = std::make_unique<sim::Simulator>(options.timing);
+  database_ = std::make_unique<db::Database>(&sim_->dram(), options.n_workers,
+                                             options.seed);
+  fabric_ = std::make_unique<comm::CommFabric>(
+      options.n_workers, options.timing, options.topology, options.cluster);
+  sim_->AddComponent(fabric_.get());
+  for (uint32_t w = 0; w < options.n_workers; ++w) {
+    workers_.push_back(std::make_unique<PartitionWorker>(
+        database_.get(), w, options.timing, options.softcore, options.coproc,
+        fabric_.get()));
+    sim_->AddComponent(workers_.back().get());
+  }
+}
+
+Status BionicDb::RegisterProcedure(db::TxnTypeId type, isa::Program program,
+                                   uint64_t block_data_size) {
+  return database_->catalogue().RegisterProcedure(type, std::move(program),
+                                                  block_data_size);
+}
+
+db::TxnBlock BionicDb::AllocateBlock(db::TxnTypeId type) {
+  const db::ProcedureInfo* proc = database_->catalogue().FindProcedure(type);
+  uint64_t size = proc != nullptr ? proc->block_data_size : 256;
+  return db::TxnBlock::Allocate(&sim_->dram(), type, size);
+}
+
+void BionicDb::Submit(db::WorkerId worker, sim::Addr block) {
+  workers_[worker]->SubmitBlock(block);
+}
+
+uint64_t BionicDb::Drain(uint64_t max_cycles) {
+  uint64_t start = sim_->now();
+  sim_->RunUntilIdle(max_cycles);
+  return sim_->now() - start;
+}
+
+uint64_t BionicDb::TotalCommitted() const {
+  uint64_t n = 0;
+  for (const auto& w : workers_) n += w->stats().committed;
+  return n;
+}
+
+uint64_t BionicDb::TotalAborted() const {
+  uint64_t n = 0;
+  for (const auto& w : workers_) n += w->stats().aborted;
+  return n;
+}
+
+}  // namespace bionicdb::core

@@ -1,0 +1,93 @@
+// BionicDb: the top-level engine — the library's primary public API.
+//
+// Wires together the cycle simulator, simulated DRAM, the partitioned
+// database, the on-chip communication fabric and one partition worker per
+// partition. Typical use:
+//
+//   core::EngineOptions opts;
+//   opts.n_workers = 4;
+//   core::BionicDb db(opts);
+//   db.database().CreateTable(schema);
+//   db.RegisterProcedure(kMyTxn, program, block_size);
+//   ... bulk-load via db.database().LoadU64(...) ...
+//   auto block = db.AllocateBlock(kMyTxn);
+//   block.WriteKeyU64(0, key);
+//   db.Submit(/*worker=*/0, block.base());
+//   db.Drain();
+//   double tps = db.Throughput();
+#ifndef BIONICDB_CORE_ENGINE_H_
+#define BIONICDB_CORE_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "comm/channels.h"
+#include "common/status.h"
+#include "core/worker.h"
+#include "db/database.h"
+#include "db/txn_block.h"
+#include "sim/simulator.h"
+
+namespace bionicdb::core {
+
+struct EngineOptions {
+  /// Partition workers (= partitions). The paper fits 4 on a Virtex-5;
+  /// datacenter-grade chips fit tens to hundreds (the scaling ablation).
+  uint32_t n_workers = 4;
+  sim::TimingConfig timing;
+  Softcore::Config softcore;
+  index::IndexCoprocessor::Config coproc;
+  comm::Topology topology = comm::Topology::kCrossbar;
+  /// Multi-chip/multi-node deployment (0 = everything on one chip).
+  comm::CommFabric::ClusterConfig cluster;
+  uint64_t seed = 42;
+};
+
+class BionicDb {
+ public:
+  explicit BionicDb(const EngineOptions& options);
+
+  db::Database& database() { return *database_; }
+  sim::Simulator& simulator() { return *sim_; }
+  const EngineOptions& options() const { return options_; }
+  PartitionWorker& worker(uint32_t i) { return *workers_[i]; }
+  comm::CommFabric& fabric() { return *fabric_; }
+
+  /// Uploads a pre-compiled stored procedure to every worker's catalogue.
+  Status RegisterProcedure(db::TxnTypeId type, isa::Program program,
+                           uint64_t block_data_size);
+
+  /// Allocates a transaction block sized for `type` in simulated DRAM.
+  db::TxnBlock AllocateBlock(db::TxnTypeId type);
+
+  /// Enqueues a transaction block on a worker's input queue.
+  void Submit(db::WorkerId worker, sim::Addr block);
+
+  /// Runs the simulation until all submitted transactions complete (or the
+  /// cycle budget runs out). Returns cycles elapsed during this call.
+  uint64_t Drain(uint64_t max_cycles = 4ull << 30);
+
+  /// Steps the simulation a fixed number of cycles.
+  void Step(uint64_t cycles) { sim_->Step(cycles); }
+
+  // --- Aggregate statistics --------------------------------------------
+  uint64_t TotalCommitted() const;
+  uint64_t TotalAborted() const;
+  uint64_t now() const { return sim_->now(); }
+  /// Committed transactions per second over the engine's whole lifetime.
+  double Throughput() const {
+    return options_.timing.Throughput(TotalCommitted(), sim_->now());
+  }
+
+ private:
+  EngineOptions options_;
+  std::unique_ptr<sim::Simulator> sim_;
+  std::unique_ptr<db::Database> database_;
+  std::unique_ptr<comm::CommFabric> fabric_;
+  std::vector<std::unique_ptr<PartitionWorker>> workers_;
+};
+
+}  // namespace bionicdb::core
+
+#endif  // BIONICDB_CORE_ENGINE_H_

@@ -1,0 +1,569 @@
+#include "core/softcore.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+namespace bionicdb::core {
+
+Softcore::Softcore(db::Database* db, db::WorkerId worker_id,
+                   const sim::TimingConfig& timing, Config config,
+                   DbDispatcher* dispatcher)
+    : db_(db),
+      dram_(db->dram()),
+      worker_id_(worker_id),
+      timing_(timing),
+      config_(config),
+      dispatcher_(dispatcher),
+      gp_(config.n_gp_regs, 0),
+      cp_(config.n_cp_regs, 0),
+      cp_valid_(config.n_cp_regs, 1),
+      contexts_(config.max_contexts) {}
+
+uint64_t& Softcore::Gp(uint32_t ctx, isa::Reg r) {
+  uint32_t idx = contexts_[ctx].gp_base + r;
+  assert(idx < gp_.size());
+  return gp_[idx];
+}
+
+bool Softcore::Idle() const {
+  return state_ == State::kIdle && input_queue_.empty() &&
+         pending_block_ == sim::kNullAddr && batch_order_.empty();
+}
+
+void Softcore::WriteCp(const index::DbResult& result) {
+  assert(result.cp_index < cp_.size());
+  cp_[result.cp_index] = result.ToCpValue();
+  cp_valid_[result.cp_index] = 1;
+  TxnContext& ctx = contexts_[result.txn_slot];
+  assert(ctx.outstanding_db > 0);
+  --ctx.outstanding_db;
+  if (result.write_kind != cc::WriteKind::kNone) {
+    ctx.write_set.push_back(
+        cc::WriteSetEntry{result.tuple_addr, result.write_kind});
+  }
+}
+
+void Softcore::Tick(uint64_t now) {
+  if (now < busy_until_) return;
+  switch (state_) {
+    case State::kIdle: {
+      // Dynamic scheduling: resuming a parked transaction whose DB result
+      // arrived beats admitting new work (it frees registers sooner).
+      if (phase_ == Phase::kLogic && config_.dynamic_switching &&
+          TryResumeWaiter(now)) {
+        return;
+      }
+      if (phase_ == Phase::kLogic && !batch_closed_ && TryAdmit(now)) return;
+      // Parked transactions must finish their logic phase before the batch
+      // can commit; wait for their CP registers to fill.
+      if (config_.dynamic_switching && !AllLogicPhasesDone()) return;
+      // No more admissions possible: run the commit phase if the batch has
+      // members, either because registers ran out (batch_closed_) or the
+      // input drained.
+      if (!batch_order_.empty()) {
+        phase_ = Phase::kHandlers;
+        commit_cursor_ = 0;
+        // Skip transactions that already finished during the logic phase
+        // (aborts triggered by data-dependent RET errors).
+        while (commit_cursor_ < batch_order_.size() &&
+               contexts_[batch_order_[commit_cursor_]].finished) {
+          ++commit_cursor_;
+        }
+        if (commit_cursor_ >= batch_order_.size()) {
+          ResetBatch();
+          ++stats_.batches;
+          return;
+        }
+        StartSwitch(now, batch_order_[commit_cursor_], Phase::kHandlers);
+      }
+      return;
+    }
+    case State::kIngestRetry:
+      if (dram_->Issue(now, pending_block_, false, &mem_resp_, 0)) {
+        state_ = State::kFetchBlock;
+      } else {
+        counters_.Add("ingest_dram_stall");
+      }
+      return;
+    case State::kFetchBlock:
+      if (!mem_resp_.empty()) {
+        mem_resp_.pop_front();
+        BeginTxn(now);
+      }
+      return;
+    case State::kRunning:
+      Execute(now);
+      return;
+    case State::kMemWait:
+      if (!mem_resp_.empty()) {
+        mem_resp_.pop_front();
+        // LOAD writeback: the value is read functionally on arrival.
+        uint64_t addr = Gp(cur_ctx_, pending_inst_.rs1) + pending_inst_.imm;
+        Gp(cur_ctx_, pending_inst_.rd) = dram_->Read64(addr);
+        state_ = State::kRunning;
+        busy_until_ = now + 1;
+      }
+      return;
+    case State::kWaitCp: {
+      uint32_t idx = contexts_[cur_ctx_].cp_base + pending_inst_.rs1;
+      if (cp_valid_[idx]) {
+        CompleteRet(now, pending_inst_);
+        state_ = State::kRunning;
+      } else {
+        counters_.Add("ret_wait_cycles");
+      }
+      return;
+    }
+    case State::kDispatchRetry:
+      if (dispatcher_->DispatchLocal(pending_op_)) {
+        ++contexts_[cur_ctx_].outstanding_db;
+        state_ = State::kRunning;
+        busy_until_ = now + 1;
+      } else {
+        counters_.Add("dispatch_stall_cycles");
+      }
+      return;
+    case State::kSwitching: {
+      cur_ctx_ = switch_target_;
+      phase_ = switch_phase_;
+      TxnContext& ctx = contexts_[cur_ctx_];
+      if (phase_ == Phase::kHandlers) {
+        ctx.pc = ctx.aborted ? ctx.proc->program.abort_entry()
+                             : ctx.proc->program.commit_entry();
+      }
+      state_ = State::kRunning;
+      return;
+    }
+  }
+}
+
+bool Softcore::TryAdmit(uint64_t now) {
+  if (pending_block_ != sim::kNullAddr) {
+    BeginTxn(now);
+    return true;
+  }
+  if (input_queue_.empty()) return false;
+  sim::Addr block = input_queue_.front();
+  input_queue_.pop_front();
+  pending_block_ = block;
+  // Ingest: one DRAM read of the transaction-block header (step 1 of the
+  // processing flow in Fig. 2). A backpressure reject retries next cycle —
+  // it must NOT close the batch.
+  if (!dram_->Issue(now, block, false, &mem_resp_, 0)) {
+    counters_.Add("ingest_dram_stall");
+    state_ = State::kIngestRetry;
+    return true;
+  }
+  state_ = State::kFetchBlock;
+  return true;
+}
+
+void Softcore::BeginTxn(uint64_t now) {
+  db::TxnBlock block(dram_, pending_block_);
+  const db::ProcedureInfo* proc =
+      db_->catalogue().FindProcedure(block.txn_type());
+  if (proc == nullptr) {
+    block.set_state(db::TxnState::kAborted);
+    counters_.Add("unknown_txn_type");
+    pending_block_ = sim::kNullAddr;
+    state_ = State::kIdle;
+    return;
+  }
+  const uint32_t gp_need = std::max<uint32_t>(1, proc->program.gp_regs_used());
+  const uint32_t cp_need = proc->program.cp_regs_used();
+  // Find a free context slot.
+  uint32_t slot = UINT32_MAX;
+  for (uint32_t i = 0; i < contexts_.size(); ++i) {
+    if (!contexts_[i].in_use) {
+      slot = i;
+      break;
+    }
+  }
+  const bool fits = slot != UINT32_MAX &&
+                    gp_next_ + gp_need <= config_.n_gp_regs &&
+                    cp_next_ + cp_need <= config_.n_cp_regs;
+  if (!fits) {
+    if (batch_order_.empty()) {
+      // A single transaction larger than the whole register file can never
+      // run; reject it rather than livelock.
+      block.set_state(db::TxnState::kAborted);
+      counters_.Add("oversized_txn_rejected");
+      pending_block_ = sim::kNullAddr;
+      state_ = State::kIdle;
+      return;
+    }
+    // Close the batch; this transaction is scheduled after it commits.
+    batch_closed_ = true;
+    state_ = State::kIdle;
+    counters_.Add("batch_closed_on_registers");
+    return;
+  }
+
+  TxnContext& ctx = contexts_[slot];
+  ctx = TxnContext{};
+  ctx.in_use = true;
+  ctx.block_base = pending_block_;
+  ctx.proc = proc;
+  ctx.pc = proc->program.logic_entry();
+  ctx.gp_base = gp_next_;
+  ctx.cp_base = cp_next_;
+  // Hardware timestamp: globally ordered, unique across workers.
+  ctx.ts = (now << 8) | (worker_id_ & 0xff);
+  gp_next_ += gp_need;
+  cp_next_ += cp_need;
+  batch_order_.push_back(slot);
+  // Base address register: r0 holds the transaction block's data area.
+  gp_[ctx.gp_base] = ctx.block_base + db::kTxnBlockHeaderSize;
+  // Mark this transaction's CP registers pending-free.
+  for (uint32_t i = 0; i < cp_need; ++i) cp_valid_[ctx.cp_base + i] = 1;
+
+  pending_block_ = sim::kNullAddr;
+  cur_ctx_ = slot;
+  state_ = State::kRunning;
+  // Catalogue fetch (BRAM) + first IFetch.
+  busy_until_ = now + timing_.cpu_instruction_cycles;
+  counters_.Add("txns_admitted");
+}
+
+void Softcore::CompleteRet(uint64_t now, const isa::Instruction& inst) {
+  TxnContext& ctx = contexts_[cur_ctx_];
+  uint32_t idx = ctx.cp_base + inst.rs1;
+  uint64_t value = cp_[idx];
+  Gp(cur_ctx_, inst.rd) = value;
+  busy_until_ = now + timing_.cpu_instruction_cycles;
+  const bool in_abort_handler = ctx.pc >= ctx.proc->program.abort_entry();
+  if (isa::CpValueStatus(value) != isa::CpStatus::kOk && !in_abort_handler) {
+    // Diagnostics for stored-procedure authors: BIONICDB_DEBUG_RET=1 traces
+    // every error result that diverts a transaction to its abort handler.
+    static const bool debug_ret = getenv("BIONICDB_DEBUG_RET") != nullptr;
+    if (debug_ret) {
+      fprintf(stderr,
+              "[w%u] RET error: pc=%llu cp(logical)=%u status=%u block=%llx\n",
+              worker_id_, (unsigned long long)ctx.pc, unsigned(inst.rs1),
+              unsigned(isa::CpValueStatus(value)),
+              (unsigned long long)ctx.block_base);
+    }
+    // Any DB-instruction failure diverts control to the abort handler.
+    ctx.aborted = true;
+    ctx.pc = ctx.proc->program.abort_entry();
+    counters_.Add("ret_error_to_abort");
+  } else {
+    ++ctx.pc;
+  }
+}
+
+void Softcore::Execute(uint64_t now) {
+  TxnContext& ctx = contexts_[cur_ctx_];
+  const isa::Instruction& inst = ctx.proc->program.at(ctx.pc);
+  ++stats_.instructions;
+  const uint64_t cost = timing_.cpu_instruction_cycles;
+
+  if (isa::IsDbOpcode(inst.opcode)) {
+    ExecuteDb(now, inst);
+    return;
+  }
+
+  using isa::Opcode;
+  switch (inst.opcode) {
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kMul:
+    case Opcode::kDiv: {
+      int64_t a = int64_t(Gp(cur_ctx_, inst.rs1));
+      int64_t b = inst.use_imm ? inst.imm : int64_t(Gp(cur_ctx_, inst.rs2));
+      int64_t r = 0;
+      switch (inst.opcode) {
+        case Opcode::kAdd: r = a + b; break;
+        case Opcode::kSub: r = a - b; break;
+        case Opcode::kMul: r = a * b; break;
+        case Opcode::kDiv: r = b == 0 ? 0 : a / b; break;
+        default: break;
+      }
+      Gp(cur_ctx_, inst.rd) = uint64_t(r);
+      ++ctx.pc;
+      busy_until_ = now + cost;
+      return;
+    }
+    case Opcode::kMov:
+      Gp(cur_ctx_, inst.rd) =
+          inst.use_imm ? uint64_t(inst.imm) : Gp(cur_ctx_, inst.rs1);
+      ++ctx.pc;
+      busy_until_ = now + cost;
+      return;
+    case Opcode::kCmp: {
+      int64_t a = int64_t(Gp(cur_ctx_, inst.rs1));
+      int64_t b = inst.use_imm ? inst.imm : int64_t(Gp(cur_ctx_, inst.rs2));
+      ctx.flag_eq = a == b;
+      ctx.flag_lt = a < b;
+      ++ctx.pc;
+      busy_until_ = now + cost;
+      return;
+    }
+    case Opcode::kLoad: {
+      uint64_t addr = Gp(cur_ctx_, inst.rs1) + inst.imm;
+      pending_inst_ = inst;
+      ++ctx.pc;
+      if (!dram_->Issue(now, addr, false, &mem_resp_, 0)) {
+        // Retry the issue next tick by staying at this instruction.
+        --ctx.pc;
+        counters_.Add("load_dram_stall");
+        return;
+      }
+      state_ = State::kMemWait;
+      busy_until_ = now + cost;  // IF/DE/EX overlap the DRAM access
+      return;
+    }
+    case Opcode::kStore: {
+      uint64_t addr = Gp(cur_ctx_, inst.rs2) + inst.imm;
+      dram_->Write64(addr, Gp(cur_ctx_, inst.rs1));
+      // Posted write: charged to bandwidth, does not stall the core.
+      dram_->Issue(now, addr, true, nullptr, 0);
+      ++ctx.pc;
+      busy_until_ = now + cost;
+      return;
+    }
+    case Opcode::kJmp:
+      ctx.pc = uint64_t(inst.imm);
+      busy_until_ = now + cost;
+      return;
+    case Opcode::kBe:
+    case Opcode::kBne:
+    case Opcode::kBle:
+    case Opcode::kBlt:
+    case Opcode::kBgt:
+    case Opcode::kBge: {
+      bool taken = false;
+      switch (inst.opcode) {
+        case Opcode::kBe: taken = ctx.flag_eq; break;
+        case Opcode::kBne: taken = !ctx.flag_eq; break;
+        case Opcode::kBle: taken = ctx.flag_lt || ctx.flag_eq; break;
+        case Opcode::kBlt: taken = ctx.flag_lt; break;
+        case Opcode::kBgt: taken = !ctx.flag_lt && !ctx.flag_eq; break;
+        case Opcode::kBge: taken = !ctx.flag_lt; break;
+        default: break;
+      }
+      ctx.pc = taken ? uint64_t(inst.imm) : ctx.pc + 1;
+      busy_until_ = now + cost;
+      return;
+    }
+    case Opcode::kRet: {
+      uint32_t idx = ctx.cp_base + inst.rs1;
+      if (!cp_valid_[idx]) {
+        if (config_.dynamic_switching && config_.interleaving &&
+            phase_ == Phase::kLogic) {
+          // Park this transaction at the RET and let the scheduler pick
+          // other work; TryResumeWaiter re-enters here once the result
+          // lands (the section 4.5 future-work extension).
+          ctx.waiting_cp = true;
+          ctx.wait_cp_index = idx;
+          ++stats_.context_switches;
+          counters_.Add("dynamic_parks");
+          busy_until_ = now + timing_.context_switch_cycles;
+          state_ = State::kIdle;
+          return;
+        }
+        pending_inst_ = inst;
+        state_ = State::kWaitCp;
+        return;
+      }
+      CompleteRet(now, inst);
+      return;
+    }
+    case Opcode::kYield: {
+      ctx.logic_done = true;
+      ++ctx.pc;
+      if (!config_.interleaving) {
+        // Serial execution: fall straight through to the commit handler.
+        ctx.pc = ctx.proc->program.commit_entry();
+        busy_until_ = now + cost;
+        return;
+      }
+      // Save this context and move on without waiting for outstanding DB
+      // instructions (the interleaving switch, Fig. 8).
+      ++stats_.context_switches;
+      busy_until_ = now + timing_.context_switch_cycles;
+      state_ = State::kIdle;
+      return;
+    }
+    case Opcode::kCommit: {
+      if (ctx.outstanding_db > 0) {
+        counters_.Add("commit_wait_cycles");
+        return;  // all DB instructions must have returned
+      }
+      for (const cc::WriteSetEntry& e : ctx.write_set) {
+        cc::ApplyCommit(dram_, e, ctx.ts);
+        dram_->Issue(now, e.tuple_addr, true, nullptr, 0);
+      }
+      db::TxnBlock block(dram_, ctx.block_base);
+      block.set_state(db::TxnState::kCommitted);
+      block.set_commit_ts(ctx.ts);
+      dram_->Issue(now, ctx.block_base, true, nullptr, 0);
+      busy_until_ = now + cost + ctx.write_set.size();
+      FinishTxn(now, /*committed=*/true);
+      return;
+    }
+    case Opcode::kAbort: {
+      if (ctx.outstanding_db > 0) {
+        counters_.Add("abort_wait_cycles");
+        return;  // late results may still add write-set entries
+      }
+      for (const cc::WriteSetEntry& e : ctx.write_set) {
+        cc::ApplyAbort(dram_, e);
+        dram_->Issue(now, e.tuple_addr, true, nullptr, 0);
+      }
+      db::TxnBlock block(dram_, ctx.block_base);
+      block.set_state(db::TxnState::kAborted);
+      dram_->Issue(now, ctx.block_base, true, nullptr, 0);
+      busy_until_ = now + cost + ctx.write_set.size();
+      FinishTxn(now, /*committed=*/false);
+      return;
+    }
+    case Opcode::kNop:
+      ++ctx.pc;
+      busy_until_ = now + cost;
+      return;
+    default:
+      // DB opcodes handled above; anything else is a program bug.
+      assert(false && "unhandled opcode");
+      ++ctx.pc;
+      return;
+  }
+}
+
+void Softcore::ExecuteDb(uint64_t now, const isa::Instruction& inst) {
+  TxnContext& ctx = contexts_[cur_ctx_];
+  const db::TableSchema* schema = db_->catalogue().FindTable(inst.table_id);
+  assert(schema != nullptr);
+  const sim::Addr data = ctx.block_base + db::kTxnBlockHeaderSize;
+
+  index::DbOp op;
+  op.op = inst.opcode;
+  op.table = inst.table_id;
+  op.ts = ctx.ts;
+  op.key_addr = data + inst.key_offset;
+  op.key_len = inst.key_len != 0 ? inst.key_len : schema->key_len;
+  if (inst.opcode == isa::Opcode::kInsert) {
+    op.payload_src = data + inst.aux_offset;
+    op.payload_len = schema->payload_len;
+  }
+  if (inst.opcode == isa::Opcode::kScan) {
+    op.out_buf = data + inst.aux_offset;
+    op.scan_count = inst.scan_count;
+  }
+  op.origin_worker = worker_id_;
+  op.cp_index = ctx.cp_base + inst.cp;
+  op.txn_slot = cur_ctx_;
+
+  uint32_t partition = worker_id_;
+  if (inst.part_reg != isa::kNoReg) {
+    partition = uint32_t(Gp(cur_ctx_, inst.part_reg));
+  } else if (inst.partition >= 0) {
+    partition = uint32_t(inst.partition);
+  }
+  // Replicated tables are always served locally.
+  if (schema->replicated) partition = worker_id_;
+
+  cp_valid_[op.cp_index] = 0;
+  ++ctx.pc;
+  busy_until_ = now + timing_.db_dispatch_cycles;
+
+  if (partition == worker_id_) {
+    if (!dispatcher_->DispatchLocal(op)) {
+      pending_op_ = op;
+      state_ = State::kDispatchRetry;
+      return;
+    }
+    ++ctx.outstanding_db;
+  } else {
+    op.is_remote = true;
+    dispatcher_->DispatchRemote(partition, op);
+    ++ctx.outstanding_db;
+    counters_.Add("remote_dispatches");
+  }
+}
+
+void Softcore::FinishTxn(uint64_t now, bool committed) {
+  TxnContext& ctx = contexts_[cur_ctx_];
+  if (committed) {
+    ++stats_.committed;
+  } else {
+    ++stats_.aborted;
+  }
+  ctx.in_use = false;
+  ctx.finished = true;
+  ctx.write_set.clear();
+
+  if (!config_.interleaving) {
+    ResetBatch();
+    state_ = State::kIdle;
+    return;
+  }
+  if (phase_ == Phase::kHandlers) {
+    AdvanceCommitPhase(now);
+  } else {
+    // The transaction aborted during the logic phase (a data-dependent RET
+    // returned an error and the abort handler ran to completion). Treat it
+    // like a YIELD: switch away and keep filling the batch. Its registers
+    // stay allocated until the batch resets.
+    ++stats_.context_switches;
+    busy_until_ = now + timing_.context_switch_cycles;
+    state_ = State::kIdle;
+  }
+}
+
+void Softcore::AdvanceCommitPhase(uint64_t now) {
+  ++commit_cursor_;
+  while (commit_cursor_ < batch_order_.size() &&
+         contexts_[batch_order_[commit_cursor_]].finished) {
+    ++commit_cursor_;
+  }
+  if (commit_cursor_ < batch_order_.size()) {
+    StartSwitch(now, batch_order_[commit_cursor_], Phase::kHandlers);
+    return;
+  }
+  ResetBatch();
+  state_ = State::kIdle;
+  ++stats_.batches;
+}
+
+bool Softcore::TryResumeWaiter(uint64_t now) {
+  for (uint32_t slot : batch_order_) {
+    TxnContext& ctx = contexts_[slot];
+    if (ctx.in_use && !ctx.finished && ctx.waiting_cp &&
+        cp_valid_[ctx.wait_cp_index]) {
+      ctx.waiting_cp = false;
+      counters_.Add("dynamic_resumes");
+      StartSwitch(now, slot, Phase::kLogic);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Softcore::AllLogicPhasesDone() const {
+  for (uint32_t slot : batch_order_) {
+    const TxnContext& ctx = contexts_[slot];
+    if (ctx.in_use && !ctx.finished && !ctx.logic_done) return false;
+  }
+  return true;
+}
+
+void Softcore::ResetBatch() {
+  batch_order_.clear();
+  gp_next_ = 0;
+  cp_next_ = 0;
+  batch_closed_ = false;
+  commit_cursor_ = 0;
+  phase_ = Phase::kLogic;
+}
+
+void Softcore::StartSwitch(uint64_t now, uint32_t next_ctx, Phase phase) {
+  switch_target_ = next_ctx;
+  switch_phase_ = phase;
+  state_ = State::kSwitching;
+  busy_until_ = now + timing_.context_switch_cycles;
+  ++stats_.context_switches;
+}
+
+}  // namespace bionicdb::core

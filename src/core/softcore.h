@@ -1,0 +1,189 @@
+// The BionicDB softcore (paper sections 4.3 and 4.5).
+//
+// A deliberately simple RISC-style core: five execution steps per CPU
+// instruction (IFetch/Decode/Execute/Memory/Writeback, charged as a fixed
+// cycle cost — the paper rules out instruction pipelining and out-of-order
+// execution), 256 general-purpose and 256 coprocessor registers on BRAM,
+// base-offset addressing, and two extra steps (Prepare/Dispatch) that
+// forward DB instructions asynchronously to the index coprocessor or to a
+// remote worker through the on-chip channels.
+//
+// Transaction interleaving (section 4.5): incoming transactions join the
+// current batch while GP/CP registers remain (register renaming = adding a
+// per-transaction base); the logic phase of each transaction runs to YIELD
+// and then switches (10 cycles) to the next without waiting for outstanding
+// DB instructions. When the batch closes, the commit phase revisits every
+// transaction in admission order: the commit handler RETs each CP register
+// (blocking), and any error status diverts control to the abort handler.
+// COMMIT/ABORT finally publish or roll back the hardware-tracked write-set
+// and stamp the transaction block's commit state.
+#ifndef BIONICDB_CORE_SOFTCORE_H_
+#define BIONICDB_CORE_SOFTCORE_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/stats.h"
+#include "db/catalogue.h"
+#include "db/database.h"
+#include "db/txn_block.h"
+#include "db/types.h"
+#include "index/db_op.h"
+#include "isa/program.h"
+#include "sim/config.h"
+#include "sim/memory.h"
+
+namespace bionicdb::core {
+
+/// Callback surface the softcore uses to dispatch DB instructions; the
+/// worker implements it (local coprocessor submit or channel send).
+class DbDispatcher {
+ public:
+  virtual ~DbDispatcher() = default;
+  /// Returns false when the local coprocessor is at capacity (retry).
+  virtual bool DispatchLocal(const index::DbOp& op) = 0;
+  /// Remote sends are asynchronous and never block the softcore.
+  virtual void DispatchRemote(uint32_t partition, const index::DbOp& op) = 0;
+};
+
+class Softcore {
+ public:
+  struct Config {
+    bool interleaving = true;
+    /// Future-work extension (paper section 4.5 discussion): when a RET
+    /// blocks on a pending CP register during the LOGIC phase, save the
+    /// context and switch to another transaction instead of stalling. The
+    /// paper conjectures this "might be helpful to deal with heavy data
+    /// dependency" (TPC-C); the ablation_dynamic bench quantifies it.
+    bool dynamic_switching = false;
+    uint32_t max_contexts = 32;
+    uint32_t n_gp_regs = 256;
+    uint32_t n_cp_regs = 256;
+  };
+
+  struct BatchStats {
+    uint64_t committed = 0;
+    uint64_t aborted = 0;
+    uint64_t batches = 0;
+    uint64_t context_switches = 0;
+    uint64_t instructions = 0;
+  };
+
+  Softcore(db::Database* db, db::WorkerId worker_id,
+           const sim::TimingConfig& timing, Config config,
+           DbDispatcher* dispatcher);
+
+  /// Queues a transaction block for execution.
+  void SubmitBlock(sim::Addr block_base) { input_queue_.push_back(block_base); }
+  size_t input_queue_depth() const { return input_queue_.size(); }
+
+  /// CP-register writeback for a completed DB instruction (local result or
+  /// response packet). Appends to the owning transaction's write-set.
+  void WriteCp(const index::DbResult& result);
+
+  void Tick(uint64_t now);
+  bool Idle() const;
+
+  const BatchStats& stats() const { return stats_; }
+  CounterSet& counters() { return counters_; }
+
+ private:
+  enum class State : uint8_t {
+    kIdle,        // pick next work item
+    kIngestRetry,  // ingest read rejected by DRAM backpressure; retry
+    kFetchBlock,  // waiting for the transaction-block ingest read
+    kRunning,     // executing instructions
+    kMemWait,     // LOAD waiting on DRAM
+    kWaitCp,      // RET blocked on a pending CP register
+    kDispatchRetry,  // local coprocessor was at capacity
+    kSwitching,   // context switch in progress
+  };
+
+  enum class Phase : uint8_t { kLogic, kHandlers };
+
+  struct TxnContext {
+    bool in_use = false;
+    sim::Addr block_base = sim::kNullAddr;
+    const db::ProcedureInfo* proc = nullptr;
+    uint64_t pc = 0;
+    uint32_t gp_base = 0;
+    uint32_t cp_base = 0;
+    db::Timestamp ts = 0;
+    uint32_t outstanding_db = 0;
+    bool aborted = false;
+    bool logic_done = false;
+    bool finished = false;
+    // Dynamic scheduling: parked on a RET whose CP register is pending.
+    bool waiting_cp = false;
+    uint32_t wait_cp_index = 0;
+    // Status-register flags (saved/restored with the context, section 4.3).
+    bool flag_eq = false;
+    bool flag_lt = false;
+    std::vector<cc::WriteSetEntry> write_set;
+  };
+
+  // One instruction executed per call; manages state transitions.
+  void Step(uint64_t now);
+  /// Starts ingesting the next input transaction if the batch has room.
+  bool TryAdmit(uint64_t now);
+  /// Called when the ingest read returns: builds the context, begins logic.
+  void BeginTxn(uint64_t now);
+  /// Executes one instruction of the current context.
+  void Execute(uint64_t now);
+  void ExecuteDb(uint64_t now, const isa::Instruction& inst);
+  void FinishTxn(uint64_t now, bool committed);
+  /// Moves to the next phase-2 context or closes the batch.
+  void AdvanceCommitPhase(uint64_t now);
+  void StartSwitch(uint64_t now, uint32_t next_ctx, Phase phase);
+
+  uint64_t& Gp(uint32_t ctx, isa::Reg r);
+  void ResetBatch();
+  void CompleteRet(uint64_t now, const isa::Instruction& inst);
+  /// Dynamic scheduling helpers.
+  bool TryResumeWaiter(uint64_t now);
+  bool AllLogicPhasesDone() const;
+
+  db::Database* db_;
+  sim::DramMemory* dram_;
+  db::WorkerId worker_id_;
+  sim::TimingConfig timing_;
+  Config config_;
+  DbDispatcher* dispatcher_;
+
+  std::deque<sim::Addr> input_queue_;
+  sim::MemResponseQueue mem_resp_;
+
+  // Register files (BRAM).
+  std::vector<uint64_t> gp_;
+  std::vector<uint64_t> cp_;
+  std::vector<uint8_t> cp_valid_;
+
+  // Batch state.
+  std::vector<TxnContext> contexts_;
+  std::vector<uint32_t> batch_order_;  // admission order
+  uint32_t gp_next_ = 0;
+  uint32_t cp_next_ = 0;
+  bool batch_closed_ = false;
+  uint32_t commit_cursor_ = 0;  // index into batch_order_ during phase 2
+
+  // Execution state.
+  State state_ = State::kIdle;
+  Phase phase_ = Phase::kLogic;
+  uint32_t cur_ctx_ = 0;
+  uint64_t busy_until_ = 0;
+  // Pending items for stalled states.
+  isa::Instruction pending_inst_;
+  index::DbOp pending_op_;
+  uint32_t pending_partition_ = 0;
+  sim::Addr pending_block_ = sim::kNullAddr;
+  uint32_t switch_target_ = 0;
+  Phase switch_phase_ = Phase::kLogic;
+
+  BatchStats stats_;
+  CounterSet counters_;
+};
+
+}  // namespace bionicdb::core
+
+#endif  // BIONICDB_CORE_SOFTCORE_H_

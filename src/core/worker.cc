@@ -1,0 +1,70 @@
+#include "core/worker.h"
+
+namespace bionicdb::core {
+
+PartitionWorker::PartitionWorker(db::Database* db, db::WorkerId id,
+                                 const sim::TimingConfig& timing,
+                                 Softcore::Config softcore_config,
+                                 index::IndexCoprocessor::Config coproc_config,
+                                 comm::CommFabric* fabric)
+    : sim::Component("worker/" + std::to_string(id)),
+      id_(id),
+      fabric_(fabric) {
+  coproc_ = std::make_unique<index::IndexCoprocessor>(db, id, coproc_config);
+  softcore_ = std::make_unique<Softcore>(db, id, timing, softcore_config,
+                                         this);
+}
+
+bool PartitionWorker::DispatchLocal(const index::DbOp& op) {
+  return coproc_->Submit(op);
+}
+
+void PartitionWorker::DispatchRemote(uint32_t partition,
+                                     const index::DbOp& op) {
+  fabric_->SendRequest(now_, id_, partition, op);
+}
+
+void PartitionWorker::Tick(uint64_t cycle) {
+  now_ = cycle;
+
+  // Background unit: dispatch inbound remote requests to the local index
+  // coprocessor. Stops at the first capacity reject to preserve channel
+  // FIFO order.
+  if (fabric_ != nullptr) {
+    auto& inbound = fabric_->requests(id_);
+    while (!inbound.empty()) {
+      if (!coproc_->Submit(inbound.front())) break;
+      inbound.pop_front();
+    }
+  }
+
+  // Route completed coprocessor results.
+  auto& results = coproc_->results();
+  while (!results.empty()) {
+    index::DbResult r = results.front();
+    results.pop_front();
+    if (r.is_remote) {
+      fabric_->SendResponse(cycle, id_, r.origin_worker, r);
+    } else {
+      softcore_->WriteCp(r);
+    }
+  }
+
+  // Inbound response packets: asynchronous CP-register writeback.
+  if (fabric_ != nullptr) {
+    auto& responses = fabric_->responses(id_);
+    while (!responses.empty()) {
+      softcore_->WriteCp(responses.front());
+      responses.pop_front();
+    }
+  }
+
+  coproc_->Tick(cycle);
+  softcore_->Tick(cycle);
+}
+
+bool PartitionWorker::Idle() const {
+  return softcore_->Idle() && coproc_->Idle();
+}
+
+}  // namespace bionicdb::core

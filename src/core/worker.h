@@ -1,0 +1,55 @@
+// A partition worker: softcore + index coprocessor + channel endpoints
+// (paper Fig. 2).
+//
+// Per tick the worker runs its background unit (inbound remote requests ->
+// local coprocessor), routes completed coprocessor results (local ones to
+// CP-register writeback, remote ones back over the response channel),
+// applies inbound response packets, and advances the coprocessor and
+// softcore.
+#ifndef BIONICDB_CORE_WORKER_H_
+#define BIONICDB_CORE_WORKER_H_
+
+#include <memory>
+
+#include "comm/channels.h"
+#include "core/softcore.h"
+#include "db/database.h"
+#include "index/coprocessor.h"
+#include "sim/component.h"
+
+namespace bionicdb::core {
+
+class PartitionWorker : public sim::Component, public DbDispatcher {
+ public:
+  PartitionWorker(db::Database* db, db::WorkerId id,
+                  const sim::TimingConfig& timing,
+                  Softcore::Config softcore_config,
+                  index::IndexCoprocessor::Config coproc_config,
+                  comm::CommFabric* fabric);
+
+  /// Queues a transaction block on this worker's input queue.
+  void SubmitBlock(sim::Addr block) { softcore_->SubmitBlock(block); }
+
+  void Tick(uint64_t cycle) override;
+  bool Idle() const override;
+
+  // DbDispatcher:
+  bool DispatchLocal(const index::DbOp& op) override;
+  void DispatchRemote(uint32_t partition, const index::DbOp& op) override;
+
+  db::WorkerId id() const { return id_; }
+  Softcore& softcore() { return *softcore_; }
+  index::IndexCoprocessor& coprocessor() { return *coproc_; }
+  const Softcore::BatchStats& stats() const { return softcore_->stats(); }
+
+ private:
+  db::WorkerId id_;
+  comm::CommFabric* fabric_;
+  uint64_t now_ = 0;
+  std::unique_ptr<index::IndexCoprocessor> coproc_;
+  std::unique_ptr<Softcore> softcore_;
+};
+
+}  // namespace bionicdb::core
+
+#endif  // BIONICDB_CORE_WORKER_H_

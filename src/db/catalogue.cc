@@ -1,0 +1,30 @@
+#include "db/catalogue.h"
+
+namespace bionicdb::db {
+
+Status Catalogue::RegisterProcedure(TxnTypeId type, isa::Program program,
+                                    uint64_t block_data_size) {
+  BIONICDB_RETURN_IF_ERROR(program.Validate());
+  procedures_[type] = ProcedureInfo{std::move(program), block_data_size};
+  return Status::Ok();
+}
+
+const ProcedureInfo* Catalogue::FindProcedure(TxnTypeId type) const {
+  auto it = procedures_.find(type);
+  return it == procedures_.end() ? nullptr : &it->second;
+}
+
+Status Catalogue::RegisterTable(const TableSchema& schema) {
+  if (schema.id != tables_.size()) {
+    return Status::InvalidArgument("table ids must be registered densely");
+  }
+  tables_.push_back(schema);
+  return Status::Ok();
+}
+
+const TableSchema* Catalogue::FindTable(TableId id) const {
+  if (id >= tables_.size()) return nullptr;
+  return &tables_[id];
+}
+
+}  // namespace bionicdb::db

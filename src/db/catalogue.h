@@ -1,0 +1,51 @@
+// The catalogue: stored procedures and table metadata.
+//
+// In hardware the catalogue lives in BRAM inside every partition worker
+// (paper Fig. 2); clients upload pre-compiled stored procedures and schemas
+// before submitting transactions, and updates do not require FPGA
+// reconfiguration. Here a single Catalogue object is shared by all workers,
+// and reads from it are charged BRAM (zero-stall) timing.
+#ifndef BIONICDB_DB_CATALOGUE_H_
+#define BIONICDB_DB_CATALOGUE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "db/schema.h"
+#include "db/types.h"
+#include "isa/program.h"
+
+namespace bionicdb::db {
+
+/// Metadata registered with a stored procedure.
+struct ProcedureInfo {
+  isa::Program program;
+  /// Bytes of transaction-block data area an invocation requires.
+  uint64_t block_data_size = 0;
+};
+
+class Catalogue {
+ public:
+  /// Registers (or replaces) the stored procedure for a transaction type.
+  Status RegisterProcedure(TxnTypeId type, isa::Program program,
+                           uint64_t block_data_size);
+
+  const ProcedureInfo* FindProcedure(TxnTypeId type) const;
+
+  /// Registers a table schema; ids must be dense and unique.
+  Status RegisterTable(const TableSchema& schema);
+
+  const TableSchema* FindTable(TableId id) const;
+  const std::vector<TableSchema>& tables() const { return tables_; }
+
+ private:
+  std::map<TxnTypeId, ProcedureInfo> procedures_;
+  std::vector<TableSchema> tables_;
+};
+
+}  // namespace bionicdb::db
+
+#endif  // BIONICDB_DB_CATALOGUE_H_

@@ -1,0 +1,35 @@
+// Table schemas and index kinds.
+#ifndef BIONICDB_DB_SCHEMA_H_
+#define BIONICDB_DB_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+
+#include "db/types.h"
+
+namespace bionicdb::db {
+
+/// Which hardware index serves a table: the hash pipeline handles point
+/// accesses (INSERT/SEARCH/UPDATE/REMOVE); the skiplist additionally
+/// handles SCAN (paper section 4.4).
+enum class IndexKind : uint8_t {
+  kHash,
+  kSkiplist,
+};
+
+struct TableSchema {
+  TableId id = 0;
+  std::string name;
+  IndexKind index = IndexKind::kHash;
+  uint16_t key_len = 8;       // default fixed-width 8-byte keys
+  uint32_t payload_len = 8;   // fixed payload size per table
+  /// True when the table is replicated read-only in every partition
+  /// (the paper replicates TPC-C's Item table).
+  bool replicated = false;
+  /// Hash tables are sized as `hash_buckets_per_partition` entries.
+  uint32_t hash_buckets = 1 << 16;
+};
+
+}  // namespace bionicdb::db
+
+#endif  // BIONICDB_DB_SCHEMA_H_

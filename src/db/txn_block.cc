@@ -1,0 +1,29 @@
+#include "db/txn_block.h"
+
+#include "db/tuple.h"
+
+namespace bionicdb::db {
+
+TxnBlock TxnBlock::Allocate(sim::DramMemory* dram, TxnTypeId type,
+                            uint64_t data_size) {
+  sim::Addr base = dram->Allocate(kTxnBlockHeaderSize + data_size);
+  TxnBlock block(dram, base);
+  block.set_txn_type(type);
+  block.set_state(TxnState::kPending);
+  block.set_commit_ts(0);
+  return block;
+}
+
+void TxnBlock::WriteKeyU64(int64_t offset, uint64_t key) {
+  uint8_t buf[8];
+  EncodeKeyU64(key, buf);
+  WriteBytes(offset, buf, 8);
+}
+
+uint64_t TxnBlock::ReadKeyU64(int64_t offset) const {
+  uint8_t buf[8];
+  ReadBytes(offset, buf, 8);
+  return DecodeKeyU64(buf);
+}
+
+}  // namespace bionicdb::db

@@ -1,0 +1,81 @@
+// Transaction block layout (paper Fig. 3).
+//
+// A transaction block is a contiguous DRAM region the client fills with the
+// transaction id and input data; it also provides buffers for result sets,
+// intermediate data and UNDO logs. The hardware writes back the commit
+// state and timestamp, which is exactly what command-logging durability
+// (section 4.8) persists.
+//
+//   offset  0  txn_type     (4)
+//   offset  4  state        (4)   0 pending / 1 committed / 2 aborted
+//   offset  8  commit_ts    (8)
+//   offset 16  reserved     (8)
+//   offset 24  data area          (stored-procedure offsets are relative
+//                                  to this point; GP r0 holds its address)
+#ifndef BIONICDB_DB_TXN_BLOCK_H_
+#define BIONICDB_DB_TXN_BLOCK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "db/types.h"
+#include "sim/memory.h"
+
+namespace bionicdb::db {
+
+constexpr uint64_t kTxnBlockHeaderSize = 24;
+
+enum class TxnState : uint32_t {
+  kPending = 0,
+  kCommitted = 1,
+  kAborted = 2,
+};
+
+/// Host/hardware view over one transaction block in simulated DRAM.
+class TxnBlock {
+ public:
+  TxnBlock(sim::DramMemory* dram, sim::Addr base) : dram_(dram), base_(base) {}
+
+  /// Allocates a block with `data_size` bytes of data area and resets it.
+  static TxnBlock Allocate(sim::DramMemory* dram, TxnTypeId type,
+                           uint64_t data_size);
+
+  sim::Addr base() const { return base_; }
+  sim::Addr data() const { return base_ + kTxnBlockHeaderSize; }
+
+  TxnTypeId txn_type() const { return dram_->Read32(base_ + 0); }
+  void set_txn_type(TxnTypeId t) { dram_->Write32(base_ + 0, t); }
+
+  TxnState state() const { return TxnState(dram_->Read32(base_ + 4)); }
+  void set_state(TxnState s) { dram_->Write32(base_ + 4, uint32_t(s)); }
+
+  Timestamp commit_ts() const { return dram_->Read64(base_ + 8); }
+  void set_commit_ts(Timestamp ts) { dram_->Write64(base_ + 8, ts); }
+
+  /// Data-area accessors (offsets are stored-procedure offsets).
+  uint64_t ReadU64(int64_t offset) const {
+    return dram_->Read64(data() + offset);
+  }
+  void WriteU64(int64_t offset, uint64_t v) {
+    dram_->Write64(data() + offset, v);
+  }
+  void WriteBytes(int64_t offset, const void* src, uint64_t len) {
+    dram_->WriteBytes(data() + offset, src, len);
+  }
+  void ReadBytes(int64_t offset, void* dst, uint64_t len) const {
+    dram_->ReadBytes(data() + offset, dst, len);
+  }
+
+  /// Writes a big-endian-encoded u64 key at `offset` (the key encoding all
+  /// indexes use; see EncodeKeyU64).
+  void WriteKeyU64(int64_t offset, uint64_t key);
+  uint64_t ReadKeyU64(int64_t offset) const;
+
+ private:
+  sim::DramMemory* dram_;
+  sim::Addr base_;
+};
+
+}  // namespace bionicdb::db
+
+#endif  // BIONICDB_DB_TXN_BLOCK_H_

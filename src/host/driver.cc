@@ -1,0 +1,120 @@
+#include "host/driver.h"
+
+#include "common/random.h"
+
+namespace bionicdb::host {
+
+RunResult RunToCompletion(core::BionicDb* engine, const TxnList& txns,
+                          bool retry_aborts, uint32_t max_rounds) {
+  RunResult result;
+  result.submitted = txns.size();
+  const uint64_t start_cycle = engine->now();
+  const uint64_t committed_before = engine->TotalCommitted();
+
+  TxnList pending = txns;
+  for (uint32_t round = 0; round < max_rounds && !pending.empty(); ++round) {
+    for (const auto& [worker, block] : pending) {
+      engine->Submit(worker, block);
+    }
+    engine->Drain();
+    if (!retry_aborts) {
+      for (const auto& [worker, block] : pending) {
+        db::TxnBlock b(&engine->simulator().dram(), block);
+        if (b.state() != db::TxnState::kCommitted) ++result.failed;
+      }
+      pending.clear();
+      break;
+    }
+    TxnList next;
+    for (const auto& [worker, block] : pending) {
+      db::TxnBlock b(&engine->simulator().dram(), block);
+      if (b.state() != db::TxnState::kCommitted) {
+        b.set_state(db::TxnState::kPending);
+        next.emplace_back(worker, block);
+      }
+    }
+    result.retries += next.size();
+    // Shuffle the retry order: the simulator is deterministic, so two
+    // transactions that mutually abort (e.g. cross-partition writers
+    // touching each other's rows in opposite order) would otherwise replay
+    // the exact same interleaving forever.
+    Rng shuffle_rng(round * 0x9e3779b9ull + 1);
+    for (size_t i = next.size(); i > 1; --i) {
+      std::swap(next[i - 1], next[shuffle_rng.NextUint64(i)]);
+    }
+    pending = std::move(next);
+  }
+  result.failed += pending.size();
+  result.cycles = engine->now() - start_cycle;
+  result.committed = engine->TotalCommitted() - committed_before;
+  result.tps =
+      engine->options().timing.Throughput(result.committed, result.cycles);
+  return result;
+}
+
+ClosedLoopResult RunClosedLoop(core::BionicDb* engine,
+                               const TxnFactory& factory,
+                               const ClosedLoopOptions& options) {
+  struct Outstanding {
+    sim::Addr block;
+    uint64_t submitted_at;
+  };
+  const uint32_t workers = engine->database().n_partitions();
+  std::vector<std::vector<Outstanding>> outstanding(workers);
+  std::vector<uint64_t> remaining(workers, options.txns_per_worker);
+
+  ClosedLoopResult result;
+  sim::DramMemory* dram = &engine->simulator().dram();
+  const uint64_t start_cycle = engine->now();
+  const uint64_t deadline = start_cycle + options.max_cycles;
+  const uint64_t target = uint64_t(workers) * options.txns_per_worker;
+
+  auto refill = [&](db::WorkerId w) {
+    while (outstanding[w].size() < options.inflight_per_worker &&
+           remaining[w] > 0) {
+      sim::Addr block = factory(w);
+      engine->Submit(w, block);
+      outstanding[w].push_back(Outstanding{block, engine->now()});
+      --remaining[w];
+    }
+  };
+  for (uint32_t w = 0; w < workers; ++w) refill(w);
+
+  while (result.committed < target && engine->now() < deadline) {
+    engine->Step(options.check_quantum_cycles);
+    for (uint32_t w = 0; w < workers; ++w) {
+      auto& queue = outstanding[w];
+      for (size_t i = 0; i < queue.size();) {
+        db::TxnBlock block(dram, queue[i].block);
+        db::TxnState state = block.state();
+        if (state == db::TxnState::kCommitted) {
+          result.latency_cycles.Add(
+              double(engine->now() - queue[i].submitted_at));
+          ++result.committed;
+          queue[i] = queue.back();
+          queue.pop_back();
+          continue;
+        }
+        if (state == db::TxnState::kAborted && options.retry_aborts) {
+          // In-place retry, keeping the original submission time so the
+          // measured latency is end-to-end across retries.
+          block.set_state(db::TxnState::kPending);
+          engine->Submit(w, queue[i].block);
+          ++result.retries;
+        } else if (state == db::TxnState::kAborted) {
+          queue[i] = queue.back();
+          queue.pop_back();
+          continue;
+        }
+        ++i;
+      }
+      refill(w);
+    }
+  }
+  result.cycles = engine->now() - start_cycle;
+  result.tps =
+      engine->options().timing.Throughput(result.committed, result.cycles);
+  return result;
+}
+
+}  // namespace bionicdb::host

@@ -1,0 +1,84 @@
+// Host-side benchmark driver.
+//
+// The host CPU's runtime role in BionicDB is thin (paper section 4.2):
+// populate input transaction blocks, signal the FPGA, and collect results.
+// This driver adds the one policy the hardware does not implement — client
+// retry of transactions aborted by concurrency control — and the
+// measurement plumbing every bench binary shares.
+#ifndef BIONICDB_HOST_DRIVER_H_
+#define BIONICDB_HOST_DRIVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/stats.h"
+#include "core/engine.h"
+#include "db/txn_block.h"
+
+namespace bionicdb::host {
+
+struct RunResult {
+  uint64_t submitted = 0;
+  uint64_t committed = 0;
+  /// Transactions still aborted after the retry budget.
+  uint64_t failed = 0;
+  uint64_t retries = 0;
+  uint64_t cycles = 0;
+  double tps = 0;
+
+  /// Committed transactions per second at the engine clock.
+  double Mtps() const { return tps / 1e6; }
+};
+
+/// One queued transaction: which worker's input queue it enters.
+using TxnList = std::vector<std::pair<db::WorkerId, sim::Addr>>;
+
+/// Submits every transaction, drains the engine, and (optionally) retries
+/// aborted blocks — resetting them to pending so they re-execute with a
+/// fresh timestamp — until all commit or `max_rounds` passes elapse.
+/// Returns committed-throughput statistics over the elapsed cycles.
+RunResult RunToCompletion(core::BionicDb* engine, const TxnList& txns,
+                          bool retry_aborts = true, uint32_t max_rounds = 50);
+
+// --- Closed-loop driving with latency measurement -------------------------
+
+/// Produces the next transaction block for `worker` (a fresh allocation per
+/// call).
+using TxnFactory = std::function<sim::Addr(db::WorkerId)>;
+
+struct ClosedLoopOptions {
+  /// Outstanding transactions the "client" keeps per worker (the offered
+  /// load; 1 = pure latency measurement, large = throughput measurement).
+  uint32_t inflight_per_worker = 4;
+  uint64_t txns_per_worker = 500;
+  /// Simulation quantum between completion checks; bounds the latency
+  /// measurement resolution.
+  uint64_t check_quantum_cycles = 50;
+  bool retry_aborts = true;
+  uint64_t max_cycles = 4ull << 30;
+};
+
+struct ClosedLoopResult {
+  uint64_t committed = 0;
+  uint64_t retries = 0;
+  uint64_t cycles = 0;
+  double tps = 0;
+  /// End-to-end commit latency per transaction in cycles (submission to
+  /// observed commit, across retries), with quantiles.
+  Summary latency_cycles;
+};
+
+/// Drives the engine like a closed-loop client: keeps `inflight_per_worker`
+/// transactions outstanding per worker, measures each transaction's commit
+/// latency, retries aborts in place. This is the throughput/latency-curve
+/// harness (the open-loop RunToCompletion measures throughput only, since
+/// pre-queued blocks spend arbitrary time waiting in the input queue).
+ClosedLoopResult RunClosedLoop(core::BionicDb* engine,
+                               const TxnFactory& factory,
+                               const ClosedLoopOptions& options);
+
+}  // namespace bionicdb::host
+
+#endif  // BIONICDB_HOST_DRIVER_H_

@@ -1,0 +1,45 @@
+#include "index/coprocessor.h"
+
+namespace bionicdb::index {
+
+IndexCoprocessor::IndexCoprocessor(db::Database* db,
+                                   db::PartitionId partition, Config config)
+    : sim::Component("coproc/p" + std::to_string(partition)),
+      db_(db),
+      partition_(partition),
+      config_(config) {
+  hash_ = std::make_unique<HashPipeline>(db, partition, config.hash,
+                                         &results_);
+  skiplist_ = std::make_unique<SkiplistPipeline>(db, partition,
+                                                 config.skiplist, &results_);
+}
+
+bool IndexCoprocessor::Submit(const DbOp& op) {
+  if (inflight() >= config_.max_inflight) {
+    counters_.Add("cap_rejects");
+    return false;
+  }
+  const db::TableSchema* schema = db_->catalogue().FindTable(op.table);
+  if (schema == nullptr) {
+    DbResult r;
+    r.origin_worker = op.origin_worker;
+    r.cp_index = op.cp_index;
+    r.txn_slot = op.txn_slot;
+    r.status = isa::CpStatus::kError;
+    r.is_remote = op.is_remote;
+    results_.push_back(r);
+    return true;
+  }
+  counters_.Add(op.is_remote ? "background_ops" : "foreground_ops");
+  if (schema->index == db::IndexKind::kHash) {
+    return hash_->Accept(op);
+  }
+  return skiplist_->Accept(op);
+}
+
+void IndexCoprocessor::Tick(uint64_t cycle) {
+  hash_->Tick(cycle);
+  skiplist_->Tick(cycle);
+}
+
+}  // namespace bionicdb::index

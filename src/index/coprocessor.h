@@ -1,0 +1,68 @@
+// The per-worker index coprocessor (paper Fig. 2).
+//
+// One instance sits beside every partition worker's softcore. It owns a
+// hash pipeline and a skiplist pipeline over the worker's partition, routes
+// each DB instruction to the right pipeline by table schema, and enforces
+// the global in-flight request cap (the knob swept in Figures 10/11).
+// Foreground requests (local softcore) and background requests (remote
+// workers, via the on-chip channels) overlap freely inside the pipelines.
+#ifndef BIONICDB_INDEX_COPROCESSOR_H_
+#define BIONICDB_INDEX_COPROCESSOR_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "db/database.h"
+#include "index/db_op.h"
+#include "index/hash_pipeline.h"
+#include "index/skiplist_pipeline.h"
+#include "sim/component.h"
+#include "sim/config.h"
+
+namespace bionicdb::index {
+
+class IndexCoprocessor : public sim::Component {
+ public:
+  struct Config {
+    uint32_t max_inflight = 16;
+    HashPipeline::Config hash;
+    SkiplistPipeline::Config skiplist;
+  };
+
+  IndexCoprocessor(db::Database* db, db::PartitionId partition,
+                   Config config);
+
+  /// Submits a DB instruction. Returns false when the coprocessor is at its
+  /// in-flight cap (the dispatcher must retry next cycle).
+  bool Submit(const DbOp& op);
+
+  /// Completed results, ready for CP-register writeback or response
+  /// routing. The worker drains this queue.
+  DbResultQueue& results() { return results_; }
+
+  void Tick(uint64_t cycle) override;
+  bool Idle() const override {
+    return hash_->Idle() && skiplist_->Idle() && results_.empty();
+  }
+
+  uint32_t inflight() const {
+    return hash_->queued_ops() + skiplist_->queued_ops();
+  }
+
+  HashPipeline& hash_pipeline() { return *hash_; }
+  SkiplistPipeline& skiplist_pipeline() { return *skiplist_; }
+  CounterSet& counters() { return counters_; }
+
+ private:
+  db::Database* db_;
+  db::PartitionId partition_;
+  Config config_;
+  DbResultQueue results_;
+  std::unique_ptr<HashPipeline> hash_;
+  std::unique_ptr<SkiplistPipeline> skiplist_;
+  CounterSet counters_;
+};
+
+}  // namespace bionicdb::index
+
+#endif  // BIONICDB_INDEX_COPROCESSOR_H_

@@ -1,0 +1,63 @@
+// DB-instruction requests and results as they flow through the index
+// coprocessor and the on-chip communication channels.
+#ifndef BIONICDB_INDEX_DB_OP_H_
+#define BIONICDB_INDEX_DB_OP_H_
+
+#include <cstdint>
+#include <deque>
+
+#include "cc/write_set.h"
+#include "db/types.h"
+#include "isa/instruction.h"
+#include "sim/memory.h"
+
+namespace bionicdb::index {
+
+/// One dispatched DB instruction. Built by the softcore's Prepare stage
+/// (which attaches the transaction timestamp and metadata from the
+/// catalogue) and consumed by an index coprocessor — the local one, or a
+/// remote one reached through the on-chip channels.
+struct DbOp {
+  isa::Opcode op = isa::Opcode::kNop;
+  db::TableId table = 0;
+  db::Timestamp ts = 0;
+
+  /// Key location inside the initiator's transaction block. Remote
+  /// coprocessors fetch it directly: the FPGA-side DRAM is physically
+  /// shared even though partitions are logically private.
+  sim::Addr key_addr = sim::kNullAddr;
+  uint16_t key_len = 0;
+
+  sim::Addr payload_src = sim::kNullAddr;  // INSERT: payload bytes
+  uint32_t payload_len = 0;
+  sim::Addr out_buf = sim::kNullAddr;      // SCAN: result buffer
+  uint32_t scan_count = 0;                 // SCAN: max tuples
+
+  db::WorkerId origin_worker = 0;  // who gets the result
+  uint32_t cp_index = 0;           // physical CP register at the origin
+  uint32_t txn_slot = 0;           // origin context slot (write-set routing)
+  bool is_remote = false;          // arrived as a background request
+};
+
+/// Result written back (asynchronously) to the initiator's CP register.
+struct DbResult {
+  db::WorkerId origin_worker = 0;
+  uint32_t cp_index = 0;
+  uint32_t txn_slot = 0;
+  isa::CpStatus status = isa::CpStatus::kOk;
+  /// Tuple payload address for point operations; tuple count for SCAN.
+  uint64_t payload = 0;
+  /// Write-set bookkeeping the origin worker records on writeback.
+  cc::WriteKind write_kind = cc::WriteKind::kNone;
+  sim::Addr tuple_addr = sim::kNullAddr;
+  bool is_remote = false;  // must be routed back over the channels
+
+  /// The 64-bit value stored into the CP register.
+  uint64_t ToCpValue() const { return isa::EncodeCpValue(status, payload); }
+};
+
+using DbResultQueue = std::deque<DbResult>;
+
+}  // namespace bionicdb::index
+
+#endif  // BIONICDB_INDEX_DB_OP_H_

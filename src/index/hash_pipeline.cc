@@ -1,0 +1,410 @@
+#include "index/hash_pipeline.h"
+
+#include <cassert>
+
+#include "cc/visibility.h"
+#include "db/hash_layout.h"
+#include "db/tuple.h"
+
+namespace bionicdb::index {
+
+namespace {
+/// DRAM bursts needed to move `bytes` (64-byte burst granularity).
+uint32_t Bursts(uint64_t bytes) {
+  return uint32_t((bytes + 63) / 64);
+}
+}  // namespace
+
+HashPipeline::HashPipeline(db::Database* db, db::PartitionId partition,
+                           Config config, DbResultQueue* results)
+    : db_(db),
+      dram_(db->dram()),
+      partition_(partition),
+      config_(config),
+      results_(results),
+      pool_(config.pool_size),
+      traverse_units_(config.n_traverse_units) {
+  free_slots_.reserve(config.pool_size);
+  for (uint32_t i = 0; i < config.pool_size; ++i) {
+    free_slots_.push_back(config.pool_size - 1 - i);
+  }
+}
+
+bool HashPipeline::Accept(const DbOp& op) {
+  if (free_slots_.empty() && pending_in_.size() >= pool_.size()) return false;
+  pending_in_.push_back(op);
+  return true;
+}
+
+uint32_t HashPipeline::AllocSlot(const DbOp& op) {
+  assert(!free_slots_.empty());
+  uint32_t slot = free_slots_.back();
+  free_slots_.pop_back();
+  pool_[slot] = Op{};
+  pool_[slot].req = op;
+  pool_[slot].in_use = true;
+  ++active_;
+  return slot;
+}
+
+void HashPipeline::FreeSlot(uint32_t slot) {
+  assert(pool_[slot].in_use);
+  if (pool_[slot].holds_lock) {
+    lock_table_.Release(db_->hash_index(pool_[slot].req.table, partition_)
+                            ->BucketIndex(pool_[slot].hash),
+                        slot);
+  }
+  pool_[slot].in_use = false;
+  free_slots_.push_back(slot);
+  --active_;
+}
+
+void HashPipeline::Emit(uint32_t slot, isa::CpStatus status, uint64_t payload,
+                        cc::WriteKind kind, sim::Addr tuple_addr) {
+  const DbOp& req = pool_[slot].req;
+  DbResult r;
+  r.origin_worker = req.origin_worker;
+  r.cp_index = req.cp_index;
+  r.txn_slot = req.txn_slot;
+  r.status = status;
+  r.payload = payload;
+  r.write_kind = status == isa::CpStatus::kOk ? kind : cc::WriteKind::kNone;
+  r.tuple_addr = tuple_addr;
+  r.is_remote = req.is_remote;
+  results_->push_back(r);
+  FreeSlot(slot);
+}
+
+void HashPipeline::PostWrite(uint64_t now, sim::Addr addr) {
+  // Posted (fire-and-forget) write: occupies channel bandwidth; if the
+  // channel queue is saturated the write is accounted as buffered in the
+  // memory controller's posting FIFO rather than re-tried.
+  if (!dram_->Issue(now, addr, /*is_write=*/true, nullptr, 0)) {
+    counters_.Add("posted_write_overflow");
+  }
+}
+
+void HashPipeline::Tick(uint64_t now) {
+  // Downstream stages first so queues drain before upstream refills them.
+  TickDirtyWaiters(now);
+  for (uint32_t u = 0; u < config_.n_traverse_units; ++u) {
+    TickTraverse(now, u);
+  }
+  TickKeyComp(now);
+  TickHeadFetch(now);
+  TickInstall(now);
+  TickHash(now);
+  TickKeyFetch(now);
+}
+
+void HashPipeline::TickKeyFetch(uint64_t now) {
+  if (pending_in_.empty() || free_slots_.empty()) return;
+  const DbOp& op = pending_in_.front();
+  // The key read targets the initiator's transaction block; the response
+  // wakes the Hash stage.
+  // Peek-issue before allocating so a DRAM reject leaves no side effects.
+  uint32_t slot = AllocSlot(op);
+  if (!dram_->Issue(now, pool_[slot].req.key_addr, false, &hash_resp_, slot)) {
+    FreeSlot(slot);
+    counters_.Add("keyfetch_dram_stall");
+    return;
+  }
+  pending_in_.pop_front();
+  counters_.Add("ops_admitted");
+}
+
+bool HashPipeline::TryPassHashStage(uint64_t now, uint32_t slot) {
+  Op& op = pool_[slot];
+  db::HashTableLayout* layout = db_->hash_index(op.req.table, partition_);
+  uint64_t bucket = layout->BucketIndex(op.hash);
+  const bool is_insert = op.req.op == isa::Opcode::kInsert;
+  if (config_.hazard_prevention) {
+    if (lock_table_.HeldByOther(bucket, slot)) {
+      counters_.Add("hash_lock_stall_cycles");
+      return false;
+    }
+    if (is_insert && !op.holds_lock) {
+      lock_table_.TryAcquire(bucket, slot);
+      op.holds_lock = true;
+    }
+  }
+  sim::MemResponseQueue* dest = is_insert ? &install_resp_ : &headfetch_resp_;
+  // Snapshot the bucket head at DRAM service time: this is what makes the
+  // insert-after-insert hazard observable when prevention is disabled.
+  if (!dram_->Issue(now, op.bucket_slot, false, dest, slot,
+                    /*snapshot_words=*/1)) {
+    counters_.Add("hash_dram_stall");
+    return false;
+  }
+  return true;
+}
+
+void HashPipeline::TickHash(uint64_t now) {
+  if (hash_blocked_.has_value()) {
+    if (TryPassHashStage(now, *hash_blocked_)) hash_blocked_.reset();
+    return;  // head-of-line stall: nothing else passes this stage
+  }
+  if (hash_resp_.empty()) return;
+  sim::MemResponse resp = std::move(hash_resp_.front());
+  hash_resp_.pop_front();
+  uint32_t slot = uint32_t(resp.cookie);
+  Op& op = pool_[slot];
+  // Functional key fetch (keys in transaction blocks are immutable while
+  // the transaction runs).
+  std::vector<uint8_t> key(op.req.key_len);
+  dram_->ReadBytes(op.req.key_addr, key.data(), key.size());
+  op.hash = db::HashTableLayout::HashKey(key.data(), uint16_t(key.size()));
+  op.bucket_slot =
+      db_->hash_index(op.req.table, partition_)->BucketSlot(op.hash);
+  counters_.Add("hash_stage_ops");
+  if (!TryPassHashStage(now, slot)) hash_blocked_ = slot;
+}
+
+void HashPipeline::TickInstall(uint64_t now) {
+  // Completed bucket-head writes publish the insert: only now is the lock
+  // released and the result emitted, so a prevented op re-reading the
+  // bucket is guaranteed to see the new head.
+  if (!install_ack_.empty()) {
+    uint32_t slot = uint32_t(install_ack_.front().cookie);
+    install_ack_.pop_front();
+    Op& op = pool_[slot];
+    db::TupleAccessor t(dram_, op.new_tuple);
+    counters_.Add("install_stage_ops");
+    Emit(slot, isa::CpStatus::kOk, t.payload_addr(), cc::WriteKind::kInsert,
+         op.new_tuple);
+    return;
+  }
+  if (install_blocked_.has_value()) {
+    uint32_t slot = *install_blocked_;
+    Op& op = pool_[slot];
+    if (dram_->IssueWrite64(now, op.bucket_slot, op.new_tuple, &install_ack_,
+                            slot)) {
+      install_blocked_.reset();
+    }
+    return;
+  }
+  if (install_resp_.empty()) return;
+  sim::MemResponse resp = std::move(install_resp_.front());
+  install_resp_.pop_front();
+  uint32_t slot = uint32_t(resp.cookie);
+  Op& op = pool_[slot];
+  // The head value as serviced by DRAM — possibly stale if prevention is
+  // off and a racing insert's head write has not completed (Fig. 6a).
+  sim::Addr old_head = resp.data[0];
+
+  std::vector<uint8_t> key(op.req.key_len);
+  dram_->ReadBytes(op.req.key_addr, key.data(), key.size());
+  std::vector<uint8_t> payload(op.req.payload_len);
+  if (!payload.empty()) {
+    dram_->ReadBytes(op.req.payload_src, payload.data(), payload.size());
+  }
+  // New tuples are born dirty; COMMIT publishes them (section 4.7).
+  sim::Addr tuple = db::AllocateTuple(
+      dram_, /*height=*/0, key.data(), uint16_t(key.size()), payload.data(),
+      uint32_t(payload.size()), /*write_ts=*/0, db::kFlagDirty);
+  db::TupleAccessor t(dram_, tuple);
+  t.set_next(0, old_head);
+  op.new_tuple = tuple;
+
+  // Tuple body: posted writes to fresh memory (race-free by construction).
+  uint64_t footprint =
+      db::TupleFootprint(0, uint16_t(key.size()), uint32_t(payload.size()));
+  for (uint32_t b = 0; b < Bursts(footprint); ++b) {
+    PostWrite(now, tuple + 64ull * b);
+  }
+  // The bucket-head update is the ordering-sensitive write: its functional
+  // effect lands at DRAM service time.
+  if (!dram_->IssueWrite64(now, op.bucket_slot, tuple, &install_ack_, slot)) {
+    install_blocked_ = slot;
+  }
+}
+
+void HashPipeline::TickHeadFetch(uint64_t now) {
+  if (headfetch_blocked_.has_value()) {
+    uint32_t slot = *headfetch_blocked_;
+    if (dram_->Issue(now, pool_[slot].cur, false, &keycomp_resp_, slot)) {
+      headfetch_blocked_.reset();
+    }
+    return;
+  }
+  if (headfetch_resp_.empty()) return;
+  sim::MemResponse resp = std::move(headfetch_resp_.front());
+  headfetch_resp_.pop_front();
+  uint32_t slot = uint32_t(resp.cookie);
+  Op& op = pool_[slot];
+  sim::Addr head = resp.data[0];
+  counters_.Add("headfetch_stage_ops");
+  if (head == sim::kNullAddr) {
+    Emit(slot, isa::CpStatus::kNotFound, 0, cc::WriteKind::kNone,
+         sim::kNullAddr);
+    return;
+  }
+  op.cur = head;
+  if (!dram_->Issue(now, head, false, &keycomp_resp_, slot)) {
+    headfetch_blocked_ = slot;
+    counters_.Add("headfetch_dram_stall");
+  }
+}
+
+void HashPipeline::FinishAccess(uint64_t now, uint32_t slot,
+                                sim::Addr tuple_addr) {
+  Op& op = pool_[slot];
+  db::TupleAccessor t(dram_, tuple_addr);
+  cc::AccessMode mode;
+  cc::WriteKind kind = cc::WriteKind::kNone;
+  switch (op.req.op) {
+    case isa::Opcode::kUpdate:
+      mode = cc::AccessMode::kUpdate;
+      kind = cc::WriteKind::kUpdate;
+      break;
+    case isa::Opcode::kRemove:
+      mode = cc::AccessMode::kRemove;
+      kind = cc::WriteKind::kRemove;
+      break;
+    default:
+      mode = cc::AccessMode::kRead;
+      break;
+  }
+  cc::VisibilityResult vr = cc::CheckVisibility(&t, op.req.ts, mode);
+  if (vr.header_dirtied) PostWrite(now, tuple_addr);
+  if (vr.status != isa::CpStatus::kOk) {
+    if (vr.dirty_conflict && config_.dirty_wait_cycles > 0) {
+      // Wait-on-dirty CC policy: park until the uncommitted writer
+      // publishes or rolls back; a timeout falls back to the blind reject.
+      counters_.Add("dirty_waits");
+      dirty_waiters_.push_back(
+          DirtyWaiter{slot, tuple_addr, now + config_.dirty_wait_cycles,
+                      now + config_.dirty_poll_interval});
+      return;
+    }
+    Emit(slot, vr.status, 0, cc::WriteKind::kNone, sim::kNullAddr);
+    return;
+  }
+  Emit(slot, isa::CpStatus::kOk, t.payload_addr(), kind, tuple_addr);
+}
+
+void HashPipeline::TickDirtyWaiters(uint64_t now) {
+  if (dirty_waiters_.empty()) return;
+  // Collect ready entries first: FinishAccess may re-park into the list.
+  std::vector<DirtyWaiter> retry;
+  std::vector<DirtyWaiter> expired;
+  for (size_t i = 0; i < dirty_waiters_.size();) {
+    DirtyWaiter& w = dirty_waiters_[i];
+    if (now >= w.deadline) {
+      expired.push_back(w);
+      w = dirty_waiters_.back();
+      dirty_waiters_.pop_back();
+      continue;
+    }
+    if (now >= w.next_poll) {
+      // One polling read of the tuple header (bandwidth accounting).
+      dram_->Issue(now, w.tuple, false, nullptr, 0);
+      w.next_poll = now + config_.dirty_poll_interval;
+      if (!db::TupleAccessor(dram_, w.tuple).dirty()) {
+        retry.push_back(w);
+        w = dirty_waiters_.back();
+        dirty_waiters_.pop_back();
+        continue;
+      }
+    }
+    ++i;
+  }
+  for (const DirtyWaiter& w : expired) {
+    counters_.Add("dirty_wait_timeouts");
+    Emit(w.slot, isa::CpStatus::kRejected, 0, cc::WriteKind::kNone,
+         sim::kNullAddr);
+  }
+  for (const DirtyWaiter& w : retry) {
+    counters_.Add("dirty_wait_wakeups");
+    FinishAccess(now, w.slot, w.tuple);
+  }
+}
+
+bool HashPipeline::CompareOrAdvance(uint64_t now, uint32_t slot) {
+  Op& op = pool_[slot];
+  db::TupleAccessor t(dram_, op.cur);
+  std::vector<uint8_t> key(op.req.key_len);
+  dram_->ReadBytes(op.req.key_addr, key.data(), key.size());
+  if (db::CompareKeyToTuple(*dram_, key.data(), uint16_t(key.size()), t) ==
+      0) {
+    FinishAccess(now, slot, op.cur);
+    return true;
+  }
+  sim::Addr next = t.next(0);
+  if (next == sim::kNullAddr) {
+    Emit(slot, isa::CpStatus::kNotFound, 0, cc::WriteKind::kNone,
+         sim::kNullAddr);
+    return true;
+  }
+  op.cur = next;
+  return false;
+}
+
+void HashPipeline::EnqueueTraverse(uint32_t slot) {
+  uint32_t best = 0;
+  size_t best_len = SIZE_MAX;
+  for (uint32_t u = 0; u < config_.n_traverse_units; ++u) {
+    size_t len = traverse_units_[u].in.size() +
+                 (traverse_units_[u].cur_op.has_value() ? 1 : 0);
+    if (len < best_len) {
+      best_len = len;
+      best = u;
+    }
+  }
+  traverse_units_[best].in.push_back(slot);
+}
+
+void HashPipeline::TickKeyComp(uint64_t now) {
+  // KeyComp examines the FIRST chain node only; mismatches are handed to a
+  // Traverse unit so long chains never block ops terminating here.
+  if (keycomp_resp_.empty()) return;
+  sim::MemResponse resp = std::move(keycomp_resp_.front());
+  keycomp_resp_.pop_front();
+  uint32_t slot = uint32_t(resp.cookie);
+  counters_.Add("keycomp_stage_ops");
+  if (!CompareOrAdvance(now, slot)) EnqueueTraverse(slot);
+}
+
+void HashPipeline::TickTraverse(uint64_t now, uint32_t unit_idx) {
+  TraverseUnit& unit = traverse_units_[unit_idx];
+  if (!unit.cur_op.has_value()) {
+    if (unit.in.empty()) return;
+    // Take the next op; op.cur already names the node to fetch.
+    uint32_t slot = unit.in.front();
+    if (!dram_->Issue(now, pool_[slot].cur, false, &unit.resp, slot)) {
+      counters_.Add("traverse_dram_stall");
+      return;
+    }
+    unit.in.pop_front();
+    unit.cur_op = slot;
+    unit.waiting = true;
+    return;
+  }
+  if (!unit.waiting) {
+    // Retry a rejected chain read.
+    uint32_t slot = *unit.cur_op;
+    if (dram_->Issue(now, pool_[slot].cur, false, &unit.resp, slot)) {
+      unit.waiting = true;
+    } else {
+      counters_.Add("traverse_dram_stall");
+    }
+    return;
+  }
+  if (unit.resp.empty()) return;
+  unit.resp.pop_front();
+  uint32_t slot = *unit.cur_op;
+  counters_.Add("traverse_stage_ops");
+  if (CompareOrAdvance(now, slot)) {
+    unit.cur_op.reset();
+    unit.waiting = false;
+    return;
+  }
+  // Follow the chain: next node read (unit stays occupied — the decoupling
+  // the paper describes in section 4.4.1).
+  if (!dram_->Issue(now, pool_[slot].cur, false, &unit.resp, slot)) {
+    unit.waiting = false;
+    counters_.Add("traverse_dram_stall");
+  }
+}
+
+}  // namespace bionicdb::index

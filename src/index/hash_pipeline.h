@@ -1,0 +1,175 @@
+// The hardware hash-index pipeline (paper section 4.4.1, Figures 5a/6).
+//
+// Point operations are decomposed into pipeline stages, each a finite-state
+// machine woken by data arriving from DRAM:
+//
+//   KeyFetch --> Hash --+--> Install                     (INSERT)
+//                       +--> HeadFetch -> KeyComp -> Traverse*  (others)
+//
+//  * KeyFetch  reads the search key from the transaction block.
+//  * Hash      computes the Sdbm hash, checks the hazard lock table, and
+//              issues the bucket-head read (destination: Install for
+//              INSERTs, HeadFetch otherwise).
+//  * Install   prepends the new tuple to the chain and publishes the new
+//              bucket head.
+//  * HeadFetch returns NotFound on empty buckets, else reads the first
+//              chain node.
+//  * KeyComp   compares the key; on a match it runs the visibility check,
+//              otherwise hands the op to a Traverse unit.
+//  * Traverse  follows the conflict chain; decoupled so a long chain never
+//              blocks ops that terminate at KeyComp. Multiple units can be
+//              populated for chain-heavy workloads.
+//
+// Hazard prevention: in-flight INSERTs that passed the Hash stage hold a
+// lock on their bucket in a BRAM lock table; any op hashing to a locked
+// bucket stalls at Hash until the insert's terminal stage releases it.
+// Disabling `hazard_prevention` (an ablation/testing knob) reproduces the
+// paper's insert-after-insert and search-after-insert hazards.
+//
+// Every op in flight occupies one slot of a bounded pool; the coprocessor
+// enforces the experiment-level in-flight cap on top of this.
+#ifndef BIONICDB_INDEX_HASH_PIPELINE_H_
+#define BIONICDB_INDEX_HASH_PIPELINE_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "common/stats.h"
+#include "db/database.h"
+#include "index/db_op.h"
+#include "index/lock_table.h"
+#include "sim/config.h"
+#include "sim/memory.h"
+
+namespace bionicdb::index {
+
+class HashPipeline {
+ public:
+  struct Config {
+    /// Op-state slots (BRAM). This is the pipeline's internal capacity:
+    /// the paper observes saturation between 12 and 16 in-flight requests
+    /// ("3 or 4 in-flight requests between pipeline stages"), so the
+    /// default bounds the design the same way; the coprocessor-level
+    /// in-flight cap sweeps below it.
+    uint32_t pool_size = 16;
+    uint32_t n_traverse_units = 1;
+    bool hazard_prevention = true;
+    /// CC-policy extension (the paper's section 4.7 CC "blindly rejects"
+    /// any access to a dirty tuple, which abort-storms hot rows like TPC-C
+    /// Payment's warehouse). When non-zero, an op hitting a dirty tuple
+    /// parks for up to this many cycles, re-polling the header every
+    /// `dirty_poll_interval`; a timeout falls back to the blind reject
+    /// (which also breaks cross-transaction wait cycles). 0 = paper
+    /// behaviour.
+    uint32_t dirty_wait_cycles = 0;
+    uint32_t dirty_poll_interval = 16;
+  };
+
+  HashPipeline(db::Database* db, db::PartitionId partition,
+               Config config, DbResultQueue* results);
+
+  /// Admits a new op into KeyFetch. False when the slot pool is exhausted.
+  bool Accept(const DbOp& op);
+
+  void Tick(uint64_t now);
+  bool Idle() const { return active_ == 0 && pending_in_.empty(); }
+  uint32_t active_ops() const { return active_; }
+  /// Ops inside the pipeline or queued at its entrance (for the
+  /// coprocessor-level in-flight cap).
+  uint32_t queued_ops() const {
+    return active_ + uint32_t(pending_in_.size());
+  }
+
+  CounterSet& counters() { return counters_; }
+
+ private:
+  struct Op {
+    DbOp req;
+    uint64_t hash = 0;
+    sim::Addr bucket_slot = sim::kNullAddr;
+    sim::Addr cur = sim::kNullAddr;        // current chain node
+    sim::Addr new_tuple = sim::kNullAddr;  // INSERT: tuple being installed
+    bool holds_lock = false;
+    bool in_use = false;
+  };
+
+  uint32_t AllocSlot(const DbOp& op);
+  void FreeSlot(uint32_t slot);
+  void Emit(uint32_t slot, isa::CpStatus status, uint64_t payload,
+            cc::WriteKind kind, sim::Addr tuple_addr);
+  /// Terminal visibility check + result emission for a matched tuple.
+  void FinishAccess(uint64_t now, uint32_t slot, sim::Addr tuple_addr);
+  /// Fire-and-forget DRAM write (bandwidth accounting only).
+  void PostWrite(uint64_t now, sim::Addr addr);
+
+  void TickKeyFetch(uint64_t now);
+  void TickHash(uint64_t now);
+  void TickInstall(uint64_t now);
+  void TickHeadFetch(uint64_t now);
+  void TickKeyComp(uint64_t now);
+  void TickTraverse(uint64_t now, uint32_t unit);
+  void TickDirtyWaiters(uint64_t now);
+
+  /// Hash-stage second half: hazard check + bucket read issue. Returns
+  /// false when the op must stall at the Hash stage.
+  bool TryPassHashStage(uint64_t now, uint32_t slot);
+  /// Compares op's key against op.cur; finishes on match or end-of-chain.
+  /// Returns true when the op terminated, false when it must follow the
+  /// chain (op.cur advanced to the next node).
+  bool CompareOrAdvance(uint64_t now, uint32_t slot);
+  /// Hands an op whose first node mismatched to the least-loaded unit.
+  void EnqueueTraverse(uint32_t slot);
+
+  db::Database* db_;
+  sim::DramMemory* dram_;
+  db::PartitionId partition_;
+  Config config_;
+  DbResultQueue* results_;
+
+  std::vector<Op> pool_;
+  std::vector<uint32_t> free_slots_;
+  uint32_t active_ = 0;
+  std::deque<DbOp> pending_in_;
+
+  LockTable lock_table_;
+
+  /// A Traverse unit is an FSM that owns ONE op at a time while it chases
+  /// the conflict chain (multiple memory stalls per op) — this is why the
+  /// paper suggests populating several "for balanced dataflow" on
+  /// chain-heavy workloads.
+  struct TraverseUnit {
+    std::deque<uint32_t> in;
+    std::optional<uint32_t> cur_op;
+    bool waiting = false;  // a chain read is in flight
+    sim::MemResponseQueue resp;
+  };
+
+  sim::MemResponseQueue hash_resp_;
+  sim::MemResponseQueue install_resp_;
+  sim::MemResponseQueue install_ack_;  // bucket-head write completions
+  sim::MemResponseQueue headfetch_resp_;
+  sim::MemResponseQueue keycomp_resp_;
+  std::vector<TraverseUnit> traverse_units_;
+
+  // Head-of-line blocked item per stage (pipeline stall).
+  std::optional<uint32_t> hash_blocked_;
+  std::optional<uint32_t> install_blocked_;
+  std::optional<uint32_t> headfetch_blocked_;
+
+  // Ops parked on a dirty tuple under the wait-on-dirty CC policy.
+  struct DirtyWaiter {
+    uint32_t slot;
+    sim::Addr tuple;
+    uint64_t deadline;
+    uint64_t next_poll;
+  };
+  std::vector<DirtyWaiter> dirty_waiters_;
+
+  CounterSet counters_;
+};
+
+}  // namespace bionicdb::index
+
+#endif  // BIONICDB_INDEX_HASH_PIPELINE_H_

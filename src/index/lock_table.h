@@ -1,0 +1,56 @@
+// BRAM lock tables used for pipeline hazard prevention.
+//
+// The paper coordinates racing pipeline stages with pipeline stalls driven
+// by small BRAM lock tables (sections 4.4.1 and 4.4.2):
+//  * the hash pipeline tracks hash values of in-flight INSERTs that passed
+//    the Hash stage;
+//  * the skiplist pipeline tracks (tower, level) entry points of in-flight
+//    insert paths.
+// BRAM (or CAM) lookups are single-cycle, so checks carry no timing cost;
+// the cost the simulation charges is the *stall* while a lock is held.
+#ifndef BIONICDB_INDEX_LOCK_TABLE_H_
+#define BIONICDB_INDEX_LOCK_TABLE_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace bionicdb::index {
+
+/// Lock table keyed by an arbitrary 64-bit value, with owner tracking so a
+/// pipeline can re-check its own locks without self-deadlocking.
+class LockTable {
+ public:
+  /// True when `key` is locked by an owner other than `owner`.
+  bool HeldByOther(uint64_t key, uint32_t owner) const {
+    auto it = locks_.find(key);
+    return it != locks_.end() && it->second != owner;
+  }
+
+  /// Acquires `key` for `owner` if free (or already held by `owner`).
+  bool TryAcquire(uint64_t key, uint32_t owner) {
+    auto [it, inserted] = locks_.try_emplace(key, owner);
+    return inserted || it->second == owner;
+  }
+
+  /// Releases `key` if held by `owner`.
+  void Release(uint64_t key, uint32_t owner) {
+    auto it = locks_.find(key);
+    if (it != locks_.end() && it->second == owner) locks_.erase(it);
+  }
+
+  size_t size() const { return locks_.size(); }
+  bool empty() const { return locks_.empty(); }
+
+ private:
+  std::unordered_map<uint64_t, uint32_t> locks_;
+};
+
+/// Packs a (tower address, level) pair into a skiplist lock key; the level
+/// lives in the (otherwise unused) top byte of the 56-bit address space.
+constexpr uint64_t SkiplistLockKey(uint64_t tower_addr, uint32_t level) {
+  return (uint64_t(level) << 56) ^ tower_addr;
+}
+
+}  // namespace bionicdb::index
+
+#endif  // BIONICDB_INDEX_LOCK_TABLE_H_

@@ -1,0 +1,513 @@
+#include "index/skiplist_pipeline.h"
+
+#include <algorithm>
+
+#include <cassert>
+
+#include "cc/visibility.h"
+#include "db/tuple.h"
+
+namespace bionicdb::index {
+
+namespace {
+uint32_t Bursts(uint64_t bytes) { return uint32_t((bytes + 63) / 64); }
+}  // namespace
+
+SkiplistPipeline::SkiplistPipeline(db::Database* db,
+                                   db::PartitionId partition, Config config,
+                                   DbResultQueue* results)
+    : db_(db),
+      dram_(db->dram()),
+      partition_(partition),
+      config_(config),
+      results_(results),
+      pool_(config.pool_size),
+      stages_(config.n_stages),
+      scanners_(config.n_scanners) {
+  assert(config.n_stages >= 1 && config.n_stages <= db::kSkiplistMaxHeight);
+  assert(config.n_scanners >= 1);
+  free_slots_.reserve(config.pool_size);
+  for (uint32_t i = 0; i < config.pool_size; ++i) {
+    free_slots_.push_back(config.pool_size - 1 - i);
+  }
+  // Range binding: every stage gets an equal share, and the remainder is
+  // assigned to the TOP stage — upper levels are exponentially sparser so
+  // wider upper ranges keep the dataflow balanced (section 4.4.2).
+  const int total = db::kSkiplistMaxHeight;
+  int base = total / int(config.n_stages);
+  int rem = total % int(config.n_stages);
+  int hi = total - 1;
+  for (uint32_t s = 0; s < config.n_stages; ++s) {
+    int width = base + (s == 0 ? rem : 0);
+    stages_[s].hi = hi;
+    stages_[s].lo = hi - width + 1;
+    hi -= width;
+  }
+  assert(stages_.back().lo == 0);
+}
+
+bool SkiplistPipeline::Accept(const DbOp& op) {
+  if (free_slots_.empty() && pending_in_.size() >= pool_.size()) return false;
+  pending_in_.push_back(op);
+  return true;
+}
+
+uint32_t SkiplistPipeline::AllocSlot(const DbOp& op) {
+  assert(!free_slots_.empty());
+  uint32_t slot = free_slots_.back();
+  free_slots_.pop_back();
+  pool_[slot] = Op{};
+  pool_[slot].req = op;
+  pool_[slot].in_use = true;
+  ++active_;
+  return slot;
+}
+
+void SkiplistPipeline::FreeSlot(uint32_t slot) {
+  assert(pool_[slot].in_use);
+  for (uint64_t key : pool_[slot].held_locks) {
+    lock_table_.Release(key, slot);
+  }
+  pool_[slot].held_locks.clear();
+  pool_[slot].in_use = false;
+  free_slots_.push_back(slot);
+  --active_;
+}
+
+void SkiplistPipeline::Emit(uint32_t slot, isa::CpStatus status,
+                            uint64_t payload, cc::WriteKind kind,
+                            sim::Addr tuple_addr) {
+  const DbOp& req = pool_[slot].req;
+  DbResult r;
+  r.origin_worker = req.origin_worker;
+  r.cp_index = req.cp_index;
+  r.txn_slot = req.txn_slot;
+  r.status = status;
+  r.payload = payload;
+  r.write_kind = status == isa::CpStatus::kOk ? kind : cc::WriteKind::kNone;
+  r.tuple_addr = tuple_addr;
+  r.is_remote = req.is_remote;
+  results_->push_back(r);
+  FreeSlot(slot);
+}
+
+void SkiplistPipeline::PostWrite(uint64_t now, sim::Addr addr) {
+  if (!dram_->Issue(now, addr, /*is_write=*/true, nullptr, 0)) {
+    counters_.Add("posted_write_overflow");
+  }
+}
+
+db::SkiplistLayout* SkiplistPipeline::Layout(const Op& op) const {
+  return db_->skiplist_index(op.req.table, partition_);
+}
+
+std::vector<uint64_t> SkiplistPipeline::LinksFromSnapshot(
+    const std::vector<uint64_t>& words) {
+  // Words 0..2 are the header; links start at word 3.
+  return std::vector<uint64_t>(words.begin() + 3, words.end());
+}
+
+int SkiplistPipeline::CompareProbe(const Op& op, sim::Addr tower) const {
+  db::TupleAccessor t(dram_, tower);
+  return db::CompareKeyToTuple(*dram_, op.key.data(),
+                               uint16_t(op.key.size()), t);
+}
+
+void SkiplistPipeline::Tick(uint64_t now) {
+  TickInstalls(now);
+  for (uint32_t i = 0; i < config_.n_scanners; ++i) TickScanner(now, i);
+  for (int s = int(config_.n_stages) - 1; s >= 0; --s) {
+    TickStage(now, uint32_t(s));
+  }
+  TickKeyFetch(now);
+}
+
+void SkiplistPipeline::TickInstalls(uint64_t now) {
+  // Acknowledged link writes: an insert completes (releasing its path
+  // locks) only when every pred link update has landed in DRAM.
+  while (!install_ack_.empty()) {
+    uint32_t slot = uint32_t(install_ack_.front().cookie);
+    install_ack_.pop_front();
+    Op& op = pool_[slot];
+    if (--op.acks_left == 0 && op.writes_left.empty()) {
+      installing_.erase(
+          std::find(installing_.begin(), installing_.end(), slot));
+      db::TupleAccessor t(dram_, op.new_tuple);
+      counters_.Add("inserts_installed");
+      Emit(slot, isa::CpStatus::kOk, t.payload_addr(),
+           cc::WriteKind::kInsert, op.new_tuple);
+    }
+  }
+  // Retry link writes rejected by DRAM backpressure.
+  for (uint32_t slot : installing_) {
+    Op& op = pool_[slot];
+    while (!op.writes_left.empty()) {
+      auto [addr, value] = op.writes_left.back();
+      if (!dram_->IssueWrite64(now, addr, value, &install_ack_, slot)) break;
+      op.writes_left.pop_back();
+    }
+  }
+}
+
+void SkiplistPipeline::TickKeyFetch(uint64_t now) {
+  // Complete one pending key fetch per cycle: cache the key bytes and enter
+  // the top traversal stage.
+  if (!keyfetch_resp_.empty()) {
+    sim::MemResponse resp = std::move(keyfetch_resp_.front());
+    keyfetch_resp_.pop_front();
+    uint32_t slot = uint32_t(resp.cookie);
+    Op& op = pool_[slot];
+    op.key.resize(op.req.key_len);
+    dram_->ReadBytes(op.req.key_addr, op.key.data(), op.key.size());
+    op.cur = Layout(op)->head();
+    op.level = stages_[0].hi;
+    if (op.req.op == isa::Opcode::kInsert) {
+      op.new_height = Layout(op)->NextHeight();
+    }
+    stages_[0].in.push_back(slot);
+  }
+  // Admit one new op per cycle.
+  if (pending_in_.empty() || free_slots_.empty()) return;
+  uint32_t slot = AllocSlot(pending_in_.front());
+  if (!dram_->Issue(now, pool_[slot].req.key_addr, false, &keyfetch_resp_,
+                    slot)) {
+    FreeSlot(slot);
+    counters_.Add("keyfetch_dram_stall");
+    return;
+  }
+  pending_in_.pop_front();
+  counters_.Add("ops_admitted");
+}
+
+void SkiplistPipeline::TickStage(uint64_t now, uint32_t stage_idx) {
+  Stage& s = stages_[stage_idx];
+  if (!s.cur_op.has_value()) {
+    if (s.in.empty()) return;
+    // Wake on op arrival: (re)load the op's current tower from DRAM.
+    uint32_t slot = s.in.front();
+    if (!dram_->Issue(now, pool_[slot].cur, false, &s.resp, slot,
+                      kTowerSnapshotWords)) {
+      counters_.Add("stage_dram_stall");
+      return;
+    }
+    s.in.pop_front();
+    s.cur_op = slot;
+    s.wait = Wait::kLoad;
+    return;
+  }
+
+  uint32_t slot = *s.cur_op;
+  Op& op = pool_[slot];
+  switch (s.wait) {
+    case Wait::kNone:
+      Advance(now, &s);
+      break;
+    case Wait::kLoad:
+      if (s.resp.empty()) return;
+      op.cur_links = LinksFromSnapshot(s.resp.front().data);
+      s.resp.pop_front();
+      s.wait = Wait::kNone;
+      Advance(now, &s);
+      break;
+    case Wait::kNext: {
+      if (s.resp.empty()) return;
+      std::vector<uint64_t> words = std::move(s.resp.front().data);
+      s.resp.pop_front();
+      NextArrived(now, &s, words);
+      break;
+    }
+    case Wait::kLockMove:
+      // Stalled on a locked next tower; once free, re-read it so the move
+      // uses fresh links (the lock holder just rewired them).
+      if (lock_table_.HeldByOther(
+              SkiplistLockKey(s.pending_next, uint32_t(op.level)), slot)) {
+        counters_.Add("lock_stall_cycles");
+        return;
+      }
+      if (dram_->Issue(now, s.pending_next, false, &s.resp, slot,
+                       kTowerSnapshotWords)) {
+        s.wait = Wait::kNext;
+      }
+      break;
+    case Wait::kLockDown:
+      // Stalled on our own pred being locked; once free, re-read op.cur.
+      if (lock_table_.HeldByOther(
+              SkiplistLockKey(op.cur, uint32_t(op.level)), slot)) {
+        counters_.Add("lock_stall_cycles");
+        return;
+      }
+      if (dram_->Issue(now, op.cur, false, &s.resp, slot,
+                       kTowerSnapshotWords)) {
+        s.wait = Wait::kLoad;
+      }
+      break;
+  }
+}
+
+void SkiplistPipeline::Advance(uint64_t now, Stage* stage) {
+  uint32_t slot = *stage->cur_op;
+  Op& op = pool_[slot];
+  const bool is_insert = op.req.op == isa::Opcode::kInsert;
+  while (true) {
+    if (op.level < stage->lo) {
+      LeaveStage(now, stage);
+      return;
+    }
+    sim::Addr next = op.level < int(op.cur_links.size())
+                         ? op.cur_links[op.level]
+                         : sim::kNullAddr;
+    if (next == sim::kNullAddr) {
+      // End of level: record path and descend on the cached tower.
+      if (is_insert && op.level < int(op.new_height)) {
+        uint64_t lkey = SkiplistLockKey(op.cur, uint32_t(op.level));
+        if (config_.hazard_prevention &&
+            lock_table_.HeldByOther(lkey, slot)) {
+          stage->wait = Wait::kLockDown;
+          return;
+        }
+        if (config_.hazard_prevention && lock_table_.TryAcquire(lkey, slot)) {
+          op.held_locks.push_back(lkey);
+        }
+        op.preds[op.level] = op.cur;
+        op.succs[op.level] = sim::kNullAddr;
+      }
+      --op.level;
+      continue;
+    }
+    // Need the next tower's key: one DRAM access per tower visited.
+    stage->pending_next = next;
+    if (!dram_->Issue(now, next, false, &stage->resp, slot,
+                      kTowerSnapshotWords)) {
+      counters_.Add("stage_dram_stall");
+      return;  // wait == kNone; retried next tick
+    }
+    stage->wait = Wait::kNext;
+    counters_.Add("tower_visits");
+    return;
+  }
+}
+
+void SkiplistPipeline::NextArrived(uint64_t now, Stage* stage,
+                                   const std::vector<uint64_t>& words) {
+  uint32_t slot = *stage->cur_op;
+  Op& op = pool_[slot];
+  const bool is_insert = op.req.op == isa::Opcode::kInsert;
+  sim::Addr next = stage->pending_next;
+  int cmp = CompareProbe(op, next);
+  if (cmp > 0) {
+    // Probe is beyond `next`: move right onto it.
+    if (is_insert && config_.hazard_prevention &&
+        lock_table_.HeldByOther(SkiplistLockKey(next, uint32_t(op.level)),
+                                slot)) {
+      stage->wait = Wait::kLockMove;
+      return;
+    }
+    op.cur = next;
+    op.cur_links = LinksFromSnapshot(words);
+    stage->wait = Wait::kNone;
+    Advance(now, stage);
+    return;
+  }
+  // `next` is at/after the probe: stop here, record path, descend.
+  if (is_insert && op.level < int(op.new_height)) {
+    uint64_t lkey = SkiplistLockKey(op.cur, uint32_t(op.level));
+    if (config_.hazard_prevention && lock_table_.HeldByOther(lkey, slot)) {
+      stage->wait = Wait::kLockDown;
+      return;
+    }
+    if (config_.hazard_prevention && lock_table_.TryAcquire(lkey, slot)) {
+      op.held_locks.push_back(lkey);
+    }
+    op.preds[op.level] = op.cur;
+    op.succs[op.level] = next;
+  } else if (op.level == 0) {
+    // Point ops and scans only need the bottom-level successor.
+    op.preds[0] = op.cur;
+    op.succs[0] = next;
+  }
+  --op.level;
+  stage->wait = Wait::kNone;
+  Advance(now, stage);
+}
+
+void SkiplistPipeline::LeaveStage(uint64_t now, Stage* stage) {
+  uint32_t slot = *stage->cur_op;
+  stage->cur_op.reset();
+  stage->wait = Wait::kNone;
+  // Identify this stage's index from its range.
+  uint32_t idx = 0;
+  for (; idx < stages_.size(); ++idx) {
+    if (&stages_[idx] == stage) break;
+  }
+  if (idx + 1 < stages_.size()) {
+    stages_[idx + 1].in.push_back(slot);
+  } else {
+    Terminal(now, slot);
+  }
+}
+
+void SkiplistPipeline::FinishAccess(uint64_t now, uint32_t slot,
+                                    sim::Addr tuple_addr) {
+  Op& op = pool_[slot];
+  db::TupleAccessor t(dram_, tuple_addr);
+  cc::AccessMode mode;
+  cc::WriteKind kind = cc::WriteKind::kNone;
+  switch (op.req.op) {
+    case isa::Opcode::kUpdate:
+      mode = cc::AccessMode::kUpdate;
+      kind = cc::WriteKind::kUpdate;
+      break;
+    case isa::Opcode::kRemove:
+      mode = cc::AccessMode::kRemove;
+      kind = cc::WriteKind::kRemove;
+      break;
+    default:
+      mode = cc::AccessMode::kRead;
+      break;
+  }
+  cc::VisibilityResult vr = cc::CheckVisibility(&t, op.req.ts, mode);
+  if (vr.header_dirtied) PostWrite(now, tuple_addr);
+  if (vr.status != isa::CpStatus::kOk) {
+    Emit(slot, vr.status, 0, cc::WriteKind::kNone, sim::kNullAddr);
+    return;
+  }
+  Emit(slot, isa::CpStatus::kOk, t.payload_addr(), kind, tuple_addr);
+}
+
+void SkiplistPipeline::Terminal(uint64_t now, uint32_t slot) {
+  Op& op = pool_[slot];
+  switch (op.req.op) {
+    case isa::Opcode::kSearch:
+    case isa::Opcode::kUpdate:
+    case isa::Opcode::kRemove: {
+      sim::Addr cand = op.succs[0];
+      if (cand == sim::kNullAddr || CompareProbe(op, cand) != 0) {
+        Emit(slot, isa::CpStatus::kNotFound, 0, cc::WriteKind::kNone,
+             sim::kNullAddr);
+        return;
+      }
+      FinishAccess(now, slot, cand);
+      return;
+    }
+    case isa::Opcode::kInsert: {
+      std::vector<uint8_t> payload(op.req.payload_len);
+      if (!payload.empty()) {
+        dram_->ReadBytes(op.req.payload_src, payload.data(), payload.size());
+      }
+      sim::Addr tower = db::AllocateTuple(
+          dram_, op.new_height, op.key.data(), uint16_t(op.key.size()),
+          payload.data(), uint32_t(payload.size()), /*write_ts=*/0,
+          db::kFlagDirty);
+      db::TupleAccessor t(dram_, tower);
+      // Install from the RECORDED path (succs may be stale when hazard
+      // prevention is off — that is exactly the Fig. 7a lost-tower bug).
+      // The tower body is fresh memory (posted writes); the pred link
+      // updates are ordering-sensitive, so their functional effect lands at
+      // DRAM service time and the path locks are held until all complete.
+      op.new_tuple = tower;
+      op.acks_left = op.new_height;
+      for (int l = 0; l < int(op.new_height); ++l) {
+        t.set_next(uint32_t(l), op.succs[l]);
+        db::TupleAccessor pred(dram_, op.preds[l]);
+        sim::Addr link = pred.link_addr(uint32_t(l));
+        if (!dram_->IssueWrite64(now, link, tower, &install_ack_, slot)) {
+          op.writes_left.emplace_back(link, tower);
+        }
+      }
+      uint64_t footprint =
+          db::TupleFootprint(op.new_height, uint16_t(op.key.size()),
+                             uint32_t(payload.size()));
+      for (uint32_t b = 0; b < Bursts(footprint); ++b) {
+        PostWrite(now, tower + 64ull * b);
+      }
+      installing_.push_back(slot);
+      return;
+    }
+    case isa::Opcode::kScan: {
+      op.cur = op.succs[0];
+      op.collected = 0;
+      // Shortest-queue scanner assignment (round-robin tie-break).
+      uint32_t best = scanner_rr_ % config_.n_scanners;
+      for (uint32_t i = 0; i < config_.n_scanners; ++i) {
+        if (scanners_[i].in.size() < scanners_[best].in.size()) best = i;
+      }
+      scanner_rr_ = (scanner_rr_ + 1) % config_.n_scanners;
+      scanners_[best].in.push_back(slot);
+      return;
+    }
+    default:
+      Emit(slot, isa::CpStatus::kError, 0, cc::WriteKind::kNone,
+           sim::kNullAddr);
+      return;
+  }
+}
+
+void SkiplistPipeline::TickScanner(uint64_t now, uint32_t scanner_idx) {
+  Scanner& sc = scanners_[scanner_idx];
+  if (!sc.cur_op.has_value()) {
+    if (sc.in.empty()) return;
+    uint32_t slot = sc.in.front();
+    Op& op = pool_[slot];
+    if (op.cur == sim::kNullAddr || op.req.scan_count == 0) {
+      sc.in.pop_front();
+      Emit(slot, isa::CpStatus::kOk, 0, cc::WriteKind::kNone, sim::kNullAddr);
+      return;
+    }
+    if (!dram_->Issue(now, op.cur, false, &sc.resp, slot,
+                      kTowerSnapshotWords)) {
+      counters_.Add("scanner_dram_stall");
+      return;
+    }
+    sc.in.pop_front();
+    sc.cur_op = slot;
+    sc.waiting = true;
+    return;
+  }
+  if (!sc.waiting) {
+    // A previous hop read was rejected by DRAM backpressure; retry it.
+    Op& op = pool_[*sc.cur_op];
+    if (dram_->Issue(now, op.cur, false, &sc.resp, *sc.cur_op,
+                     kTowerSnapshotWords)) {
+      sc.waiting = true;
+    } else {
+      counters_.Add("scanner_dram_stall");
+    }
+    return;
+  }
+  if (sc.resp.empty()) return;
+  std::vector<uint64_t> words = std::move(sc.resp.front().data);
+  sc.resp.pop_front();
+  uint32_t slot = *sc.cur_op;
+  Op& op = pool_[slot];
+  db::TupleAccessor t(dram_, op.cur);
+  if (cc::ScanVisible(t, op.req.ts)) {
+    // Collect the tuple: its payload address lands in the result buffer.
+    dram_->Write64(op.req.out_buf + 8ull * op.collected, t.payload_addr());
+    ++op.collected;
+    if (op.collected % 8 == 0) {
+      PostWrite(now, op.req.out_buf + 8ull * (op.collected - 8));
+    }
+  }
+  sim::Addr next = words.size() > 3 ? words[3] : sim::kNullAddr;  // level 0
+  if (op.collected >= op.req.scan_count || next == sim::kNullAddr) {
+    if (op.collected % 8 != 0) {
+      PostWrite(now, op.req.out_buf + 8ull * (op.collected & ~7u));
+    }
+    counters_.Add("scans_completed");
+    uint32_t n = op.collected;
+    sc.cur_op.reset();
+    sc.waiting = false;
+    Emit(slot, isa::CpStatus::kOk, n, cc::WriteKind::kNone, sim::kNullAddr);
+    return;
+  }
+  op.cur = next;
+  if (!dram_->Issue(now, op.cur, false, &sc.resp, slot,
+                    kTowerSnapshotWords)) {
+    // Retry next tick: stay waiting with an empty response queue.
+    counters_.Add("scanner_dram_stall");
+    sc.waiting = false;
+    return;
+  }
+}
+
+}  // namespace bionicdb::index

@@ -1,0 +1,187 @@
+// The hardware skiplist pipeline (paper section 4.4.2, Figures 5b/7).
+//
+// The skiplist's levels are partitioned into exclusive ranges, one per
+// pipeline stage; stage 0 owns the top levels and the last stage owns level
+// 0. An op traverses horizontally inside a stage's range (each new tower
+// visited costs one DRAM access; drilling down on a cached tower is free)
+// and is handed to the next stage when it leaves the range. Unlike the
+// hash pipeline, a traversal stage works on ONE op at a time — horizontal
+// pointer chasing keeps a stage occupied across multiple memory stalls, so
+// index parallelism is bound by pipeline depth (this reproduces the Fig.
+// 11a saturation at ~8 in-flight ops).
+//
+// Range binding: upper stages cover more levels than lower ones, since
+// towers thin out exponentially toward the top (the paper's "balanced
+// pipelining" guidance).
+//
+// INSERT records its insert path — predecessor AND successor per level
+// below the new tower's height — in stage BRAM, and the bottom stage
+// installs the tower from that recorded path. Hazard prevention locks each
+// recorded (pred tower, level) in a lock table; any other in-flight INSERT
+// reaching a locked position stalls, then re-reads the tower before
+// proceeding. With prevention disabled, racing inserts overwrite each
+// other's recorded paths and towers vanish from upper levels (Fig. 7a).
+//
+// SCAN is stall-free: it takes no locks, reaches the bottom level through
+// the normal stages (which serialise it with respect to all earlier
+// inserts), and is handed to a dedicated scanner module that walks the
+// bottom list collecting committed visible tuples into the transaction
+// block's result buffer. Scanners are the scan-throughput bottleneck; the
+// number of scanner units is configurable (paper section 5.5 estimates
+// "at least 5" to catch the software skiplist).
+#ifndef BIONICDB_INDEX_SKIPLIST_PIPELINE_H_
+#define BIONICDB_INDEX_SKIPLIST_PIPELINE_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "common/stats.h"
+#include "db/database.h"
+#include "db/skiplist_layout.h"
+#include "index/db_op.h"
+#include "index/lock_table.h"
+#include "sim/config.h"
+#include "sim/memory.h"
+
+namespace bionicdb::index {
+
+class SkiplistPipeline {
+ public:
+  struct Config {
+    uint32_t pool_size = 64;
+    uint32_t n_stages = 8;
+    uint32_t n_scanners = 1;
+    bool hazard_prevention = true;
+  };
+
+  SkiplistPipeline(db::Database* db, db::PartitionId partition,
+                   Config config, DbResultQueue* results);
+
+  /// Admits a new op. False when the slot pool is exhausted.
+  bool Accept(const DbOp& op);
+
+  void Tick(uint64_t now);
+  bool Idle() const { return active_ == 0 && pending_in_.empty(); }
+  uint32_t active_ops() const { return active_; }
+  /// Ops inside the pipeline or queued at its entrance (for the
+  /// coprocessor-level in-flight cap).
+  uint32_t queued_ops() const {
+    return active_ + uint32_t(pending_in_.size());
+  }
+
+  CounterSet& counters() { return counters_; }
+
+  /// Level range covered by stage `i` (exposed for tests).
+  std::pair<int, int> StageRange(uint32_t i) const {
+    return {stages_[i].lo, stages_[i].hi};
+  }
+
+ private:
+  /// Number of 64-bit words in a full tower snapshot: 3 header words +
+  /// every possible link slot.
+  static constexpr uint32_t kTowerSnapshotWords =
+      3 + db::kSkiplistMaxHeight;
+
+  struct Op {
+    DbOp req;
+    std::vector<uint8_t> key;
+    sim::Addr cur = sim::kNullAddr;
+    int level = 0;
+    uint8_t new_height = 0;  // INSERT
+    sim::Addr preds[db::kSkiplistMaxHeight] = {};
+    sim::Addr succs[db::kSkiplistMaxHeight] = {};
+    std::vector<uint64_t> cur_links;  // snapshot of cur's link words
+    std::vector<uint64_t> held_locks;
+    // Install state (delayed link writes; locks held until all complete).
+    sim::Addr new_tuple = sim::kNullAddr;
+    uint32_t acks_left = 0;
+    std::vector<std::pair<sim::Addr, uint64_t>> writes_left;
+    // Scanner state.
+    uint32_t collected = 0;
+    bool in_use = false;
+  };
+
+  enum class Wait : uint8_t {
+    kNone,      // ready to advance with cached data
+    kLoad,      // waiting for a (re)load of op.cur
+    kNext,      // waiting for the candidate next tower
+    kLockMove,  // stalled on a locked next tower (will re-read it)
+    kLockDown,  // stalled on a locked pred (will re-read op.cur)
+  };
+
+  struct Stage {
+    int hi = 0;
+    int lo = 0;
+    std::deque<uint32_t> in;
+    std::optional<uint32_t> cur_op;
+    Wait wait = Wait::kNone;
+    sim::Addr pending_next = sim::kNullAddr;
+    sim::MemResponseQueue resp;
+  };
+
+  struct Scanner {
+    std::deque<uint32_t> in;
+    std::optional<uint32_t> cur_op;
+    bool waiting = false;
+    sim::MemResponseQueue resp;
+  };
+
+  uint32_t AllocSlot(const DbOp& op);
+  void FreeSlot(uint32_t slot);
+  void Emit(uint32_t slot, isa::CpStatus status, uint64_t payload,
+            cc::WriteKind kind, sim::Addr tuple_addr);
+  void PostWrite(uint64_t now, sim::Addr addr);
+
+  db::SkiplistLayout* Layout(const Op& op) const;
+  static std::vector<uint64_t> LinksFromSnapshot(
+      const std::vector<uint64_t>& words);
+
+  void TickKeyFetch(uint64_t now);
+  void TickStage(uint64_t now, uint32_t stage_idx);
+  void TickScanner(uint64_t now, uint32_t scanner_idx);
+  void TickInstalls(uint64_t now);
+
+  /// Drives the op inside a stage until it needs DRAM, stalls on a lock, or
+  /// leaves the stage.
+  void Advance(uint64_t now, Stage* stage);
+  /// Handles the arrival of the candidate next tower in `resp_data`.
+  void NextArrived(uint64_t now, Stage* stage,
+                   const std::vector<uint64_t>& words);
+  /// Hands the op to the next stage / terminal action when level < lo.
+  void LeaveStage(uint64_t now, Stage* stage);
+  /// Bottom-of-list terminal work: point-op visibility, insert install, or
+  /// scanner hand-off.
+  void Terminal(uint64_t now, uint32_t slot);
+  void FinishAccess(uint64_t now, uint32_t slot, sim::Addr tuple_addr);
+
+  int CompareProbe(const Op& op, sim::Addr tower) const;
+
+  db::Database* db_;
+  sim::DramMemory* dram_;
+  db::PartitionId partition_;
+  Config config_;
+  DbResultQueue* results_;
+
+  std::vector<Op> pool_;
+  std::vector<uint32_t> free_slots_;
+  uint32_t active_ = 0;
+  std::deque<DbOp> pending_in_;
+  sim::MemResponseQueue keyfetch_resp_;
+
+  std::vector<Stage> stages_;
+  std::vector<Scanner> scanners_;
+  uint32_t scanner_rr_ = 0;
+
+  // Inserts whose link writes are in flight (locks still held).
+  sim::MemResponseQueue install_ack_;
+  std::vector<uint32_t> installing_;
+
+  LockTable lock_table_;
+  CounterSet counters_;
+};
+
+}  // namespace bionicdb::index
+
+#endif  // BIONICDB_INDEX_SKIPLIST_PIPELINE_H_

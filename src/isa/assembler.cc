@@ -1,0 +1,341 @@
+#include "isa/assembler.h"
+
+#include <cctype>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+namespace bionicdb::isa {
+
+namespace {
+
+/// Tokenized line: mnemonic + comma-separated operand strings.
+struct Line {
+  int number = 0;
+  std::string text;
+  std::string mnemonic;
+  std::vector<std::string> operands;
+};
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+std::string Upper(std::string s) {
+  for (char& c : s) c = char(std::toupper(static_cast<unsigned char>(c)));
+  return s;
+}
+
+Status Error(const Line& line, const std::string& what) {
+  return Status::InvalidArgument("line " + std::to_string(line.number) +
+                                 " ('" + line.text + "'): " + what);
+}
+
+/// Parses "r<N>" into a register index.
+std::optional<Reg> ParseReg(const std::string& tok) {
+  if (tok.size() < 2 || (tok[0] != 'r' && tok[0] != 'R')) return std::nullopt;
+  int v = 0;
+  for (size_t i = 1; i < tok.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(tok[i]))) return std::nullopt;
+    v = v * 10 + (tok[i] - '0');
+    if (v > 255) return std::nullopt;
+  }
+  return Reg(v);
+}
+
+/// Parses "#<imm>" or a bare signed integer.
+std::optional<int64_t> ParseImm(const std::string& tok) {
+  std::string t = tok;
+  if (!t.empty() && t[0] == '#') t = t.substr(1);
+  if (t.empty()) return std::nullopt;
+  size_t i = (t[0] == '-') ? 1 : 0;
+  if (i >= t.size()) return std::nullopt;
+  for (size_t j = i; j < t.size(); ++j) {
+    if (!std::isdigit(static_cast<unsigned char>(t[j]))) return std::nullopt;
+  }
+  return std::stoll(t);
+}
+
+/// Parses "cp<N>".
+std::optional<Reg> ParseCp(const std::string& tok) {
+  if (tok.size() < 3) return std::nullopt;
+  std::string pre = Upper(tok.substr(0, 2));
+  if (pre != "CP") return std::nullopt;
+  return ParseReg("r" + tok.substr(2));
+}
+
+/// Splits the operand field on commas, respecting "[...]" groups.
+std::vector<std::string> SplitOperands(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  int depth = 0;
+  for (char c : s) {
+    if (c == '[') ++depth;
+    if (c == ']') --depth;
+    if (c == ',' && depth == 0) {
+      out.push_back(Trim(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  std::string last = Trim(cur);
+  if (!last.empty()) out.push_back(last);
+  return out;
+}
+
+/// Parses "[rB + off]" or "[rB - off]" or "[rB]".
+Status ParseMemOperand(const Line& line, const std::string& tok, Reg* base,
+                       int64_t* offset) {
+  if (tok.size() < 2 || tok.front() != '[' || tok.back() != ']') {
+    return Error(line, "expected memory operand like [r0 + 8]");
+  }
+  std::string inner = Trim(tok.substr(1, tok.size() - 2));
+  size_t plus = inner.find('+');
+  size_t minus = inner.find('-');
+  std::string base_tok = inner;
+  std::string off_tok;
+  int sign = 1;
+  if (plus != std::string::npos) {
+    base_tok = Trim(inner.substr(0, plus));
+    off_tok = Trim(inner.substr(plus + 1));
+  } else if (minus != std::string::npos) {
+    base_tok = Trim(inner.substr(0, minus));
+    off_tok = Trim(inner.substr(minus + 1));
+    sign = -1;
+  }
+  auto r = ParseReg(base_tok);
+  if (!r) return Error(line, "bad base register '" + base_tok + "'");
+  *base = *r;
+  *offset = 0;
+  if (!off_tok.empty()) {
+    auto imm = ParseImm(off_tok);
+    if (!imm) return Error(line, "bad offset '" + off_tok + "'");
+    *offset = sign * *imm;
+  }
+  return Status::Ok();
+}
+
+/// Parses DB-instruction operands: "t<id>" plus key=/cp=/part=/payload=/
+/// out=/count=/keylen= pairs.
+Status ParseDbOperands(const Line& line, ProgramBuilder::DbArgs* args) {
+  if (line.operands.empty()) return Error(line, "missing table operand");
+  const std::string& t = line.operands[0];
+  if (t.size() < 2 || (t[0] != 't' && t[0] != 'T')) {
+    return Error(line, "first DB operand must be a table like t0");
+  }
+  auto tid = ParseImm(t.substr(1));
+  if (!tid || *tid < 0) return Error(line, "bad table id");
+  args->table_id = uint16_t(*tid);
+
+  bool have_cp = false;
+  for (size_t i = 1; i < line.operands.size(); ++i) {
+    const std::string& op = line.operands[i];
+    size_t eq = op.find('=');
+    if (eq == std::string::npos) {
+      return Error(line, "expected key=value operand, got '" + op + "'");
+    }
+    std::string k = Upper(Trim(op.substr(0, eq)));
+    std::string v = Trim(op.substr(eq + 1));
+    if (k == "KEY") {
+      auto imm = ParseImm(v);
+      if (!imm) return Error(line, "bad key offset");
+      args->key_offset = int32_t(*imm);
+    } else if (k == "KEYLEN") {
+      auto imm = ParseImm(v);
+      if (!imm || *imm < 0) return Error(line, "bad key length");
+      args->key_len = uint16_t(*imm);
+    } else if (k == "CP") {
+      auto imm = ParseImm(v);
+      if (!imm || *imm < 0 || *imm > 255) return Error(line, "bad cp register");
+      args->cp = Reg(*imm);
+      have_cp = true;
+    } else if (k == "PART") {
+      if (auto r = ParseReg(v)) {
+        args->part_reg = *r;
+      } else if (auto imm = ParseImm(v)) {
+        args->partition = int32_t(*imm);
+      } else {
+        return Error(line, "bad partition operand");
+      }
+    } else if (k == "PAYLOAD" || k == "OUT") {
+      auto imm = ParseImm(v);
+      if (!imm) return Error(line, "bad " + k + " offset");
+      args->aux_offset = int32_t(*imm);
+    } else if (k == "COUNT") {
+      auto imm = ParseImm(v);
+      if (!imm || *imm < 0) return Error(line, "bad scan count");
+      args->scan_count = uint32_t(*imm);
+    } else {
+      return Error(line, "unknown DB operand '" + k + "'");
+    }
+  }
+  if (!have_cp) return Error(line, "DB instruction requires cp=<reg>");
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<Program> Assemble(const std::string& source) {
+  ProgramBuilder b;
+  std::istringstream in(source);
+  std::string raw;
+  int line_no = 0;
+  bool any_section = false;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    // Strip comments.
+    size_t sc = raw.find(';');
+    if (sc != std::string::npos) raw = raw.substr(0, sc);
+    std::string text = Trim(raw);
+    if (text.empty() || text[0] == '#') continue;
+
+    // Directives.
+    if (text[0] == '.') {
+      std::string d = Upper(text);
+      if (d == ".LOGIC") {
+        b.Logic();
+      } else if (d == ".COMMIT") {
+        b.Commit();
+      } else if (d == ".ABORT") {
+        b.Abort();
+      } else {
+        return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                       ": unknown directive " + text);
+      }
+      any_section = true;
+      continue;
+    }
+
+    // Labels (possibly followed by an instruction on the same line).
+    size_t colon = text.find(':');
+    if (colon != std::string::npos &&
+        text.find_first_of(" \t") > colon) {
+      b.Label(Trim(text.substr(0, colon)));
+      text = Trim(text.substr(colon + 1));
+      if (text.empty()) continue;
+    }
+    if (!any_section) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_no) +
+          ": instruction before any .logic/.commit/.abort section");
+    }
+
+    Line line;
+    line.number = line_no;
+    line.text = text;
+    size_t sp = text.find_first_of(" \t");
+    line.mnemonic = Upper(sp == std::string::npos ? text : text.substr(0, sp));
+    if (sp != std::string::npos) {
+      line.operands = SplitOperands(text.substr(sp + 1));
+    }
+
+    const std::string& m = line.mnemonic;
+    auto need = [&](size_t n) -> Status {
+      if (line.operands.size() != n) {
+        return Error(line, "expected " + std::to_string(n) + " operands");
+      }
+      return Status::Ok();
+    };
+
+    if (m == "ADD" || m == "SUB" || m == "MUL" || m == "DIV") {
+      BIONICDB_RETURN_IF_ERROR(need(3));
+      auto rd = ParseReg(line.operands[0]);
+      auto rs1 = ParseReg(line.operands[1]);
+      if (!rd || !rs1) return Error(line, "bad register");
+      if (auto rs2 = ParseReg(line.operands[2])) {
+        if (m == "ADD") b.Add(*rd, *rs1, *rs2);
+        if (m == "SUB") b.Sub(*rd, *rs1, *rs2);
+        if (m == "MUL") b.Mul(*rd, *rs1, *rs2);
+        if (m == "DIV") b.Div(*rd, *rs1, *rs2);
+      } else if (auto imm = ParseImm(line.operands[2])) {
+        if (m == "ADD") b.AddI(*rd, *rs1, *imm);
+        if (m == "SUB") b.SubI(*rd, *rs1, *imm);
+        if (m == "MUL") b.MulI(*rd, *rs1, *imm);
+        if (m == "DIV") b.DivI(*rd, *rs1, *imm);
+      } else {
+        return Error(line, "bad third operand");
+      }
+    } else if (m == "MOV") {
+      BIONICDB_RETURN_IF_ERROR(need(2));
+      auto rd = ParseReg(line.operands[0]);
+      if (!rd) return Error(line, "bad destination register");
+      if (auto rs = ParseReg(line.operands[1])) {
+        b.Mov(*rd, *rs);
+      } else if (auto imm = ParseImm(line.operands[1])) {
+        b.MovI(*rd, *imm);
+      } else {
+        return Error(line, "bad MOV source");
+      }
+    } else if (m == "CMP") {
+      BIONICDB_RETURN_IF_ERROR(need(2));
+      auto rs1 = ParseReg(line.operands[0]);
+      if (!rs1) return Error(line, "bad register");
+      if (auto rs2 = ParseReg(line.operands[1])) {
+        b.Cmp(*rs1, *rs2);
+      } else if (auto imm = ParseImm(line.operands[1])) {
+        b.CmpI(*rs1, *imm);
+      } else {
+        return Error(line, "bad CMP operand");
+      }
+    } else if (m == "LOAD") {
+      BIONICDB_RETURN_IF_ERROR(need(2));
+      auto rd = ParseReg(line.operands[0]);
+      if (!rd) return Error(line, "bad destination register");
+      Reg base;
+      int64_t off;
+      BIONICDB_RETURN_IF_ERROR(ParseMemOperand(line, line.operands[1], &base, &off));
+      b.Load(*rd, base, off);
+    } else if (m == "STORE") {
+      BIONICDB_RETURN_IF_ERROR(need(2));
+      auto rs = ParseReg(line.operands[0]);
+      if (!rs) return Error(line, "bad source register");
+      Reg base;
+      int64_t off;
+      BIONICDB_RETURN_IF_ERROR(ParseMemOperand(line, line.operands[1], &base, &off));
+      b.Store(*rs, base, off);
+    } else if (m == "JMP" || m == "BE" || m == "BNE" || m == "BLE" ||
+               m == "BLT" || m == "BGT" || m == "BGE") {
+      BIONICDB_RETURN_IF_ERROR(need(1));
+      const std::string& l = line.operands[0];
+      if (m == "JMP") b.Jmp(l);
+      if (m == "BE") b.Be(l);
+      if (m == "BNE") b.Bne(l);
+      if (m == "BLE") b.Ble(l);
+      if (m == "BLT") b.Blt(l);
+      if (m == "BGT") b.Bgt(l);
+      if (m == "BGE") b.Bge(l);
+    } else if (m == "RET") {
+      BIONICDB_RETURN_IF_ERROR(need(2));
+      auto rd = ParseReg(line.operands[0]);
+      auto cp = ParseCp(line.operands[1]);
+      if (!rd || !cp) return Error(line, "RET expects rD, cpN");
+      b.Ret(*rd, *cp);
+    } else if (m == "YIELD") {
+      b.Yield();
+    } else if (m == "COMMIT") {
+      b.CommitTxn();
+    } else if (m == "ABORT") {
+      b.AbortTxn();
+    } else if (m == "NOP") {
+      b.Nop();
+    } else if (m == "INSERT" || m == "SEARCH" || m == "SCAN" ||
+               m == "UPDATE" || m == "REMOVE") {
+      ProgramBuilder::DbArgs args;
+      BIONICDB_RETURN_IF_ERROR(ParseDbOperands(line, &args));
+      if (m == "INSERT") b.Insert(args);
+      if (m == "SEARCH") b.Search(args);
+      if (m == "SCAN") b.Scan(args);
+      if (m == "UPDATE") b.Update(args);
+      if (m == "REMOVE") b.Remove(args);
+    } else {
+      return Error(line, "unknown mnemonic " + m);
+    }
+  }
+  return b.Build();
+}
+
+}  // namespace bionicdb::isa

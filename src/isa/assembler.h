@@ -1,0 +1,44 @@
+// Text assembler for BionicDB stored procedures.
+//
+// The paper hand-writes stored procedures in BionicDB machine code (a SQL
+// front-end compiler is explicitly out of scope, section 4.3); this
+// assembler is the matching workflow. Syntax, one instruction per line:
+//
+//   ; comment, also '#' at start of line
+//   .logic
+//   loop:
+//     MOV   r1, #5          ; '#' marks an immediate
+//     ADD   r2, r1, r3
+//     LOAD  r4, [r0 + 16]
+//     STORE r4, [r0 + 24]
+//     CMP   r1, #0
+//     BE    done
+//     JMP   loop
+//   done:
+//     SEARCH t0, key=0, cp=1
+//     UPDATE t1, key=8, cp=2, part=r5
+//     INSERT t1, key=8, payload=16, cp=3, part=2
+//     SCAN   t2, key=0, out=64, count=50, cp=4
+//     YIELD
+//   .commit
+//     RET r6, cp1
+//     COMMIT
+//   .abort
+//     ABORT
+#ifndef BIONICDB_ISA_ASSEMBLER_H_
+#define BIONICDB_ISA_ASSEMBLER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "isa/program.h"
+
+namespace bionicdb::isa {
+
+/// Assembles `source` into a validated Program. Error statuses carry the
+/// offending line number and text.
+StatusOr<Program> Assemble(const std::string& source);
+
+}  // namespace bionicdb::isa
+
+#endif  // BIONICDB_ISA_ASSEMBLER_H_

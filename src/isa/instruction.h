@@ -1,0 +1,116 @@
+// The BionicDB instruction set (paper Table 2).
+//
+// Two instruction classes share one stream:
+//  * CPU instructions — executed directly by the softcore in five stages
+//    (IFetch/Decode/Execute/Memory/Writeback), no pipelining, no ILP.
+//  * DB instructions — encapsulated index operations; the softcore runs
+//    Prepare + Dispatch and forwards them asynchronously to the local index
+//    coprocessor or, via the on-chip channels, to a remote partition worker.
+//
+// The encoding here is a fixed-layout struct rather than packed bits: the
+// simulator charges timing per instruction class, so bit-level layout would
+// add nothing but obfuscation.
+#ifndef BIONICDB_ISA_INSTRUCTION_H_
+#define BIONICDB_ISA_INSTRUCTION_H_
+
+#include <cstdint>
+#include <string>
+
+namespace bionicdb::isa {
+
+enum class Opcode : uint8_t {
+  // --- DB instructions (dispatched to the index coprocessor) ---
+  kInsert = 0,
+  kSearch,
+  kScan,
+  kUpdate,
+  kRemove,
+  // --- CPU instructions ---
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMov,
+  kCmp,
+  kLoad,
+  kStore,
+  kJmp,
+  kBe,   // branch if equal
+  kBne,  // branch if not equal
+  kBle,  // branch if less-or-equal
+  kBlt,  // branch if less-than
+  kBgt,  // branch if greater-than
+  kBge,  // branch if greater-or-equal
+  kRet,     // blocking copy of a CP register into a GP register
+  kCommit,  // finalize: publish write-set (clear dirty bits, stamp wts)
+  kAbort,   // finalize: roll back write-set bookkeeping
+  kYield,   // end of transaction-logic phase (switch point for interleaving)
+  kNop,
+};
+
+/// True for the five index operations of Table 2.
+constexpr bool IsDbOpcode(Opcode op) {
+  return op == Opcode::kInsert || op == Opcode::kSearch ||
+         op == Opcode::kScan || op == Opcode::kUpdate ||
+         op == Opcode::kRemove;
+}
+
+const char* OpcodeName(Opcode op);
+
+/// Register index within a softcore's 256-entry GP or CP register file.
+/// Transaction interleaving renames registers at runtime by adding the
+/// batch-allocated base (paper section 4.5), so stored procedures always use
+/// small logical indices.
+using Reg = uint8_t;
+
+/// Sentinel for "no register operand".
+constexpr Reg kNoReg = 0xff;
+
+/// One decoded BionicDB instruction.
+struct Instruction {
+  Opcode opcode = Opcode::kNop;
+
+  // CPU operands ---------------------------------------------------------
+  Reg rd = kNoReg;   // destination GP register
+  Reg rs1 = kNoReg;  // first source GP register (LOAD/STORE base address)
+  Reg rs2 = kNoReg;  // second source GP register (when !use_imm)
+  bool use_imm = false;
+  int64_t imm = 0;  // ALU immediate / LOAD-STORE offset / branch target
+
+  // DB operands ----------------------------------------------------------
+  uint16_t table_id = 0;
+  Reg cp = kNoReg;        // destination CP register for the async result
+  Reg part_reg = kNoReg;  // GP register holding the target partition;
+                          // kNoReg means the immediate `partition` field
+  int32_t partition = -1;     // immediate target partition; -1 = local
+  int32_t key_offset = 0;     // offset of the key within the txn block
+  uint16_t key_len = 0;       // key length in bytes; 0 = table schema default
+  int32_t aux_offset = 0;     // INSERT: payload offset; SCAN: output buffer
+  uint32_t scan_count = 0;    // SCAN: maximum tuples to collect
+
+  /// One-line human-readable rendering (the disassembler).
+  std::string ToString() const;
+};
+
+/// Status half of the 64-bit value a DB instruction writes back to its CP
+/// register: (status << 56) | payload.
+enum class CpStatus : uint8_t {
+  kOk = 0,
+  kNotFound = 1,
+  kRejected = 2,  // concurrency-control visibility failure -> abort
+  kError = 3,
+};
+
+constexpr uint64_t EncodeCpValue(CpStatus status, uint64_t payload) {
+  return (uint64_t(status) << 56) | (payload & 0x00ffffffffffffffULL);
+}
+constexpr CpStatus CpValueStatus(uint64_t value) {
+  return CpStatus(value >> 56);
+}
+constexpr uint64_t CpValuePayload(uint64_t value) {
+  return value & 0x00ffffffffffffffULL;
+}
+
+}  // namespace bionicdb::isa
+
+#endif  // BIONICDB_ISA_INSTRUCTION_H_

@@ -1,0 +1,103 @@
+// Command logging and recovery (paper section 4.8).
+//
+// BionicDB adopts VoltDB-style command logging: the host CPU persists every
+// input transaction block BEFORE returning results to clients; each executed
+// block carries its commit state and commit timestamp. Recovery loads the
+// last checkpoint and re-executes the committed transaction blocks in
+// commit-timestamp order, then re-initialises the hardware clock past the
+// latest commit timestamp. The paper describes this design but leaves it
+// unimplemented ("logging and recovery are currently missing"); we implement
+// it in full.
+#ifndef BIONICDB_LOG_COMMAND_LOG_H_
+#define BIONICDB_LOG_COMMAND_LOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/engine.h"
+#include "db/types.h"
+
+namespace bionicdb::log {
+
+struct LogRecord {
+  db::TxnTypeId txn_type = 0;
+  db::WorkerId worker = 0;
+  /// Snapshot of the block's data area taken at submit time (the inputs).
+  std::vector<uint8_t> input;
+  /// Filled in by MarkOutcome after execution.
+  bool committed = false;
+  db::Timestamp commit_ts = 0;
+};
+
+/// The host-side durable command log.
+class CommandLog {
+ public:
+  explicit CommandLog(core::BionicDb* engine) : engine_(engine) {}
+
+  /// Persists the input block before execution. Returns the record index.
+  size_t Append(db::WorkerId worker, sim::Addr block);
+
+  /// Reads the commit state and timestamp back out of the executed block.
+  void MarkOutcome(size_t record, sim::Addr block);
+
+  const std::vector<LogRecord>& records() const { return records_; }
+
+  /// Committed records in commit-timestamp order (the replay order).
+  std::vector<const LogRecord*> ReplayOrder() const;
+
+  Status SaveToFile(const std::string& path) const;
+  Status LoadFromFile(const std::string& path);
+
+ private:
+  core::BionicDb* engine_;
+  std::vector<LogRecord> records_;
+};
+
+/// A functional snapshot of the whole database (committed tuples only).
+class Checkpoint {
+ public:
+  struct TupleRecord {
+    std::vector<uint8_t> key;
+    std::vector<uint8_t> payload;
+    db::Timestamp write_ts = 0;
+  };
+  struct TableDump {
+    db::TableId table = 0;
+    db::PartitionId partition = 0;
+    std::vector<TupleRecord> tuples;
+  };
+
+  /// Captures every committed, live tuple (dirty and tombstoned tuples are
+  /// skipped — a checkpoint is taken on a quiesced engine).
+  static Checkpoint Capture(const db::Database& database);
+
+  /// Bulk-loads the snapshot into a fresh database with matching schema.
+  Status Restore(db::Database* database) const;
+
+  /// Largest write timestamp in the snapshot (clock re-init lower bound).
+  db::Timestamp MaxTimestamp() const;
+
+  /// Canonical (sort-insensitive) equality — the recovery test oracle.
+  bool Equivalent(const Checkpoint& other) const;
+
+  Status SaveToFile(const std::string& path) const;
+  Status LoadFromFile(const std::string& path);
+
+  const std::vector<TableDump>& dumps() const { return dumps_; }
+
+ private:
+  std::vector<TableDump> dumps_;
+};
+
+/// Rebuilds a fresh engine from a checkpoint + command log: restore, replay
+/// committed blocks serially in commit-timestamp order, fast-forward the
+/// hardware clock. The engine must have the same schema and registered
+/// procedures as the crashed one.
+Status Recover(core::BionicDb* engine, const Checkpoint& checkpoint,
+               const CommandLog& log);
+
+}  // namespace bionicdb::log
+
+#endif  // BIONICDB_LOG_COMMAND_LOG_H_

@@ -1,0 +1,142 @@
+#include "power/model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bionicdb::power {
+
+namespace {
+
+// Table 4 totals for the paper's 4-worker design; per-worker costs are a
+// quarter of each row.
+constexpr uint64_t kWorkers4 = 4;
+
+constexpr ResourceVector kHash4 = {12'932, 14'504, 24};
+constexpr ResourceVector kSkiplist4 = {27'300, 35'968, 36};
+constexpr ResourceVector kSoftcore4 = {7'080, 8'796, 12};
+constexpr ResourceVector kCatalogue4 = {1'484, 1'964, 8};
+constexpr ResourceVector kCommunication4 = {2'482, 3'191, 8};
+constexpr ResourceVector kMemArbiters4 = {1'192, 5'800, 0};
+constexpr ResourceVector kHc2Infrastructure = {98'507, 76'639, 103};
+
+// Fraction of each index pipeline attributable to one scanner / traverse
+// unit (the paper notes redundant scanners/Traverse stages can be
+// populated; a unit share is the marginal cost of one more).
+constexpr double kScannerShare = 1.0 / 9.0;   // 8 stages + 1 scanner
+constexpr double kTraverseShare = 1.0 / 6.0;  // 6 hash stages
+
+ResourceVector Scale(const ResourceVector& v, double f) {
+  return {uint64_t(std::llround(double(v.flip_flops) * f)),
+          uint64_t(std::llround(double(v.luts) * f)),
+          uint64_t(std::llround(double(v.brams) * f))};
+}
+
+/// Scales a Table-4 (4-worker) row to `workers` workers without losing the
+/// integer remainder (so the 4-worker design reproduces Table 4 exactly).
+ResourceVector ForWorkers(const ResourceVector& four_worker_total,
+                          uint64_t workers) {
+  return Scale(four_worker_total, double(workers) / double(kWorkers4));
+}
+
+}  // namespace
+
+Device Virtex5Lx330() { return {"Virtex-5 LX330", {207'360, 207'360, 288}}; }
+
+Device VirtexUltrascalePlusVu9p() {
+  // AWS F1's part: ~2.36 M FFs, ~1.18 M LUTs, 2160 BRAM36 tiles.
+  return {"Virtex UltraScale+ VU9P", {2'364'480, 1'182'240, 2'160}};
+}
+
+Device IntelArria10Gx1150() {
+  return {"Intel Arria 10 GX1150", {1'708'800, 854'400, 2'713}};
+}
+
+ResourceModel::ResourceModel(const DesignConfig& config) : config_(config) {}
+
+std::vector<ModuleUsage> ResourceModel::ModuleBreakdown() const {
+  const uint64_t w = config_.n_workers;
+  double skiplist_scale =
+      1.0 + kScannerShare * double(config_.n_scanners - 1);
+  double hash_scale = 1.0 + kTraverseShare * double(config_.n_traverse_units - 1);
+  std::vector<ModuleUsage> rows;
+  rows.push_back({"Hash", Scale(ForWorkers(kHash4, w), hash_scale)});
+  rows.push_back(
+      {"Skiplist", Scale(ForWorkers(kSkiplist4, w), skiplist_scale)});
+  rows.push_back({"Softcore", ForWorkers(kSoftcore4, w)});
+  rows.push_back({"Catalogue", ForWorkers(kCatalogue4, w)});
+  // The crossbar's cost grows with worker count (it "does not scale",
+  // section 4.6): model it as linear in workers like the paper's 4-worker
+  // figure, which underestimates large crossbars and is exactly why the
+  // ring topology exists for the scaling projection.
+  rows.push_back({"Communication", ForWorkers(kCommunication4, w)});
+  rows.push_back({"Memory arbiters", ForWorkers(kMemArbiters4, w)});
+  if (config_.include_hc2_infrastructure) {
+    rows.push_back({"HC-2 modules", kHc2Infrastructure});
+  }
+  return rows;
+}
+
+ResourceVector ResourceModel::Total() const {
+  ResourceVector total;
+  for (const ModuleUsage& m : ModuleBreakdown()) total = total + m.usage;
+  return total;
+}
+
+double ResourceModel::UtilizationFf(const Device& d) const {
+  return double(Total().flip_flops) / double(d.capacity.flip_flops);
+}
+double ResourceModel::UtilizationLut(const Device& d) const {
+  return double(Total().luts) / double(d.capacity.luts);
+}
+double ResourceModel::UtilizationBram(const Device& d) const {
+  return double(Total().brams) / double(d.capacity.brams);
+}
+
+bool ResourceModel::Fits(const Device& d) const {
+  ResourceVector t = Total();
+  return t.flip_flops <= d.capacity.flip_flops &&
+         t.luts <= d.capacity.luts && t.brams <= d.capacity.brams;
+}
+
+uint32_t ResourceModel::MaxWorkers(const Device& device,
+                                   const DesignConfig& per_worker_config) {
+  uint32_t lo = 0;
+  uint32_t hi = 4096;
+  while (lo < hi) {
+    uint32_t mid = (lo + hi + 1) / 2;
+    DesignConfig c = per_worker_config;
+    c.n_workers = mid;
+    // Modern shells (e.g. the F1 shell) cost roughly 20% of the device
+    // rather than HC-2's fixed infrastructure.
+    c.include_hc2_infrastructure = false;
+    ResourceModel m(c);
+    ResourceVector t = m.Total();
+    ResourceVector budget = {device.capacity.flip_flops * 8 / 10,
+                             device.capacity.luts * 8 / 10,
+                             device.capacity.brams * 8 / 10};
+    bool fits = t.flip_flops <= budget.flip_flops && t.luts <= budget.luts &&
+                t.brams <= budget.brams;
+    if (fits) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return lo;
+}
+
+double PowerModel::BionicDbWatts(uint32_t n_workers) {
+  // Calibrated to the paper's XPE estimate: ~11.5 W for the 4-worker design
+  // (static device + memory-interface power dominates; each worker's fabric
+  // adds a modest dynamic share at 125 MHz).
+  constexpr double kStaticWatts = 4.3;
+  constexpr double kPerWorkerWatts = 1.8;
+  return kStaticWatts + kPerWorkerWatts * n_workers;
+}
+
+double PowerModel::XeonWatts(uint32_t chips) {
+  constexpr double kXeonE74807Tdp = 95.0;
+  return kXeonE74807Tdp * chips;
+}
+
+}  // namespace bionicdb::power

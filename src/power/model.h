@@ -1,0 +1,106 @@
+// FPGA resource-utilization and power model (paper Table 4 and section 5.8).
+//
+// The paper reports per-module flip-flop / LUT / BRAM consumption of the
+// four-worker BionicDB design on a Virtex-5 LX330, plus an XPE power
+// estimate of ~11.5 W against a 4-chip Xeon E7-4807 aggregate TDP of 380 W.
+// This model reproduces Table 4 from per-worker module costs calibrated to
+// the paper's numbers, scales them with the design knobs that change the
+// hardware (scanner/traverse unit counts, worker count), and projects how
+// many workers fit on datacenter-grade parts (the section 7 future-work
+// scaling question).
+#ifndef BIONICDB_POWER_MODEL_H_
+#define BIONICDB_POWER_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bionicdb::power {
+
+struct ResourceVector {
+  uint64_t flip_flops = 0;
+  uint64_t luts = 0;
+  uint64_t brams = 0;
+
+  ResourceVector operator+(const ResourceVector& o) const {
+    return {flip_flops + o.flip_flops, luts + o.luts, brams + o.brams};
+  }
+  ResourceVector operator*(uint64_t k) const {
+    return {flip_flops * k, luts * k, brams * k};
+  }
+};
+
+struct ModuleUsage {
+  std::string name;
+  ResourceVector usage;
+};
+
+/// An FPGA device's programmable-resource capacity.
+struct Device {
+  std::string name;
+  ResourceVector capacity;
+};
+
+/// The paper's platform: Virtex-5 LX330 (65 nm, ~200 K logic cells).
+Device Virtex5Lx330();
+/// Datacenter-grade parts for the scaling projection (paper sections 4.6/7).
+Device VirtexUltrascalePlusVu9p();  // AWS F1
+Device IntelArria10Gx1150();
+
+/// Per-worker hardware cost of each BionicDB module, calibrated so that the
+/// 4-worker totals reproduce Table 4. `n_scanners` and `n_traverse_units`
+/// grow the skiplist/hash pipelines (each extra unit costs one unit-share
+/// of the base pipeline).
+struct DesignConfig {
+  uint32_t n_workers = 4;
+  uint32_t n_scanners = 1;
+  uint32_t n_traverse_units = 1;
+  bool include_hc2_infrastructure = true;
+};
+
+class ResourceModel {
+ public:
+  explicit ResourceModel(const DesignConfig& config);
+
+  /// Table 4 rows: per-module totals for the configured design.
+  std::vector<ModuleUsage> ModuleBreakdown() const;
+
+  /// Whole-design total (incl. HC-2 infrastructure when configured).
+  ResourceVector Total() const;
+
+  /// Utilization fractions against `device` (0..1 per resource class).
+  double UtilizationFf(const Device& device) const;
+  double UtilizationLut(const Device& device) const;
+  double UtilizationBram(const Device& device) const;
+
+  /// True when the design fits the device.
+  bool Fits(const Device& device) const;
+
+  /// Largest worker count (same per-worker config) that fits `device`,
+  /// with HC-2 infrastructure replaced by a proportional shell overhead.
+  static uint32_t MaxWorkers(const Device& device,
+                             const DesignConfig& per_worker_config);
+
+ private:
+  DesignConfig config_;
+};
+
+/// Power estimate (XPE stand-in): static device power plus per-worker
+/// dynamic power at 125 MHz, calibrated to the paper's ~11.5 W at 4 workers.
+class PowerModel {
+ public:
+  /// Total board power in watts for `n_workers`.
+  static double BionicDbWatts(uint32_t n_workers);
+
+  /// Aggregate TDP of the software baseline: `chips` Xeon E7-4807 sockets.
+  static double XeonWatts(uint32_t chips);
+
+  /// Transactions/second/watt.
+  static double PerfPerWatt(double tps, double watts) {
+    return watts > 0 ? tps / watts : 0;
+  }
+};
+
+}  // namespace bionicdb::power
+
+#endif  // BIONICDB_POWER_MODEL_H_

@@ -1,0 +1,36 @@
+// Base interface for hardware blocks driven by the cycle engine.
+#ifndef BIONICDB_SIM_COMPONENT_H_
+#define BIONICDB_SIM_COMPONENT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace bionicdb::sim {
+
+/// A clocked hardware block. The simulator calls Tick exactly once per
+/// simulated cycle, in registration order; all inter-component communication
+/// flows through queues, so ordering within a cycle never creates
+/// non-determinism visible across runs.
+class Component {
+ public:
+  explicit Component(std::string name) : name_(std::move(name)) {}
+  virtual ~Component() = default;
+
+  Component(const Component&) = delete;
+  Component& operator=(const Component&) = delete;
+
+  /// Advances this block by one cycle.
+  virtual void Tick(uint64_t cycle) = 0;
+
+  /// True when the block has no outstanding work (used for drain detection).
+  virtual bool Idle() const = 0;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+};
+
+}  // namespace bionicdb::sim
+
+#endif  // BIONICDB_SIM_COMPONENT_H_

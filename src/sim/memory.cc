@@ -1,0 +1,155 @@
+#include "sim/memory.h"
+
+#include <cassert>
+
+namespace bionicdb::sim {
+
+DramMemory::DramMemory(const TimingConfig& config)
+    : config_(config), channels_(config.dram_channels) {
+  assert(config.dram_channels > 0);
+}
+
+Addr DramMemory::Allocate(uint64_t size, uint64_t align) {
+  assert(align != 0 && (align & (align - 1)) == 0);
+  next_free_ = (next_free_ + align - 1) & ~(align - 1);
+  Addr out = next_free_;
+  next_free_ += size;
+  return out;
+}
+
+uint8_t* DramMemory::PageFor(Addr addr) {
+  uint64_t page = addr >> kPageBits;
+  auto it = pages_.find(page);
+  if (it == pages_.end()) {
+    auto mem = std::make_unique<uint8_t[]>(kPageSize);
+    std::memset(mem.get(), 0, kPageSize);
+    it = pages_.emplace(page, std::move(mem)).first;
+  }
+  return it->second.get();
+}
+
+const uint8_t* DramMemory::PageForRead(Addr addr) const {
+  // Reads of never-written pages see zeros; materialise lazily via the
+  // non-const path to keep the accessor simple.
+  return const_cast<DramMemory*>(this)->PageFor(addr);
+}
+
+void DramMemory::WriteBytes(Addr addr, const void* src, uint64_t len) {
+  const uint8_t* s = static_cast<const uint8_t*>(src);
+  while (len > 0) {
+    uint64_t off = addr & (kPageSize - 1);
+    uint64_t chunk = std::min(len, kPageSize - off);
+    std::memcpy(PageFor(addr) + off, s, chunk);
+    addr += chunk;
+    s += chunk;
+    len -= chunk;
+  }
+}
+
+void DramMemory::ReadBytes(Addr addr, void* dst, uint64_t len) const {
+  uint8_t* d = static_cast<uint8_t*>(dst);
+  while (len > 0) {
+    uint64_t off = addr & (kPageSize - 1);
+    uint64_t chunk = std::min(len, kPageSize - off);
+    std::memcpy(d, PageForRead(addr) + off, chunk);
+    addr += chunk;
+    d += chunk;
+    len -= chunk;
+  }
+}
+
+uint64_t DramMemory::Read64(Addr addr) const {
+  uint64_t v;
+  ReadBytes(addr, &v, 8);
+  return v;
+}
+void DramMemory::Write64(Addr addr, uint64_t value) {
+  WriteBytes(addr, &value, 8);
+}
+uint32_t DramMemory::Read32(Addr addr) const {
+  uint32_t v;
+  ReadBytes(addr, &v, 4);
+  return v;
+}
+void DramMemory::Write32(Addr addr, uint32_t value) {
+  WriteBytes(addr, &value, 4);
+}
+uint8_t DramMemory::Read8(Addr addr) const {
+  uint8_t v;
+  ReadBytes(addr, &v, 1);
+  return v;
+}
+void DramMemory::Write8(Addr addr, uint8_t value) {
+  WriteBytes(addr, &value, 1);
+}
+
+uint32_t DramMemory::ChannelOf(Addr addr) const {
+  // Scatter-gather DIMMs interleave at fine (8 B) granularity; spread
+  // consecutive words across channels as the HC-2 does.
+  return static_cast<uint32_t>((addr >> 3) % channels_.size());
+}
+
+bool DramMemory::Issue(uint64_t now, Addr addr, bool is_write,
+                       MemResponseQueue* sink, uint64_t cookie,
+                       uint32_t snapshot_words) {
+  Channel& ch = channels_[ChannelOf(addr)];
+  if (ch.queued >= config_.dram_channel_queue_depth) {
+    ++backpressure_rejects_;
+    return false;
+  }
+  uint64_t start = std::max(ch.busy_until, now);
+  ch.busy_until = start + config_.dram_issue_gap_cycles;
+  ++ch.queued;
+  uint64_t complete_at = start + config_.dram_latency_cycles;
+  pending_.push(Pending{complete_at, seq_++, addr, cookie, is_write,
+                        /*apply_write=*/false, /*write_value=*/0,
+                        snapshot_words, sink});
+  ++in_flight_;
+  if (is_write) {
+    ++total_writes_;
+  } else {
+    ++total_reads_;
+  }
+  return true;
+}
+
+bool DramMemory::IssueWrite64(uint64_t now, Addr addr, uint64_t value,
+                              MemResponseQueue* sink, uint64_t cookie) {
+  Channel& ch = channels_[ChannelOf(addr)];
+  if (ch.queued >= config_.dram_channel_queue_depth) {
+    ++backpressure_rejects_;
+    return false;
+  }
+  uint64_t start = std::max(ch.busy_until, now);
+  ch.busy_until = start + config_.dram_issue_gap_cycles;
+  ++ch.queued;
+  uint64_t complete_at = start + config_.dram_latency_cycles;
+  pending_.push(Pending{complete_at, seq_++, addr, cookie, /*is_write=*/true,
+                        /*apply_write=*/true, value, /*snapshot_words=*/0,
+                        sink});
+  ++in_flight_;
+  ++total_writes_;
+  return true;
+}
+
+void DramMemory::Tick(uint64_t now) {
+  while (!pending_.empty() && pending_.top().complete_at <= now) {
+    const Pending& p = pending_.top();
+    channels_[ChannelOf(p.addr)].queued--;
+    if (p.apply_write) Write64(p.addr, p.write_value);
+    if (p.sink != nullptr) {
+      MemResponse resp{p.addr, p.cookie, p.is_write, {}};
+      if (!p.is_write && p.snapshot_words > 0) {
+        resp.data.resize(p.snapshot_words);
+        for (uint32_t i = 0; i < p.snapshot_words; ++i) {
+          resp.data[i] = Read64(p.addr + 8ull * i);
+        }
+      }
+      p.sink->push_back(std::move(resp));
+    }
+    pending_.pop();
+    --in_flight_;
+  }
+}
+
+}  // namespace bionicdb::sim

@@ -1,0 +1,158 @@
+// Simulated FPGA-side DRAM: functional byte store + channelised timing model.
+//
+// The entire database (tables, index structures, transaction blocks) lives in
+// this simulated on-board DRAM, exactly as in the paper where the database
+// resides entirely in the HC-2's DDR2. The model has two halves:
+//
+//  * Functional: a sparse, paged, byte-addressable 64-bit address space with
+//    a bump allocator. Components read/write it directly; the data is always
+//    "current" — ordering semantics come from *when* a component chooses to
+//    perform the access (at request issue for writes, at response delivery
+//    for reads), which is what makes the paper's pipeline hazards (Fig. 6/7)
+//    reproducible in simulation.
+//
+//  * Timing: requests are routed to one of N channels by address; a channel
+//    accepts one request per issue-gap, queues up to a configured depth
+//    (backpressure beyond that) and completes each request a fixed latency
+//    after service starts. Completions are delivered into the requester's
+//    response queue during DramMemory::Tick.
+#ifndef BIONICDB_SIM_MEMORY_H_
+#define BIONICDB_SIM_MEMORY_H_
+
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.h"
+#include "sim/config.h"
+
+namespace bionicdb::sim {
+
+/// Address type within the simulated DRAM. 0 is the null address.
+using Addr = uint64_t;
+constexpr Addr kNullAddr = 0;
+
+/// Completion record delivered to the requester when a memory request
+/// finishes. `cookie` is an opaque requester-defined value identifying what
+/// the request was for (e.g. which in-flight DB instruction).
+struct MemResponse {
+  Addr addr = kNullAddr;
+  uint64_t cookie = 0;
+  bool is_write = false;
+  /// Optional value snapshot taken when the request completes (see
+  /// Issue(..., snapshot_words)). This is what makes pipeline hazards
+  /// faithful: a read serviced before a concurrent in-flight write returns
+  /// the old contents, exactly like real DRAM, even though the functional
+  /// store itself is always "current".
+  std::vector<uint64_t> data;
+};
+
+/// Requesters own one of these; DRAM pushes completions into it.
+using MemResponseQueue = std::deque<MemResponse>;
+
+class DramMemory {
+ public:
+  explicit DramMemory(const TimingConfig& config);
+
+  // --- Functional interface -------------------------------------------
+
+  /// Allocates `size` bytes (aligned to `align`) from the bump allocator.
+  Addr Allocate(uint64_t size, uint64_t align = 8);
+
+  /// Raw byte accessors. Accessing unallocated space is allowed (pages are
+  /// materialised on demand and zero-filled), matching real DRAM.
+  void WriteBytes(Addr addr, const void* src, uint64_t len);
+  void ReadBytes(Addr addr, void* dst, uint64_t len) const;
+
+  uint64_t Read64(Addr addr) const;
+  void Write64(Addr addr, uint64_t value);
+  uint32_t Read32(Addr addr) const;
+  void Write32(Addr addr, uint32_t value);
+  uint8_t Read8(Addr addr) const;
+  void Write8(Addr addr, uint8_t value);
+
+  /// Bytes handed out by the allocator so far (database footprint).
+  uint64_t allocated_bytes() const { return next_free_ - kHeapBase; }
+
+  // --- Timing interface -----------------------------------------------
+
+  /// Attempts to enqueue a memory request at cycle `now`. Returns false when
+  /// the target channel's queue is full (the requester must retry — this is
+  /// how DRAM backpressure propagates into the pipelines). When `sink` is
+  /// null the completion is dropped (fire-and-forget write). For reads,
+  /// `snapshot_words` 64-bit words starting at `addr` are copied into the
+  /// response at completion time.
+  bool Issue(uint64_t now, Addr addr, bool is_write, MemResponseQueue* sink,
+             uint64_t cookie, uint32_t snapshot_words = 0);
+
+  /// A write whose FUNCTIONAL effect lands at service-completion time, with
+  /// an acknowledgment response. This is the ordering-sensitive write path:
+  /// index-structure pointer updates use it so that racing reads serviced
+  /// before the write completes see the old value — the physical basis of
+  /// the paper's pipeline hazards (Figures 6/7).
+  bool IssueWrite64(uint64_t now, Addr addr, uint64_t value,
+                    MemResponseQueue* sink, uint64_t cookie);
+
+  /// Delivers all completions due at or before `now`.
+  void Tick(uint64_t now);
+
+  /// True when no requests are in flight.
+  bool Idle() const { return in_flight_ == 0; }
+
+  uint64_t total_reads() const { return total_reads_; }
+  uint64_t total_writes() const { return total_writes_; }
+  uint64_t backpressure_rejects() const { return backpressure_rejects_; }
+
+  const TimingConfig& config() const { return config_; }
+
+ private:
+  static constexpr uint64_t kPageBits = 16;  // 64 KiB pages
+  static constexpr uint64_t kPageSize = 1ull << kPageBits;
+  static constexpr Addr kHeapBase = 0x1000;  // keep low addresses unmapped
+
+  struct Pending {
+    uint64_t complete_at;
+    uint64_t seq;  // tie-break for deterministic delivery order
+    Addr addr;
+    uint64_t cookie;
+    bool is_write;
+    bool apply_write;      // delayed-apply write (see IssueWrite64)
+    uint64_t write_value;  // value applied at completion
+    uint32_t snapshot_words;
+    MemResponseQueue* sink;
+    bool operator>(const Pending& o) const {
+      if (complete_at != o.complete_at) return complete_at > o.complete_at;
+      return seq > o.seq;
+    }
+  };
+
+  struct Channel {
+    uint64_t busy_until = 0;
+    uint32_t queued = 0;
+  };
+
+  uint8_t* PageFor(Addr addr);
+  const uint8_t* PageForRead(Addr addr) const;
+  uint32_t ChannelOf(Addr addr) const;
+
+  TimingConfig config_;
+  mutable std::unordered_map<uint64_t, std::unique_ptr<uint8_t[]>> pages_;
+  Addr next_free_ = kHeapBase;
+
+  std::vector<Channel> channels_;
+  std::priority_queue<Pending, std::vector<Pending>, std::greater<Pending>>
+      pending_;
+  uint64_t seq_ = 0;
+  uint64_t in_flight_ = 0;
+  uint64_t total_reads_ = 0;
+  uint64_t total_writes_ = 0;
+  uint64_t backpressure_rejects_ = 0;
+};
+
+}  // namespace bionicdb::sim
+
+#endif  // BIONICDB_SIM_MEMORY_H_

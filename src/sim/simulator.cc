@@ -1,0 +1,44 @@
+#include "sim/simulator.h"
+
+namespace bionicdb::sim {
+
+Simulator::Simulator(const TimingConfig& config)
+    : config_(config), dram_(config) {}
+
+void Simulator::AddComponent(Component* component) {
+  components_.push_back(component);
+}
+
+void Simulator::TickOnce() {
+  ++now_;
+  dram_.Tick(now_);
+  for (Component* c : components_) c->Tick(now_);
+}
+
+void Simulator::Step(uint64_t cycles) {
+  for (uint64_t i = 0; i < cycles; ++i) TickOnce();
+}
+
+bool Simulator::RunUntil(const std::function<bool()>& done,
+                         uint64_t max_cycles) {
+  uint64_t limit = (max_cycles == UINT64_MAX) ? UINT64_MAX : now_ + max_cycles;
+  while (!done()) {
+    if (now_ >= limit) return false;
+    TickOnce();
+  }
+  return true;
+}
+
+bool Simulator::RunUntilIdle(uint64_t max_cycles) {
+  return RunUntil(
+      [this] {
+        if (!dram_.Idle()) return false;
+        for (Component* c : components_) {
+          if (!c->Idle()) return false;
+        }
+        return true;
+      },
+      max_cycles);
+}
+
+}  // namespace bionicdb::sim

@@ -1,0 +1,64 @@
+// The cycle engine: owns the clock, the DRAM, and every hardware block.
+#ifndef BIONICDB_SIM_SIMULATOR_H_
+#define BIONICDB_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/stats.h"
+#include "sim/component.h"
+#include "sim/config.h"
+#include "sim/memory.h"
+
+namespace bionicdb::sim {
+
+/// Single-threaded, deterministic cycle-driven simulator.
+///
+/// Per cycle: DRAM delivers completions first (so responses are visible to
+/// blocks in the same cycle), then every registered component ticks in
+/// registration order.
+class Simulator {
+ public:
+  explicit Simulator(const TimingConfig& config = TimingConfig());
+
+  /// Registers a block; the simulator does not take ownership.
+  void AddComponent(Component* component);
+
+  /// Runs `cycles` cycles.
+  void Step(uint64_t cycles = 1);
+
+  /// Runs until `done()` returns true or `max_cycles` elapse.
+  /// Returns true if `done` fired (false = cycle budget exhausted).
+  bool RunUntil(const std::function<bool()>& done,
+                uint64_t max_cycles = UINT64_MAX);
+
+  /// Runs until every component and the DRAM report Idle (or budget).
+  bool RunUntilIdle(uint64_t max_cycles = UINT64_MAX);
+
+  uint64_t now() const { return now_; }
+
+  /// Jumps the clock forward without ticking (used by recovery to
+  /// re-initialise the hardware clock past the latest commit timestamp,
+  /// paper section 4.8). Requires target >= now().
+  void FastForward(uint64_t target) {
+    if (target > now_) now_ = target;
+  }
+  DramMemory& dram() { return dram_; }
+  const TimingConfig& config() const { return config_; }
+  CounterSet& counters() { return counters_; }
+
+ private:
+  void TickOnce();
+
+  TimingConfig config_;
+  DramMemory dram_;
+  std::vector<Component*> components_;
+  uint64_t now_ = 0;
+  CounterSet counters_;
+};
+
+}  // namespace bionicdb::sim
+
+#endif  // BIONICDB_SIM_SIMULATOR_H_

@@ -1,0 +1,159 @@
+// TPC-C NewOrder/Payment mix for BionicDB (paper section 5.3).
+//
+// The paper runs a 50:50 NewOrder/Payment mix, partitioned by warehouse
+// (one warehouse per partition worker), with the read-only Item table
+// replicated across partitions. By default 1 % of NewOrders and 15 % of
+// Payments are cross-partition; Payment is modified to select the customer
+// by id (both here and in the paper's Silo baseline).
+//
+// Key encoding: all TPC-C tables use the hash index, so composite keys are
+// packed into raw little-endian 64-bit integers that the stored procedures
+// can compute with MUL/ADD (e.g. the order key is district_id * 2^24 +
+// o_id, derived from the district's next_o_id at run time).
+//
+// The stored procedures exercise every part of the machine the paper calls
+// out for TPC-C: the district UPDATE -> RET -> key-computation chain is the
+// data dependency that defeats transaction interleaving (Fig. 12b), Payment
+// has only 4 index operations (Fig. 10d), and the commit handlers perform
+// the in-place updates with UNDO-log backups (section 4.7).
+#ifndef BIONICDB_WORKLOAD_TPCC_H_
+#define BIONICDB_WORKLOAD_TPCC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "core/engine.h"
+
+namespace bionicdb::workload {
+
+struct TpccOptions {
+  /// Warehouses == partitions == workers (DORA partitioning by warehouse).
+  uint32_t districts_per_warehouse = 10;
+  uint32_t customers_per_district = 3000;
+  uint32_t items = 100'000;
+  uint32_t ol_cnt = 10;  // order lines per NewOrder (TPC-C draws 5..15)
+  double remote_neworder_fraction = 0.01;
+  double remote_payment_fraction = 0.15;
+};
+
+/// A deliberately small configuration for unit tests.
+TpccOptions TpccTestOptions();
+
+class Tpcc {
+ public:
+  // Table ids.
+  static constexpr db::TableId kWarehouse = 0;
+  static constexpr db::TableId kDistrict = 1;
+  static constexpr db::TableId kCustomer = 2;
+  static constexpr db::TableId kHistory = 3;
+  static constexpr db::TableId kNewOrderTable = 4;
+  static constexpr db::TableId kOrder = 5;
+  static constexpr db::TableId kOrderLine = 6;
+  static constexpr db::TableId kItem = 7;
+  static constexpr db::TableId kStock = 8;
+
+  // Transaction types. The paper evaluates only NewOrder and Payment;
+  // Delivery and OrderStatus are extensions exercising REMOVE and
+  // data-dependent loops over computed keys.
+  static constexpr db::TxnTypeId kNewOrderTxn = 300;
+  static constexpr db::TxnTypeId kPaymentTxn = 301;
+  static constexpr db::TxnTypeId kDeliveryTxn = 302;
+  static constexpr db::TxnTypeId kOrderStatusTxn = 303;
+  static constexpr db::TxnTypeId kStockLevelTxn = 304;
+
+  Tpcc(core::BionicDb* engine, const TpccOptions& options);
+
+  /// Creates all nine tables, registers both procedures and populates one
+  /// warehouse per partition.
+  Status Setup();
+
+  sim::Addr MakeNewOrder(Rng* rng, db::WorkerId home);
+  sim::Addr MakePayment(Rng* rng, db::WorkerId home);
+  /// 50:50 mix, as in Fig. 9b.
+  sim::Addr MakeMixed(Rng* rng, db::WorkerId home);
+
+  /// Extension: delivers the oldest undelivered order of one district —
+  /// tombstones its NEW-ORDER row, stamps the carrier, marks each order
+  /// line delivered and credits the customer's balance with the order
+  /// total. Commits as a no-op when the district has nothing to deliver.
+  sim::Addr MakeDelivery(Rng* rng, db::WorkerId home);
+
+  /// Extension: read-only status of the district's most recent order (an
+  /// approximation of TPC-C's customer-last-order lookup: order, customer
+  /// balance and every order line are read through computed keys).
+  sim::Addr MakeOrderStatus(Rng* rng, db::WorkerId home);
+
+  /// Extension: StockLevel — inspects the district's last (up to) 20
+  /// orders, reads every order line and the home-warehouse stock row of its
+  /// item, and counts lines whose stock quantity is below the threshold.
+  /// Simplification vs TPC-C: lines are counted, not DISTINCT items (the
+  /// softcore has no set structure); a hot item can count multiple times.
+  sim::Addr MakeStockLevel(Rng* rng, db::WorkerId home, uint64_t threshold);
+
+  // --- Key encodings (exposed for tests/verification) -------------------
+  uint64_t WarehouseKey(uint32_t w) const { return w; }
+  uint64_t DistrictKey(uint32_t w, uint32_t d) const { return w * 100 + d; }
+  uint64_t CompactDistrictId(uint32_t w, uint32_t d) const {
+    return w * options_.districts_per_warehouse + d;
+  }
+  uint64_t CustomerKey(uint32_t w, uint32_t d, uint32_t c) const {
+    return CompactDistrictId(w, d) * 100'000 + c;
+  }
+  uint64_t ItemKey(uint32_t i) const { return i; }
+  uint64_t StockKey(uint32_t w, uint32_t i) const {
+    return uint64_t(w) * 1'000'000 + i;
+  }
+  uint64_t OrderKey(uint32_t w, uint32_t d, uint64_t o) const {
+    return CompactDistrictId(w, d) * (1ull << 24) + o;
+  }
+  /// Deterministic item price used for population and amount staging.
+  uint64_t ItemPrice(uint32_t i) const { return 100 + (i % 900); }
+
+  const TpccOptions& options() const { return options_; }
+
+  // Payload field offsets (all 8-byte fields).
+  static constexpr int64_t kWarehouseYtd = 0;
+  static constexpr int64_t kDistrictNextOid = 0;
+  static constexpr int64_t kDistrictYtd = 8;
+  static constexpr int64_t kDistrictNextDelivery = 24;
+  static constexpr int64_t kCustomerBalance = 0;
+  static constexpr int64_t kCustomerYtdPayment = 8;
+  static constexpr int64_t kCustomerPaymentCnt = 16;
+  static constexpr int64_t kStockQuantity = 0;
+  static constexpr int64_t kStockYtd = 8;
+  static constexpr int64_t kOrderCid = 0;
+  static constexpr int64_t kOrderOlCnt = 16;
+  static constexpr int64_t kOrderCarrier = 24;
+  static constexpr int64_t kOrderLineAmount = 24;
+  static constexpr int64_t kOrderLineDelivered = 32;
+
+ private:
+  isa::Program BuildNewOrderProgram() const;
+  isa::Program BuildPaymentProgram() const;
+  isa::Program BuildDeliveryProgram() const;
+  isa::Program BuildOrderStatusProgram() const;
+  isa::Program BuildStockLevelProgram() const;
+
+  core::BionicDb* engine_;
+  TpccOptions options_;
+  std::vector<uint64_t> history_seq_;  // per worker
+
+  // NewOrder block layout (computed from ol_cnt in the constructor).
+  uint32_t no_items_base_ = 0;   // per-item records (32 B each)
+  uint32_t no_okey_off_ = 0;     // computed order key
+  uint32_t no_nokey_off_ = 0;    // computed new-order key
+  uint32_t no_olkeys_off_ = 0;   // computed order-line keys
+  uint32_t no_order_pl_ = 0;     // order payload staging
+  uint32_t no_neworder_pl_ = 0;  // new-order payload staging
+  uint32_t no_ol_pl_ = 0;        // order-line payload staging
+  uint32_t no_undo_oid_ = 0;     // district next_o_id backup
+  uint32_t no_undo_flag_ = 0;
+  uint32_t no_undo_stock_ = 0;
+  uint32_t no_block_size_ = 0;
+};
+
+}  // namespace bionicdb::workload
+
+#endif  // BIONICDB_WORKLOAD_TPCC_H_

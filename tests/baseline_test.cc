@@ -1,0 +1,326 @@
+// Tests for the Silo-style software baseline: index correctness under
+// concurrency, OCC validation semantics, and workload-level oracles.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include "baseline/hash_index.h"
+#include "baseline/olc_btree.h"
+#include "baseline/silo.h"
+#include "baseline/sw_skiplist.h"
+#include "baseline/workloads.h"
+#include "common/random.h"
+
+namespace bionicdb::baseline {
+namespace {
+
+TEST(OlcBTree, SingleThreadInsertFindScan) {
+  Arena arena;
+  OlcBTree tree(&arena);
+  Rng rng(1);
+  std::set<uint64_t> keys;
+  while (keys.size() < 5000) keys.insert(rng.Next() % 1000000);
+  for (uint64_t k : keys) {
+    Record* r = arena.AllocateRecord(8);
+    *reinterpret_cast<uint64_t*>(r->payload()) = k * 2;
+    tree.Insert(k, r);
+  }
+  for (uint64_t k : keys) {
+    Record* r = tree.Find(k);
+    ASSERT_NE(r, nullptr) << k;
+    EXPECT_EQ(*reinterpret_cast<uint64_t*>(r->payload()), k * 2);
+  }
+  EXPECT_EQ(tree.Find(2000000), nullptr);
+
+  // Scan returns sorted order from an arbitrary start.
+  uint64_t prev = 0;
+  uint32_t n = tree.Scan(*keys.begin(), 1000, [&](uint64_t k, Record*) {
+    EXPECT_GE(k, prev);
+    prev = k;
+    return true;
+  });
+  EXPECT_EQ(n, 1000u);
+}
+
+TEST(OlcBTree, ConcurrentDisjointInserts) {
+  Arena arena;
+  OlcBTree tree(&arena);
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 20000;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        uint64_t key = uint64_t(t) * kPerThread + i;
+        Record* r = arena.AllocateRecord(8);
+        *reinterpret_cast<uint64_t*>(r->payload()) = key;
+        tree.Insert(key, r);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  for (uint64_t k = 0; k < kThreads * kPerThread; ++k) {
+    Record* r = tree.Find(k);
+    ASSERT_NE(r, nullptr) << k;
+    EXPECT_EQ(*reinterpret_cast<uint64_t*>(r->payload()), k);
+  }
+  // Full scan sees every key exactly once, in order.
+  uint64_t expect = 0;
+  tree.Scan(0, kThreads * kPerThread, [&](uint64_t k, Record*) {
+    EXPECT_EQ(k, expect);
+    ++expect;
+    return true;
+  });
+  EXPECT_EQ(expect, kThreads * kPerThread);
+}
+
+TEST(OlcBTree, ReadersDuringInserts) {
+  Arena arena;
+  OlcBTree tree(&arena);
+  std::atomic<uint64_t> max_inserted{0};
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    for (uint64_t k = 1; k <= 100000; ++k) {
+      Record* r = arena.AllocateRecord(8);
+      *reinterpret_cast<uint64_t*>(r->payload()) = k;
+      tree.Insert(k, r);
+      max_inserted.store(k, std::memory_order_release);
+    }
+    stop.store(true);
+  });
+  std::vector<std::thread> readers;
+  std::atomic<uint64_t> misses{0};
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&, t] {
+      Rng rng(t + 99);
+      while (!stop.load(std::memory_order_acquire)) {
+        uint64_t hi = max_inserted.load(std::memory_order_acquire);
+        if (hi == 0) continue;
+        uint64_t k = 1 + rng.NextUint64(hi);
+        if (tree.Find(k) == nullptr) misses.fetch_add(1);
+      }
+    });
+  }
+  writer.join();
+  for (auto& t : readers) t.join();
+  // A key published via max_inserted must always be findable.
+  EXPECT_EQ(misses.load(), 0u);
+}
+
+TEST(SwSkiplist, InsertFindScan) {
+  Arena arena;
+  SwSkiplist list(&arena);
+  for (uint64_t k = 0; k < 1000; ++k) {
+    Record* r = arena.AllocateRecord(8);
+    list.Insert(k * 3, r);
+  }
+  EXPECT_NE(list.Find(30), nullptr);
+  EXPECT_EQ(list.Find(31), nullptr);
+  std::vector<uint64_t> seen;
+  list.Scan(10, 4, [&](uint64_t k, Record*) {
+    seen.push_back(k);
+    return true;
+  });
+  EXPECT_EQ(seen, (std::vector<uint64_t>{12, 15, 18, 21}));
+}
+
+TEST(SwSkiplist, ConcurrentInserts) {
+  Arena arena;
+  SwSkiplist list(&arena);
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 10000;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t] {
+      // Interleaved key ranges force adjacent-node contention.
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        list.Insert(i * kThreads + t, arena.AllocateRecord(8));
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  uint64_t expect = 0;
+  list.Scan(0, kThreads * kPerThread + 10, [&](uint64_t k, Record*) {
+    EXPECT_EQ(k, expect);
+    ++expect;
+    return true;
+  });
+  EXPECT_EQ(expect, kThreads * kPerThread);
+}
+
+TEST(HashIndexBaseline, ConcurrentInsertFind) {
+  Arena arena;
+  HashIndex index(&arena, 1 << 12);
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 10000;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        index.Insert(uint64_t(t) * kPerThread + i, arena.AllocateRecord(8));
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  for (uint64_t k = 0; k < kThreads * kPerThread; ++k) {
+    EXPECT_NE(index.Find(k), nullptr) << k;
+  }
+  EXPECT_EQ(index.Find(1 << 30), nullptr);
+}
+
+TEST(SiloTxn, ReadValidationCatchesConcurrentWriter) {
+  SiloDb db;
+  SiloDb::TableDef def;
+  def.payload_len = 8;
+  uint32_t t = db.CreateTable(def);
+  uint64_t v0 = 100;
+  db.Load(t, 1, &v0);
+
+  SiloTxn t1(&db);
+  uint64_t buf;
+  Record* r = t1.Get(t, 1);
+  ASSERT_TRUE(t1.Read(r, &buf));
+  EXPECT_EQ(buf, 100u);
+
+  // T2 commits an update between T1's read and T1's commit.
+  SiloTxn t2(&db);
+  uint64_t buf2;
+  ASSERT_TRUE(t2.Read(t2.Get(t, 1), &buf2));
+  uint64_t nv = 200;
+  t2.Write(t, r, &nv);
+  ASSERT_TRUE(t2.Commit());
+
+  // T1 validates its read set and must fail.
+  uint64_t nv1 = 300;
+  t1.Write(t, r, &nv1);
+  EXPECT_FALSE(t1.Commit());
+  // The committed value is T2's.
+  SiloTxn t3(&db);
+  uint64_t buf3;
+  ASSERT_TRUE(t3.Read(t3.Get(t, 1), &buf3));
+  EXPECT_EQ(buf3, 200u);
+}
+
+TEST(SiloTxn, ReadOnlyCommitAlwaysSucceeds) {
+  SiloDb db;
+  SiloDb::TableDef def;
+  def.payload_len = 8;
+  uint32_t t = db.CreateTable(def);
+  uint64_t v = 5;
+  db.Load(t, 9, &v);
+  SiloTxn txn(&db);
+  uint64_t buf;
+  ASSERT_TRUE(txn.Read(txn.Get(t, 9), &buf));
+  EXPECT_TRUE(txn.Commit());
+}
+
+TEST(SiloTxn, InsertVisibleOnlyAfterCommit) {
+  SiloDb db;
+  SiloDb::TableDef def;
+  def.payload_len = 8;
+  uint32_t t = db.CreateTable(def);
+
+  SiloTxn ins(&db);
+  uint64_t v = 42;
+  Record* r = ins.Insert(t, 7, &v);
+  ASSERT_NE(r, nullptr);
+
+  // Uncommitted insert is absent to other transactions.
+  SiloTxn peek(&db);
+  uint64_t buf;
+  Record* pr = peek.Get(t, 7);
+  ASSERT_NE(pr, nullptr);  // index entry exists...
+  EXPECT_FALSE(peek.Read(pr, &buf));  // ...but the record is absent
+
+  ASSERT_TRUE(ins.Commit());
+  SiloTxn after(&db);
+  ASSERT_TRUE(after.Read(after.Get(t, 7), &buf));
+  EXPECT_EQ(buf, 42u);
+}
+
+TEST(SiloTxn, AbandonedInsertClaimableByRetry) {
+  SiloDb db;
+  SiloDb::TableDef def;
+  def.payload_len = 8;
+  uint32_t t = db.CreateTable(def);
+
+  {
+    SiloTxn attempt1(&db);
+    uint64_t v = 1;
+    ASSERT_NE(attempt1.Insert(t, 3, &v), nullptr);
+    attempt1.Abort();  // leaves an absent record behind
+  }
+  SiloTxn attempt2(&db);
+  uint64_t v = 2;
+  ASSERT_NE(attempt2.Insert(t, 3, &v), nullptr);  // claims the absent record
+  ASSERT_TRUE(attempt2.Commit());
+  SiloTxn check(&db);
+  uint64_t buf;
+  ASSERT_TRUE(check.Read(check.Get(t, 3), &buf));
+  EXPECT_EQ(buf, 2u);
+}
+
+TEST(SiloYcsbWorkload, ReadOnlyRuns) {
+  SiloYcsbOptions opts;
+  opts.records = 10000;
+  opts.payload_len = 64;
+  SiloYcsb ycsb(opts);
+  ycsb.Setup();
+  auto result = ycsb.RunPointTxns(/*threads=*/4, /*txns_per_thread=*/2000);
+  EXPECT_EQ(result.committed, 8000u);
+  EXPECT_EQ(result.aborted, 0u);  // read-only never fails validation
+  EXPECT_GT(result.tps, 0.0);
+}
+
+TEST(SiloYcsbWorkload, ScansRun) {
+  SiloYcsbOptions opts;
+  opts.records = 10000;
+  opts.payload_len = 64;
+  SiloYcsb ycsb(opts);
+  ycsb.Setup();
+  auto result = ycsb.RunScans(4, 500);
+  EXPECT_EQ(result.committed, 2000u);
+}
+
+TEST(SiloTpccWorkload, MixConservesMoneyAndCounters) {
+  SiloTpccOptions opts;
+  opts.warehouses = 2;
+  opts.districts_per_warehouse = 2;
+  opts.customers_per_district = 50;
+  opts.items = 500;
+  opts.ol_cnt = 5;
+  SiloTpcc tpcc(opts);
+  tpcc.Setup();
+  auto result = tpcc.RunMix(/*threads=*/4, /*txns_per_thread=*/500);
+  EXPECT_EQ(result.committed, 2000u);
+
+  // NewOrder count == total district o_id advancement (they are the only
+  // writers of next_o_id).
+  uint64_t advanced = 0;
+  for (uint32_t w = 0; w < 2; ++w) {
+    for (uint32_t d = 0; d < 2; ++d) {
+      advanced += tpcc.DistrictNextOid(w, d) - 3001;
+    }
+  }
+  EXPECT_GT(advanced, 0u);
+  EXPECT_LE(advanced, result.committed);
+
+  // Every committed order is findable via its computed key.
+  for (uint32_t w = 0; w < 2; ++w) {
+    for (uint32_t d = 0; d < 2; ++d) {
+      uint64_t next = tpcc.DistrictNextOid(w, d);
+      for (uint64_t o = 3001; o < next; ++o) {
+        SiloTxn txn(&tpcc.db());
+        Record* r = txn.Get(5 /*order table id*/, tpcc.OrderKey(w, d, o));
+        ASSERT_NE(r, nullptr);
+        uint8_t buf[32];
+        EXPECT_TRUE(txn.Read(r, buf));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bionicdb::baseline

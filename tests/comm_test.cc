@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "comm/channels.h"
+
+namespace bionicdb::comm {
+namespace {
+
+sim::TimingConfig Cfg() { return sim::TimingConfig(); }
+
+index::DbOp Op(uint32_t cp) {
+  index::DbOp op;
+  op.cp_index = cp;
+  return op;
+}
+
+TEST(CommFabric, CrossbarDeliversAfterHopLatency) {
+  CommFabric fabric(4, Cfg(), Topology::kCrossbar);
+  fabric.SendRequest(/*now=*/10, /*src=*/0, /*dst=*/2, Op(7));
+  fabric.Tick(11);
+  EXPECT_TRUE(fabric.requests(2).empty());
+  fabric.Tick(12);
+  EXPECT_TRUE(fabric.requests(2).empty());
+  fabric.Tick(13);  // 3-cycle hop
+  ASSERT_EQ(fabric.requests(2).size(), 1u);
+  EXPECT_EQ(fabric.requests(2).front().cp_index, 7u);
+  EXPECT_TRUE(fabric.requests(0).empty());
+  EXPECT_TRUE(fabric.requests(1).empty());
+}
+
+TEST(CommFabric, RoundTripIsSixCycles) {
+  // Table 3: one request/response pair = 2 x 24 ns = 6 cycles at 125 MHz.
+  CommFabric fabric(2, Cfg());
+  EXPECT_EQ(fabric.HopLatency(0, 1) + fabric.HopLatency(1, 0), 6u);
+}
+
+TEST(CommFabric, ResponsesRouteToInitiator) {
+  CommFabric fabric(3, Cfg());
+  index::DbResult r;
+  r.cp_index = 9;
+  fabric.SendResponse(0, /*src=*/2, /*dst=*/1, r);
+  fabric.Tick(100);
+  ASSERT_EQ(fabric.responses(1).size(), 1u);
+  EXPECT_EQ(fabric.responses(1).front().cp_index, 9u);
+}
+
+TEST(CommFabric, FifoPerDestination) {
+  CommFabric fabric(2, Cfg());
+  for (uint32_t i = 0; i < 5; ++i) fabric.SendRequest(i, 0, 1, Op(i));
+  fabric.Tick(100);
+  ASSERT_EQ(fabric.requests(1).size(), 5u);
+  for (uint32_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(fabric.requests(1)[i].cp_index, i);
+  }
+}
+
+TEST(CommFabric, RingLatencyScalesWithDistance) {
+  CommFabric ring(8, Cfg(), Topology::kRing);
+  // Neighbours: one hop. Opposite side: four hops. Shortest direction wins.
+  EXPECT_EQ(ring.HopLatency(0, 1), 3u);
+  EXPECT_EQ(ring.HopLatency(0, 4), 12u);
+  EXPECT_EQ(ring.HopLatency(0, 7), 3u);  // wraps backwards
+  EXPECT_EQ(ring.HopLatency(6, 2), 12u);
+
+  CommFabric xbar(8, Cfg(), Topology::kCrossbar);
+  EXPECT_EQ(xbar.HopLatency(0, 4), 3u);  // distance-independent
+}
+
+TEST(CommFabric, IdleReflectsWireAndInboxes) {
+  CommFabric fabric(2, Cfg());
+  EXPECT_TRUE(fabric.Idle());
+  fabric.SendRequest(0, 0, 1, Op(0));
+  EXPECT_FALSE(fabric.Idle());
+  fabric.Tick(50);
+  EXPECT_FALSE(fabric.Idle());  // sitting in the inbox
+  fabric.requests(1).clear();
+  EXPECT_TRUE(fabric.Idle());
+}
+
+TEST(MessagingLatencyModel, ReproducesTable3) {
+  MessagingLatencyModel model{Cfg()};
+  // On-chip: 24 ns primitive, 48 ns per request/response exchange.
+  EXPECT_DOUBLE_EQ(model.OnchipPrimitive(), 24.0);
+  EXPECT_DOUBLE_EQ(model.OnchipRoundTrip(), 48.0);
+  // Software via shared L3: 20 / 40 ns.
+  EXPECT_DOUBLE_EQ(model.L3Primitive(), 20.0);
+  EXPECT_DOUBLE_EQ(model.L3RoundTrip(), 40.0);
+  // Software via DDR3: 80 / 320 ns (two iterations of read + write).
+  EXPECT_DOUBLE_EQ(model.Ddr3Primitive(), 80.0);
+  EXPECT_DOUBLE_EQ(model.Ddr3RoundTrip(), 320.0);
+}
+
+
+TEST(CommFabric, MultiNodeCrossingPaysNetworkLatency) {
+  CommFabric::ClusterConfig cluster;
+  cluster.workers_per_node = 4;
+  cluster.inter_node_cycles = 250;
+  CommFabric fabric(8, Cfg(), Topology::kCrossbar, cluster);
+  // Intra-node: plain on-chip hop.
+  EXPECT_EQ(fabric.HopLatency(0, 3), 3u);
+  EXPECT_EQ(fabric.HopLatency(5, 7), 3u);
+  // Node-crossing: network + on-chip at both ends.
+  EXPECT_EQ(fabric.HopLatency(0, 4), 250u + 6u);
+  EXPECT_EQ(fabric.HopLatency(7, 1), 250u + 6u);
+}
+
+TEST(CommFabric, ShortPathMessagesOvertakeLongOnes) {
+  CommFabric::ClusterConfig cluster;
+  cluster.workers_per_node = 2;
+  cluster.inter_node_cycles = 100;
+  CommFabric fabric(4, Cfg(), Topology::kCrossbar, cluster);
+  fabric.SendRequest(0, /*src=*/2, /*dst=*/1, Op(1));  // cross-node, slow
+  fabric.SendRequest(0, /*src=*/0, /*dst=*/1, Op(2));  // on-chip, fast
+  fabric.Tick(10);
+  ASSERT_EQ(fabric.requests(1).size(), 1u);
+  EXPECT_EQ(fabric.requests(1).front().cp_index, 2u);  // fast one first
+  fabric.Tick(200);
+  EXPECT_EQ(fabric.requests(1).size(), 2u);
+}
+
+}  // namespace
+}  // namespace bionicdb::comm

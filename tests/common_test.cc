@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/hash.h"
+#include "common/random.h"
+#include "common/ring_queue.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/table_printer.h"
+
+namespace bionicdb {
+namespace {
+
+TEST(Status, OkAndErrors) {
+  EXPECT_TRUE(Status::Ok().ok());
+  EXPECT_EQ(Status::Ok().ToString(), "OK");
+  Status s = Status::NotFound("missing key");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NotFound: missing key");
+}
+
+TEST(StatusOr, ValueAndError) {
+  StatusOr<int> good(42);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 42);
+  StatusOr<int> bad(Status::InvalidArgument("nope"));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Rng, DeterministicAndDistinctSeeds) {
+  Rng a(1), b(1), c(2);
+  for (int i = 0; i < 100; ++i) {
+    uint64_t va = a.Next();
+    EXPECT_EQ(va, b.Next());
+  }
+  bool differs = false;
+  Rng a2(1);
+  for (int i = 0; i < 10; ++i) {
+    if (a2.Next() != c.Next()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, BoundedSampling) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextUint64(17), 17u);
+    uint64_t v = rng.NextInRange(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+  }
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Zipfian, SkewsTowardLowRanks) {
+  Rng rng(3);
+  ZipfianGenerator zipf(1000, 0.99);
+  uint64_t low = 0, total = 20000;
+  for (uint64_t i = 0; i < total; ++i) {
+    if (zipf.Next(&rng) < 10) ++low;
+  }
+  // With theta=0.99 the top-10 of 1000 items draw far more than 1 % of
+  // requests (analytically ~35 %); anything over 15 % proves skew.
+  EXPECT_GT(low, total * 15 / 100);
+}
+
+TEST(Zipfian, InRange) {
+  Rng rng(5);
+  ZipfianGenerator zipf(100);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(zipf.Next(&rng), 100u);
+}
+
+TEST(ScrambledZipfian, SpreadsHotKeys) {
+  Rng rng(9);
+  ScrambledZipfianGenerator gen(1000);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(gen.Next(&rng));
+  // Hot ranks scatter across the keyspace instead of clustering at 0..k.
+  EXPECT_GT(*seen.rbegin(), 500u);
+}
+
+TEST(Hash, SdbmMatchesReference) {
+  // Reference values computed with the classic sdbm loop.
+  auto ref = [](const std::string& s) {
+    uint64_t h = 0;
+    for (unsigned char c : s) h = c + (h << 6) + (h << 16) - h;
+    return h;
+  };
+  for (const char* cs : {"", "a", "key", "bionicdb", "0123456789"}) {
+    std::string s(cs);
+    EXPECT_EQ(SdbmHash(reinterpret_cast<const uint8_t*>(s.data()), s.size()),
+              ref(s))
+        << s;
+  }
+}
+
+TEST(Hash, Sdbm64ConsistentWithBytes) {
+  uint64_t key = 0x0123456789abcdefULL;
+  uint8_t bytes[8];
+  for (int i = 0; i < 8; ++i) bytes[i] = uint8_t(key >> (8 * i));
+  EXPECT_EQ(SdbmHash64(key), SdbmHash(bytes, 8));
+}
+
+TEST(RingQueue, FifoAndCapacity) {
+  RingQueue<int> q(3);
+  EXPECT_TRUE(q.empty());
+  EXPECT_TRUE(q.Push(1));
+  EXPECT_TRUE(q.Push(2));
+  EXPECT_TRUE(q.Push(3));
+  EXPECT_TRUE(q.full());
+  EXPECT_FALSE(q.Push(4));
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.Pop(), 1);
+  EXPECT_EQ(q.Pop(), 2);
+  EXPECT_TRUE(q.Push(4));
+  EXPECT_EQ(q.Pop(), 3);
+  EXPECT_EQ(q.Pop(), 4);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(RingQueue, WrapsManyTimes) {
+  RingQueue<uint64_t> q(5);
+  uint64_t next_in = 0, next_out = 0;
+  for (int round = 0; round < 100; ++round) {
+    while (q.Push(next_in)) ++next_in;
+    while (!q.empty()) {
+      EXPECT_EQ(q.Pop(), next_out);
+      ++next_out;
+    }
+  }
+  EXPECT_EQ(next_in, next_out);
+}
+
+TEST(Summary, BasicMoments) {
+  Summary s;
+  for (int i = 1; i <= 100; ++i) s.Add(i);
+  EXPECT_EQ(s.count(), 100u);
+  EXPECT_DOUBLE_EQ(s.min(), 1);
+  EXPECT_DOUBLE_EQ(s.max(), 100);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+  EXPECT_NEAR(s.Quantile(0.5), 50.5, 1.0);
+  EXPECT_NEAR(s.Quantile(0.99), 99, 1.5);
+}
+
+TEST(CounterSet, AddAndGet) {
+  CounterSet c;
+  c.Add("x");
+  c.Add("x", 4);
+  EXPECT_EQ(c.Get("x"), 5u);
+  EXPECT_EQ(c.Get("missing"), 0u);
+}
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"long-name", "2.50"});
+  std::string out = t.ToString();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("long-name"), std::string::npos);
+  EXPECT_NE(out.find("2.50"), std::string::npos);
+  EXPECT_EQ(TablePrinter::Num(3.14159, 2), "3.14");
+}
+
+}  // namespace
+}  // namespace bionicdb

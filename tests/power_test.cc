@@ -1,0 +1,95 @@
+// Tests for the resource/power model: it must reproduce Table 4 exactly
+// for the paper's 4-worker configuration and behave sensibly under the
+// scaling knobs.
+#include <gtest/gtest.h>
+
+#include "power/model.h"
+
+namespace bionicdb::power {
+namespace {
+
+TEST(ResourceModel, Table4FourWorkerTotals) {
+  DesignConfig cfg;
+  cfg.n_workers = 4;
+  ResourceModel model(cfg);
+  auto rows = model.ModuleBreakdown();
+  ASSERT_EQ(rows.size(), 7u);
+
+  auto find = [&](const std::string& name) -> ResourceVector {
+    for (const auto& r : rows) {
+      if (r.name == name) return r.usage;
+    }
+    ADD_FAILURE() << "missing module " << name;
+    return {};
+  };
+  // Paper Table 4, row by row.
+  EXPECT_EQ(find("Hash").flip_flops, 12932u);
+  EXPECT_EQ(find("Hash").luts, 14504u);
+  EXPECT_EQ(find("Hash").brams, 24u);
+  EXPECT_EQ(find("Skiplist").flip_flops, 27300u);
+  EXPECT_EQ(find("Skiplist").luts, 35968u);
+  EXPECT_EQ(find("Skiplist").brams, 36u);
+  EXPECT_EQ(find("Softcore").luts, 8796u);
+  EXPECT_EQ(find("Catalogue").luts, 1964u);
+  EXPECT_EQ(find("Communication").luts, 3191u);
+  EXPECT_EQ(find("Memory arbiters").luts, 5800u);
+  EXPECT_EQ(find("HC-2 modules").luts, 76639u);
+}
+
+TEST(ResourceModel, UtilizationMatchesPaper) {
+  DesignConfig cfg;
+  cfg.n_workers = 4;
+  ResourceModel model(cfg);
+  Device v5 = Virtex5Lx330();
+  // Paper: ~72 % FF, ~70 % LUT; the BRAM rows of Table 4 sum to 191/288 =
+  // 66 % (the paper's own "70 %" line rounds the class, not the sum).
+  EXPECT_NEAR(model.UtilizationFf(v5), 0.72, 0.03);
+  EXPECT_NEAR(model.UtilizationLut(v5), 0.70, 0.03);
+  EXPECT_NEAR(model.UtilizationBram(v5), 0.66, 0.03);
+  EXPECT_TRUE(model.Fits(v5));
+}
+
+TEST(ResourceModel, FourWorkersAreTheVirtex5Limit) {
+  // The paper: "merely 200K logic cells, allowing to fit only four
+  // BionicDB workers". More should not fit alongside the HC-2 shell.
+  DesignConfig cfg;
+  cfg.n_workers = 8;
+  ResourceModel model(cfg);
+  EXPECT_FALSE(model.Fits(Virtex5Lx330()));
+}
+
+TEST(ResourceModel, DatacenterPartsFitTensOfWorkers) {
+  DesignConfig per_worker;
+  per_worker.n_workers = 1;
+  uint32_t vu9p = ResourceModel::MaxWorkers(VirtexUltrascalePlusVu9p(),
+                                            per_worker);
+  uint32_t arria = ResourceModel::MaxWorkers(IntelArria10Gx1150(), per_worker);
+  // Paper section 4.6: "tens or hundreds of BionicDB workers".
+  EXPECT_GE(vu9p, 30u);
+  EXPECT_GE(arria, 20u);
+}
+
+TEST(ResourceModel, ExtraScannersGrowSkiplist) {
+  DesignConfig base;
+  base.n_scanners = 1;
+  DesignConfig more;
+  more.n_scanners = 5;
+  EXPECT_GT(ResourceModel(more).Total().luts,
+            ResourceModel(base).Total().luts);
+}
+
+TEST(PowerModel, MatchesPaperEstimates) {
+  // Paper section 5.8: BionicDB ~11.5 W; 4-chip Xeon E7-4807 TDP = 380 W.
+  EXPECT_NEAR(PowerModel::BionicDbWatts(4), 11.5, 0.1);
+  EXPECT_DOUBLE_EQ(PowerModel::XeonWatts(4), 380.0);
+  // An order of magnitude of power saving.
+  EXPECT_GT(PowerModel::XeonWatts(4) / PowerModel::BionicDbWatts(4), 10.0);
+}
+
+TEST(PowerModel, PerfPerWatt) {
+  EXPECT_DOUBLE_EQ(PowerModel::PerfPerWatt(115000, 11.5), 10000.0);
+  EXPECT_DOUBLE_EQ(PowerModel::PerfPerWatt(100, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace bionicdb::power

@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include "sim/component.h"
+#include "sim/memory.h"
+#include "sim/simulator.h"
+
+namespace bionicdb::sim {
+namespace {
+
+TimingConfig Config() {
+  TimingConfig c;
+  c.dram_latency_cycles = 25;
+  c.dram_channels = 8;
+  c.dram_channel_queue_depth = 4;
+  return c;
+}
+
+TEST(DramFunctional, ReadWriteRoundTrip) {
+  DramMemory dram(Config());
+  Addr a = dram.Allocate(64);
+  EXPECT_NE(a, kNullAddr);
+  dram.Write64(a, 0xdeadbeefcafef00dULL);
+  EXPECT_EQ(dram.Read64(a), 0xdeadbeefcafef00dULL);
+  dram.Write32(a + 8, 0x12345678);
+  EXPECT_EQ(dram.Read32(a + 8), 0x12345678u);
+  dram.Write8(a + 12, 0xab);
+  EXPECT_EQ(dram.Read8(a + 12), 0xab);
+}
+
+TEST(DramFunctional, UnwrittenMemoryReadsZero) {
+  DramMemory dram(Config());
+  EXPECT_EQ(dram.Read64(0x123456), 0u);
+}
+
+TEST(DramFunctional, CrossPageCopy) {
+  DramMemory dram(Config());
+  // Straddle a 64 KiB page boundary.
+  Addr a = (1ull << 16) - 17;
+  std::vector<uint8_t> src(64);
+  for (size_t i = 0; i < src.size(); ++i) src[i] = uint8_t(i + 1);
+  dram.WriteBytes(a, src.data(), src.size());
+  std::vector<uint8_t> dst(64);
+  dram.ReadBytes(a, dst.data(), dst.size());
+  EXPECT_EQ(src, dst);
+}
+
+TEST(DramFunctional, AllocatorAlignsAndAdvances) {
+  DramMemory dram(Config());
+  Addr a = dram.Allocate(10, 8);
+  Addr b = dram.Allocate(10, 64);
+  EXPECT_EQ(a % 8, 0u);
+  EXPECT_EQ(b % 64, 0u);
+  EXPECT_GE(b, a + 10);
+}
+
+TEST(DramTiming, FixedLatencyDelivery) {
+  DramMemory dram(Config());
+  MemResponseQueue sink;
+  Addr a = dram.Allocate(8);
+  ASSERT_TRUE(dram.Issue(/*now=*/10, a, false, &sink, 42));
+  for (uint64_t t = 11; t < 10 + 25; ++t) {
+    dram.Tick(t);
+    EXPECT_TRUE(sink.empty()) << "at cycle " << t;
+  }
+  dram.Tick(10 + 25);
+  ASSERT_EQ(sink.size(), 1u);
+  EXPECT_EQ(sink.front().cookie, 42u);
+  EXPECT_TRUE(dram.Idle());
+}
+
+TEST(DramTiming, ChannelBackpressure) {
+  TimingConfig cfg = Config();
+  cfg.dram_channels = 1;
+  cfg.dram_channel_queue_depth = 2;
+  DramMemory dram(cfg);
+  MemResponseQueue sink;
+  ASSERT_TRUE(dram.Issue(0, 0x1000, false, &sink, 0));
+  ASSERT_TRUE(dram.Issue(0, 0x1008, false, &sink, 1));
+  EXPECT_FALSE(dram.Issue(0, 0x1010, false, &sink, 2));  // queue full
+  EXPECT_EQ(dram.backpressure_rejects(), 1u);
+  // After completions drain, the channel accepts again.
+  for (uint64_t t = 1; t <= 60; ++t) dram.Tick(t);
+  EXPECT_TRUE(dram.Issue(60, 0x1010, false, &sink, 2));
+}
+
+TEST(DramTiming, SnapshotTakenAtDeliveryTime) {
+  DramMemory dram(Config());
+  MemResponseQueue sink;
+  Addr a = dram.Allocate(8);
+  dram.Write64(a, 111);
+  ASSERT_TRUE(dram.Issue(0, a, false, &sink, 7, /*snapshot_words=*/1));
+  // Overwrite before the read completes: the snapshot must see the value
+  // current at service completion (the new one) — service time semantics.
+  dram.Write64(a, 222);
+  for (uint64_t t = 1; t <= 30; ++t) dram.Tick(t);
+  ASSERT_EQ(sink.size(), 1u);
+  ASSERT_EQ(sink.front().data.size(), 1u);
+  EXPECT_EQ(sink.front().data[0], 222u);
+}
+
+TEST(DramTiming, WritesCountSeparately) {
+  DramMemory dram(Config());
+  dram.Issue(0, 0x1000, true, nullptr, 0);
+  dram.Issue(0, 0x2000, false, nullptr, 0);
+  EXPECT_EQ(dram.total_writes(), 1u);
+  EXPECT_EQ(dram.total_reads(), 1u);
+}
+
+
+TEST(DramTiming, DelayedWriteAppliesAtServiceTime) {
+  DramMemory dram(Config());
+  MemResponseQueue ack;
+  Addr a = dram.Allocate(8);
+  dram.Write64(a, 1);
+  ASSERT_TRUE(dram.IssueWrite64(/*now=*/0, a, 2, &ack, 5));
+  // The functional store must not change until the write completes.
+  for (uint64_t t = 1; t < 25; ++t) {
+    dram.Tick(t);
+    EXPECT_EQ(dram.Read64(a), 1u) << "at cycle " << t;
+  }
+  dram.Tick(25);
+  EXPECT_EQ(dram.Read64(a), 2u);
+  ASSERT_EQ(ack.size(), 1u);
+  EXPECT_EQ(ack.front().cookie, 5u);
+  EXPECT_TRUE(ack.front().is_write);
+}
+
+TEST(DramTiming, ReadServicedBeforeDelayedWriteSeesOldValue) {
+  // The physical basis of the paper's pipeline hazards: a read whose
+  // service completes before an in-flight write's service sees old data.
+  TimingConfig cfg = Config();
+  DramMemory dram(cfg);
+  Addr a = dram.Allocate(8);
+  dram.Write64(a, 10);
+  MemResponseQueue read_sink, write_ack;
+  // Read issued at cycle 0 -> completes at 25. Same-address write issued at
+  // cycle 0 right after (same channel) -> starts at 1, completes at 26.
+  ASSERT_TRUE(dram.Issue(0, a, false, &read_sink, 0, /*snapshot_words=*/1));
+  ASSERT_TRUE(dram.IssueWrite64(0, a, 20, &write_ack, 0));
+  for (uint64_t t = 1; t <= 30; ++t) dram.Tick(t);
+  ASSERT_EQ(read_sink.size(), 1u);
+  EXPECT_EQ(read_sink.front().data[0], 10u);  // old value
+  EXPECT_EQ(dram.Read64(a), 20u);             // write landed afterwards
+}
+
+/// A block that waits for one memory response then goes idle.
+class OneShotReader : public Component {
+ public:
+  OneShotReader(DramMemory* dram, Addr addr)
+      : Component("reader"), dram_(dram), addr_(addr) {}
+
+  void Tick(uint64_t cycle) override {
+    if (!issued_) {
+      issued_ = dram_->Issue(cycle, addr_, false, &resp_, 0);
+      return;
+    }
+    if (!resp_.empty()) {
+      resp_.pop_front();
+      done_ = true;
+      done_cycle_ = cycle;
+    }
+  }
+  bool Idle() const override { return done_; }
+  uint64_t done_cycle() const { return done_cycle_; }
+
+ private:
+  DramMemory* dram_;
+  Addr addr_;
+  MemResponseQueue resp_;
+  bool issued_ = false;
+  bool done_ = false;
+  uint64_t done_cycle_ = 0;
+};
+
+TEST(Simulator, RunUntilIdleDrivesComponents) {
+  Simulator sim(Config());
+  OneShotReader reader(&sim.dram(), 0x4000);
+  sim.AddComponent(&reader);
+  ASSERT_TRUE(sim.RunUntilIdle(/*max_cycles=*/1000));
+  EXPECT_TRUE(reader.Idle());
+  // Issue at cycle 1, latency 25, observed at the next tick.
+  EXPECT_NEAR(double(reader.done_cycle()), 1 + 25 + 1, 1.0);
+}
+
+TEST(Simulator, RunUntilPredicateBudget) {
+  Simulator sim(Config());
+  EXPECT_FALSE(sim.RunUntil([] { return false; }, 100));
+  EXPECT_EQ(sim.now(), 100u);
+}
+
+TEST(Simulator, FastForwardMovesClockOnly) {
+  Simulator sim(Config());
+  sim.FastForward(5000);
+  EXPECT_EQ(sim.now(), 5000u);
+  sim.FastForward(100);  // never backwards
+  EXPECT_EQ(sim.now(), 5000u);
+}
+
+TEST(TimingConfig, ThroughputConversion) {
+  TimingConfig c;
+  c.clock_mhz = 125.0;
+  // 125e6 cycles = 1 second.
+  EXPECT_DOUBLE_EQ(c.CyclesToSeconds(125'000'000), 1.0);
+  EXPECT_DOUBLE_EQ(c.Throughput(1'000'000, 125'000'000), 1e6);
+}
+
+}  // namespace
+}  // namespace bionicdb::sim
