@@ -9,11 +9,14 @@
 // on TPC-C Payment — the paper's most contended transaction — and on the
 // conflict-free YCSB-C as a no-regression control.
 #include "bench/bench_util.h"
+#include "bench/report.h"
 #include "workload/tpcc.h"
 #include "workload/ycsb.h"
 
 namespace bionicdb {
 namespace {
+
+bench::BenchReport* g_report = nullptr;
 
 struct Outcome {
   double ktps = 0;
@@ -45,6 +48,8 @@ Outcome RunPayment(const bench::BenchArgs& args, uint32_t wait_cycles) {
     }
   }
   auto r = host::RunToCompletion(&engine, list);
+  g_report->AddEngineRun("tpcc_payment/wait=" + std::to_string(wait_cycles),
+                         &engine, r);
   Outcome out;
   out.ktps = r.tps / 1e3;
   out.retry_rate = r.committed ? double(r.retries) / double(r.committed) : 0;
@@ -76,7 +81,10 @@ double RunYcsb(const bench::BenchArgs& args, uint32_t wait_cycles) {
       list.emplace_back(w, ycsb.MakeTxn(&rng, w));
     }
   }
-  return host::RunToCompletion(&engine, list).tps;
+  auto r = host::RunToCompletion(&engine, list);
+  g_report->AddEngineRun("ycsb_c/wait=" + std::to_string(wait_cycles),
+                         &engine, r);
+  return r.tps;
 }
 
 }  // namespace
@@ -85,6 +93,8 @@ double RunYcsb(const bench::BenchArgs& args, uint32_t wait_cycles) {
 int main(int argc, char** argv) {
   using namespace bionicdb;
   auto args = bench::BenchArgs::Parse(argc, argv);
+  bench::BenchReport report("ablation_cc_wait");
+  g_report = &report;
   bench::PrintHeader("Ablation",
                      "Wait-on-dirty CC vs blind reject (section 4.7)");
   std::printf("\nTPC-C Payment (hot warehouse row):\n");
@@ -106,5 +116,6 @@ int main(int argc, char** argv) {
                     bench::Ktps(RunYcsb(args, wait))});
   }
   control.Print();
+  report.WriteFile();
   return 0;
 }

@@ -9,11 +9,14 @@
 //     mix — bigger batches expose more index parallelism but put more
 //     uncommitted writers in flight on the hot warehouse row.
 #include "bench/bench_util.h"
+#include "bench/report.h"
 #include "workload/tpcc.h"
 #include "workload/ycsb.h"
 
 namespace bionicdb {
 namespace {
+
+bench::BenchReport* g_report = nullptr;
 
 struct Outcome {
   double ktps = 0;
@@ -44,6 +47,10 @@ Outcome RunSkewed(const bench::BenchArgs& args, bool zipfian,
     }
   }
   auto r = host::RunToCompletion(&engine, list);
+  g_report->AddEngineRun(std::string("ycsb_update/") +
+                             (zipfian ? "zipfian" : "uniform") +
+                             "/wait=" + std::to_string(wait_cycles),
+                         &engine, r);
   return {r.tps / 1e3,
           r.committed ? double(r.retries) / double(r.committed) : 0};
 }
@@ -70,6 +77,8 @@ Outcome RunTpccBatch(const bench::BenchArgs& args, uint32_t max_contexts) {
     }
   }
   auto r = host::RunToCompletion(&engine, list);
+  g_report->AddEngineRun("tpcc_mix/contexts=" + std::to_string(max_contexts),
+                         &engine, r);
   return {r.tps / 1e3,
           r.committed ? double(r.retries) / double(r.committed) : 0};
 }
@@ -80,6 +89,8 @@ Outcome RunTpccBatch(const bench::BenchArgs& args, uint32_t max_contexts) {
 int main(int argc, char** argv) {
   using namespace bionicdb;
   auto args = bench::BenchArgs::Parse(argc, argv);
+  bench::BenchReport report("ablation_contention");
+  g_report = &report;
   bench::PrintHeader("Ablation", "Contention: skew and batch sizing");
 
   std::printf("\nYCSB update mix (8 of 16 accesses update):\n");
@@ -104,5 +115,6 @@ int main(int argc, char** argv) {
                   TablePrinter::Num(o.retry_rate, 2)});
   }
   batch.Print();
+  report.WriteFile();
   return 0;
 }

@@ -8,10 +8,13 @@
 // blocking RET and resumes it when the result lands. This bench quantifies
 // the conjecture against static interleaving and serial execution.
 #include "bench/bench_util.h"
+#include "bench/report.h"
 #include "workload/tpcc.h"
 
 namespace bionicdb {
 namespace {
+
+bench::BenchReport* g_report = nullptr;
 
 struct Mode {
   const char* name;
@@ -45,7 +48,13 @@ double Run(const bench::BenchArgs& args, const Mode& mode, bool neworder) {
                                     : tpcc.MakePayment(&rng, w));
     }
   }
-  return host::RunToCompletion(&engine, list).tps;
+  auto r = host::RunToCompletion(&engine, list);
+  g_report->AddEngineRun(std::string(neworder ? "neworder/" : "payment/") +
+                             (mode.dynamic       ? "dynamic"
+                              : mode.interleaving ? "static"
+                                                  : "serial"),
+                         &engine, r);
+  return r.tps;
 }
 
 }  // namespace
@@ -54,6 +63,8 @@ double Run(const bench::BenchArgs& args, const Mode& mode, bool neworder) {
 int main(int argc, char** argv) {
   using namespace bionicdb;
   auto args = bench::BenchArgs::Parse(argc, argv);
+  bench::BenchReport report("ablation_dynamic");
+  g_report = &report;
   bench::PrintHeader("Ablation",
                      "Dynamic transaction scheduling (section 4.5 "
                      "future work) on TPC-C");
@@ -73,5 +84,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\n(NewOrder's district RET is the data dependency that defeats\n"
       " static interleaving; dynamic parking recovers the lost overlap.)\n");
+  report.WriteFile();
   return 0;
 }

@@ -7,11 +7,14 @@
 // WARNING: the "OFF" row runs a deliberately broken configuration; the
 // lost-tuples column shows why the lock table exists.
 #include "bench/bench_util.h"
+#include "bench/report.h"
 #include "db/hash_layout.h"
 #include "workload/kv.h"
 
 namespace bionicdb {
 namespace {
+
+bench::BenchReport* g_report = nullptr;
 
 struct Outcome {
   double mops = 0;
@@ -41,6 +44,8 @@ Outcome Run(const bench::BenchArgs& args, bool prevention) {
     expected += kopts.ops_per_txn;
   }
   auto r = host::RunToCompletion(&engine, list, /*retry_aborts=*/false);
+  g_report->AddEngineRun(prevention ? "prevention=on" : "prevention=off",
+                         &engine, r);
   Outcome out;
   out.mops = r.tps * kopts.ops_per_txn;
   out.stall_cycles = engine.worker(0)
@@ -63,6 +68,8 @@ Outcome Run(const bench::BenchArgs& args, bool prevention) {
 int main(int argc, char** argv) {
   using namespace bionicdb;
   auto args = bench::BenchArgs::Parse(argc, argv);
+  bench::BenchReport report("ablation_hazards");
+  g_report = &report;
   bench::PrintHeader("Ablation",
                      "Hash-pipeline hazard prevention: cost and necessity");
   TablePrinter table({"prevention", "insert (Mops)", "lock-stall cycles",
@@ -77,5 +84,6 @@ int main(int argc, char** argv) {
   std::printf(
       "(Prevention costs only the stall cycles shown; disabling it loses\n"
       " tuples whenever racing inserts share a bucket — Fig. 6a.)\n");
+  report.WriteFile();
   return 0;
 }

@@ -7,10 +7,13 @@
 // design, intra-transaction parallelism only, and a no-MLP strawman —
 // showing the pipelining advantage GROW with latency.
 #include "bench/bench_util.h"
+#include "bench/report.h"
 #include "workload/ycsb.h"
 
 namespace bionicdb {
 namespace {
+
+bench::BenchReport* g_report = nullptr;
 
 double Run(const bench::BenchArgs& args, uint32_t latency,
            bool interleaving, uint32_t inflight = 16) {
@@ -33,7 +36,12 @@ double Run(const bench::BenchArgs& args, uint32_t latency,
       list.emplace_back(w, ycsb.MakeTxn(&rng, w));
     }
   }
-  return host::RunToCompletion(&engine, list).tps;
+  auto r = host::RunToCompletion(&engine, list);
+  g_report->AddEngineRun(
+      "latency=" + std::to_string(latency) + "/" +
+          (interleaving ? "full" : inflight > 1 ? "intra" : "nomlp"),
+      &engine, r);
+  return r.tps;
 }
 
 }  // namespace
@@ -42,6 +50,8 @@ double Run(const bench::BenchArgs& args, uint32_t latency,
 int main(int argc, char** argv) {
   using namespace bionicdb;
   auto args = bench::BenchArgs::Parse(argc, argv);
+  bench::BenchReport report("ablation_latency");
+  g_report = &report;
   bench::PrintHeader("Ablation",
                      "DRAM latency sensitivity, YCSB-C (pipelined vs serial)");
   // Three machines: the full design (interleaving + 16 in-flight index
@@ -71,5 +81,6 @@ int main(int argc, char** argv) {
       " cycles the full design is %.1fx the MLP-less machine. Memory-level\n"
       " parallelism is the whole game, section 3.1.)\n",
       nomlp400 > 0 ? full400 / nomlp400 : 0);
+  report.WriteFile();
   return 0;
 }

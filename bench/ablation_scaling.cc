@@ -6,11 +6,14 @@
 // sweep runs the simulated design at worker counts a VU9P-class part could
 // host and compares crossbar vs ring on the multisite workload.
 #include "bench/bench_util.h"
+#include "bench/report.h"
 #include "power/model.h"
 #include "workload/ycsb.h"
 
 namespace bionicdb {
 namespace {
+
+bench::BenchReport* g_report = nullptr;
 
 double Run(const bench::BenchArgs& args, uint32_t workers,
            comm::Topology topology, double remote_fraction,
@@ -35,7 +38,15 @@ double Run(const bench::BenchArgs& args, uint32_t workers,
       list.emplace_back(w, ycsb.MakeTxn(&rng, w));
     }
   }
-  return host::RunToCompletion(&engine, list).tps;
+  auto r = host::RunToCompletion(&engine, list);
+  char label[96];
+  std::snprintf(label, sizeof label, "workers=%u/%s/remote=%.2f/nodes=%u",
+                workers,
+                topology == comm::Topology::kCrossbar ? "crossbar" : "ring",
+                remote_fraction,
+                workers_per_node > 0 ? workers / workers_per_node : 1);
+  g_report->AddEngineRun(label, &engine, r);
+  return r.tps;
 }
 
 }  // namespace
@@ -44,6 +55,8 @@ double Run(const bench::BenchArgs& args, uint32_t workers,
 int main(int argc, char** argv) {
   using namespace bionicdb;
   auto args = bench::BenchArgs::Parse(argc, argv);
+  bench::BenchReport report("ablation_scaling");
+  g_report = &report;
   bench::PrintHeader("Ablation",
                      "Worker scaling, crossbar vs ring (75% remote YCSB-C)");
   TablePrinter table({"workers", "crossbar (kTps)", "ring (kTps)",
@@ -68,5 +81,6 @@ int main(int argc, char** argv) {
               "model; see table4_resources.)\n",
               power::ResourceModel::MaxWorkers(
                   power::VirtexUltrascalePlusVu9p(), per_worker));
+  report.WriteFile();
   return 0;
 }

@@ -7,11 +7,14 @@
 // resource limits).
 #include "baseline/workloads.h"
 #include "bench/bench_util.h"
+#include "bench/report.h"
 #include "power/model.h"
 #include "workload/ycsb.h"
 
 namespace bionicdb {
 namespace {
+
+bench::BenchReport* g_report = nullptr;
 
 double RunHwScan(const bench::BenchArgs& args, uint32_t n_scanners) {
   core::EngineOptions opts;
@@ -34,7 +37,10 @@ double RunHwScan(const bench::BenchArgs& args, uint32_t n_scanners) {
       list.emplace_back(w, ycsb.MakeTxn(&rng, w));
     }
   }
-  return host::RunToCompletion(&engine, list).tps;
+  auto r = host::RunToCompletion(&engine, list);
+  g_report->AddEngineRun("scanners=" + std::to_string(n_scanners), &engine,
+                         r);
+  return r.tps;
 }
 
 }  // namespace
@@ -43,6 +49,8 @@ double RunHwScan(const bench::BenchArgs& args, uint32_t n_scanners) {
 int main(int argc, char** argv) {
   using namespace bionicdb;
   auto args = bench::BenchArgs::Parse(argc, argv);
+  bench::BenchReport report("ablation_scanners");
+  g_report = &report;
   bench::PrintHeader("Ablation", "Scan throughput vs scanner modules");
 
   // Software skiplist reference (4 threads), the Fig. 11d target.
@@ -72,5 +80,6 @@ int main(int argc, char** argv) {
   }
   table.Print();
   std::printf("SW skiplist (4 threads): %s kTps\n", bench::Ktps(sw).c_str());
+  report.WriteFile();
   return 0;
 }

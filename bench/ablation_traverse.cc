@@ -7,10 +7,13 @@
 // several fill factors and measures search throughput vs the number of
 // Traverse units.
 #include "bench/bench_util.h"
+#include "bench/report.h"
 #include "workload/kv.h"
 
 namespace bionicdb {
 namespace {
+
+bench::BenchReport* g_report = nullptr;
 
 double Run(const bench::BenchArgs& args, uint64_t keys_per_partition,
            uint32_t n_traverse) {
@@ -59,6 +62,9 @@ double Run(const bench::BenchArgs& args, uint64_t keys_per_partition,
     list.emplace_back(0, block.base());
   }
   auto r = host::RunToCompletion(&engine, list);
+  g_report->AddEngineRun("keys=" + std::to_string(keys_per_partition) +
+                             "/traverse_units=" + std::to_string(n_traverse),
+                         &engine, r);
   return r.tps * kOps;
 }
 
@@ -68,6 +74,8 @@ double Run(const bench::BenchArgs& args, uint64_t keys_per_partition,
 int main(int argc, char** argv) {
   using namespace bionicdb;
   auto args = bench::BenchArgs::Parse(argc, argv);
+  bench::BenchReport report("ablation_traverse");
+  g_report = &report;
   bench::PrintHeader("Ablation",
                      "Search throughput vs chain length and Traverse units");
   TablePrinter table({"avg chain length", "1 unit (Mops)", "2 units (Mops)",
@@ -79,5 +87,6 @@ int main(int argc, char** argv) {
                   bench::Mops(Run(args, keys, 4))});
   }
   table.Print();
+  report.WriteFile();
   return 0;
 }

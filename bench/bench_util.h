@@ -7,6 +7,8 @@
 //
 // All binaries accept:
 //   --quick     smaller populations/transaction counts (CI-friendly)
+//   --smoke     minimal single-config run (implies --quick; used by the
+//               bench_smoke ctest target to exercise the JSON report path)
 //   --seed=N    workload RNG seed (default 42)
 #ifndef BIONICDB_BENCH_BENCH_UTIL_H_
 #define BIONICDB_BENCH_BENCH_UTIL_H_
@@ -25,12 +27,18 @@ namespace bionicdb::bench {
 
 struct BenchArgs {
   bool quick = false;
+  /// Minimal run: one small configuration, no native baselines. Exercises
+  /// the full measurement + JSON-report path in seconds for CI smoke.
+  bool smoke = false;
   uint64_t seed = 42;
 
   static BenchArgs Parse(int argc, char** argv) {
     BenchArgs args;
     for (int i = 1; i < argc; ++i) {
       if (std::strcmp(argv[i], "--quick") == 0) {
+        args.quick = true;
+      } else if (std::strcmp(argv[i], "--smoke") == 0) {
+        args.smoke = true;
         args.quick = true;
       } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
         args.seed = std::strtoull(argv[i] + 7, nullptr, 10);

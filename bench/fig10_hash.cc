@@ -10,6 +10,7 @@
 //
 // All transactions are local (the coprocessor is the unit under test).
 #include "bench/bench_util.h"
+#include "bench/report.h"
 #include "workload/kv.h"
 #include "workload/tpcc.h"
 #include "workload/ycsb.h"
@@ -20,6 +21,13 @@ namespace {
 using bench::BenchArgs;
 
 const std::vector<uint32_t> kInflight = {1, 4, 8, 12, 16, 20, 24};
+
+bench::BenchReport* g_report = nullptr;
+
+std::vector<uint32_t> InflightSweep(const BenchArgs& args) {
+  if (args.smoke) return {4, 16};
+  return kInflight;
+}
 
 core::EngineOptions EngineOpts(uint32_t inflight) {
   core::EngineOptions opts;
@@ -35,7 +43,7 @@ void KvCurves(const BenchArgs& args) {
   const uint64_t txns = args.quick ? 30 : 200;  // x60 ops each
 
   TablePrinter table({"in-flight", "insert (Mops)", "search (Mops)"});
-  for (uint32_t inflight : kInflight) {
+  for (uint32_t inflight : InflightSweep(args)) {
     double mops[2];
     for (int mode = 0; mode < 2; ++mode) {
       core::BionicDb engine(EngineOpts(inflight));
@@ -53,6 +61,10 @@ void KvCurves(const BenchArgs& args) {
         }
       }
       auto r = host::RunToCompletion(&engine, list);
+      g_report->AddEngineRun(std::string("kv_") +
+                                 (mode == 0 ? "insert" : "search") +
+                                 "/inflight=" + std::to_string(inflight),
+                             &engine, r);
       mops[mode] = r.tps * kopts.ops_per_txn;
     }
     table.AddRow({std::to_string(inflight), bench::Mops(mops[0]),
@@ -66,7 +78,7 @@ void YcsbCurve(const BenchArgs& args) {
   const uint32_t records = args.quick ? 5'000 : 50'000;
   const uint64_t txns = args.quick ? 200 : 1'500;
   TablePrinter table({"in-flight", "throughput (kTps)"});
-  for (uint32_t inflight : kInflight) {
+  for (uint32_t inflight : InflightSweep(args)) {
     core::BionicDb engine(EngineOpts(inflight));
     workload::YcsbOptions yopts;
     yopts.records_per_partition = records;
@@ -81,6 +93,8 @@ void YcsbCurve(const BenchArgs& args) {
       }
     }
     auto r = host::RunToCompletion(&engine, list);
+    g_report->AddEngineRun("ycsb_c/inflight=" + std::to_string(inflight),
+                           &engine, r);
     table.AddRow({std::to_string(inflight), bench::Ktps(r.tps)});
   }
   table.Print();
@@ -100,7 +114,7 @@ void TpccCurves(const BenchArgs& args) {
                        which == 0 ? "TPC-C NewOrder (kTps) vs in-flight cap"
                                   : "TPC-C Payment (kTps) vs in-flight cap");
     TablePrinter table({"in-flight", "throughput (kTps)"});
-    for (uint32_t inflight : kInflight) {
+    for (uint32_t inflight : InflightSweep(args)) {
       core::EngineOptions opts = EngineOpts(inflight);
       opts.softcore.max_contexts = 4;
       core::BionicDb engine(opts);
@@ -119,6 +133,10 @@ void TpccCurves(const BenchArgs& args) {
         }
       }
       auto r = host::RunToCompletion(&engine, list);
+      g_report->AddEngineRun(
+          std::string(which == 0 ? "tpcc_neworder" : "tpcc_payment") +
+              "/inflight=" + std::to_string(inflight),
+          &engine, r);
       table.AddRow({std::to_string(inflight), bench::Ktps(r.tps)});
     }
     table.Print();
@@ -130,8 +148,11 @@ void TpccCurves(const BenchArgs& args) {
 
 int main(int argc, char** argv) {
   auto args = bionicdb::bench::BenchArgs::Parse(argc, argv);
+  bionicdb::bench::BenchReport report("fig10_hash");
+  bionicdb::g_report = &report;
   bionicdb::KvCurves(args);
   bionicdb::YcsbCurve(args);
   bionicdb::TpccCurves(args);
+  report.WriteFile();
   return 0;
 }

@@ -12,6 +12,7 @@
 //    software skiplist (~5x) on scans with one scanner.
 #include "baseline/workloads.h"
 #include "bench/bench_util.h"
+#include "bench/report.h"
 #include "workload/kv.h"
 #include "workload/ycsb.h"
 
@@ -21,6 +22,8 @@ namespace {
 using bench::BenchArgs;
 
 const std::vector<uint32_t> kInflight = {1, 4, 8, 12, 16, 20, 24};
+
+bench::BenchReport* g_report = nullptr;
 
 void LoadAndPointCurves(const BenchArgs& args) {
   const uint64_t preload = args.quick ? 2'000 : 20'000;
@@ -51,6 +54,10 @@ void LoadAndPointCurves(const BenchArgs& args) {
         }
       }
       auto r = host::RunToCompletion(&engine, list);
+      g_report->AddEngineRun(std::string("skiplist_") +
+                                 (mode == 0 ? "load" : "point") +
+                                 "/inflight=" + std::to_string(inflight),
+                             &engine, r);
       results[mode] = r.tps * kopts.ops_per_txn;
     }
     table.AddRow({std::to_string(inflight),
@@ -82,7 +89,11 @@ double RunHwScan(const BenchArgs& args, uint32_t inflight,
       list.emplace_back(w, ycsb.MakeTxn(&rng, w));
     }
   }
-  return host::RunToCompletion(&engine, list).tps;
+  auto r = host::RunToCompletion(&engine, list);
+  g_report->AddEngineRun("scan/inflight=" + std::to_string(inflight) +
+                             "/scanners=" + std::to_string(n_scanners),
+                         &engine, r);
+  return r.tps;
 }
 
 void ScanCurve(const BenchArgs& args) {
@@ -128,8 +139,11 @@ void ScanVsSoftware(const BenchArgs& args) {
 
 int main(int argc, char** argv) {
   auto args = bionicdb::bench::BenchArgs::Parse(argc, argv);
+  bionicdb::bench::BenchReport report("fig11_skiplist");
+  bionicdb::g_report = &report;
   bionicdb::LoadAndPointCurves(args);
   bionicdb::ScanCurve(args);
   bionicdb::ScanVsSoftware(args);
+  report.WriteFile();
   return 0;
 }

@@ -9,6 +9,7 @@
 //      dependency forces the softcore to wait inside the logic phase,
 //      eliminating the interleaving opportunity.
 #include "bench/bench_util.h"
+#include "bench/report.h"
 #include "workload/tpcc.h"
 #include "workload/ycsb.h"
 
@@ -16,6 +17,8 @@ namespace bionicdb {
 namespace {
 
 using bench::BenchArgs;
+
+bench::BenchReport* g_report = nullptr;
 
 double RunYcsb(const BenchArgs& args, uint32_t accesses, bool interleaving) {
   core::EngineOptions opts;
@@ -38,7 +41,11 @@ double RunYcsb(const BenchArgs& args, uint32_t accesses, bool interleaving) {
       list.emplace_back(w, ycsb.MakeTxn(&rng, w));
     }
   }
-  return host::RunToCompletion(&engine, list).tps;
+  auto r = host::RunToCompletion(&engine, list);
+  g_report->AddEngineRun("ycsb/accesses=" + std::to_string(accesses) +
+                             (interleaving ? "/interleaved" : "/serial"),
+                         &engine, r);
+  return r.tps;
 }
 
 double RunTpcc(const BenchArgs& args, bool neworder, bool interleaving) {
@@ -66,7 +73,12 @@ double RunTpcc(const BenchArgs& args, bool neworder, bool interleaving) {
                                     : tpcc.MakePayment(&rng, w));
     }
   }
-  return host::RunToCompletion(&engine, list).tps;
+  auto r = host::RunToCompletion(&engine, list);
+  g_report->AddEngineRun(std::string(neworder ? "tpcc_neworder" :
+                                                "tpcc_payment") +
+                             (interleaving ? "/interleaved" : "/serial"),
+                         &engine, r);
+  return r.tps;
 }
 
 }  // namespace
@@ -75,6 +87,8 @@ double RunTpcc(const BenchArgs& args, bool neworder, bool interleaving) {
 int main(int argc, char** argv) {
   using namespace bionicdb;
   auto args = bench::BenchArgs::Parse(argc, argv);
+  bench::BenchReport report("fig12_interleaving");
+  g_report = &report;
 
   bench::PrintHeader("Figure 12a",
                      "Interleaving vs serial, YCSB-C footprint sweep");
@@ -100,5 +114,6 @@ int main(int argc, char** argv) {
                        TablePrinter::Num(serial > 0 ? inter / serial : 0, 2)});
   }
   tpcc_table.Print();
+  report.WriteFile();
   return 0;
 }

@@ -6,12 +6,15 @@
 // ideal — the 6-cycle on-chip request/response exchange makes inter-worker
 // communication effectively free.
 #include "bench/bench_util.h"
+#include "bench/report.h"
 #include "workload/ycsb.h"
 
 namespace bionicdb {
 namespace {
 
 using bench::BenchArgs;
+
+bench::BenchReport* g_report = nullptr;
 
 double Run(const BenchArgs& args, double remote_fraction,
            comm::Topology topology, uint64_t* messages) {
@@ -37,6 +40,10 @@ double Run(const BenchArgs& args, double remote_fraction,
     }
   }
   auto r = host::RunToCompletion(&engine, list);
+  char label[64];
+  std::snprintf(label, sizeof label, "remote=%.2f/%s", remote_fraction,
+                topology == comm::Topology::kCrossbar ? "crossbar" : "ring");
+  g_report->AddEngineRun(label, &engine, r);
   if (messages != nullptr) *messages = engine.fabric().messages_sent();
   return r.tps;
 }
@@ -47,6 +54,8 @@ double Run(const BenchArgs& args, double remote_fraction,
 int main(int argc, char** argv) {
   using namespace bionicdb;
   auto args = bench::BenchArgs::Parse(argc, argv);
+  bench::BenchReport report("fig13_multisite");
+  g_report = &report;
   bench::PrintHeader(
       "Figure 13",
       "Single-site (100% local) vs multisite (75% remote) YCSB-C");
@@ -70,5 +79,6 @@ int main(int argc, char** argv) {
                     local > 0 ? (1.0 - ring / local) * 100.0 : 0, 1) +
                     "%"});
   table.Print();
+  report.WriteFile();
   return 0;
 }

@@ -10,6 +10,7 @@
 //    dependency.
 #include "baseline/workloads.h"
 #include "bench/bench_util.h"
+#include "bench/report.h"
 #include "workload/tpcc.h"
 #include "workload/ycsb.h"
 
@@ -18,14 +19,16 @@ namespace {
 
 using bench::BenchArgs;
 
-void RunYcsbC(const BenchArgs& args) {
+void RunYcsbC(const BenchArgs& args, bench::BenchReport* report) {
   bench::PrintHeader("Figure 9a", "YCSB-C (read-only) overall throughput");
-  const uint32_t records = args.quick ? 5'000 : 50'000;
+  const uint32_t records = args.smoke ? 2'000 : args.quick ? 5'000 : 50'000;
   const uint32_t payload = args.quick ? 64 : 1024;
-  const uint64_t txns_per_worker = args.quick ? 300 : 2'000;
+  const uint64_t txns_per_worker =
+      args.smoke ? 200 : args.quick ? 300 : 2'000;
 
   TablePrinter table({"system", "workers/threads", "throughput (kTps)"});
-  for (uint32_t workers = 1; workers <= 4; ++workers) {
+  const uint32_t max_workers = args.smoke ? 2 : 4;
+  for (uint32_t workers = 1; workers <= max_workers; ++workers) {
     core::EngineOptions opts;
     opts.n_workers = workers;
     core::BionicDb engine(opts);
@@ -46,7 +49,13 @@ void RunYcsbC(const BenchArgs& args) {
       }
     }
     auto r = host::RunToCompletion(&engine, txns);
+    report->AddEngineRun("ycsb_c/workers=" + std::to_string(workers),
+                         &engine, r);
     table.AddRow({"BionicDB", std::to_string(workers), bench::Ktps(r.tps)});
+  }
+  if (args.smoke) {
+    table.Print();
+    return;  // smoke: skip the native Silo sweep
   }
 
   const uint64_t silo_txns = args.quick ? 2'000 : 20'000;
@@ -64,7 +73,7 @@ void RunYcsbC(const BenchArgs& args) {
   bench::PrintHostInfo();
 }
 
-void RunTpcc(const BenchArgs& args) {
+void RunTpcc(const BenchArgs& args, bench::BenchReport* report) {
   bench::PrintHeader("Figure 9b", "TPC-C NewOrder+Payment 50:50 mix");
   workload::TpccOptions topts;
   if (args.quick) {
@@ -77,7 +86,8 @@ void RunTpcc(const BenchArgs& args) {
 
   TablePrinter table(
       {"system", "workers/threads", "throughput (kTps)", "retry rate"});
-  for (uint32_t workers = 1; workers <= 4; ++workers) {
+  const uint32_t max_workers = args.smoke ? 2 : 4;
+  for (uint32_t workers = 1; workers <= max_workers; ++workers) {
     core::EngineOptions opts;
     opts.n_workers = workers;
     // Small batches keep single-warehouse contention manageable under the
@@ -97,10 +107,16 @@ void RunTpcc(const BenchArgs& args) {
       }
     }
     auto r = host::RunToCompletion(&engine, txns);
+    report->AddEngineRun("tpcc_mix/workers=" + std::to_string(workers),
+                         &engine, r);
     table.AddRow({"BionicDB", std::to_string(workers), bench::Ktps(r.tps),
                   TablePrinter::Num(double(r.retries) /
                                         double(r.committed ? r.committed : 1),
                                     2)});
+  }
+  if (args.smoke) {
+    table.Print();
+    return;  // smoke: skip the native Silo sweep
   }
 
   const uint64_t silo_txns = args.quick ? 1'000 : 5'000;
@@ -129,7 +145,9 @@ void RunTpcc(const BenchArgs& args) {
 
 int main(int argc, char** argv) {
   auto args = bionicdb::bench::BenchArgs::Parse(argc, argv);
-  bionicdb::RunYcsbC(args);
-  bionicdb::RunTpcc(args);
+  bionicdb::bench::BenchReport report("fig9_overall");
+  bionicdb::RunYcsbC(args, &report);
+  bionicdb::RunTpcc(args, &report);
+  report.WriteFile();
   return 0;
 }

@@ -6,6 +6,7 @@
 // throughput and commit-latency percentiles as offered load grows, for
 // YCSB-C and the TPC-C mix.
 #include "bench/bench_util.h"
+#include "bench/report.h"
 #include "workload/tpcc.h"
 #include "workload/ycsb.h"
 
@@ -13,6 +14,8 @@ namespace bionicdb {
 namespace {
 
 using bench::BenchArgs;
+
+bench::BenchReport* g_report = nullptr;
 
 void Profile(const BenchArgs& args, bool tpcc) {
   bench::PrintHeader("Latency profile",
@@ -58,6 +61,9 @@ void Profile(const BenchArgs& args, bool tpcc) {
           [&](db::WorkerId w) { return workload_obj.MakeTxn(&rng, w); },
           copts);
     }
+    g_report->AddEngineRun(std::string(tpcc ? "tpcc_mix" : "ycsb_c") +
+                               "/inflight=" + std::to_string(inflight),
+                           &engine, result);
     table.AddRow(
         {std::to_string(inflight), bench::Ktps(result.tps),
          TablePrinter::Num(result.latency_cycles.Quantile(0.5) * us_per_cycle,
@@ -76,7 +82,10 @@ void Profile(const BenchArgs& args, bool tpcc) {
 
 int main(int argc, char** argv) {
   auto args = bionicdb::bench::BenchArgs::Parse(argc, argv);
+  bionicdb::bench::BenchReport report("latency_profile");
+  bionicdb::g_report = &report;
   bionicdb::Profile(args, /*tpcc=*/false);
   bionicdb::Profile(args, /*tpcc=*/true);
+  report.WriteFile();
   return 0;
 }

@@ -3,11 +3,14 @@
 // staying performance-competitive.
 #include "baseline/workloads.h"
 #include "bench/bench_util.h"
+#include "bench/report.h"
 #include "power/model.h"
 #include "workload/ycsb.h"
 
 namespace bionicdb {
 namespace {
+
+bench::BenchReport* g_report = nullptr;
 
 double RunBionic(const bench::BenchArgs& args, uint32_t workers) {
   core::EngineOptions opts;
@@ -26,7 +29,10 @@ double RunBionic(const bench::BenchArgs& args, uint32_t workers) {
       list.emplace_back(w, ycsb.MakeTxn(&rng, w));
     }
   }
-  return host::RunToCompletion(&engine, list).tps;
+  auto r = host::RunToCompletion(&engine, list);
+  g_report->AddEngineRun("ycsb_c/workers=" + std::to_string(workers),
+                         &engine, r);
+  return r.tps;
 }
 
 }  // namespace
@@ -35,6 +41,8 @@ double RunBionic(const bench::BenchArgs& args, uint32_t workers) {
 int main(int argc, char** argv) {
   using namespace bionicdb;
   auto args = bench::BenchArgs::Parse(argc, argv);
+  bench::BenchReport report("power_efficiency");
+  g_report = &report;
   bench::PrintHeader("Power efficiency", "YCSB-C transactions/second/watt");
 
   double bionic_tps = RunBionic(args, 4);
@@ -66,5 +74,13 @@ int main(int argc, char** argv) {
                 bench::Ktps(silo_tps), TablePrinter::Num(silo_watts, 0),
                 TablePrinter::Num(silo_eff / 1e3, 2), "1.0x"});
   table.Print();
+  StatsRegistry& reg = report.AddRun("efficiency");
+  reg.SetGauge("bionicdb/tps", bionic_tps);
+  reg.SetGauge("bionicdb/watts", bionic_watts);
+  reg.SetGauge("bionicdb/tps_per_watt", bionic_eff);
+  reg.SetGauge("silo/tps", silo_tps);
+  reg.SetGauge("silo/watts", silo_watts);
+  reg.SetGauge("silo/tps_per_watt", silo_eff);
+  report.WriteFile();
   return 0;
 }

@@ -1,0 +1,96 @@
+#include "bench/report.h"
+
+#include <cstdio>
+
+#include "common/json.h"
+
+namespace bionicdb::bench {
+
+namespace {
+
+/// Re-indents a pretty-printed JSON block so it nests at `pad` spaces.
+/// The first line is left alone (it follows a key on the same line).
+std::string IndentBlock(const std::string& block, int pad) {
+  std::string out;
+  out.reserve(block.size() + 64);
+  std::string prefix(size_t(pad), ' ');
+  for (size_t i = 0; i < block.size(); ++i) {
+    out.push_back(block[i]);
+    if (block[i] == '\n' && i + 1 < block.size()) out += prefix;
+  }
+  return out;
+}
+
+}  // namespace
+
+StatsRegistry& BenchReport::AddRun(const std::string& label) {
+  runs_.emplace_back(label, StatsRegistry());
+  return runs_.back().second;
+}
+
+StatsRegistry& BenchReport::AddEngineRun(const std::string& label,
+                                         core::BionicDb* engine,
+                                         const host::RunResult& result) {
+  StatsRegistry& reg = AddRun(label);
+  engine->CollectStats(&reg);
+  reg.SetCounter("run/submitted", result.submitted);
+  reg.SetCounter("run/committed", result.committed);
+  reg.SetCounter("run/failed", result.failed);
+  reg.SetCounter("run/retries", result.retries);
+  reg.SetCounter("run/cycles", result.cycles);
+  reg.SetGauge("run/tps", result.tps);
+  return reg;
+}
+
+StatsRegistry& BenchReport::AddEngineRun(
+    const std::string& label, core::BionicDb* engine,
+    const host::ClosedLoopResult& result) {
+  StatsRegistry& reg = AddRun(label);
+  engine->CollectStats(&reg);
+  reg.SetCounter("run/committed", result.committed);
+  reg.SetCounter("run/retries", result.retries);
+  reg.SetCounter("run/cycles", result.cycles);
+  reg.SetGauge("run/tps", result.tps);
+  reg.SetSummary("run/latency_cycles", result.latency_cycles);
+  return reg;
+}
+
+std::string BenchReport::ToJson() const {
+  // Assembled by hand: the run stats arrive as finished JSON blocks from
+  // StatsRegistry::ToJson, spliced in with adjusted indentation.
+  std::string out = "{\n";
+  out += "  \"bench\": \"" + json::Escape(name_) + "\",\n";
+  out += "  \"schema_version\": 1,\n";
+  out += "  \"runs\": [";
+  for (size_t i = 0; i < runs_.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\n";
+    out += "      \"label\": \"" + json::Escape(runs_[i].first) + "\",\n";
+    out += "      \"stats\": " + IndentBlock(runs_[i].second.ToJson(2), 6);
+    out += "\n    }";
+  }
+  out += runs_.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+std::string BenchReport::WriteFile() const {
+  std::string path = "BENCH_" + name_ + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "report: cannot open %s for writing\n",
+                 path.c_str());
+    return "";
+  }
+  std::string doc = ToJson();
+  size_t written = std::fwrite(doc.data(), 1, doc.size(), f);
+  std::fclose(f);
+  if (written != doc.size()) {
+    std::fprintf(stderr, "report: short write to %s\n", path.c_str());
+    return "";
+  }
+  std::printf("(report written to %s)\n", path.c_str());
+  return path;
+}
+
+}  // namespace bionicdb::bench

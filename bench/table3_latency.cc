@@ -5,6 +5,7 @@
 // exercises the simulated fabric and reports the actual request/response
 // round-trip observed between two workers.
 #include "bench/bench_util.h"
+#include "bench/report.h"
 #include "comm/channels.h"
 
 int main(int argc, char** argv) {
@@ -41,5 +42,18 @@ int main(int argc, char** argv) {
   std::printf("\nMeasured on-chip round trip through the simulated fabric: "
               "%llu cycles = %.0f ns at %.0f MHz\n",
               (unsigned long long)(t - t0), ns, timing.clock_mhz);
+
+  bench::BenchReport report("table3_latency");
+  StatsRegistry& reg = report.AddRun("analytic");
+  reg.SetGauge("onchip/primitive_ns", model.OnchipPrimitive());
+  reg.SetGauge("onchip/round_trip_ns", model.OnchipRoundTrip());
+  reg.SetGauge("l3/primitive_ns", model.L3Primitive());
+  reg.SetGauge("l3/round_trip_ns", model.L3RoundTrip());
+  reg.SetGauge("ddr3/primitive_ns", model.Ddr3Primitive());
+  reg.SetGauge("ddr3/round_trip_ns", model.Ddr3RoundTrip());
+  StatsRegistry& measured = report.AddRun("measured");
+  measured.SetCounter("round_trip_cycles", t - t0);
+  measured.SetGauge("round_trip_ns", ns);
+  report.WriteFile();
   return 0;
 }

@@ -5,6 +5,7 @@
 // the 380 W 4-chip Xeon TDP, and the datacenter-part worker-count
 // projection the paper's scaling discussion (sections 4.6/7) relies on.
 #include "bench/bench_util.h"
+#include "bench/report.h"
 #include "power/model.h"
 
 int main(int argc, char** argv) {
@@ -57,5 +58,20 @@ int main(int argc, char** argv) {
                                dev, per_worker))});
   }
   proj.Print();
+
+  bench::BenchReport report("table4_resources");
+  StatsRegistry& reg = report.AddRun("virtex5_4workers");
+  for (const auto& row : model.ModuleBreakdown()) {
+    StatsScope mod(&reg, "modules/" + row.name);
+    mod.SetCounter("flip_flops", row.usage.flip_flops);
+    mod.SetCounter("luts", row.usage.luts);
+    mod.SetCounter("brams", row.usage.brams);
+  }
+  reg.SetGauge("utilization/flip_flops", model.UtilizationFf(device));
+  reg.SetGauge("utilization/luts", model.UtilizationLut(device));
+  reg.SetGauge("utilization/brams", model.UtilizationBram(device));
+  reg.SetGauge("power/bionicdb_watts", power::PowerModel::BionicDbWatts(4));
+  reg.SetGauge("power/xeon_watts", power::PowerModel::XeonWatts(4));
+  report.WriteFile();
   return 0;
 }

@@ -7,12 +7,15 @@
 // stress exactly the machinery the paper says limits TPC-C: long
 // data-dependency chains that serialise the softcore.
 #include "bench/bench_util.h"
+#include "bench/report.h"
 #include "workload/tpcc.h"
 
 namespace bionicdb {
 namespace {
 
 using bench::BenchArgs;
+
+bench::BenchReport* g_report = nullptr;
 
 struct MixEntry {
   const char* name;
@@ -69,7 +72,9 @@ host::RunResult Run(const BenchArgs& args, const MixEntry& mix) {
       list.emplace_back(w, block);
     }
   }
-  return host::RunToCompletion(&engine, list);
+  auto r = host::RunToCompletion(&engine, list);
+  g_report->AddEngineRun(std::string("mix/") + mix.name, &engine, r);
+  return r;
 }
 
 }  // namespace
@@ -78,6 +83,8 @@ host::RunResult Run(const BenchArgs& args, const MixEntry& mix) {
 int main(int argc, char** argv) {
   using namespace bionicdb;
   auto args = bench::BenchArgs::Parse(argc, argv);
+  bench::BenchReport report("tpcc_extended");
+  g_report = &report;
   bench::PrintHeader("Extension",
                      "the full five-transaction TPC-C suite");
   // The extended mix approximates the TPC-C spec weights (45:43:4:4:4).
@@ -106,5 +113,6 @@ int main(int argc, char** argv) {
       "(Solo Delivery/OrderStatus/StockLevel rows run against warmed-up\n"
       " districts; in the mixed rows NewOrder keeps them fed. StockLevel\n"
       " inspects ~hundreds of rows per transaction.)\n");
+  report.WriteFile();
   return 0;
 }

@@ -1,0 +1,144 @@
+// Validates a BENCH_*.json report emitted by a bench binary (the
+// bench_smoke ctest target runs this over a fresh fig9_overall report).
+//
+// Checks:
+//  * the document parses as JSON;
+//  * required keys exist: "bench" (string), "schema_version" (number),
+//    "runs" (non-empty array of {label, stats});
+//  * every run with engine stats carries sim cycle/throughput metrics;
+//  * every worker's cycle breakdown is exhaustive: busy + dram_stall +
+//    hazard_block + backpressure + idle matches cycles/total within 1%.
+//
+// Usage: validate_report <path> [<path>...]; exits non-zero on the first
+// failed file.
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/json.h"
+
+namespace bionicdb {
+namespace {
+
+bool Fail(const std::string& path, const std::string& what) {
+  std::fprintf(stderr, "%s: FAIL: %s\n", path.c_str(), what.c_str());
+  return false;
+}
+
+/// Fetches a required numeric member of `stats` at `key` into `*out`.
+bool Num(const json::Value& stats, const std::string& key, double* out) {
+  const json::Value* v = stats.FindPath(key);
+  if (v == nullptr || !v->is_number()) return false;
+  *out = v->number();
+  return true;
+}
+
+bool CheckWorkerBreakdown(const std::string& path, const std::string& label,
+                          const std::string& worker,
+                          const json::Value& cycles) {
+  double total, busy, dram, hazard, bp, idle;
+  if (!Num(cycles, "total", &total) || !Num(cycles, "busy", &busy) ||
+      !Num(cycles, "dram_stall", &dram) ||
+      !Num(cycles, "hazard_block", &hazard) ||
+      !Num(cycles, "backpressure", &bp) || !Num(cycles, "idle", &idle)) {
+    return Fail(path, "run '" + label + "' worker " + worker +
+                          ": incomplete cycle breakdown");
+  }
+  double sum = busy + dram + hazard + bp + idle;
+  if (total <= 0) {
+    return Fail(path,
+                "run '" + label + "' worker " + worker + ": zero cycles");
+  }
+  if (std::fabs(sum - total) > 0.01 * total) {
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "run '%s' worker %s: breakdown sum %.0f != total %.0f "
+                  "(>1%% off)",
+                  label.c_str(), worker.c_str(), sum, total);
+    return Fail(path, buf);
+  }
+  return true;
+}
+
+bool ValidateFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Fail(path, "cannot open");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  auto parsed = json::Value::Parse(buf.str());
+  if (!parsed.ok()) {
+    return Fail(path, "JSON parse error: " + parsed.status().ToString());
+  }
+  const json::Value& doc = parsed.value();
+
+  const json::Value* bench = doc.Find("bench");
+  if (bench == nullptr || !bench->is_string()) {
+    return Fail(path, "missing string key 'bench'");
+  }
+  const json::Value* version = doc.Find("schema_version");
+  if (version == nullptr || !version->is_number()) {
+    return Fail(path, "missing numeric key 'schema_version'");
+  }
+  const json::Value* runs = doc.Find("runs");
+  if (runs == nullptr || !runs->is_array()) {
+    return Fail(path, "missing array key 'runs'");
+  }
+  if (runs->array().empty()) return Fail(path, "'runs' is empty");
+
+  size_t engine_runs = 0;
+  size_t workers_checked = 0;
+  for (const json::Value& run : runs->array()) {
+    const json::Value* label_v = run.Find("label");
+    const json::Value* stats = run.Find("stats");
+    if (label_v == nullptr || !label_v->is_string() || stats == nullptr ||
+        !stats->is_object()) {
+      return Fail(path, "run without string 'label' + object 'stats'");
+    }
+    const std::string& label = label_v->string();
+    const json::Value* workers = stats->Find("workers");
+    if (workers == nullptr) continue;  // analytic run: no engine tree
+    ++engine_runs;
+    double ignored;
+    if (!Num(*stats, "sim/cycles", &ignored)) {
+      return Fail(path, "run '" + label + "': missing sim/cycles");
+    }
+    if (!Num(*stats, "run/committed", &ignored)) {
+      return Fail(path, "run '" + label + "': missing run/committed");
+    }
+    if (!workers->is_object() || workers->members().empty()) {
+      return Fail(path, "run '" + label + "': empty workers tree");
+    }
+    for (const auto& [worker_id, worker] : workers->members()) {
+      const json::Value* cycles = worker.Find("cycles");
+      if (cycles == nullptr) {
+        return Fail(path, "run '" + label + "' worker " + worker_id +
+                              ": missing cycles");
+      }
+      if (!CheckWorkerBreakdown(path, label, worker_id, *cycles)) {
+        return false;
+      }
+      ++workers_checked;
+    }
+  }
+  std::printf("%s: OK (%zu runs, %zu engine runs, %zu worker breakdowns)\n",
+              path.c_str(), runs->array().size(), engine_runs,
+              workers_checked);
+  return true;
+}
+
+}  // namespace
+}  // namespace bionicdb
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <BENCH_*.json> [...]\n", argv[0]);
+    return 2;
+  }
+  for (int i = 1; i < argc; ++i) {
+    if (!bionicdb::ValidateFile(argv[i])) return 1;
+  }
+  return 0;
+}

@@ -74,4 +74,10 @@ bool CommFabric::Idle() const {
   return true;
 }
 
+void CommFabric::CollectStats(StatsScope scope) const {
+  scope.SetCounter("messages_sent", messages_sent_);
+  scope.SetCounter("n_workers", n_workers_);
+  scope.MergeCounterSet(counters_);
+}
+
 }  // namespace bionicdb::comm

@@ -81,6 +81,10 @@ class CommFabric : public sim::Component {
   uint64_t messages_sent() const { return messages_sent_; }
   CounterSet& counters() { return counters_; }
 
+  /// Dumps message counters and per-direction wire/inbox occupancy under
+  /// `scope`.
+  void CollectStats(StatsScope scope) const;
+
  private:
   template <typename T>
   struct InFlight {

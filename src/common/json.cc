@@ -1,0 +1,347 @@
+#include "common/json.h"
+
+#include <cassert>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace bionicdb::json {
+
+std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += char(c);
+        }
+    }
+  }
+  return out;
+}
+
+void Writer::Prefix() {
+  if (key_pending_) {
+    key_pending_ = false;
+    return;  // value follows "key": on the same line
+  }
+  if (stack_.empty()) return;
+  if (stack_.back().second) out_ += ',';
+  stack_.back().second = true;
+  out_ += '\n';
+  out_.append(stack_.size() * size_t(indent_), ' ');
+}
+
+void Writer::Nest(char kind) {
+  Prefix();
+  out_ += kind;
+  stack_.emplace_back(kind, false);
+}
+
+void Writer::Unnest(char kind) {
+  assert(!stack_.empty() && stack_.back().first == kind);
+  bool had_elements = stack_.back().second;
+  stack_.pop_back();
+  if (had_elements) {
+    out_ += '\n';
+    out_.append(stack_.size() * size_t(indent_), ' ');
+  }
+  out_ += kind == '{' ? '}' : ']';
+}
+
+void Writer::BeginObject() { Nest('{'); }
+void Writer::EndObject() { Unnest('{'); }
+void Writer::BeginArray() { Nest('['); }
+void Writer::EndArray() { Unnest('['); }
+
+void Writer::Key(const std::string& key) {
+  assert(!stack_.empty() && stack_.back().first == '{' && !key_pending_);
+  Prefix();
+  out_ += '"';
+  out_ += Escape(key);
+  out_ += "\": ";
+  key_pending_ = true;
+}
+
+void Writer::Value(const std::string& v) {
+  Prefix();
+  out_ += '"';
+  out_ += Escape(v);
+  out_ += '"';
+}
+
+void Writer::Value(uint64_t v) {
+  Prefix();
+  out_ += std::to_string(v);
+}
+
+void Writer::Value(double v) {
+  Prefix();
+  if (!std::isfinite(v)) {
+    // JSON has no Infinity/NaN; report null so documents stay parseable.
+    out_ += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out_ += buf;
+}
+
+void Writer::Value(bool v) {
+  Prefix();
+  out_ += v ? "true" : "false";
+}
+
+void Writer::Null() {
+  Prefix();
+  out_ += "null";
+}
+
+std::string Writer::TakeString() {
+  assert(stack_.empty());
+  out_ += '\n';
+  return std::move(out_);
+}
+
+// --- Parser ---------------------------------------------------------------
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  StatusOr<Value> Parse() {
+    Value v;
+    Status s = ParseValue(&v, 0);
+    if (!s.ok()) return s;
+    SkipWs();
+    if (pos_ != text_.size()) return Error("trailing characters");
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("JSON parse error at byte " +
+                                   std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(Value* out, int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    SkipWs();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    char c = text_[pos_];
+    switch (c) {
+      case '{': return ParseObject(out, depth);
+      case '[': return ParseArray(out, depth);
+      case '"': {
+        out->type_ = Value::Type::kString;
+        return ParseString(&out->string_);
+      }
+      case 't':
+      case 'f': return ParseKeyword(out);
+      case 'n': return ParseKeyword(out);
+      default: return ParseNumber(out);
+    }
+  }
+
+  Status ParseObject(Value* out, int depth) {
+    ++pos_;  // '{'
+    out->type_ = Value::Type::kObject;
+    SkipWs();
+    if (Consume('}')) return Status::Ok();
+    for (;;) {
+      SkipWs();
+      std::string key;
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key");
+      }
+      if (Status s = ParseString(&key); !s.ok()) return s;
+      SkipWs();
+      if (!Consume(':')) return Error("expected ':'");
+      Value member;
+      if (Status s = ParseValue(&member, depth + 1); !s.ok()) return s;
+      out->members_.emplace_back(std::move(key), std::move(member));
+      SkipWs();
+      if (Consume('}')) return Status::Ok();
+      if (!Consume(',')) return Error("expected ',' or '}'");
+    }
+  }
+
+  Status ParseArray(Value* out, int depth) {
+    ++pos_;  // '['
+    out->type_ = Value::Type::kArray;
+    SkipWs();
+    if (Consume(']')) return Status::Ok();
+    for (;;) {
+      Value item;
+      if (Status s = ParseValue(&item, depth + 1); !s.ok()) return s;
+      out->items_.push_back(std::move(item));
+      SkipWs();
+      if (Consume(']')) return Status::Ok();
+      if (!Consume(',')) return Error("expected ',' or ']'");
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    ++pos_;  // '"'
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return Status::Ok();
+      if (c != '\\') {
+        *out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      char e = text_[pos_++];
+      switch (e) {
+        case '"': *out += '"'; break;
+        case '\\': *out += '\\'; break;
+        case '/': *out += '/'; break;
+        case 'b': *out += '\b'; break;
+        case 'f': *out += '\f'; break;
+        case 'n': *out += '\n'; break;
+        case 'r': *out += '\r'; break;
+        case 't': *out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= unsigned(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= unsigned(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= unsigned(h - 'A' + 10);
+            else return Error("bad \\u escape");
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs unsupported —
+          // the reports are ASCII).
+          if (code < 0x80) {
+            *out += char(code);
+          } else if (code < 0x800) {
+            *out += char(0xc0 | (code >> 6));
+            *out += char(0x80 | (code & 0x3f));
+          } else {
+            *out += char(0xe0 | (code >> 12));
+            *out += char(0x80 | ((code >> 6) & 0x3f));
+            *out += char(0x80 | (code & 0x3f));
+          }
+          break;
+        }
+        default: return Error("bad escape");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Status ParseKeyword(Value* out) {
+    auto match = [this](const char* kw) {
+      size_t n = std::strlen(kw);
+      if (text_.compare(pos_, n, kw) != 0) return false;
+      pos_ += n;
+      return true;
+    };
+    if (match("true")) {
+      out->type_ = Value::Type::kBool;
+      out->bool_ = true;
+      return Status::Ok();
+    }
+    if (match("false")) {
+      out->type_ = Value::Type::kBool;
+      out->bool_ = false;
+      return Status::Ok();
+    }
+    if (match("null")) {
+      out->type_ = Value::Type::kNull;
+      return Status::Ok();
+    }
+    return Error("unknown keyword");
+  }
+
+  Status ParseNumber(Value* out) {
+    size_t start = pos_;
+    if (Consume('-')) {}
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected value");
+    char* end = nullptr;
+    std::string tok = text_.substr(start, pos_ - start);
+    double v = std::strtod(tok.c_str(), &end);
+    if (end != tok.c_str() + tok.size()) return Error("bad number");
+    out->type_ = Value::Type::kNumber;
+    out->number_ = v;
+    return Status::Ok();
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+StatusOr<Value> Value::Parse(const std::string& text) {
+  return Parser(text).Parse();
+}
+
+const Value* Value::Find(const std::string& key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const Value* Value::FindPath(const std::string& path) const {
+  const Value* cur = this;
+  size_t pos = 0;
+  while (pos <= path.size() && cur != nullptr) {
+    size_t sep = path.find('/', pos);
+    std::string seg = path.substr(
+        pos, sep == std::string::npos ? std::string::npos : sep - pos);
+    if (cur->is_array()) {
+      char* end = nullptr;
+      unsigned long idx = std::strtoul(seg.c_str(), &end, 10);
+      if (end != seg.c_str() + seg.size() || idx >= cur->items_.size()) {
+        return nullptr;
+      }
+      cur = &cur->items_[idx];
+    } else {
+      cur = cur->Find(seg);
+    }
+    if (sep == std::string::npos) return cur;
+    pos = sep + 1;
+  }
+  return nullptr;
+}
+
+}  // namespace bionicdb::json

@@ -1,0 +1,101 @@
+// Minimal JSON support: an emitter for the bench/metrics reports and a
+// strict recursive-descent parser used by tests and the bench_smoke report
+// validator. Not a general-purpose JSON library — no streaming, documents
+// are kept in memory — but fully self-contained (no third-party deps).
+#ifndef BIONICDB_COMMON_JSON_H_
+#define BIONICDB_COMMON_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace bionicdb::json {
+
+/// Escapes `s` for use inside a JSON string literal (quotes not included).
+std::string Escape(const std::string& s);
+
+/// Incremental pretty-printing JSON emitter with an explicit nesting stack.
+/// Misuse (Value with no pending key inside an object, unbalanced End*)
+/// trips an assert in debug builds.
+class Writer {
+ public:
+  explicit Writer(int indent = 2) : indent_(indent) {}
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+  void Key(const std::string& key);
+
+  void Value(const std::string& v);
+  void Value(const char* v) { Value(std::string(v)); }
+  void Value(uint64_t v);
+  void Value(int v) { Value(uint64_t(v)); }
+  void Value(double v);
+  void Value(bool v);
+  void Null();
+
+  /// The finished document. The writer must be back at nesting depth 0.
+  std::string TakeString();
+
+ private:
+  void Prefix();  // comma/newline/indent before a new element
+  void Nest(char kind);
+  void Unnest(char kind);
+
+  std::string out_;
+  int indent_;
+  // One char per open container: '{' or '['; paired bool = "has elements".
+  std::vector<std::pair<char, bool>> stack_;
+  bool key_pending_ = false;
+};
+
+/// A parsed JSON document node.
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kObject, kArray };
+
+  /// Parses `text` (must be a complete JSON document, trailing whitespace
+  /// allowed). Returns InvalidArgument with position info on malformed
+  /// input.
+  static StatusOr<Value> Parse(const std::string& text);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_bool() const { return type_ == Type::kBool; }
+
+  double number() const { return number_; }
+  bool boolean() const { return bool_; }
+  const std::string& string() const { return string_; }
+  const std::vector<Value>& array() const { return items_; }
+  const std::vector<std::pair<std::string, Value>>& members() const {
+    return members_;
+  }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Value* Find(const std::string& key) const;
+  /// Nested lookup by '/'-separated path ("runs/0/metrics/tps" indexes
+  /// arrays with numeric segments). nullptr when any hop is absent.
+  const Value* FindPath(const std::string& path) const;
+
+ private:
+  friend class Parser;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<Value> items_;                             // array
+  std::vector<std::pair<std::string, Value>> members_;   // object
+};
+
+}  // namespace bionicdb::json
+
+#endif  // BIONICDB_COMMON_JSON_H_

@@ -53,7 +53,17 @@ class RingQueue {
     return v;
   }
 
-  void Clear() { head_ = tail_ = 0; }
+  /// Empties the queue, destroying held elements (each live slot is
+  /// overwritten with a default-constructed T so payload resources — heap
+  /// buffers, refcounts — are released immediately, not when the slot is
+  /// next reused).
+  void Clear() {
+    while (head_ != tail_) {
+      buf_[head_] = T();
+      head_ = Advance(head_);
+    }
+    head_ = tail_ = 0;
+  }
 
  private:
   size_t Advance(size_t i) const { return (i + 1) % buf_.size(); }

@@ -2,7 +2,33 @@
 
 #include <cmath>
 
+#include "common/json.h"
+
 namespace bionicdb {
+
+namespace {
+
+/// splitmix64: strong deterministic mixer for the reservoir sampler.
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Unbiased uniform draw in [0, bound) via rejection (Lemire's method needs
+/// 128-bit multiplies; classic threshold rejection is branch-cheap enough
+/// for the reservoir's once-per-sample use).
+uint64_t UniformBelow(uint64_t* state, uint64_t bound) {
+  // Discard draws from the biased tail so every residue is equally likely.
+  const uint64_t threshold = (0 - bound) % bound;  // 2^64 mod bound
+  for (;;) {
+    uint64_t r = SplitMix64(state);
+    if (r >= threshold) return r % bound;
+  }
+}
+
+}  // namespace
 
 void Summary::Add(double v) {
   if (count_ == 0 || v < min_) min_ = v;
@@ -13,15 +39,18 @@ void Summary::Add(double v) {
   if (reservoir_.size() < kReservoirSize) {
     reservoir_.push_back(v);
   } else {
-    // Vitter's algorithm R with a deterministic LCG keyed on seen_.
-    uint64_t r = seen_ * 6364136223846793005ULL + 1442695040888963407ULL;
-    r = (r >> 16) % seen_;
+    // Vitter's algorithm R with an unbiased deterministic draw: element
+    // seen_ replaces a reservoir slot with probability k/seen_, keeping
+    // every prefix element's inclusion probability uniform.
+    uint64_t r = UniformBelow(&rng_state_, seen_);
     if (r < kReservoirSize) reservoir_[r] = v;
   }
 }
 
 double Summary::Quantile(double q) const {
   if (reservoir_.empty()) return 0;
+  if (!(q > 0)) q = 0;  // also maps NaN to 0
+  if (q > 1) q = 1;
   std::vector<double> sorted = reservoir_;
   std::sort(sorted.begin(), sorted.end());
   double pos = q * double(sorted.size() - 1);
@@ -29,6 +58,171 @@ double Summary::Quantile(double q) const {
   size_t hi = static_cast<size_t>(std::ceil(pos));
   double frac = pos - double(lo);
   return sorted[lo] * (1 - frac) + sorted[hi] * frac;
+}
+
+void Histogram::Add(uint64_t v) {
+  uint32_t bucket = 0;
+  if (v > 0) {
+    bucket = 64 - uint32_t(__builtin_clzll(v));
+    if (bucket >= kBuckets) bucket = kBuckets - 1;
+  }
+  ++buckets_[bucket];
+  ++count_;
+  sum_ += v;
+}
+
+void StatsRegistry::SetCounter(const std::string& path, uint64_t value) {
+  counters_[path] = value;
+}
+
+void StatsRegistry::AddCounter(const std::string& path, uint64_t delta) {
+  counters_[path] += delta;
+}
+
+void StatsRegistry::SetGauge(const std::string& path, double value) {
+  gauges_[path] = value;
+}
+
+void StatsRegistry::SetSummary(const std::string& path,
+                               const Summary& summary) {
+  summaries_[path] = summary;
+}
+
+void StatsRegistry::SetHistogram(const std::string& path,
+                                 const Histogram& histogram) {
+  histograms_[path] = histogram;
+}
+
+void StatsRegistry::MergeCounterSet(const std::string& prefix,
+                                    const CounterSet& set) {
+  for (const auto& [name, value] : set.counters()) {
+    counters_[prefix.empty() ? name : prefix + "/" + name] += value;
+  }
+}
+
+uint64_t StatsRegistry::GetCounter(const std::string& path) const {
+  auto it = counters_.find(path);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+bool StatsRegistry::HasPath(const std::string& path) const {
+  return counters_.count(path) || gauges_.count(path) ||
+         summaries_.count(path) || histograms_.count(path);
+}
+
+namespace {
+
+/// One flattened leaf, tagged with which store it came from.
+struct Leaf {
+  const std::string* path;
+  enum class Kind { kCounter, kGauge, kSummary, kHistogram } kind;
+  uint64_t counter = 0;
+  double gauge = 0;
+  const Summary* summary = nullptr;
+  const Histogram* histogram = nullptr;
+};
+
+void WriteLeaf(json::Writer* w, const Leaf& leaf) {
+  switch (leaf.kind) {
+    case Leaf::Kind::kCounter:
+      w->Value(leaf.counter);
+      return;
+    case Leaf::Kind::kGauge:
+      w->Value(leaf.gauge);
+      return;
+    case Leaf::Kind::kSummary: {
+      const Summary& s = *leaf.summary;
+      w->BeginObject();
+      w->Key("count"); w->Value(s.count());
+      w->Key("min"); w->Value(s.min());
+      w->Key("max"); w->Value(s.max());
+      w->Key("mean"); w->Value(s.mean());
+      w->Key("p50"); w->Value(s.Quantile(0.5));
+      w->Key("p90"); w->Value(s.Quantile(0.9));
+      w->Key("p99"); w->Value(s.Quantile(0.99));
+      w->EndObject();
+      return;
+    }
+    case Leaf::Kind::kHistogram: {
+      const Histogram& h = *leaf.histogram;
+      w->BeginObject();
+      w->Key("count"); w->Value(h.count());
+      w->Key("mean"); w->Value(h.mean());
+      w->Key("buckets");
+      w->BeginObject();
+      for (uint32_t i = 0; i < Histogram::kBuckets; ++i) {
+        if (h.buckets()[i] == 0) continue;
+        w->Key(std::to_string(Histogram::BucketFloor(i)));
+        w->Value(h.buckets()[i]);
+      }
+      w->EndObject();
+      w->EndObject();
+      return;
+    }
+  }
+}
+
+/// Emits leaves[lo, hi) — all sharing the path prefix of length `depth`
+/// characters — as one nested JSON object, grouping on the next '/'.
+void WriteTree(json::Writer* w, const std::vector<Leaf>& leaves, size_t lo,
+               size_t hi, size_t depth) {
+  w->BeginObject();
+  size_t i = lo;
+  while (i < hi) {
+    const std::string& path = *leaves[i].path;
+    size_t sep = path.find('/', depth);
+    std::string segment = path.substr(depth, sep == std::string::npos
+                                                 ? std::string::npos
+                                                 : sep - depth);
+    // Find the run of leaves sharing this segment at this depth.
+    size_t j = i + 1;
+    while (j < hi) {
+      const std::string& other = *leaves[j].path;
+      if (other.compare(depth, segment.size(), segment) != 0) break;
+      char after = other.size() > depth + segment.size()
+                       ? other[depth + segment.size()]
+                       : '\0';
+      if (after != '/' && after != '\0') break;
+      ++j;
+    }
+    w->Key(segment);
+    if (sep == std::string::npos) {
+      WriteLeaf(w, leaves[i]);
+      // Duplicate paths across stores are possible in principle; keep the
+      // first and skip the rest rather than emitting invalid JSON.
+      i = j;
+    } else {
+      WriteTree(w, leaves, i, j, depth + segment.size() + 1);
+      i = j;
+    }
+  }
+  w->EndObject();
+}
+
+}  // namespace
+
+std::string StatsRegistry::ToJson(int indent) const {
+  std::vector<Leaf> leaves;
+  leaves.reserve(counters_.size() + gauges_.size() + summaries_.size() +
+                 histograms_.size());
+  for (const auto& [path, v] : counters_) {
+    leaves.push_back({&path, Leaf::Kind::kCounter, v, 0, nullptr, nullptr});
+  }
+  for (const auto& [path, v] : gauges_) {
+    leaves.push_back({&path, Leaf::Kind::kGauge, 0, v, nullptr, nullptr});
+  }
+  for (const auto& [path, s] : summaries_) {
+    leaves.push_back({&path, Leaf::Kind::kSummary, 0, 0, &s, nullptr});
+  }
+  for (const auto& [path, h] : histograms_) {
+    leaves.push_back({&path, Leaf::Kind::kHistogram, 0, 0, nullptr, &h});
+  }
+  std::sort(leaves.begin(), leaves.end(), [](const Leaf& a, const Leaf& b) {
+    return *a.path < *b.path;
+  });
+  json::Writer w(indent);
+  WriteTree(&w, leaves, 0, leaves.size(), 0);
+  return w.TakeString();
 }
 
 }  // namespace bionicdb

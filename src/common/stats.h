@@ -1,8 +1,11 @@
-// Counters and histograms for experiment reporting.
+// Counters, histograms and hierarchical metric registries for experiment
+// reporting. See the "Observability" section of DESIGN.md for the counter
+// naming scheme and the JSON report schema built on top of these types.
 #ifndef BIONICDB_COMMON_STATS_H_
 #define BIONICDB_COMMON_STATS_H_
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -22,9 +25,13 @@ class Summary {
   double mean() const { return count_ ? sum_ / double(count_) : 0; }
   double sum() const { return sum_; }
 
-  /// Quantile in [0,1] from the reservoir sample (exact while the series is
-  /// shorter than the reservoir).
+  /// Quantile from the reservoir sample (exact while the series is shorter
+  /// than the reservoir). `q` is clamped to [0,1]; an empty summary
+  /// reports 0.
   double Quantile(double q) const;
+
+  /// Reservoir contents (exposed for distribution tests).
+  const std::vector<double>& reservoir() const { return reservoir_; }
 
  private:
   static constexpr size_t kReservoirSize = 4096;
@@ -34,7 +41,34 @@ class Summary {
   double min_ = 0;
   double max_ = 0;
   std::vector<double> reservoir_;
-  uint64_t seen_ = 0;  // for reservoir sampling
+  uint64_t seen_ = 0;     // for reservoir sampling
+  uint64_t rng_state_ = 0x9e3779b97f4a7c15ULL;  // deterministic sampler
+};
+
+/// Fixed power-of-two latency histogram: bucket i counts samples in
+/// [2^(i-1), 2^i) cycles (bucket 0 counts 0-latency samples). Cheap enough
+/// to sit on simulator hot paths, and coarse-grained by design — use
+/// Summary when exact quantiles matter.
+class Histogram {
+ public:
+  static constexpr uint32_t kBuckets = 40;
+
+  void Add(uint64_t v);
+
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  double mean() const { return count_ ? double(sum_) / double(count_) : 0; }
+  const std::array<uint64_t, kBuckets>& buckets() const { return buckets_; }
+
+  /// Inclusive lower bound of bucket `i`.
+  static uint64_t BucketFloor(uint32_t i) {
+    return i == 0 ? 0 : 1ull << (i - 1);
+  }
+
+ private:
+  std::array<uint64_t, kBuckets> buckets_{};
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
 };
 
 /// Named monotonic counters keyed by string, for simulator bookkeeping
@@ -53,6 +87,87 @@ class CounterSet {
 
  private:
   std::map<std::string, uint64_t> counters_;
+};
+
+/// Hierarchical metric registry: every metric lives at a '/'-separated
+/// path ("workers/0/cycles/busy"), and ToJson() renders the whole tree as
+/// nested JSON objects. Leaves are counters (uint64), gauges (double) or
+/// summaries (rendered as {count,min,max,mean,p50,p90,p99}).
+///
+/// This is the collection surface between the simulated hardware and the
+/// bench reporters: components keep their cheap local CounterSet/Summary
+/// state on the hot path, and a CollectStats pass copies them into one
+/// registry at reporting time.
+class StatsRegistry {
+ public:
+  void SetCounter(const std::string& path, uint64_t value);
+  void AddCounter(const std::string& path, uint64_t delta);
+  void SetGauge(const std::string& path, double value);
+  void SetSummary(const std::string& path, const Summary& summary);
+  void SetHistogram(const std::string& path, const Histogram& histogram);
+  /// Copies every counter of `set` under `prefix` ("prefix/name").
+  void MergeCounterSet(const std::string& prefix, const CounterSet& set);
+
+  uint64_t GetCounter(const std::string& path) const;
+  bool HasPath(const std::string& path) const;
+
+  /// Renders the registry as a pretty-printed JSON object tree.
+  std::string ToJson(int indent = 2) const;
+
+  const std::map<std::string, uint64_t>& counters() const { return counters_; }
+  const std::map<std::string, double>& gauges() const { return gauges_; }
+  const std::map<std::string, Summary>& summaries() const {
+    return summaries_;
+  }
+
+ private:
+  std::map<std::string, uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, Summary> summaries_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+/// Prefix view over a StatsRegistry: Scope("workers/0").SetCounter("x", v)
+/// writes "workers/0/x". Sub-scopes nest.
+class StatsScope {
+ public:
+  StatsScope(StatsRegistry* registry, std::string prefix)
+      : registry_(registry), prefix_(std::move(prefix)) {}
+
+  StatsScope Sub(const std::string& name) const {
+    return StatsScope(registry_, Join(name));
+  }
+
+  void SetCounter(const std::string& name, uint64_t v) {
+    registry_->SetCounter(Join(name), v);
+  }
+  void AddCounter(const std::string& name, uint64_t delta) {
+    registry_->AddCounter(Join(name), delta);
+  }
+  void SetGauge(const std::string& name, double v) {
+    registry_->SetGauge(Join(name), v);
+  }
+  void SetSummary(const std::string& name, const Summary& s) {
+    registry_->SetSummary(Join(name), s);
+  }
+  void SetHistogram(const std::string& name, const Histogram& h) {
+    registry_->SetHistogram(Join(name), h);
+  }
+  void MergeCounterSet(const CounterSet& set) {
+    registry_->MergeCounterSet(prefix_, set);
+  }
+
+  StatsRegistry* registry() const { return registry_; }
+  const std::string& prefix() const { return prefix_; }
+
+ private:
+  /// An empty prefix denotes the registry root: no leading '/'.
+  std::string Join(const std::string& name) const {
+    return prefix_.empty() ? name : prefix_ + "/" + name;
+  }
+
+  StatsRegistry* registry_;
+  std::string prefix_;
 };
 
 }  // namespace bionicdb

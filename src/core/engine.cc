@@ -51,4 +51,17 @@ uint64_t BionicDb::TotalAborted() const {
   return n;
 }
 
+void BionicDb::CollectStats(StatsRegistry* registry) const {
+  StatsScope root(registry, "");
+  sim_->CollectStats(root.Sub("sim"));
+  fabric_->CollectStats(root.Sub("fabric"));
+  StatsScope workers = root.Sub("workers");
+  for (const auto& w : workers_) {
+    w->CollectStats(workers.Sub(std::to_string(w->id())));
+  }
+  root.SetCounter("total_committed", TotalCommitted());
+  root.SetCounter("total_aborted", TotalAborted());
+  root.SetGauge("throughput_tps", Throughput());
+}
+
 }  // namespace bionicdb::core

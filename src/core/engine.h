@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "comm/channels.h"
+#include "common/stats.h"
 #include "common/status.h"
 #include "core/worker.h"
 #include "db/database.h"
@@ -79,6 +80,12 @@ class BionicDb {
   double Throughput() const {
     return options_.timing.Throughput(TotalCommitted(), sim_->now());
   }
+
+  /// Dumps the full engine statistics tree into `registry`:
+  ///   sim/...       cycles, per-component busy/idle, DRAM channels
+  ///   fabric/...    on-chip message counters
+  ///   workers/<id>/ cycle breakdown, RTT, softcore + coprocessor stats
+  void CollectStats(StatsRegistry* registry) const;
 
  private:
   EngineOptions options_;

@@ -566,4 +566,13 @@ void Softcore::StartSwitch(uint64_t now, uint32_t next_ctx, Phase phase) {
   ++stats_.context_switches;
 }
 
+void Softcore::CollectStats(StatsScope scope) const {
+  scope.SetCounter("committed", stats_.committed);
+  scope.SetCounter("aborted", stats_.aborted);
+  scope.SetCounter("batches", stats_.batches);
+  scope.SetCounter("context_switches", stats_.context_switches);
+  scope.SetCounter("instructions", stats_.instructions);
+  scope.MergeCounterSet(counters_);
+}
+
 }  // namespace bionicdb::core

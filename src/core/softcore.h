@@ -88,6 +88,40 @@ class Softcore {
   const BatchStats& stats() const { return stats_; }
   CounterSet& counters() { return counters_; }
 
+  /// What the core is doing at cycle `now`, for the worker's per-cycle
+  /// breakdown. Exactly one kind per cycle; kBusy wins while the
+  /// fixed-cost execution timer is running (instruction retirement /
+  /// context switch in progress).
+  enum class WaitKind : uint8_t {
+    kBusy,             // executing / switching
+    kDramWait,         // ingest or LOAD waiting on (or rejected by) DRAM
+    kCpWait,           // RET blocked on a pending CP register
+    kDispatchBlocked,  // local coprocessor at its in-flight cap
+    kIdle,             // no work
+  };
+  WaitKind wait_kind(uint64_t now) const {
+    if (busy_until_ > now) return WaitKind::kBusy;
+    switch (state_) {
+      case State::kRunning:
+      case State::kSwitching:
+        return WaitKind::kBusy;
+      case State::kIngestRetry:
+      case State::kFetchBlock:
+      case State::kMemWait:
+        return WaitKind::kDramWait;
+      case State::kWaitCp:
+        return WaitKind::kCpWait;
+      case State::kDispatchRetry:
+        return WaitKind::kDispatchBlocked;
+      case State::kIdle:
+        return WaitKind::kIdle;
+    }
+    return WaitKind::kIdle;
+  }
+
+  /// Dumps execution counters and batch statistics under `scope`.
+  void CollectStats(StatsScope scope) const;
+
  private:
   enum class State : uint8_t {
     kIdle,        // pick next work item

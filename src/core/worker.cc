@@ -21,7 +21,9 @@ bool PartitionWorker::DispatchLocal(const index::DbOp& op) {
 
 void PartitionWorker::DispatchRemote(uint32_t partition,
                                      const index::DbOp& op) {
-  fabric_->SendRequest(now_, id_, partition, op);
+  index::DbOp stamped = op;
+  stamped.sent_at = now_;
+  fabric_->SendRequest(now_, id_, partition, stamped);
 }
 
 void PartitionWorker::Tick(uint64_t cycle) {
@@ -54,17 +56,60 @@ void PartitionWorker::Tick(uint64_t cycle) {
   if (fabric_ != nullptr) {
     auto& responses = fabric_->responses(id_);
     while (!responses.empty()) {
-      softcore_->WriteCp(responses.front());
+      const index::DbResult& r = responses.front();
+      if (r.sent_at != 0) remote_rtt_.Add(double(cycle - r.sent_at));
+      softcore_->WriteCp(r);
       responses.pop_front();
     }
   }
 
   coproc_->Tick(cycle);
   softcore_->Tick(cycle);
+
+  // Charge this cycle to exactly one breakdown bucket (see CycleBreakdown).
+  ++cycles_.total;
+  switch (softcore_->wait_kind(cycle)) {
+    case Softcore::WaitKind::kBusy:
+      ++cycles_.busy;
+      break;
+    case Softcore::WaitKind::kDramWait:
+      ++cycles_.dram_stall;
+      break;
+    case Softcore::WaitKind::kDispatchBlocked:
+      ++cycles_.backpressure;
+      break;
+    case Softcore::WaitKind::kCpWait:
+    case Softcore::WaitKind::kIdle:
+      // The core is not the limiter; attribute the cycle to whatever the
+      // coprocessor was doing (or failing to do) on the core's behalf.
+      if (coproc_->hazard_stalled()) {
+        ++cycles_.hazard_block;
+      } else if (coproc_->dram_stalled()) {
+        ++cycles_.dram_stall;
+      } else if (!coproc_->Idle()) {
+        ++cycles_.busy;
+      } else {
+        ++cycles_.idle;
+      }
+      break;
+  }
 }
 
 bool PartitionWorker::Idle() const {
   return softcore_->Idle() && coproc_->Idle();
+}
+
+void PartitionWorker::CollectStats(StatsScope scope) const {
+  StatsScope cyc = scope.Sub("cycles");
+  cyc.SetCounter("total", cycles_.total);
+  cyc.SetCounter("busy", cycles_.busy);
+  cyc.SetCounter("dram_stall", cycles_.dram_stall);
+  cyc.SetCounter("hazard_block", cycles_.hazard_block);
+  cyc.SetCounter("backpressure", cycles_.backpressure);
+  cyc.SetCounter("idle", cycles_.idle);
+  scope.SetSummary("remote_rtt_cycles", remote_rtt_);
+  softcore_->CollectStats(scope.Sub("softcore"));
+  coproc_->CollectStats(scope.Sub("coproc"));
 }
 
 }  // namespace bionicdb::core

@@ -42,12 +42,37 @@ class PartitionWorker : public sim::Component, public DbDispatcher {
   index::IndexCoprocessor& coprocessor() { return *coproc_; }
   const Softcore::BatchStats& stats() const { return softcore_->stats(); }
 
+  /// Per-cycle stall attribution: every worker tick is charged to exactly
+  /// one bucket, so busy + dram_stall + hazard_block + backpressure + idle
+  /// == total by construction. Sampled post-tick: the softcore's wait kind
+  /// decides first; a waiting/idle softcore defers to the coprocessor's
+  /// per-tick stall flags.
+  struct CycleBreakdown {
+    uint64_t total = 0;
+    uint64_t busy = 0;
+    uint64_t dram_stall = 0;
+    uint64_t hazard_block = 0;
+    uint64_t backpressure = 0;
+    uint64_t idle = 0;
+  };
+  const CycleBreakdown& cycles() const { return cycles_; }
+
+  /// Round-trip latency (cycles) of remote DB instructions dispatched by
+  /// this worker, measured wire-out to response-drain.
+  const Summary& remote_rtt_cycles() const { return remote_rtt_; }
+
+  /// Dumps the cycle breakdown, RTT summary, softcore and coprocessor
+  /// statistics under `scope`.
+  void CollectStats(StatsScope scope) const;
+
  private:
   db::WorkerId id_;
   comm::CommFabric* fabric_;
   uint64_t now_ = 0;
   std::unique_ptr<index::IndexCoprocessor> coproc_;
   std::unique_ptr<Softcore> softcore_;
+  CycleBreakdown cycles_;
+  Summary remote_rtt_;
 };
 
 }  // namespace bionicdb::core

@@ -27,6 +27,7 @@ bool IndexCoprocessor::Submit(const DbOp& op) {
     r.txn_slot = op.txn_slot;
     r.status = isa::CpStatus::kError;
     r.is_remote = op.is_remote;
+    r.sent_at = op.sent_at;
     results_.push_back(r);
     return true;
   }
@@ -40,6 +41,13 @@ bool IndexCoprocessor::Submit(const DbOp& op) {
 void IndexCoprocessor::Tick(uint64_t cycle) {
   hash_->Tick(cycle);
   skiplist_->Tick(cycle);
+}
+
+void IndexCoprocessor::CollectStats(StatsScope scope) const {
+  scope.SetCounter("max_inflight", config_.max_inflight);
+  scope.MergeCounterSet(counters_);
+  hash_->CollectStats(scope.Sub("hash"));
+  skiplist_->CollectStats(scope.Sub("skiplist"));
 }
 
 }  // namespace bionicdb::index

@@ -53,6 +53,19 @@ class IndexCoprocessor : public sim::Component {
   SkiplistPipeline& skiplist_pipeline() { return *skiplist_; }
   CounterSet& counters() { return counters_; }
 
+  /// Per-tick stall attribution rolled up over both pipelines (valid after
+  /// this coprocessor's Tick for the current cycle). The worker samples
+  /// these to classify its cycle-breakdown buckets.
+  bool dram_stalled() const {
+    return hash_->dram_stalled() || skiplist_->dram_stalled();
+  }
+  bool hazard_stalled() const {
+    return hash_->hazard_stalled() || skiplist_->hazard_stalled();
+  }
+
+  /// Dumps coprocessor-level counters plus both pipelines under `scope`.
+  void CollectStats(StatsScope scope) const;
+
  private:
   db::Database* db_;
   db::PartitionId partition_;

@@ -37,6 +37,10 @@ struct DbOp {
   uint32_t cp_index = 0;           // physical CP register at the origin
   uint32_t txn_slot = 0;           // origin context slot (write-set routing)
   bool is_remote = false;          // arrived as a background request
+  /// Cycle the origin worker put the request on the wire (0 = local
+  /// dispatch, never stamped). Echoed into the DbResult so the origin can
+  /// measure channel round-trip latency.
+  uint64_t sent_at = 0;
 };
 
 /// Result written back (asynchronously) to the initiator's CP register.
@@ -51,6 +55,7 @@ struct DbResult {
   cc::WriteKind write_kind = cc::WriteKind::kNone;
   sim::Addr tuple_addr = sim::kNullAddr;
   bool is_remote = false;  // must be routed back over the channels
+  uint64_t sent_at = 0;    // echo of DbOp::sent_at (remote RTT measurement)
 
   /// The 64-bit value stored into the CP register.
   uint64_t ToCpValue() const { return isa::EncodeCpValue(status, payload); }

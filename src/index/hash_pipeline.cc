@@ -71,6 +71,7 @@ void HashPipeline::Emit(uint32_t slot, isa::CpStatus status, uint64_t payload,
   r.write_kind = status == isa::CpStatus::kOk ? kind : cc::WriteKind::kNone;
   r.tuple_addr = tuple_addr;
   r.is_remote = req.is_remote;
+  r.sent_at = req.sent_at;
   results_->push_back(r);
   FreeSlot(slot);
 }
@@ -85,6 +86,12 @@ void HashPipeline::PostWrite(uint64_t now, sim::Addr addr) {
 }
 
 void HashPipeline::Tick(uint64_t now) {
+  tick_dram_stall_ = false;
+  tick_hazard_stall_ = false;
+  if (active_ > 0 || !pending_in_.empty()) {
+    ++busy_cycles_;
+    occupancy_sum_ += active_;
+  }
   // Downstream stages first so queues drain before upstream refills them.
   TickDirtyWaiters(now);
   for (uint32_t u = 0; u < config_.n_traverse_units; ++u) {
@@ -107,6 +114,7 @@ void HashPipeline::TickKeyFetch(uint64_t now) {
   if (!dram_->Issue(now, pool_[slot].req.key_addr, false, &hash_resp_, slot)) {
     FreeSlot(slot);
     counters_.Add("keyfetch_dram_stall");
+    tick_dram_stall_ = true;
     return;
   }
   pending_in_.pop_front();
@@ -121,6 +129,7 @@ bool HashPipeline::TryPassHashStage(uint64_t now, uint32_t slot) {
   if (config_.hazard_prevention) {
     if (lock_table_.HeldByOther(bucket, slot)) {
       counters_.Add("hash_lock_stall_cycles");
+      tick_hazard_stall_ = true;
       return false;
     }
     if (is_insert && !op.holds_lock) {
@@ -134,6 +143,7 @@ bool HashPipeline::TryPassHashStage(uint64_t now, uint32_t slot) {
   if (!dram_->Issue(now, op.bucket_slot, false, dest, slot,
                     /*snapshot_words=*/1)) {
     counters_.Add("hash_dram_stall");
+    tick_dram_stall_ = true;
     return false;
   }
   return true;
@@ -180,6 +190,8 @@ void HashPipeline::TickInstall(uint64_t now) {
     if (dram_->IssueWrite64(now, op.bucket_slot, op.new_tuple, &install_ack_,
                             slot)) {
       install_blocked_.reset();
+    } else {
+      tick_dram_stall_ = true;
     }
     return;
   }
@@ -216,6 +228,7 @@ void HashPipeline::TickInstall(uint64_t now) {
   // effect lands at DRAM service time.
   if (!dram_->IssueWrite64(now, op.bucket_slot, tuple, &install_ack_, slot)) {
     install_blocked_ = slot;
+    tick_dram_stall_ = true;
   }
 }
 
@@ -243,6 +256,7 @@ void HashPipeline::TickHeadFetch(uint64_t now) {
   if (!dram_->Issue(now, head, false, &keycomp_resp_, slot)) {
     headfetch_blocked_ = slot;
     counters_.Add("headfetch_dram_stall");
+    tick_dram_stall_ = true;
   }
 }
 
@@ -318,6 +332,7 @@ void HashPipeline::TickDirtyWaiters(uint64_t now) {
     counters_.Add("dirty_wait_wakeups");
     FinishAccess(now, w.slot, w.tuple);
   }
+  if (!dirty_waiters_.empty()) tick_hazard_stall_ = true;
 }
 
 bool HashPipeline::CompareOrAdvance(uint64_t now, uint32_t slot) {
@@ -373,6 +388,7 @@ void HashPipeline::TickTraverse(uint64_t now, uint32_t unit_idx) {
     uint32_t slot = unit.in.front();
     if (!dram_->Issue(now, pool_[slot].cur, false, &unit.resp, slot)) {
       counters_.Add("traverse_dram_stall");
+      tick_dram_stall_ = true;
       return;
     }
     unit.in.pop_front();
@@ -387,6 +403,7 @@ void HashPipeline::TickTraverse(uint64_t now, uint32_t unit_idx) {
       unit.waiting = true;
     } else {
       counters_.Add("traverse_dram_stall");
+      tick_dram_stall_ = true;
     }
     return;
   }
@@ -404,7 +421,18 @@ void HashPipeline::TickTraverse(uint64_t now, uint32_t unit_idx) {
   if (!dram_->Issue(now, pool_[slot].cur, false, &unit.resp, slot)) {
     unit.waiting = false;
     counters_.Add("traverse_dram_stall");
+      tick_dram_stall_ = true;
   }
+}
+
+void HashPipeline::CollectStats(StatsScope scope) const {
+  scope.SetCounter("busy_cycles", busy_cycles_);
+  scope.SetCounter("pool_size", config_.pool_size);
+  scope.SetGauge("mean_occupancy",
+                 busy_cycles_ > 0
+                     ? double(occupancy_sum_) / double(busy_cycles_)
+                     : 0);
+  scope.MergeCounterSet(counters_);
 }
 
 }  // namespace bionicdb::index

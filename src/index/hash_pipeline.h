@@ -84,6 +84,17 @@ class HashPipeline {
 
   CounterSet& counters() { return counters_; }
 
+  /// Per-tick stall attribution, valid after Tick(now) for that cycle:
+  /// true when some op failed to make progress this cycle because a DRAM
+  /// issue was rejected (backpressure) / because it stalled behind a
+  /// hazard lock or a dirty tuple. The worker samples these to classify
+  /// its cycle-breakdown buckets.
+  bool dram_stalled() const { return tick_dram_stall_; }
+  bool hazard_stalled() const { return tick_hazard_stall_; }
+
+  /// Dumps stage counters, slot occupancy and stall totals under `scope`.
+  void CollectStats(StatsScope scope) const;
+
  private:
   struct Op {
     DbOp req;
@@ -168,6 +179,12 @@ class HashPipeline {
   std::vector<DirtyWaiter> dirty_waiters_;
 
   CounterSet counters_;
+  // Cycle accounting (plain fields: these are touched every tick, where a
+  // string-keyed counter lookup would be measurable).
+  uint64_t busy_cycles_ = 0;     // ticks with ops in flight or queued
+  uint64_t occupancy_sum_ = 0;   // sum of active_ over busy ticks
+  bool tick_dram_stall_ = false;
+  bool tick_hazard_stall_ = false;
 };
 
 }  // namespace bionicdb::index

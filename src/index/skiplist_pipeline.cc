@@ -87,6 +87,7 @@ void SkiplistPipeline::Emit(uint32_t slot, isa::CpStatus status,
   r.write_kind = status == isa::CpStatus::kOk ? kind : cc::WriteKind::kNone;
   r.tuple_addr = tuple_addr;
   r.is_remote = req.is_remote;
+  r.sent_at = req.sent_at;
   results_->push_back(r);
   FreeSlot(slot);
 }
@@ -114,6 +115,12 @@ int SkiplistPipeline::CompareProbe(const Op& op, sim::Addr tower) const {
 }
 
 void SkiplistPipeline::Tick(uint64_t now) {
+  tick_dram_stall_ = false;
+  tick_hazard_stall_ = false;
+  if (active_ > 0 || !pending_in_.empty()) {
+    ++busy_cycles_;
+    occupancy_sum_ += active_;
+  }
   TickInstalls(now);
   for (uint32_t i = 0; i < config_.n_scanners; ++i) TickScanner(now, i);
   for (int s = int(config_.n_stages) - 1; s >= 0; --s) {
@@ -143,7 +150,10 @@ void SkiplistPipeline::TickInstalls(uint64_t now) {
     Op& op = pool_[slot];
     while (!op.writes_left.empty()) {
       auto [addr, value] = op.writes_left.back();
-      if (!dram_->IssueWrite64(now, addr, value, &install_ack_, slot)) break;
+      if (!dram_->IssueWrite64(now, addr, value, &install_ack_, slot)) {
+        tick_dram_stall_ = true;
+        break;
+      }
       op.writes_left.pop_back();
     }
   }
@@ -173,6 +183,7 @@ void SkiplistPipeline::TickKeyFetch(uint64_t now) {
                     slot)) {
     FreeSlot(slot);
     counters_.Add("keyfetch_dram_stall");
+    tick_dram_stall_ = true;
     return;
   }
   pending_in_.pop_front();
@@ -188,6 +199,7 @@ void SkiplistPipeline::TickStage(uint64_t now, uint32_t stage_idx) {
     if (!dram_->Issue(now, pool_[slot].cur, false, &s.resp, slot,
                       kTowerSnapshotWords)) {
       counters_.Add("stage_dram_stall");
+      tick_dram_stall_ = true;
       return;
     }
     s.in.pop_front();
@@ -222,11 +234,14 @@ void SkiplistPipeline::TickStage(uint64_t now, uint32_t stage_idx) {
       if (lock_table_.HeldByOther(
               SkiplistLockKey(s.pending_next, uint32_t(op.level)), slot)) {
         counters_.Add("lock_stall_cycles");
+        tick_hazard_stall_ = true;
         return;
       }
       if (dram_->Issue(now, s.pending_next, false, &s.resp, slot,
                        kTowerSnapshotWords)) {
         s.wait = Wait::kNext;
+      } else {
+        tick_dram_stall_ = true;
       }
       break;
     case Wait::kLockDown:
@@ -234,11 +249,14 @@ void SkiplistPipeline::TickStage(uint64_t now, uint32_t stage_idx) {
       if (lock_table_.HeldByOther(
               SkiplistLockKey(op.cur, uint32_t(op.level)), slot)) {
         counters_.Add("lock_stall_cycles");
+        tick_hazard_stall_ = true;
         return;
       }
       if (dram_->Issue(now, op.cur, false, &s.resp, slot,
                        kTowerSnapshotWords)) {
         s.wait = Wait::kLoad;
+      } else {
+        tick_dram_stall_ = true;
       }
       break;
   }
@@ -279,6 +297,7 @@ void SkiplistPipeline::Advance(uint64_t now, Stage* stage) {
     if (!dram_->Issue(now, next, false, &stage->resp, slot,
                       kTowerSnapshotWords)) {
       counters_.Add("stage_dram_stall");
+      tick_dram_stall_ = true;
       return;  // wait == kNone; retried next tick
     }
     stage->wait = Wait::kNext;
@@ -456,6 +475,7 @@ void SkiplistPipeline::TickScanner(uint64_t now, uint32_t scanner_idx) {
     if (!dram_->Issue(now, op.cur, false, &sc.resp, slot,
                       kTowerSnapshotWords)) {
       counters_.Add("scanner_dram_stall");
+      tick_dram_stall_ = true;
       return;
     }
     sc.in.pop_front();
@@ -471,6 +491,7 @@ void SkiplistPipeline::TickScanner(uint64_t now, uint32_t scanner_idx) {
       sc.waiting = true;
     } else {
       counters_.Add("scanner_dram_stall");
+      tick_dram_stall_ = true;
     }
     return;
   }
@@ -505,9 +526,22 @@ void SkiplistPipeline::TickScanner(uint64_t now, uint32_t scanner_idx) {
                     kTowerSnapshotWords)) {
     // Retry next tick: stay waiting with an empty response queue.
     counters_.Add("scanner_dram_stall");
+      tick_dram_stall_ = true;
     sc.waiting = false;
     return;
   }
+}
+
+void SkiplistPipeline::CollectStats(StatsScope scope) const {
+  scope.SetCounter("busy_cycles", busy_cycles_);
+  scope.SetCounter("pool_size", config_.pool_size);
+  scope.SetCounter("n_stages", config_.n_stages);
+  scope.SetCounter("n_scanners", config_.n_scanners);
+  scope.SetGauge("mean_occupancy",
+                 busy_cycles_ > 0
+                     ? double(occupancy_sum_) / double(busy_cycles_)
+                     : 0);
+  scope.MergeCounterSet(counters_);
 }
 
 }  // namespace bionicdb::index

@@ -73,6 +73,15 @@ class SkiplistPipeline {
 
   CounterSet& counters() { return counters_; }
 
+  /// Per-tick stall attribution, valid after Tick(now) for that cycle:
+  /// true when some op failed to make progress this cycle because a DRAM
+  /// issue was rejected / because it stalled behind a hazard path lock.
+  bool dram_stalled() const { return tick_dram_stall_; }
+  bool hazard_stalled() const { return tick_hazard_stall_; }
+
+  /// Dumps stage counters, slot occupancy and stall totals under `scope`.
+  void CollectStats(StatsScope scope) const;
+
   /// Level range covered by stage `i` (exposed for tests).
   std::pair<int, int> StageRange(uint32_t i) const {
     return {stages_[i].lo, stages_[i].hi};
@@ -180,6 +189,12 @@ class SkiplistPipeline {
 
   LockTable lock_table_;
   CounterSet counters_;
+  // Cycle accounting (plain fields: touched every tick, where a
+  // string-keyed counter lookup would be measurable).
+  uint64_t busy_cycles_ = 0;     // ticks with ops in flight or queued
+  uint64_t occupancy_sum_ = 0;   // sum of active_ over busy ticks
+  bool tick_dram_stall_ = false;
+  bool tick_hazard_stall_ = false;
 };
 
 }  // namespace bionicdb::index

@@ -89,47 +89,80 @@ uint32_t DramMemory::ChannelOf(Addr addr) const {
   return static_cast<uint32_t>((addr >> 3) % channels_.size());
 }
 
-bool DramMemory::Issue(uint64_t now, Addr addr, bool is_write,
-                       MemResponseQueue* sink, uint64_t cookie,
-                       uint32_t snapshot_words) {
+DramMemory::Channel* DramMemory::AdmitRequest(uint64_t now, Addr addr,
+                                              bool is_write,
+                                              uint64_t* start) {
   Channel& ch = channels_[ChannelOf(addr)];
   if (ch.queued >= config_.dram_channel_queue_depth) {
     ++backpressure_rejects_;
-    return false;
+    ++ch.rejects;
+    if (is_write) {
+      ++write_rejects_;
+    } else {
+      ++read_rejects_;
+    }
+    return nullptr;
   }
-  uint64_t start = std::max(ch.busy_until, now);
-  ch.busy_until = start + config_.dram_issue_gap_cycles;
+  *start = std::max(ch.busy_until, now);
+  queue_wait_cycles_.Add(double(*start - now));
+  ch.busy_until = *start + config_.dram_issue_gap_cycles;
+  ch.issue_busy_cycles += config_.dram_issue_gap_cycles;
+  ch.queued_sum += ch.queued;
   ++ch.queued;
-  uint64_t complete_at = start + config_.dram_latency_cycles;
-  pending_.push(Pending{complete_at, seq_++, addr, cookie, is_write,
-                        /*apply_write=*/false, /*write_value=*/0,
-                        snapshot_words, sink});
+  ++ch.issued;
   ++in_flight_;
   if (is_write) {
     ++total_writes_;
   } else {
     ++total_reads_;
   }
+  return &ch;
+}
+
+bool DramMemory::Issue(uint64_t now, Addr addr, bool is_write,
+                       MemResponseQueue* sink, uint64_t cookie,
+                       uint32_t snapshot_words) {
+  uint64_t start = 0;
+  if (AdmitRequest(now, addr, is_write, &start) == nullptr) return false;
+  uint64_t complete_at = start + config_.dram_latency_cycles;
+  pending_.push(Pending{complete_at, seq_++, addr, cookie, is_write,
+                        /*apply_write=*/false, /*write_value=*/0,
+                        snapshot_words, sink});
   return true;
 }
 
 bool DramMemory::IssueWrite64(uint64_t now, Addr addr, uint64_t value,
                               MemResponseQueue* sink, uint64_t cookie) {
-  Channel& ch = channels_[ChannelOf(addr)];
-  if (ch.queued >= config_.dram_channel_queue_depth) {
-    ++backpressure_rejects_;
+  uint64_t start = 0;
+  if (AdmitRequest(now, addr, /*is_write=*/true, &start) == nullptr) {
     return false;
   }
-  uint64_t start = std::max(ch.busy_until, now);
-  ch.busy_until = start + config_.dram_issue_gap_cycles;
-  ++ch.queued;
   uint64_t complete_at = start + config_.dram_latency_cycles;
   pending_.push(Pending{complete_at, seq_++, addr, cookie, /*is_write=*/true,
                         /*apply_write=*/true, value, /*snapshot_words=*/0,
                         sink});
-  ++in_flight_;
-  ++total_writes_;
   return true;
+}
+
+void DramMemory::CollectStats(StatsScope scope, uint64_t now) const {
+  scope.SetCounter("reads", total_reads_);
+  scope.SetCounter("writes", total_writes_);
+  scope.SetCounter("backpressure_rejects", backpressure_rejects_);
+  scope.SetCounter("read_rejects", read_rejects_);
+  scope.SetCounter("write_rejects", write_rejects_);
+  scope.SetCounter("allocated_bytes", allocated_bytes());
+  scope.SetSummary("queue_wait_cycles", queue_wait_cycles_);
+  StatsScope chans = scope.Sub("channels");
+  for (size_t i = 0; i < channels_.size(); ++i) {
+    const Channel& ch = channels_[i];
+    StatsScope c = chans.Sub(std::to_string(i));
+    c.SetCounter("issued", ch.issued);
+    c.SetCounter("rejects", ch.rejects);
+    c.SetGauge("issue_utilization",
+               now > 0 ? double(ch.issue_busy_cycles) / double(now) : 0);
+    c.SetGauge("mean_queue_occupancy",
+               ch.issued > 0 ? double(ch.queued_sum) / double(ch.issued) : 0);
+  }
 }
 
 void DramMemory::Tick(uint64_t now) {

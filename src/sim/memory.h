@@ -106,6 +106,18 @@ class DramMemory {
   uint64_t total_reads() const { return total_reads_; }
   uint64_t total_writes() const { return total_writes_; }
   uint64_t backpressure_rejects() const { return backpressure_rejects_; }
+  uint64_t read_rejects() const { return read_rejects_; }
+  uint64_t write_rejects() const { return write_rejects_; }
+
+  /// Queueing delay (cycles between request issue and service start)
+  /// across all accepted requests — the congestion half of DRAM latency;
+  /// the service half is the fixed dram_latency_cycles.
+  const Summary& queue_wait_cycles() const { return queue_wait_cycles_; }
+
+  /// Dumps per-channel utilisation, queue occupancy and the
+  /// backpressure-reject breakdown under `scope`. `now` is the current
+  /// simulated cycle (utilisation denominator).
+  void CollectStats(StatsScope scope, uint64_t now) const;
 
   const TimingConfig& config() const { return config_; }
 
@@ -133,7 +145,18 @@ class DramMemory {
   struct Channel {
     uint64_t busy_until = 0;
     uint32_t queued = 0;
+    // Observability (per-channel breakdowns for CollectStats).
+    uint64_t issued = 0;
+    uint64_t rejects = 0;
+    uint64_t issue_busy_cycles = 0;  // cycles spent issuing requests
+    uint64_t queued_sum = 0;         // sum of occupancy sampled per issue
   };
+
+  /// Common admission path: channel lookup, backpressure check, occupancy
+  /// accounting. Returns nullptr on reject (counters updated); otherwise
+  /// the channel, with `*start` set to the service start cycle.
+  Channel* AdmitRequest(uint64_t now, Addr addr, bool is_write,
+                        uint64_t* start);
 
   uint8_t* PageFor(Addr addr);
   const uint8_t* PageForRead(Addr addr) const;
@@ -151,6 +174,9 @@ class DramMemory {
   uint64_t total_reads_ = 0;
   uint64_t total_writes_ = 0;
   uint64_t backpressure_rejects_ = 0;
+  uint64_t read_rejects_ = 0;
+  uint64_t write_rejects_ = 0;
+  Summary queue_wait_cycles_;
 };
 
 }  // namespace bionicdb::sim

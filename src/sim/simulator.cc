@@ -7,12 +7,22 @@ Simulator::Simulator(const TimingConfig& config)
 
 void Simulator::AddComponent(Component* component) {
   components_.push_back(component);
+  component_cycles_.emplace_back();
 }
 
 void Simulator::TickOnce() {
   ++now_;
   dram_.Tick(now_);
-  for (Component* c : components_) c->Tick(now_);
+  for (size_t i = 0; i < components_.size(); ++i) {
+    components_[i]->Tick(now_);
+    // Post-tick sample: a component with outstanding work this cycle is
+    // charged as busy, otherwise idle.
+    if (components_[i]->Idle()) {
+      ++component_cycles_[i].idle;
+    } else {
+      ++component_cycles_[i].busy;
+    }
+  }
 }
 
 void Simulator::Step(uint64_t cycles) {
@@ -39,6 +49,19 @@ bool Simulator::RunUntilIdle(uint64_t max_cycles) {
         return true;
       },
       max_cycles);
+}
+
+void Simulator::CollectStats(StatsScope scope) const {
+  scope.SetCounter("cycles", now_);
+  scope.SetGauge("clock_mhz", config_.clock_mhz);
+  scope.MergeCounterSet(counters_);
+  StatsScope comps = scope.Sub("components");
+  for (size_t i = 0; i < components_.size(); ++i) {
+    StatsScope c = comps.Sub(components_[i]->name());
+    c.SetCounter("busy_cycles", component_cycles_[i].busy);
+    c.SetCounter("idle_cycles", component_cycles_[i].idle);
+  }
+  dram_.CollectStats(scope.Sub("dram"), now_);
 }
 
 }  // namespace bionicdb::sim

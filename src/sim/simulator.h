@@ -41,13 +41,37 @@ class Simulator {
 
   /// Jumps the clock forward without ticking (used by recovery to
   /// re-initialise the hardware clock past the latest commit timestamp,
-  /// paper section 4.8). Requires target >= now().
+  /// paper section 4.8). Requires target >= now(); a backwards target is
+  /// clamped (the clock never moves back) and counted under the
+  /// "fastforward_backwards_clamped" counter so callers violating the
+  /// precondition are visible in the stats dump.
   void FastForward(uint64_t target) {
-    if (target > now_) now_ = target;
+    if (target < now_) {
+      counters_.Add("fastforward_backwards_clamped");
+      return;
+    }
+    now_ = target;
   }
   DramMemory& dram() { return dram_; }
   const TimingConfig& config() const { return config_; }
   CounterSet& counters() { return counters_; }
+
+  /// Busy/idle cycle attribution for one registered component. A cycle is
+  /// "busy" when the component reported outstanding work (!Idle()) after
+  /// its tick — the coarse per-block utilisation view; finer stall
+  /// attribution lives inside the blocks themselves.
+  struct ComponentCycles {
+    uint64_t busy = 0;
+    uint64_t idle = 0;
+  };
+  const std::vector<ComponentCycles>& component_cycles() const {
+    return component_cycles_;
+  }
+  const std::vector<Component*>& components() const { return components_; }
+
+  /// Dumps simulator-level stats (clock, per-component busy/idle, DRAM
+  /// channel utilisation) under `scope`.
+  void CollectStats(StatsScope scope) const;
 
  private:
   void TickOnce();
@@ -55,6 +79,7 @@ class Simulator {
   TimingConfig config_;
   DramMemory dram_;
   std::vector<Component*> components_;
+  std::vector<ComponentCycles> component_cycles_;
   uint64_t now_ = 0;
   CounterSet counters_;
 };

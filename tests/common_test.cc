@@ -1,10 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <memory>
 #include <set>
 
 #include "common/hash.h"
 #include "common/random.h"
 #include "common/ring_queue.h"
+#include "common/json.h"
 #include "common/stats.h"
 #include "common/status.h"
 #include "common/table_printer.h"
@@ -151,6 +154,150 @@ TEST(Summary, BasicMoments) {
   EXPECT_DOUBLE_EQ(s.mean(), 50.5);
   EXPECT_NEAR(s.Quantile(0.5), 50.5, 1.0);
   EXPECT_NEAR(s.Quantile(0.99), 99, 1.5);
+}
+
+TEST(RingQueue, ClearDestroysHeldElements) {
+  auto payload = std::make_shared<int>(7);
+  RingQueue<std::shared_ptr<int>> q(4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.Push(payload));
+  EXPECT_EQ(payload.use_count(), 5);
+  q.Clear();
+  // Clear must release the queued copies immediately, not park them in
+  // dead slots until the ring wraps around.
+  EXPECT_EQ(payload.use_count(), 1);
+  EXPECT_TRUE(q.empty());
+  EXPECT_TRUE(q.Push(payload));
+  EXPECT_EQ(*q.Pop(), 7);
+}
+
+TEST(Summary, QuantileEdgeCases) {
+  Summary empty;
+  EXPECT_DOUBLE_EQ(empty.Quantile(0.5), 0);
+
+  Summary one;
+  one.Add(3.5);
+  EXPECT_DOUBLE_EQ(one.Quantile(0.0), 3.5);
+  EXPECT_DOUBLE_EQ(one.Quantile(0.5), 3.5);
+  EXPECT_DOUBLE_EQ(one.Quantile(1.0), 3.5);
+
+  Summary s;
+  for (int i = 1; i <= 10; ++i) s.Add(i);
+  EXPECT_DOUBLE_EQ(s.Quantile(0.0), 1);
+  EXPECT_DOUBLE_EQ(s.Quantile(1.0), 10);
+  // Out-of-range and NaN inputs clamp instead of indexing out of bounds.
+  EXPECT_DOUBLE_EQ(s.Quantile(-0.3), 1);
+  EXPECT_DOUBLE_EQ(s.Quantile(7.0), 10);
+  EXPECT_DOUBLE_EQ(s.Quantile(std::numeric_limits<double>::quiet_NaN()), 1);
+}
+
+TEST(Summary, ReservoirInclusionIsUniform) {
+  // Stream 16 full reservoirs' worth of distinct values; with unbiased
+  // algorithm-R sampling every element has inclusion probability k/n, so
+  // each quarter of the stream should land ~k/4 reservoir slots. The old
+  // biased sampler (modulo of a raw LCG draw) over-retained the early
+  // prefix by several sigma.
+  Summary s;
+  const size_t k = 4096;
+  const size_t n = 16 * k;
+  for (size_t i = 0; i < n; ++i) s.Add(double(i));
+  ASSERT_EQ(s.reservoir().size(), k);
+  size_t quartile[4] = {0, 0, 0, 0};
+  for (double v : s.reservoir()) {
+    quartile[size_t(v) / (n / 4)] += 1;
+  }
+  // Expected 1024 per quartile; sd ~= sqrt(k * 1/4 * 3/4) ~= 28. Allow 6
+  // sigma so the deterministic seed never flakes but real bias fails.
+  for (size_t q = 0; q < 4; ++q) {
+    EXPECT_NEAR(double(quartile[q]), double(k) / 4, 170)
+        << "quartile " << q;
+  }
+  // Reservoir mean must track the stream mean.
+  double sum = 0;
+  for (double v : s.reservoir()) sum += v;
+  EXPECT_NEAR(sum / double(k), s.mean(), double(n) * 0.02);
+}
+
+TEST(Histogram, PowerOfTwoBuckets) {
+  Histogram h;
+  h.Add(0);
+  h.Add(1);
+  h.Add(2);
+  h.Add(3);
+  h.Add(1024);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 1030u);
+  EXPECT_EQ(h.buckets()[0], 1u);  // 0
+  EXPECT_EQ(h.buckets()[1], 1u);  // [1,2)
+  EXPECT_EQ(h.buckets()[2], 2u);  // [2,4)
+  EXPECT_EQ(h.buckets()[11], 1u);  // [1024,2048)
+  EXPECT_EQ(Histogram::BucketFloor(11), 1024u);
+}
+
+TEST(StatsRegistry, HierarchicalPathsAndScopes) {
+  StatsRegistry reg;
+  StatsScope root(&reg, "");
+  StatsScope w0 = root.Sub("workers").Sub("0");
+  w0.SetCounter("cycles/busy", 10);
+  w0.SetGauge("tps", 2.5);
+  CounterSet set;
+  set.Add("stalls", 3);
+  w0.MergeCounterSet(set);
+  // Root scope must not introduce a leading '/'.
+  EXPECT_TRUE(reg.HasPath("workers/0/cycles/busy"));
+  EXPECT_EQ(reg.GetCounter("workers/0/cycles/busy"), 10u);
+  EXPECT_EQ(reg.GetCounter("workers/0/stalls"), 3u);
+  EXPECT_FALSE(reg.HasPath("/workers/0/cycles/busy"));
+  reg.AddCounter("workers/0/cycles/busy", 5);
+  EXPECT_EQ(reg.GetCounter("workers/0/cycles/busy"), 15u);
+}
+
+TEST(StatsRegistry, ToJsonRoundTrips) {
+  StatsRegistry reg;
+  reg.SetCounter("sim/cycles", 1234);
+  reg.SetCounter("workers/0/cycles/busy", 70);
+  reg.SetCounter("workers/0/cycles/idle", 30);
+  reg.SetGauge("run/tps", 1.5e6);
+  Summary lat;
+  for (int i = 1; i <= 100; ++i) lat.Add(i);
+  reg.SetSummary("run/latency_cycles", lat);
+  Histogram h;
+  h.Add(7);
+  reg.SetHistogram("sim/dram/latency", h);
+
+  auto parsed = json::Value::Parse(reg.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const json::Value& doc = parsed.value();
+  ASSERT_NE(doc.FindPath("sim/cycles"), nullptr);
+  EXPECT_DOUBLE_EQ(doc.FindPath("sim/cycles")->number(), 1234);
+  EXPECT_DOUBLE_EQ(doc.FindPath("workers/0/cycles/busy")->number(), 70);
+  EXPECT_DOUBLE_EQ(doc.FindPath("run/tps")->number(), 1.5e6);
+  ASSERT_NE(doc.FindPath("run/latency_cycles/p50"), nullptr);
+  EXPECT_NEAR(doc.FindPath("run/latency_cycles/p50")->number(), 50.5, 1.0);
+  ASSERT_NE(doc.FindPath("sim/dram/latency/buckets/4"), nullptr);
+  EXPECT_DOUBLE_EQ(doc.FindPath("sim/dram/latency/buckets/4")->number(), 1);
+}
+
+TEST(Json, WriterParserRoundTrip) {
+  json::Writer w(2);
+  w.BeginObject();
+  w.Key("name");
+  w.Value(std::string("bench \"x\"\n"));
+  w.Key("vals");
+  w.BeginArray();
+  w.Value(uint64_t{1});
+  w.Value(-2.5);
+  w.Value(true);
+  w.Null();
+  w.EndArray();
+  w.EndObject();
+  auto parsed = json::Value::Parse(w.TakeString());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const json::Value& doc = parsed.value();
+  EXPECT_EQ(doc.Find("name")->string(), "bench \"x\"\n");
+  ASSERT_EQ(doc.Find("vals")->array().size(), 4u);
+  EXPECT_DOUBLE_EQ(doc.Find("vals")->array()[1].number(), -2.5);
+  EXPECT_FALSE(json::Value::Parse("{\"unterminated").ok());
+  EXPECT_FALSE(json::Value::Parse("").ok());
 }
 
 TEST(CounterSet, AddAndGet) {

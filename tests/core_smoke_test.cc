@@ -135,5 +135,44 @@ TEST(CoreSmoke, ManyTransactionsInterleaved) {
   EXPECT_GT(engine.worker(0).stats().batches, 1u);
 }
 
+TEST(CoreSmoke, WorkerCycleBreakdownIsExhaustive) {
+  EngineOptions opts;
+  opts.n_workers = 2;
+  BionicDb engine(opts);
+  ASSERT_TRUE(engine.database().CreateTable(KvSchema()).ok());
+  ASSERT_TRUE(engine.RegisterProcedure(0, SearchProgram(), 64).ok());
+  for (uint64_t k = 0; k < 100; ++k) {
+    uint64_t payload = k;
+    ASSERT_TRUE(engine.database().LoadU64(0, k % 2, k, &payload, 8).ok());
+  }
+  for (uint64_t k = 0; k < 100; ++k) {
+    auto block = engine.AllocateBlock(0);
+    block.WriteKeyU64(0, k);
+    engine.Submit(db::WorkerId(k % 2), block.base());
+  }
+  engine.Drain();
+  ASSERT_EQ(engine.TotalCommitted(), 100u);
+
+  // Every worker cycle must be attributed to exactly one bucket: the
+  // breakdown sums to the total with no slack (the 1% tolerance in
+  // validate_report is purely defensive).
+  StatsRegistry reg;
+  engine.CollectStats(&reg);
+  for (uint32_t w = 0; w < 2; ++w) {
+    std::string base = "workers/" + std::to_string(w) + "/cycles/";
+    uint64_t total = reg.GetCounter(base + "total");
+    EXPECT_GT(total, 0u) << "worker " << w;
+    uint64_t sum = reg.GetCounter(base + "busy") +
+                   reg.GetCounter(base + "dram_stall") +
+                   reg.GetCounter(base + "hazard_block") +
+                   reg.GetCounter(base + "backpressure") +
+                   reg.GetCounter(base + "idle");
+    EXPECT_EQ(sum, total) << "worker " << w;
+    const auto& cycles = engine.worker(w).cycles();
+    EXPECT_EQ(cycles.total, total);
+  }
+  EXPECT_EQ(reg.GetCounter("total_committed"), 100u);
+}
+
 }  // namespace
 }  // namespace bionicdb

@@ -192,8 +192,35 @@ TEST(Simulator, FastForwardMovesClockOnly) {
   Simulator sim(Config());
   sim.FastForward(5000);
   EXPECT_EQ(sim.now(), 5000u);
-  sim.FastForward(100);  // never backwards
+  EXPECT_EQ(sim.counters().Get("fastforward_backwards_clamped"), 0u);
+  sim.FastForward(100);  // never backwards: clamped and counted
   EXPECT_EQ(sim.now(), 5000u);
+  EXPECT_EQ(sim.counters().Get("fastforward_backwards_clamped"), 1u);
+  sim.FastForward(5000);  // equal target is a no-op, not a violation
+  EXPECT_EQ(sim.now(), 5000u);
+  EXPECT_EQ(sim.counters().Get("fastforward_backwards_clamped"), 1u);
+}
+
+TEST(Simulator, CollectStatsReportsClockAndDramChannels) {
+  Simulator sim(Config());
+  OneShotReader reader(&sim.dram(), 0x4000);
+  sim.AddComponent(&reader);
+  ASSERT_TRUE(sim.RunUntilIdle(/*max_cycles=*/1000));
+
+  StatsRegistry reg;
+  sim.CollectStats(StatsScope(&reg, "sim"));
+  EXPECT_EQ(reg.GetCounter("sim/cycles"), sim.now());
+  EXPECT_TRUE(reg.HasPath("sim/components/reader/busy_cycles"));
+  EXPECT_TRUE(reg.HasPath("sim/components/reader/idle_cycles"));
+  // The read went through channel stats: exactly one issued request
+  // somewhere, zero rejects.
+  uint64_t issued = 0, rejects = 0;
+  for (const auto& [path, v] : reg.counters()) {
+    if (path.find("/issued") != std::string::npos) issued += v;
+    if (path.find("/rejects") != std::string::npos) rejects += v;
+  }
+  EXPECT_EQ(issued, 1u);
+  EXPECT_EQ(rejects, 0u);
 }
 
 TEST(TimingConfig, ThroughputConversion) {
