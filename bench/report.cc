@@ -48,6 +48,7 @@ StatsRegistry& BenchReport::AddEngineRun(
   StatsRegistry& reg = AddRun(label);
   engine->CollectStats(&reg);
   reg.SetCounter("run/committed", result.committed);
+  reg.SetCounter("run/failed", result.failed);
   reg.SetCounter("run/retries", result.retries);
   reg.SetCounter("run/cycles", result.cycles);
   reg.SetGauge("run/tps", result.tps);

@@ -7,7 +7,8 @@
 //    "runs" (non-empty array of {label, stats});
 //  * every run with engine stats carries sim cycle/throughput metrics;
 //  * every worker's cycle breakdown is exhaustive: busy + dram_stall +
-//    hazard_block + backpressure + idle matches cycles/total within 1%.
+//    hazard_block + backpressure + idle (+ frozen, present only under
+//    fault injection) matches cycles/total within 1%.
 //
 // Usage: validate_report <path> [<path>...]; exits non-zero on the first
 // failed file.
@@ -47,7 +48,10 @@ bool CheckWorkerBreakdown(const std::string& path, const std::string& label,
     return Fail(path, "run '" + label + "' worker " + worker +
                           ": incomplete cycle breakdown");
   }
-  double sum = busy + dram + hazard + bp + idle;
+  // `frozen` exists only in fault-injection runs (optional, default 0).
+  double frozen = 0;
+  Num(cycles, "frozen", &frozen);
+  double sum = busy + dram + hazard + bp + idle + frozen;
   if (total <= 0) {
     return Fail(path,
                 "run '" + label + "' worker " + worker + ": zero cycles");

@@ -28,9 +28,39 @@ uint64_t CommFabric::HopLatency(db::WorkerId src, db::WorkerId dst) const {
   return steps * timing_.onchip_hop_cycles;
 }
 
+template <typename T>
+void CommFabric::Transmit(uint64_t now, bool is_request, db::WorkerId src,
+                          db::WorkerId dst, const T& payload, uint64_t seq,
+                          std::deque<InFlight<T>>* wire) {
+  uint64_t deliver_at = now + HopLatency(src, dst);
+  FaultDecision fd;
+  if (fault_hook_ != nullptr) {
+    fd = fault_hook_->OnPacket(now, is_request, src, dst);
+  }
+  if (fd.delay_cycles > 0) counters_.Add("packets_delayed");
+  if (fd.drop) {
+    // Without reliability the packet is simply lost; with it, the sender's
+    // unacked copy retransmits on timeout.
+    counters_.Add(is_request ? "requests_dropped" : "responses_dropped");
+  } else {
+    wire->push_back({deliver_at + fd.delay_cycles, dst, payload, seq, src});
+  }
+  if (fd.duplicate) {
+    counters_.Add("packets_duplicated");
+    wire->push_back(
+        {deliver_at + fd.delay_cycles + 1, dst, payload, seq, src});
+  }
+}
+
 void CommFabric::SendRequest(uint64_t now, db::WorkerId src, db::WorkerId dst,
                              const index::DbOp& op) {
-  request_wire_.push_back({now + HopLatency(src, dst), dst, op});
+  uint64_t seq = 0;
+  if (reliability_.enabled) {
+    seq = ++next_seq_;
+    unacked_requests_[seq] = Unacked<index::DbOp>{
+        src, dst, op, now + reliability_.retransmit_timeout_cycles};
+  }
+  Transmit(now, /*is_request=*/true, src, dst, op, seq, &request_wire_);
   ++messages_sent_;
   counters_.Add("requests_sent");
 }
@@ -38,7 +68,14 @@ void CommFabric::SendRequest(uint64_t now, db::WorkerId src, db::WorkerId dst,
 void CommFabric::SendResponse(uint64_t now, db::WorkerId src,
                               db::WorkerId dst,
                               const index::DbResult& result) {
-  response_wire_.push_back({now + HopLatency(src, dst), dst, result});
+  uint64_t seq = 0;
+  if (reliability_.enabled) {
+    seq = ++next_seq_;
+    unacked_responses_[seq] = Unacked<index::DbResult>{
+        src, dst, result, now + reliability_.retransmit_timeout_cycles};
+  }
+  Transmit(now, /*is_request=*/false, src, dst, result, seq,
+           &response_wire_);
   ++messages_sent_;
   counters_.Add("responses_sent");
 }
@@ -49,9 +86,20 @@ void CommFabric::Tick(uint64_t cycle) {
   // may physically overtake a long-path one. Per-path ordering is
   // preserved because same-path messages share latency and the scan keeps
   // relative order.
-  auto deliver = [cycle](auto* wire, auto* inboxes) {
+  auto deliver = [this, cycle](auto* wire, auto* inboxes) {
     for (auto it = wire->begin(); it != wire->end();) {
       if (it->deliver_at <= cycle) {
+        if (reliability_.enabled && it->seq != 0) {
+          // Ack every arrival (even duplicates, so a lost first ack still
+          // quiesces the sender) but deliver only the first copy.
+          ack_wire_.push_back({cycle + HopLatency(it->dst, it->src), it->src,
+                               it->seq, 0, it->dst});
+          if (!delivered_seqs_.insert(it->seq).second) {
+            counters_.Add("duplicates_suppressed");
+            it = wire->erase(it);
+            continue;
+          }
+        }
         (*inboxes)[it->dst].push_back(it->payload);
         it = wire->erase(it);
       } else {
@@ -61,10 +109,45 @@ void CommFabric::Tick(uint64_t cycle) {
   };
   deliver(&request_wire_, &request_inbox_);
   deliver(&response_wire_, &response_inbox_);
+  if (!reliability_.enabled) return;
+  // Arrived acks retire the sender's unacked copies.
+  for (auto it = ack_wire_.begin(); it != ack_wire_.end();) {
+    if (it->deliver_at <= cycle) {
+      unacked_requests_.erase(it->payload);
+      unacked_responses_.erase(it->payload);
+      it = ack_wire_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Timed-out packets retransmit (subject to fault injection again — a
+  // retry can be dropped too; with drop probability < 1 delivery is
+  // eventually certain).
+  auto retransmit = [this, cycle](auto* unacked, bool is_request,
+                                  auto* wire) {
+    for (auto& [seq, entry] : *unacked) {
+      if (cycle >= entry.next_retransmit_at) {
+        ++retransmits_;
+        counters_.Add("retransmits");
+        Transmit(cycle, is_request, entry.src, entry.dst, entry.payload, seq,
+                 wire);
+        entry.next_retransmit_at =
+            cycle + reliability_.retransmit_timeout_cycles;
+      }
+    }
+  };
+  retransmit(&unacked_requests_, /*is_request=*/true, &request_wire_);
+  retransmit(&unacked_responses_, /*is_request=*/false, &response_wire_);
 }
 
 bool CommFabric::Idle() const {
   if (!request_wire_.empty() || !response_wire_.empty()) return false;
+  // Unacked packets keep the fabric live so the simulator ticks through
+  // retransmission timeouts instead of declaring quiescence on a drop.
+  if (!ack_wire_.empty() || !unacked_requests_.empty() ||
+      !unacked_responses_.empty()) {
+    return false;
+  }
   for (const auto& q : request_inbox_) {
     if (!q.empty()) return false;
   }

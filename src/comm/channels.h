@@ -19,6 +19,8 @@
 
 #include <cstdint>
 #include <deque>
+#include <map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/stats.h"
@@ -32,6 +34,38 @@ namespace bionicdb::comm {
 enum class Topology : uint8_t {
   kCrossbar,  // any-to-any, fixed one-hop latency
   kRing,      // latency scales with ring distance
+};
+
+/// Per-packet fault decision returned by ChannelFaultHook. Default values
+/// mean "deliver normally".
+struct FaultDecision {
+  bool drop = false;       // packet vanishes on the wire
+  bool duplicate = false;  // a second copy is transmitted one cycle later
+  uint64_t delay_cycles = 0;  // extra in-flight latency
+};
+
+/// Fault-injection surface of the comm fabric (implemented by
+/// fault::FaultScheduler). Consulted once per transmission, including
+/// retransmissions, so a retried packet can be dropped again.
+class ChannelFaultHook {
+ public:
+  virtual ~ChannelFaultHook() = default;
+  virtual FaultDecision OnPacket(uint64_t now, bool is_request,
+                                 db::WorkerId src, db::WorkerId dst) = 0;
+};
+
+/// Delivery-guarantee layer countering injected comm faults (paper-faithful
+/// channels are lossless, so this is OFF by default and adds zero cycles to
+/// the Table 3 latencies when disabled). When enabled, every data packet
+/// carries a fabric-unique sequence number; receivers acknowledge every
+/// arrival and deliver only the first copy of each sequence (dedup), and
+/// senders retransmit unacknowledged packets on a timeout.
+struct ReliabilityConfig {
+  bool enabled = false;
+  /// Cycles before an unacknowledged packet is retransmitted. Must exceed
+  /// the worst-case round trip (2x max hop latency) or every packet
+  /// retransmits spuriously.
+  uint64_t retransmit_timeout_cycles = 4096;
 };
 
 class CommFabric : public sim::Component {
@@ -81,6 +115,18 @@ class CommFabric : public sim::Component {
   uint64_t messages_sent() const { return messages_sent_; }
   CounterSet& counters() { return counters_; }
 
+  // --- Fault injection & reliability ------------------------------------
+
+  /// Installs (or clears) the per-packet fault hook; not owned.
+  void set_fault_hook(ChannelFaultHook* hook) { fault_hook_ = hook; }
+  /// Enables/disables the ack/retransmit/dedup layer. Must be set before
+  /// traffic flows (sequence state is not retrofitted to in-flight packets).
+  void set_reliability(const ReliabilityConfig& config) {
+    reliability_ = config;
+  }
+  const ReliabilityConfig& reliability() const { return reliability_; }
+  uint64_t retransmits() const { return retransmits_; }
+
   /// Dumps message counters and per-direction wire/inbox occupancy under
   /// `scope`.
   void CollectStats(StatsScope scope) const;
@@ -91,7 +137,25 @@ class CommFabric : public sim::Component {
     uint64_t deliver_at;
     db::WorkerId dst;
     T payload;
+    uint64_t seq = 0;       // reliability sequence number (0 = untracked)
+    db::WorkerId src = 0;   // ack return path
   };
+
+  /// Sender-side copy of an unacknowledged packet.
+  template <typename T>
+  struct Unacked {
+    db::WorkerId src;
+    db::WorkerId dst;
+    T payload;
+    uint64_t next_retransmit_at;
+  };
+
+  /// Shared transmission path: consults the fault hook, then places the
+  /// packet (and any injected duplicate) on the wire.
+  template <typename T>
+  void Transmit(uint64_t now, bool is_request, db::WorkerId src,
+                db::WorkerId dst, const T& payload, uint64_t seq,
+                std::deque<InFlight<T>>* wire);
 
   uint32_t n_workers_;
   sim::TimingConfig timing_;
@@ -102,6 +166,19 @@ class CommFabric : public sim::Component {
   std::deque<InFlight<index::DbResult>> response_wire_;
   std::vector<std::deque<index::DbOp>> request_inbox_;
   std::vector<std::deque<index::DbResult>> response_inbox_;
+
+  // Reliability state. Acks ride a dedicated wire (payload = acked seq) and
+  // are themselves lossless: they model the tiny credit-return signals of
+  // the channel hardware, not data packets. std::map keeps retransmission
+  // scan order deterministic.
+  ChannelFaultHook* fault_hook_ = nullptr;
+  ReliabilityConfig reliability_;
+  uint64_t next_seq_ = 0;
+  std::deque<InFlight<uint64_t>> ack_wire_;
+  std::map<uint64_t, Unacked<index::DbOp>> unacked_requests_;
+  std::map<uint64_t, Unacked<index::DbResult>> unacked_responses_;
+  std::unordered_set<uint64_t> delivered_seqs_;
+  uint64_t retransmits_ = 0;
 
   uint64_t messages_sent_ = 0;
   CounterSet counters_;

@@ -27,6 +27,12 @@ uint64_t Fnv1aHash64(uint64_t value);
 /// FNV-1a over bytes.
 uint64_t Fnv1aHash(const uint8_t* data, size_t len);
 
+/// CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320) over bytes. Used by
+/// the durability file formats (checksum trailers) and the fault subsystem's
+/// tuple integrity guards. `seed` allows incremental computation: pass the
+/// previous return value to continue a running CRC.
+uint32_t Crc32(const uint8_t* data, size_t len, uint32_t seed = 0);
+
 }  // namespace bionicdb
 
 #endif  // BIONICDB_COMMON_HASH_H_

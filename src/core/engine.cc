@@ -8,6 +8,7 @@ BionicDb::BionicDb(const EngineOptions& options) : options_(options) {
                                              options.seed);
   fabric_ = std::make_unique<comm::CommFabric>(
       options.n_workers, options.timing, options.topology, options.cluster);
+  fabric_->set_reliability(options.reliability);
   sim_->AddComponent(fabric_.get());
   for (uint32_t w = 0; w < options.n_workers; ++w) {
     workers_.push_back(std::make_unique<PartitionWorker>(

@@ -42,6 +42,9 @@ struct EngineOptions {
   comm::Topology topology = comm::Topology::kCrossbar;
   /// Multi-chip/multi-node deployment (0 = everything on one chip).
   comm::CommFabric::ClusterConfig cluster;
+  /// Channel delivery guarantees (ack/retransmit/dedup). Off by default:
+  /// the paper's channels are lossless and pay no protocol overhead.
+  comm::ReliabilityConfig reliability;
   uint64_t seed = 42;
 };
 

@@ -29,6 +29,15 @@ void PartitionWorker::DispatchRemote(uint32_t partition,
 void PartitionWorker::Tick(uint64_t cycle) {
   now_ = cycle;
 
+  if (cycle < frozen_until_) {
+    // Injected freeze: the whole worker (background unit, coprocessor,
+    // softcore) skips the cycle. Inbound packets stay queued in the fabric
+    // inboxes and are drained when the worker thaws.
+    ++cycles_.total;
+    ++cycles_.frozen;
+    return;
+  }
+
   // Background unit: dispatch inbound remote requests to the local index
   // coprocessor. Stops at the first capacity reject to preserve channel
   // FIFO order.
@@ -107,6 +116,7 @@ void PartitionWorker::CollectStats(StatsScope scope) const {
   cyc.SetCounter("hazard_block", cycles_.hazard_block);
   cyc.SetCounter("backpressure", cycles_.backpressure);
   cyc.SetCounter("idle", cycles_.idle);
+  if (cycles_.frozen > 0) cyc.SetCounter("frozen", cycles_.frozen);
   scope.SetSummary("remote_rtt_cycles", remote_rtt_);
   softcore_->CollectStats(scope.Sub("softcore"));
   coproc_->CollectStats(scope.Sub("coproc"));

@@ -42,6 +42,15 @@ class PartitionWorker : public sim::Component, public DbDispatcher {
   index::IndexCoprocessor& coprocessor() { return *coproc_; }
   const Softcore::BatchStats& stats() const { return softcore_->stats(); }
 
+  /// Fault injection: the worker executes nothing until `cycle` — inbound
+  /// packets queue up in the fabric, remote peers stall on its responses.
+  /// Models a hung or glitched partition core; extending an active freeze
+  /// is allowed (the later deadline wins).
+  void FreezeUntil(uint64_t cycle) {
+    frozen_until_ = std::max(frozen_until_, cycle);
+  }
+  bool frozen(uint64_t cycle) const { return cycle < frozen_until_; }
+
   /// Per-cycle stall attribution: every worker tick is charged to exactly
   /// one bucket, so busy + dram_stall + hazard_block + backpressure + idle
   /// == total by construction. Sampled post-tick: the softcore's wait kind
@@ -54,6 +63,9 @@ class PartitionWorker : public sim::Component, public DbDispatcher {
     uint64_t hazard_block = 0;
     uint64_t backpressure = 0;
     uint64_t idle = 0;
+    /// Cycles lost to an injected worker freeze (fault injection only;
+    /// reported only when nonzero so unfaulted runs keep the 5-bucket sum).
+    uint64_t frozen = 0;
   };
   const CycleBreakdown& cycles() const { return cycles_; }
 
@@ -73,6 +85,7 @@ class PartitionWorker : public sim::Component, public DbDispatcher {
   std::unique_ptr<Softcore> softcore_;
   CycleBreakdown cycles_;
   Summary remote_rtt_;
+  uint64_t frozen_until_ = 0;
 };
 
 }  // namespace bionicdb::core

@@ -50,6 +50,7 @@ sim::Addr AllocateTuple(sim::DramMemory* dram, uint8_t height,
   if (payload_len > 0) {
     dram->WriteBytes(key_at + PadTo8(key_len), payload, payload_len);
   }
+  dram->NotifyTupleAllocated(addr);
   return addr;
 }
 

@@ -1,0 +1,223 @@
+#include "fault/fault.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "db/tuple.h"
+
+namespace bionicdb::fault {
+
+const char* FaultEventKindName(FaultEvent::Kind kind) {
+  switch (kind) {
+    case FaultEvent::Kind::kDramSpike:
+      return "dram_spike";
+    case FaultEvent::Kind::kDramStuck:
+      return "dram_stuck";
+    case FaultEvent::Kind::kBitFlip:
+      return "bit_flip";
+    case FaultEvent::Kind::kCommDrop:
+      return "comm_drop";
+    case FaultEvent::Kind::kCommDup:
+      return "comm_dup";
+    case FaultEvent::Kind::kCommDelay:
+      return "comm_delay";
+    case FaultEvent::Kind::kWorkerFreeze:
+      return "worker_freeze";
+    case FaultEvent::Kind::kCrash:
+      return "crash";
+  }
+  return "unknown";
+}
+
+FaultScheduler::FaultScheduler(const FaultConfig& config)
+    : sim::Component("fault_scheduler"),
+      config_(config),
+      schedule_rng_(config.seed),
+      packet_rng_(config.seed ^ 0x5DEECE66Dull) {}
+
+void FaultScheduler::Attach(core::BionicDb* engine) {
+  engine_ = engine;
+  dram_ = &engine->simulator().dram();
+  channels_.assign(engine->options().timing.dram_channels, ChannelWindows{});
+  dram_->set_fault_hook(this);
+  engine->fabric().set_fault_hook(this);
+  if (config_.comm_faults_enabled() &&
+      !engine->fabric().reliability().enabled) {
+    engine->fabric().set_reliability(comm::ReliabilityConfig{.enabled = true});
+  }
+  engine->simulator().AddComponent(this);
+}
+
+void FaultScheduler::Detach() {
+  if (engine_ == nullptr) return;
+  dram_->set_fault_hook(nullptr);
+  engine_->fabric().set_fault_hook(nullptr);
+  engine_ = nullptr;
+  dram_ = nullptr;
+}
+
+void FaultScheduler::Tick(uint64_t cycle) {
+  if (engine_ == nullptr || !config_.any_enabled()) return;
+  if (config_.dram_faults_enabled()) {
+    for (uint32_t ch = 0; ch < channels_.size(); ++ch) {
+      if (config_.dram_spike_rate > 0 &&
+          schedule_rng_.NextBool(config_.dram_spike_rate)) {
+        channels_[ch].spike_until = cycle + config_.dram_spike_duration;
+        counters_.Add("injected/dram_spike");
+        events_.push_back({cycle, FaultEvent::Kind::kDramSpike, ch,
+                           channels_[ch].spike_until});
+      }
+      if (config_.dram_stuck_rate > 0 &&
+          schedule_rng_.NextBool(config_.dram_stuck_rate)) {
+        channels_[ch].stuck_until = cycle + config_.dram_stuck_duration;
+        counters_.Add("injected/dram_stuck");
+        events_.push_back({cycle, FaultEvent::Kind::kDramStuck, ch,
+                           channels_[ch].stuck_until});
+      }
+    }
+  }
+  if (config_.bitflip_rate > 0 && !guard_addrs_.empty() &&
+      schedule_rng_.NextBool(config_.bitflip_rate)) {
+    FlipRandomBit(cycle);
+  }
+  if (config_.worker_freeze_rate > 0 &&
+      schedule_rng_.NextBool(config_.worker_freeze_rate)) {
+    uint32_t w = uint32_t(
+        schedule_rng_.NextUint64(engine_->options().n_workers));
+    engine_->worker(w).FreezeUntil(cycle + config_.worker_freeze_cycles);
+    counters_.Add("injected/worker_freeze");
+    events_.push_back({cycle, FaultEvent::Kind::kWorkerFreeze, w,
+                       config_.worker_freeze_cycles});
+  }
+}
+
+uint64_t FaultScheduler::ExtraLatency(uint64_t now, uint32_t channel) {
+  if (channel >= channels_.size()) return 0;
+  return now < channels_[channel].spike_until
+             ? config_.dram_spike_extra_cycles
+             : 0;
+}
+
+bool FaultScheduler::ChannelStuck(uint64_t now, uint32_t channel) {
+  return channel < channels_.size() && now < channels_[channel].stuck_until;
+}
+
+void FaultScheduler::OnTupleAllocated(sim::Addr addr) {
+  auto [it, inserted] = guards_.emplace(addr, 0);
+  it->second = ComputeGuard(addr);
+  if (inserted) guard_addrs_.push_back(addr);
+}
+
+bool FaultScheduler::VerifyTuple(sim::Addr addr) {
+  auto it = guards_.find(addr);
+  if (it == guards_.end()) return true;  // unguarded (pre-attach) tuple
+  ++corruption_checks_;
+  if (ComputeGuard(addr) == it->second) return true;
+  ++corruption_detected_;
+  counters_.Add("detected/corruption");
+  return false;
+}
+
+comm::FaultDecision FaultScheduler::OnPacket(uint64_t now, bool is_request,
+                                             db::WorkerId src,
+                                             db::WorkerId dst) {
+  comm::FaultDecision fd;
+  if (!config_.comm_faults_enabled()) return fd;
+  if (config_.comm_drop_rate > 0 &&
+      packet_rng_.NextBool(config_.comm_drop_rate)) {
+    fd.drop = true;
+    counters_.Add("injected/comm_drop");
+    events_.push_back({now, FaultEvent::Kind::kCommDrop, src,
+                       (uint64_t(dst) << 1) | (is_request ? 1 : 0)});
+    return fd;
+  }
+  if (config_.comm_dup_rate > 0 &&
+      packet_rng_.NextBool(config_.comm_dup_rate)) {
+    fd.duplicate = true;
+    counters_.Add("injected/comm_dup");
+    events_.push_back({now, FaultEvent::Kind::kCommDup, src,
+                       (uint64_t(dst) << 1) | (is_request ? 1 : 0)});
+  }
+  if (config_.comm_delay_rate > 0 &&
+      packet_rng_.NextBool(config_.comm_delay_rate)) {
+    fd.delay_cycles = config_.comm_delay_cycles;
+    counters_.Add("injected/comm_delay");
+    events_.push_back({now, FaultEvent::Kind::kCommDelay, src,
+                       (uint64_t(dst) << 1) | (is_request ? 1 : 0)});
+  }
+  return fd;
+}
+
+void FaultScheduler::RecordCrash(uint64_t cycle) {
+  counters_.Add("injected/crash");
+  events_.push_back({cycle, FaultEvent::Kind::kCrash, 0, 0});
+}
+
+uint32_t FaultScheduler::ComputeGuard(sim::Addr addr) const {
+  // Shape bytes: height (1), key_len (2), payload_len (4) at [addr+17, +24).
+  uint8_t shape[7];
+  dram_->ReadBytes(addr + 17, shape, sizeof shape);
+  uint32_t crc = Crc32(shape, sizeof shape);
+  db::TupleAccessor t(dram_, addr);
+  uint16_t key_len = t.key_len();
+  if (key_len > 0) {
+    std::vector<uint8_t> key(key_len);
+    dram_->ReadBytes(t.key_addr(), key.data(), key_len);
+    crc = Crc32(key.data(), key_len, crc);
+  }
+  return crc;
+}
+
+void FaultScheduler::FlipRandomBit(uint64_t cycle) {
+  sim::Addr addr =
+      guard_addrs_[schedule_rng_.NextUint64(guard_addrs_.size())];
+  db::TupleAccessor t(dram_, addr);
+  // Guarded region = 7 shape bytes + key bytes. Flipping outside it (links,
+  // timestamps, payload) is not detectable by the shape guard and would be
+  // either a wild pointer (crash, not corruption) or a payload error that a
+  // commit-time payload checksum would own — out of scope here.
+  uint16_t key_len = t.key_len();
+  uint64_t region_bits = (7ull + key_len) * 8;
+  uint64_t bit = schedule_rng_.NextUint64(region_bits);
+  sim::Addr byte_addr = bit < 7 * 8 ? addr + 17 + bit / 8
+                                    : t.key_addr() + (bit / 8 - 7);
+  dram_->Write8(byte_addr, dram_->Read8(byte_addr) ^ uint8_t(1 << (bit % 8)));
+  if (std::find(flipped_tuples_.begin(), flipped_tuples_.end(), addr) ==
+      flipped_tuples_.end()) {
+    flipped_tuples_.push_back(addr);
+  }
+  counters_.Add("injected/bit_flip");
+  events_.push_back({cycle, FaultEvent::Kind::kBitFlip, addr, bit});
+}
+
+std::vector<sim::Addr> FaultScheduler::ScrubAll() {
+  std::vector<sim::Addr> corrupted;
+  for (const auto& [addr, crc] : guards_) {
+    if (ComputeGuard(addr) != crc) corrupted.push_back(addr);
+  }
+  return corrupted;
+}
+
+uint32_t FaultScheduler::ScheduleDigest() const {
+  uint32_t crc = 0;
+  for (const FaultEvent& e : events_) {
+    uint8_t buf[25];
+    for (int i = 0; i < 8; ++i) buf[i] = uint8_t(e.cycle >> (8 * i));
+    buf[8] = uint8_t(e.kind);
+    for (int i = 0; i < 8; ++i) buf[9 + i] = uint8_t(e.a >> (8 * i));
+    for (int i = 0; i < 8; ++i) buf[17 + i] = uint8_t(e.b >> (8 * i));
+    crc = Crc32(buf, sizeof buf, crc);
+  }
+  return crc;
+}
+
+void FaultScheduler::CollectStats(StatsScope scope) const {
+  scope.SetCounter("events", events_.size());
+  scope.SetCounter("guarded_tuples", guard_addrs_.size());
+  scope.SetCounter("corruption_checks", corruption_checks_);
+  scope.SetCounter("corruption_detected", corruption_detected_);
+  scope.SetCounter("schedule_digest", ScheduleDigest());
+  scope.MergeCounterSet(counters_);
+}
+
+}  // namespace bionicdb::fault

@@ -1,0 +1,202 @@
+// Deterministic fault injection for the BionicDB simulator.
+//
+// The FaultScheduler is a regular sim::Component ticked once per cycle by
+// the simulator; every fault decision flows from two seeded xorshift
+// streams (one advanced per tick for the event schedule, one advanced per
+// packet for comm faults), so a chaos run replays bit-for-bit from a single
+// seed. It implements the victim layers' hook interfaces directly:
+//
+//  * sim::DramFaultHook   — transient per-channel latency-spike windows,
+//    stuck-busy windows, and single-bit flips in the CRC32-guarded region
+//    of stored tuples (header shape bytes + key). Corruption is DETECTED
+//    by the index pipelines (CpStatus::kCorrupted -> txn abort), never a
+//    silent wrong answer.
+//  * comm::ChannelFaultHook — per-packet drop / duplicate / delay
+//    decisions, countered by the fabric's ack/retransmit/dedup layer
+//    (Attach auto-enables it when comm fault rates are nonzero, since a
+//    dropped packet would otherwise hang the drain loop).
+//  * worker freezes — a PartitionWorker skips every cycle until a deadline.
+//
+// Every injected event is recorded; ScheduleDigest() folds the recorded
+// schedule into a CRC32 so two runs can assert byte-identical fault
+// schedules. All hooks are pay-nothing when the scheduler is not attached.
+#ifndef BIONICDB_FAULT_FAULT_H_
+#define BIONICDB_FAULT_FAULT_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "comm/channels.h"
+#include "common/random.h"
+#include "common/stats.h"
+#include "core/engine.h"
+#include "sim/component.h"
+#include "sim/memory.h"
+
+namespace bionicdb::fault {
+
+/// Fault rates and shapes. All rates default to zero = that class disabled.
+struct FaultConfig {
+  uint64_t seed = 1;
+
+  // --- DRAM faults (per channel, per cycle) -----------------------------
+  /// Probability a transient latency-spike window opens on a channel.
+  double dram_spike_rate = 0;
+  /// Extra service latency while a spike window is open.
+  uint64_t dram_spike_extra_cycles = 64;
+  /// Spike window length.
+  uint64_t dram_spike_duration = 256;
+  /// Probability a channel wedges (rejects all admissions) for a window.
+  double dram_stuck_rate = 0;
+  uint64_t dram_stuck_duration = 512;
+
+  // --- Tuple corruption (per cycle) -------------------------------------
+  /// Probability of flipping one random bit in the guarded region (header
+  /// shape bytes + key) of one random guarded tuple.
+  double bitflip_rate = 0;
+
+  // --- Comm faults (per transmitted packet) -----------------------------
+  double comm_drop_rate = 0;
+  double comm_dup_rate = 0;
+  double comm_delay_rate = 0;
+  uint64_t comm_delay_cycles = 64;
+
+  // --- Worker faults (per cycle) ----------------------------------------
+  /// Probability a random worker freezes for `worker_freeze_cycles`.
+  double worker_freeze_rate = 0;
+  uint64_t worker_freeze_cycles = 1024;
+
+  bool dram_faults_enabled() const {
+    return dram_spike_rate > 0 || dram_stuck_rate > 0;
+  }
+  bool comm_faults_enabled() const {
+    return comm_drop_rate > 0 || comm_dup_rate > 0 || comm_delay_rate > 0;
+  }
+  bool any_enabled() const {
+    return dram_faults_enabled() || comm_faults_enabled() ||
+           bitflip_rate > 0 || worker_freeze_rate > 0;
+  }
+};
+
+/// One recorded injection. `a`/`b` are kind-specific operands (channel and
+/// window end, tuple address and bit index, src and dst worker, ...).
+struct FaultEvent {
+  enum class Kind : uint8_t {
+    kDramSpike = 0,
+    kDramStuck = 1,
+    kBitFlip = 2,
+    kCommDrop = 3,
+    kCommDup = 4,
+    kCommDelay = 5,
+    kWorkerFreeze = 6,
+    kCrash = 7,
+  };
+  uint64_t cycle = 0;
+  Kind kind = Kind::kDramSpike;
+  uint64_t a = 0;
+  uint64_t b = 0;
+};
+
+const char* FaultEventKindName(FaultEvent::Kind kind);
+
+class FaultScheduler : public sim::Component,
+                       public sim::DramFaultHook,
+                       public comm::ChannelFaultHook {
+ public:
+  explicit FaultScheduler(const FaultConfig& config);
+
+  /// Wires this scheduler into an engine: installs the DRAM and channel
+  /// hooks, registers as a simulator component, and — when comm faults are
+  /// enabled — turns the fabric's reliability layer on (lossy channels
+  /// without retransmission would hang Drain). Call before loading data if
+  /// bit flips should be able to target bulk-loaded tuples.
+  void Attach(core::BionicDb* engine);
+  /// Uninstalls the hooks (the component registration stays; a detached
+  /// scheduler ticks as a no-op). Used before tearing the engine down.
+  void Detach();
+
+  // sim::Component:
+  void Tick(uint64_t cycle) override;
+  bool Idle() const override { return true; }
+
+  // sim::DramFaultHook:
+  uint64_t ExtraLatency(uint64_t now, uint32_t channel) override;
+  bool ChannelStuck(uint64_t now, uint32_t channel) override;
+  void OnTupleAllocated(sim::Addr addr) override;
+  bool VerifyTuple(sim::Addr addr) override;
+
+  // comm::ChannelFaultHook:
+  comm::FaultDecision OnPacket(uint64_t now, bool is_request,
+                               db::WorkerId src, db::WorkerId dst) override;
+
+  /// Records a host-initiated crash (the harness kills the engine and runs
+  /// recovery; the scheduler only logs it so the digest covers it).
+  void RecordCrash(uint64_t cycle);
+
+  /// Recomputes every registered tuple guard and returns the addresses
+  /// whose stored bytes no longer match — i.e. corruption that WOULD be
+  /// detected on access. A flipped tuple absent from this list would be a
+  /// silent corruption (CRC failed to catch it); the chaos smoke test
+  /// asserts that never happens.
+  std::vector<sim::Addr> ScrubAll();
+
+  /// Addresses whose guarded bytes were bit-flipped (deduplicated).
+  const std::vector<sim::Addr>& flipped_tuples() const {
+    return flipped_tuples_;
+  }
+
+  const std::vector<FaultEvent>& events() const { return events_; }
+
+  /// CRC32 over the serialized event schedule: two runs with the same seed
+  /// and workload must produce identical digests.
+  uint32_t ScheduleDigest() const;
+
+  /// Dumps `injected/<class>`, `detected/...` counters under `scope`
+  /// (published by benches under the `fault/` namespace).
+  void CollectStats(StatsScope scope) const;
+
+  uint64_t guarded_tuples() const { return uint64_t(guard_addrs_.size()); }
+  uint64_t corruption_checks() const { return corruption_checks_; }
+  uint64_t corruption_detected() const { return corruption_detected_; }
+
+ private:
+  /// CRC32 over the tuple's immutable "shape" bytes (height, key_len,
+  /// payload_len at [addr+17, addr+24)) and key bytes. Timestamps, flags
+  /// and links are mutable during normal execution and deliberately
+  /// excluded, so guards never need rewriting after registration.
+  uint32_t ComputeGuard(sim::Addr addr) const;
+
+  /// Flips one schedule-chosen bit inside the guarded region of a random
+  /// guarded tuple.
+  void FlipRandomBit(uint64_t cycle);
+
+  FaultConfig config_;
+  core::BionicDb* engine_ = nullptr;
+  sim::DramMemory* dram_ = nullptr;
+
+  Rng schedule_rng_;  // advanced once per tick decision
+  Rng packet_rng_;    // advanced once per transmitted packet
+
+  struct ChannelWindows {
+    uint64_t spike_until = 0;
+    uint64_t stuck_until = 0;
+  };
+  std::vector<ChannelWindows> channels_;
+
+  // Guard table. The vector gives O(1) random victim selection; the map
+  // gives O(log n) verification. std::map keeps ScrubAll order (and thus
+  // any downstream iteration) deterministic.
+  std::map<sim::Addr, uint32_t> guards_;
+  std::vector<sim::Addr> guard_addrs_;
+  std::vector<sim::Addr> flipped_tuples_;
+
+  std::vector<FaultEvent> events_;
+  CounterSet counters_;
+  uint64_t corruption_checks_ = 0;
+  uint64_t corruption_detected_ = 0;
+};
+
+}  // namespace bionicdb::fault
+
+#endif  // BIONICDB_FAULT_FAULT_H_

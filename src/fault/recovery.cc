@@ -1,0 +1,152 @@
+#include "fault/recovery.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "db/tuple.h"
+#include "workload/ycsb.h"
+
+namespace bionicdb::fault {
+
+ShadowModel::ShadowModel(const log::Checkpoint& base) {
+  for (const log::Checkpoint::TableDump& dump : base.dumps()) {
+    Table& table = state_[{dump.table, dump.partition}];
+    for (const log::Checkpoint::TupleRecord& rec : dump.tuples) {
+      table[rec.key] = rec.payload;
+    }
+  }
+}
+
+bool ShadowModel::UpdatePayload(db::TableId table, db::PartitionId partition,
+                                const KeyBytes& key, uint64_t offset,
+                                const uint8_t* data, uint64_t len) {
+  auto part = state_.find({table, partition});
+  if (part == state_.end()) return false;
+  auto it = part->second.find(key);
+  if (it == part->second.end()) return false;
+  if (offset + len > it->second.size()) return false;
+  std::memcpy(it->second.data() + offset, data, len);
+  return true;
+}
+
+void ShadowModel::Put(db::TableId table, db::PartitionId partition,
+                      const KeyBytes& key, std::vector<uint8_t> payload) {
+  state_[{table, partition}][key] = std::move(payload);
+}
+
+bool ShadowModel::Erase(db::TableId table, db::PartitionId partition,
+                        const KeyBytes& key) {
+  auto part = state_.find({table, partition});
+  if (part == state_.end()) return false;
+  return part->second.erase(key) > 0;
+}
+
+ShadowApplier MakeYcsbUpdateMixApplier(uint64_t records_per_partition,
+                                       uint32_t accesses_per_txn,
+                                       uint32_t updates_per_txn) {
+  const uint32_t n = accesses_per_txn;
+  const uint32_t u = std::min(updates_per_txn, n);
+  return [records_per_partition, n, u](const log::LogRecord& rec,
+                                       ShadowModel* shadow) {
+    if (rec.input.size() < 8ull * n + 8ull * u) return false;
+    for (uint32_t i = 0; i < u; ++i) {
+      ShadowModel::KeyBytes key(rec.input.begin() + 8 * i,
+                                rec.input.begin() + 8 * i + 8);
+      db::PartitionId partition = db::PartitionId(
+          db::DecodeKeyU64(key.data()) / records_per_partition);
+      // The update applies the raw 8-byte value verbatim over the first 8
+      // payload bytes (register store, little-endian both sides).
+      if (!shadow->UpdatePayload(workload::Ycsb::kTable, partition, key,
+                                 /*offset=*/0,
+                                 rec.input.data() + 8ull * n + 8ull * i,
+                                 8)) {
+        return false;
+      }
+    }
+    return true;
+  };
+}
+
+namespace {
+
+std::string DescribeKey(const ShadowModel::KeyBytes& key) {
+  if (key.size() == 8) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "key=%llu",
+                  (unsigned long long)db::DecodeKeyU64(key.data()));
+    return buf;
+  }
+  return "key[" + std::to_string(key.size()) + "B]";
+}
+
+}  // namespace
+
+RecoveryVerifier::Result RecoveryVerifier::Verify(
+    const log::Checkpoint& base, const log::CommandLog& log,
+    const ShadowApplier& applier, const db::Database& recovered) {
+  Result res;
+  ShadowModel shadow(base);
+  for (const log::LogRecord* rec : log.ReplayOrder()) {
+    if (!applier(*rec, &shadow)) {
+      ++res.applier_errors;
+      if (res.first_diff.empty()) {
+        res.first_diff = "applier rejected a committed log record";
+      }
+    }
+  }
+
+  // Canonicalise the recovered engine the same way the shadow is keyed.
+  log::Checkpoint actual = log::Checkpoint::Capture(recovered);
+  std::map<std::pair<db::TableId, db::PartitionId>, ShadowModel::Table>
+      actual_state;
+  for (const log::Checkpoint::TableDump& dump : actual.dumps()) {
+    ShadowModel::Table& table = actual_state[{dump.table, dump.partition}];
+    for (const log::Checkpoint::TupleRecord& rec : dump.tuples) {
+      table[rec.key] = rec.payload;
+    }
+  }
+
+  auto note = [&res](const std::string& diff) {
+    if (res.first_diff.empty()) res.first_diff = diff;
+  };
+  for (const auto& [part, expected] : shadow.state()) {
+    const ShadowModel::Table* got = nullptr;
+    auto it = actual_state.find(part);
+    if (it != actual_state.end()) got = &it->second;
+    for (const auto& [key, payload] : expected) {
+      ++res.tuples_compared;
+      const std::vector<uint8_t>* actual_payload = nullptr;
+      if (got != nullptr) {
+        auto found = got->find(key);
+        if (found != got->end()) actual_payload = &found->second;
+      }
+      if (actual_payload == nullptr) {
+        ++res.missing;
+        note("missing after recovery: table " + std::to_string(part.first) +
+             " partition " + std::to_string(part.second) + " " +
+             DescribeKey(key));
+      } else if (*actual_payload != payload) {
+        ++res.mismatched;
+        note("payload mismatch: table " + std::to_string(part.first) +
+             " partition " + std::to_string(part.second) + " " +
+             DescribeKey(key));
+      }
+    }
+  }
+  for (const auto& [part, got] : actual_state) {
+    auto it = shadow.state().find(part);
+    for (const auto& [key, payload] : got) {
+      if (it == shadow.state().end() || !it->second.count(key)) {
+        ++res.unexpected;
+        note("unexpected after recovery: table " +
+             std::to_string(part.first) + " partition " +
+             std::to_string(part.second) + " " + DescribeKey(key));
+      }
+    }
+  }
+  res.equivalent = res.missing == 0 && res.unexpected == 0 &&
+                   res.mismatched == 0 && res.applier_errors == 0;
+  return res;
+}
+
+}  // namespace bionicdb::fault

@@ -102,6 +102,7 @@ ClosedLoopResult RunClosedLoop(core::BionicDb* engine,
           engine->Submit(w, queue[i].block);
           ++result.retries;
         } else if (state == db::TxnState::kAborted) {
+          ++result.failed;
           queue[i] = queue.back();
           queue.pop_back();
           continue;

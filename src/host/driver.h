@@ -62,6 +62,9 @@ struct ClosedLoopOptions {
 
 struct ClosedLoopResult {
   uint64_t committed = 0;
+  /// Transactions dropped from the closed loop still aborted (only possible
+  /// with retry_aborts off — retried aborts either commit or run forever).
+  uint64_t failed = 0;
   uint64_t retries = 0;
   uint64_t cycles = 0;
   double tps = 0;

@@ -263,6 +263,12 @@ void HashPipeline::TickHeadFetch(uint64_t now) {
 void HashPipeline::FinishAccess(uint64_t now, uint32_t slot,
                                 sim::Addr tuple_addr) {
   Op& op = pool_[slot];
+  if (!dram_->VerifyTupleGuard(tuple_addr)) {
+    counters_.Add("corruption_detected");
+    Emit(slot, isa::CpStatus::kCorrupted, 0, cc::WriteKind::kNone,
+         sim::kNullAddr);
+    return;
+  }
   db::TupleAccessor t(dram_, tuple_addr);
   cc::AccessMode mode;
   cc::WriteKind kind = cc::WriteKind::kNone;
@@ -337,6 +343,14 @@ void HashPipeline::TickDirtyWaiters(uint64_t now) {
 
 bool HashPipeline::CompareOrAdvance(uint64_t now, uint32_t slot) {
   Op& op = pool_[slot];
+  // Integrity guard before trusting any header/key byte of this node: a
+  // flipped key byte would otherwise surface as a silent kNotFound.
+  if (!dram_->VerifyTupleGuard(op.cur)) {
+    counters_.Add("corruption_detected");
+    Emit(slot, isa::CpStatus::kCorrupted, 0, cc::WriteKind::kNone,
+         sim::kNullAddr);
+    return true;
+  }
   db::TupleAccessor t(dram_, op.cur);
   std::vector<uint8_t> key(op.req.key_len);
   dram_->ReadBytes(op.req.key_addr, key.data(), key.size());

@@ -312,6 +312,15 @@ void SkiplistPipeline::NextArrived(uint64_t now, Stage* stage,
   Op& op = pool_[slot];
   const bool is_insert = op.req.op == isa::Opcode::kInsert;
   sim::Addr next = stage->pending_next;
+  // Integrity guard before trusting the fetched tower's key bytes.
+  if (!dram_->VerifyTupleGuard(next)) {
+    counters_.Add("corruption_detected");
+    stage->cur_op.reset();
+    stage->wait = Wait::kNone;
+    Emit(slot, isa::CpStatus::kCorrupted, 0, cc::WriteKind::kNone,
+         sim::kNullAddr);
+    return;
+  }
   int cmp = CompareProbe(op, next);
   if (cmp > 0) {
     // Probe is beyond `next`: move right onto it.
@@ -368,6 +377,12 @@ void SkiplistPipeline::LeaveStage(uint64_t now, Stage* stage) {
 void SkiplistPipeline::FinishAccess(uint64_t now, uint32_t slot,
                                     sim::Addr tuple_addr) {
   Op& op = pool_[slot];
+  if (!dram_->VerifyTupleGuard(tuple_addr)) {
+    counters_.Add("corruption_detected");
+    Emit(slot, isa::CpStatus::kCorrupted, 0, cc::WriteKind::kNone,
+         sim::kNullAddr);
+    return;
+  }
   db::TupleAccessor t(dram_, tuple_addr);
   cc::AccessMode mode;
   cc::WriteKind kind = cc::WriteKind::kNone;
@@ -400,6 +415,12 @@ void SkiplistPipeline::Terminal(uint64_t now, uint32_t slot) {
     case isa::Opcode::kUpdate:
     case isa::Opcode::kRemove: {
       sim::Addr cand = op.succs[0];
+      if (cand != sim::kNullAddr && !dram_->VerifyTupleGuard(cand)) {
+        counters_.Add("corruption_detected");
+        Emit(slot, isa::CpStatus::kCorrupted, 0, cc::WriteKind::kNone,
+             sim::kNullAddr);
+        return;
+      }
       if (cand == sim::kNullAddr || CompareProbe(op, cand) != 0) {
         Emit(slot, isa::CpStatus::kNotFound, 0, cc::WriteKind::kNone,
              sim::kNullAddr);
@@ -500,6 +521,14 @@ void SkiplistPipeline::TickScanner(uint64_t now, uint32_t scanner_idx) {
   sc.resp.pop_front();
   uint32_t slot = *sc.cur_op;
   Op& op = pool_[slot];
+  if (!dram_->VerifyTupleGuard(op.cur)) {
+    counters_.Add("corruption_detected");
+    sc.cur_op.reset();
+    sc.waiting = false;
+    Emit(slot, isa::CpStatus::kCorrupted, 0, cc::WriteKind::kNone,
+         sim::kNullAddr);
+    return;
+  }
   db::TupleAccessor t(dram_, op.cur);
   if (cc::ScanVisible(t, op.req.ts)) {
     // Collect the tuple: its payload address lands in the result buffer.

@@ -97,8 +97,9 @@ struct Instruction {
 enum class CpStatus : uint8_t {
   kOk = 0,
   kNotFound = 1,
-  kRejected = 2,  // concurrency-control visibility failure -> abort
+  kRejected = 2,   // concurrency-control visibility failure -> abort
   kError = 3,
+  kCorrupted = 4,  // tuple integrity-guard (CRC) mismatch -> abort
 };
 
 constexpr uint64_t EncodeCpValue(CpStatus status, uint64_t payload) {

@@ -2,35 +2,89 @@
 
 #include <algorithm>
 #include <fstream>
+#include <iterator>
 
+#include "common/hash.h"
 #include "db/txn_block.h"
 
 namespace bionicdb::log {
 
 namespace {
 
-void PutU64(std::ostream& os, uint64_t v) {
-  os.write(reinterpret_cast<const char*>(&v), 8);
+// On-disk format v2: [magic u64][body][CRC32 trailer u64], all fields
+// little-endian. The CRC covers magic + body, so truncation and bit rot
+// both fail fast. Loaders parse from a fully in-memory buffer with bounds
+// checks on every length field — a corrupt file yields a clear Status,
+// never UB (the v1 loader would happily resize() to a garbage length).
+
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(uint8_t(v >> (8 * i)));
 }
-bool GetU64(std::istream& is, uint64_t* v) {
-  is.read(reinterpret_cast<char*>(v), 8);
-  return bool(is);
-}
-void PutBytes(std::ostream& os, const std::vector<uint8_t>& b) {
-  PutU64(os, b.size());
-  os.write(reinterpret_cast<const char*>(b.data()),
-           std::streamsize(b.size()));
-}
-bool GetBytes(std::istream& is, std::vector<uint8_t>* b) {
-  uint64_t n;
-  if (!GetU64(is, &n)) return false;
-  b->resize(n);
-  is.read(reinterpret_cast<char*>(b->data()), std::streamsize(n));
-  return bool(is);
+void PutBytes(std::vector<uint8_t>* out, const std::vector<uint8_t>& b) {
+  PutU64(out, b.size());
+  out->insert(out->end(), b.begin(), b.end());
 }
 
-constexpr uint64_t kLogMagic = 0xb10c10600001ull;
-constexpr uint64_t kCkptMagic = 0xb10c10600002ull;
+struct ByteReader {
+  const uint8_t* data;
+  size_t size;
+  size_t off = 0;
+  bool U64(uint64_t* v) {
+    if (size - off < 8) return false;
+    uint64_t x = 0;
+    for (int i = 0; i < 8; ++i) x |= uint64_t(data[off + i]) << (8 * i);
+    *v = x;
+    off += 8;
+    return true;
+  }
+  bool Bytes(std::vector<uint8_t>* b) {
+    uint64_t n;
+    if (!U64(&n)) return false;
+    if (n > size - off) return false;  // corrupt length field
+    b->assign(data + off, data + off + n);
+    off += size_t(n);
+    return true;
+  }
+};
+
+Status WriteFileWithTrailer(const std::string& path,
+                            const std::vector<uint8_t>& body) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) return Status::Internal("cannot open " + path);
+  os.write(reinterpret_cast<const char*>(body.data()),
+           std::streamsize(body.size()));
+  std::vector<uint8_t> trailer;
+  PutU64(&trailer, Crc32(body.data(), body.size()));
+  os.write(reinterpret_cast<const char*>(trailer.data()), 8);
+  return os ? Status::Ok() : Status::Internal("write failed: " + path);
+}
+
+/// Reads the whole file, validates the checksum trailer and hands back the
+/// body (magic included) for parsing.
+Status ReadFileWithTrailer(const std::string& path, const char* what,
+                           std::vector<uint8_t>* body) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return Status::NotFound("cannot open " + path);
+  std::vector<uint8_t> raw((std::istreambuf_iterator<char>(is)),
+                           std::istreambuf_iterator<char>());
+  // Minimum: magic + one count + trailer.
+  if (raw.size() < 24) {
+    return Status::InvalidArgument(std::string(what) + " truncated");
+  }
+  ByteReader tr{raw.data() + raw.size() - 8, 8};
+  uint64_t stored = 0;
+  tr.U64(&stored);
+  if (stored != Crc32(raw.data(), raw.size() - 8)) {
+    return Status::InvalidArgument(std::string(what) +
+                                   " checksum mismatch (corrupt file)");
+  }
+  raw.resize(raw.size() - 8);
+  body->swap(raw);
+  return Status::Ok();
+}
+
+constexpr uint64_t kLogMagic = 0xb10c10600101ull;   // v2 (checksummed)
+constexpr uint64_t kCkptMagic = 0xb10c10600102ull;  // v2 (checksummed)
 
 }  // namespace
 
@@ -69,42 +123,46 @@ std::vector<const LogRecord*> CommandLog::ReplayOrder() const {
 }
 
 Status CommandLog::SaveToFile(const std::string& path) const {
-  std::ofstream os(path, std::ios::binary | std::ios::trunc);
-  if (!os) return Status::Internal("cannot open " + path);
-  PutU64(os, kLogMagic);
-  PutU64(os, records_.size());
+  std::vector<uint8_t> body;
+  PutU64(&body, kLogMagic);
+  PutU64(&body, records_.size());
   for (const LogRecord& r : records_) {
-    PutU64(os, r.txn_type);
-    PutU64(os, r.worker);
-    PutU64(os, r.committed ? 1 : 0);
-    PutU64(os, r.commit_ts);
-    PutBytes(os, r.input);
+    PutU64(&body, r.txn_type);
+    PutU64(&body, r.worker);
+    PutU64(&body, r.committed ? 1 : 0);
+    PutU64(&body, r.commit_ts);
+    PutBytes(&body, r.input);
   }
-  return os ? Status::Ok() : Status::Internal("write failed: " + path);
+  return WriteFileWithTrailer(path, body);
 }
 
 Status CommandLog::LoadFromFile(const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is) return Status::NotFound("cannot open " + path);
+  std::vector<uint8_t> body;
+  BIONICDB_RETURN_IF_ERROR(ReadFileWithTrailer(path, "command log", &body));
+  ByteReader r{body.data(), body.size()};
   uint64_t magic, n;
-  if (!GetU64(is, &magic) || magic != kLogMagic) {
+  if (!r.U64(&magic) || magic != kLogMagic) {
     return Status::InvalidArgument("bad command-log magic");
   }
-  if (!GetU64(is, &n)) return Status::InvalidArgument("truncated log");
-  records_.clear();
+  if (!r.U64(&n)) return Status::InvalidArgument("truncated command log");
+  // Parse into a scratch vector: a failure mid-file leaves records_ intact.
+  std::vector<LogRecord> loaded;
   for (uint64_t i = 0; i < n; ++i) {
-    LogRecord r;
+    LogRecord rec;
     uint64_t type, worker, committed;
-    if (!GetU64(is, &type) || !GetU64(is, &worker) ||
-        !GetU64(is, &committed) || !GetU64(is, &r.commit_ts) ||
-        !GetBytes(is, &r.input)) {
-      return Status::InvalidArgument("truncated log record");
+    if (!r.U64(&type) || !r.U64(&worker) || !r.U64(&committed) ||
+        !r.U64(&rec.commit_ts) || !r.Bytes(&rec.input)) {
+      return Status::InvalidArgument("truncated command-log record");
     }
-    r.txn_type = db::TxnTypeId(type);
-    r.worker = db::WorkerId(worker);
-    r.committed = committed != 0;
-    records_.push_back(std::move(r));
+    rec.txn_type = db::TxnTypeId(type);
+    rec.worker = db::WorkerId(worker);
+    rec.committed = committed != 0;
+    loaded.push_back(std::move(rec));
   }
+  if (r.off != r.size) {
+    return Status::InvalidArgument("trailing garbage in command log");
+  }
+  records_.swap(loaded);
   return Status::Ok();
 }
 
@@ -186,51 +244,54 @@ bool Checkpoint::Equivalent(const Checkpoint& other) const {
 }
 
 Status Checkpoint::SaveToFile(const std::string& path) const {
-  std::ofstream os(path, std::ios::binary | std::ios::trunc);
-  if (!os) return Status::Internal("cannot open " + path);
-  PutU64(os, kCkptMagic);
-  PutU64(os, dumps_.size());
+  std::vector<uint8_t> body;
+  PutU64(&body, kCkptMagic);
+  PutU64(&body, dumps_.size());
   for (const TableDump& d : dumps_) {
-    PutU64(os, d.table);
-    PutU64(os, d.partition);
-    PutU64(os, d.tuples.size());
+    PutU64(&body, d.table);
+    PutU64(&body, d.partition);
+    PutU64(&body, d.tuples.size());
     for (const TupleRecord& r : d.tuples) {
-      PutU64(os, r.write_ts);
-      PutBytes(os, r.key);
-      PutBytes(os, r.payload);
+      PutU64(&body, r.write_ts);
+      PutBytes(&body, r.key);
+      PutBytes(&body, r.payload);
     }
   }
-  return os ? Status::Ok() : Status::Internal("write failed: " + path);
+  return WriteFileWithTrailer(path, body);
 }
 
 Status Checkpoint::LoadFromFile(const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is) return Status::NotFound("cannot open " + path);
+  std::vector<uint8_t> body;
+  BIONICDB_RETURN_IF_ERROR(ReadFileWithTrailer(path, "checkpoint", &body));
+  ByteReader r{body.data(), body.size()};
   uint64_t magic, n;
-  if (!GetU64(is, &magic) || magic != kCkptMagic) {
+  if (!r.U64(&magic) || magic != kCkptMagic) {
     return Status::InvalidArgument("bad checkpoint magic");
   }
-  if (!GetU64(is, &n)) return Status::InvalidArgument("truncated checkpoint");
-  dumps_.clear();
+  if (!r.U64(&n)) return Status::InvalidArgument("truncated checkpoint");
+  std::vector<TableDump> loaded;
   for (uint64_t i = 0; i < n; ++i) {
     TableDump d;
     uint64_t table, partition, count;
-    if (!GetU64(is, &table) || !GetU64(is, &partition) ||
-        !GetU64(is, &count)) {
+    if (!r.U64(&table) || !r.U64(&partition) || !r.U64(&count)) {
       return Status::InvalidArgument("truncated checkpoint dump");
     }
     d.table = db::TableId(table);
     d.partition = db::PartitionId(partition);
     for (uint64_t t = 0; t < count; ++t) {
-      TupleRecord r;
-      if (!GetU64(is, &r.write_ts) || !GetBytes(is, &r.key) ||
-          !GetBytes(is, &r.payload)) {
+      TupleRecord rec;
+      if (!r.U64(&rec.write_ts) || !r.Bytes(&rec.key) ||
+          !r.Bytes(&rec.payload)) {
         return Status::InvalidArgument("truncated checkpoint tuple");
       }
-      d.tuples.push_back(std::move(r));
+      d.tuples.push_back(std::move(rec));
     }
-    dumps_.push_back(std::move(d));
+    loaded.push_back(std::move(d));
   }
+  if (r.off != r.size) {
+    return Status::InvalidArgument("trailing garbage in checkpoint");
+  }
+  dumps_.swap(loaded);
   return Status::Ok();
 }
 

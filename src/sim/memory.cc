@@ -92,7 +92,22 @@ uint32_t DramMemory::ChannelOf(Addr addr) const {
 DramMemory::Channel* DramMemory::AdmitRequest(uint64_t now, Addr addr,
                                               bool is_write,
                                               uint64_t* start) {
-  Channel& ch = channels_[ChannelOf(addr)];
+  uint32_t channel = ChannelOf(addr);
+  Channel& ch = channels_[channel];
+  if (fault_hook_ != nullptr && fault_hook_->ChannelStuck(now, channel)) {
+    // A stuck-busy channel refuses admission entirely; requesters see it as
+    // prolonged backpressure and keep retrying, which is exactly how a
+    // wedged DIMM manifests to the pipelines.
+    ++fault_stuck_rejects_;
+    ++backpressure_rejects_;
+    ++ch.rejects;
+    if (is_write) {
+      ++write_rejects_;
+    } else {
+      ++read_rejects_;
+    }
+    return nullptr;
+  }
   if (ch.queued >= config_.dram_channel_queue_depth) {
     ++backpressure_rejects_;
     ++ch.rejects;
@@ -104,6 +119,13 @@ DramMemory::Channel* DramMemory::AdmitRequest(uint64_t now, Addr addr,
     return nullptr;
   }
   *start = std::max(ch.busy_until, now);
+  if (fault_hook_ != nullptr) {
+    uint64_t extra = fault_hook_->ExtraLatency(now, channel);
+    if (extra > 0) {
+      *start += extra;
+      fault_spike_cycles_ += extra;
+    }
+  }
   queue_wait_cycles_.Add(double(*start - now));
   ch.busy_until = *start + config_.dram_issue_gap_cycles;
   ch.issue_busy_cycles += config_.dram_issue_gap_cycles;
@@ -152,6 +174,12 @@ void DramMemory::CollectStats(StatsScope scope, uint64_t now) const {
   scope.SetCounter("write_rejects", write_rejects_);
   scope.SetCounter("allocated_bytes", allocated_bytes());
   scope.SetSummary("queue_wait_cycles", queue_wait_cycles_);
+  if (fault_hook_ != nullptr) {
+    // Only emitted under fault injection so unfaulted bench reports are
+    // byte-identical to pre-fault builds.
+    scope.SetCounter("fault_stuck_rejects", fault_stuck_rejects_);
+    scope.SetCounter("fault_spike_cycles", fault_spike_cycles_);
+  }
   StatsScope chans = scope.Sub("channels");
   for (size_t i = 0; i < channels_.size(); ++i) {
     const Channel& ch = channels_[i];

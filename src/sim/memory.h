@@ -54,6 +54,37 @@ struct MemResponse {
 /// Requesters own one of these; DRAM pushes completions into it.
 using MemResponseQueue = std::deque<MemResponse>;
 
+/// Fault-injection surface of the DRAM model (implemented by
+/// fault::FaultScheduler). All methods are consulted only when a hook is
+/// installed, so the unfaulted simulation pays a single null-pointer check.
+///
+/// Determinism contract: implementations must derive every decision from
+/// state advanced by their own simulator Tick (seeded RNG), never from
+/// wall-clock or allocation addresses of the host process, so the same seed
+/// reproduces the same fault schedule bit-for-bit.
+class DramFaultHook {
+ public:
+  virtual ~DramFaultHook() = default;
+
+  /// Extra service latency (cycles) for a request admitted at `now` on
+  /// `channel` — models a transient latency spike window.
+  virtual uint64_t ExtraLatency(uint64_t now, uint32_t channel) = 0;
+
+  /// True while `channel` is stuck busy: every admission is rejected,
+  /// which the requesters experience as prolonged backpressure.
+  virtual bool ChannelStuck(uint64_t now, uint32_t channel) = 0;
+
+  /// A tuple was initialised at `addr` (integrity-guard registration: the
+  /// hook records a CRC32 over the tuple's immutable header fields + key).
+  virtual void OnTupleAllocated(Addr addr) = 0;
+
+  /// Recomputes the integrity code of the tuple at `addr` against the
+  /// recorded one. False = corruption detected; the accessing pipeline
+  /// must fail the op so the transaction aborts (never a silent wrong
+  /// answer).
+  virtual bool VerifyTuple(Addr addr) = 0;
+};
+
 class DramMemory {
  public:
   explicit DramMemory(const TimingConfig& config);
@@ -121,6 +152,30 @@ class DramMemory {
 
   const TimingConfig& config() const { return config_; }
 
+  // --- Fault injection --------------------------------------------------
+
+  /// Installs (or clears, with nullptr) the fault hook. The DRAM does not
+  /// take ownership; with no hook every fault path is a dead branch.
+  void set_fault_hook(DramFaultHook* hook) { fault_hook_ = hook; }
+  DramFaultHook* fault_hook() const { return fault_hook_; }
+
+  /// Called by db::AllocateTuple so the fault subsystem can register an
+  /// integrity guard over the new tuple. No-op without a hook.
+  void NotifyTupleAllocated(Addr addr) {
+    if (fault_hook_ != nullptr) fault_hook_->OnTupleAllocated(addr);
+  }
+
+  /// Integrity check the index pipelines run before trusting a tuple's
+  /// header/key bytes. Always passes without a hook.
+  bool VerifyTupleGuard(Addr addr) {
+    return fault_hook_ == nullptr || fault_hook_->VerifyTuple(addr);
+  }
+
+  /// Admissions rejected because the target channel was fault-stuck.
+  uint64_t fault_stuck_rejects() const { return fault_stuck_rejects_; }
+  /// Total extra latency cycles added by injected spikes.
+  uint64_t fault_spike_cycles() const { return fault_spike_cycles_; }
+
  private:
   static constexpr uint64_t kPageBits = 16;  // 64 KiB pages
   static constexpr uint64_t kPageSize = 1ull << kPageBits;
@@ -176,7 +231,10 @@ class DramMemory {
   uint64_t backpressure_rejects_ = 0;
   uint64_t read_rejects_ = 0;
   uint64_t write_rejects_ = 0;
+  uint64_t fault_stuck_rejects_ = 0;
+  uint64_t fault_spike_cycles_ = 0;
   Summary queue_wait_cycles_;
+  DramFaultHook* fault_hook_ = nullptr;
 };
 
 }  // namespace bionicdb::sim

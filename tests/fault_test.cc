@@ -1,0 +1,328 @@
+// Fault-injection subsystem tests (src/fault): determinism of the seeded
+// schedule, detection guarantees for corrupted tuples, delivery guarantees
+// under lossy channels, worker freezes, and crash + replay verification.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "fault/fault.h"
+#include "fault/recovery.h"
+#include "host/driver.h"
+#include "log/command_log.h"
+#include "workload/ycsb.h"
+
+namespace bionicdb {
+namespace {
+
+core::EngineOptions Opts() {
+  core::EngineOptions o;
+  o.n_workers = 2;
+  return o;
+}
+
+workload::YcsbOptions YcsbOpts() {
+  workload::YcsbOptions o;
+  o.mode = workload::YcsbOptions::Mode::kUpdateMix;
+  o.records_per_partition = 200;
+  o.payload_len = 32;
+  o.accesses_per_txn = 4;
+  o.updates_per_txn = 2;
+  return o;
+}
+
+host::RunResult RunBatch(core::BionicDb* engine, workload::Ycsb* ycsb,
+                         uint64_t seed, uint64_t txns_per_worker,
+                         bool retry_aborts = true) {
+  Rng rng(seed);
+  host::TxnList txns;
+  for (uint32_t w = 0; w < engine->options().n_workers; ++w) {
+    for (uint64_t i = 0; i < txns_per_worker; ++i) {
+      txns.emplace_back(w, ycsb->MakeTxn(&rng, w));
+    }
+  }
+  return host::RunToCompletion(engine, txns, retry_aborts);
+}
+
+TEST(FaultScheduler, ZeroRateSchedulerIsInvisible) {
+  core::BionicDb plain(Opts());
+  workload::Ycsb ycsb_plain(&plain, YcsbOpts());
+  ASSERT_TRUE(ycsb_plain.Setup().ok());
+  host::RunResult base = RunBatch(&plain, &ycsb_plain, 7, 40);
+
+  core::BionicDb hooked(Opts());
+  fault::FaultScheduler sched(fault::FaultConfig{.seed = 7});
+  sched.Attach(&hooked);
+  workload::Ycsb ycsb_hooked(&hooked, YcsbOpts());
+  ASSERT_TRUE(ycsb_hooked.Setup().ok());
+  host::RunResult with_hooks = RunBatch(&hooked, &ycsb_hooked, 7, 40);
+
+  // Installed-but-inert hooks must not change a single simulated cycle.
+  EXPECT_EQ(base.committed, with_hooks.committed);
+  EXPECT_EQ(base.cycles, with_hooks.cycles);
+  EXPECT_TRUE(sched.events().empty());
+  EXPECT_EQ(sched.ScheduleDigest(), 0u);
+  // Guards were still registered for every bulk-loaded tuple.
+  EXPECT_EQ(sched.guarded_tuples(), 2u * 200u);
+  EXPECT_TRUE(sched.ScrubAll().empty());
+}
+
+TEST(FaultScheduler, DramWindowsSlowButNeverCorrupt) {
+  fault::FaultConfig cfg;
+  cfg.seed = 3;
+  cfg.dram_spike_rate = 1e-3;
+  cfg.dram_spike_extra_cycles = 32;
+  cfg.dram_stuck_rate = 3e-4;
+  cfg.dram_stuck_duration = 128;
+
+  core::BionicDb engine(Opts());
+  fault::FaultScheduler sched(cfg);
+  sched.Attach(&engine);
+  workload::Ycsb ycsb(&engine, YcsbOpts());
+  ASSERT_TRUE(ycsb.Setup().ok());
+  host::RunResult r = RunBatch(&engine, &ycsb, 3, 40);
+
+  EXPECT_EQ(r.failed, 0u);
+  EXPECT_EQ(r.committed, r.submitted);
+  EXPECT_GT(engine.simulator().dram().fault_spike_cycles(), 0u);
+  EXPECT_GT(engine.simulator().dram().fault_stuck_rejects(), 0u);
+  bool saw_spike = false, saw_stuck = false;
+  for (const fault::FaultEvent& e : sched.events()) {
+    saw_spike |= e.kind == fault::FaultEvent::Kind::kDramSpike;
+    saw_stuck |= e.kind == fault::FaultEvent::Kind::kDramStuck;
+  }
+  EXPECT_TRUE(saw_spike);
+  EXPECT_TRUE(saw_stuck);
+}
+
+TEST(FaultScheduler, BitFlipsAreDetectedNeverSilent) {
+  fault::FaultConfig cfg;
+  cfg.seed = 5;
+  cfg.bitflip_rate = 5e-4;
+
+  core::BionicDb engine(Opts());
+  fault::FaultScheduler sched(cfg);
+  sched.Attach(&engine);  // before Setup so bulk-loaded tuples are guarded
+  const workload::YcsbOptions yopts = YcsbOpts();
+  workload::Ycsb ycsb(&engine, yopts);
+  ASSERT_TRUE(ycsb.Setup().ok());
+  RunBatch(&engine, &ycsb, 5, 40, /*retry_aborts=*/false);
+
+  // Every injected flip must be detectable by a scrub, and nothing else
+  // may look corrupted: zero silent corruption, zero false accusations.
+  std::vector<sim::Addr> flipped = sched.flipped_tuples();
+  ASSERT_FALSE(flipped.empty());
+  std::sort(flipped.begin(), flipped.end());
+  EXPECT_EQ(sched.ScrubAll(), flipped);
+
+  // Probe every key once: accesses whose hash-chain walk crosses a
+  // corrupted tuple must abort (CpStatus::kCorrupted), not return data.
+  const uint32_t n = yopts.accesses_per_txn;
+  const uint64_t rpp = yopts.records_per_partition;
+  std::vector<sim::Addr> blocks;
+  for (uint32_t w = 0; w < 2; ++w) {
+    for (uint64_t k0 = 0; k0 < rpp; k0 += n) {
+      db::TxnBlock block = engine.AllocateBlock(workload::Ycsb::kTxnType);
+      for (uint32_t i = 0; i < n; ++i) {
+        block.WriteKeyU64(int64_t(8 * i), w * rpp + (k0 + i) % rpp);
+      }
+      for (uint32_t i = 0; i < yopts.updates_per_txn; ++i) {
+        block.WriteU64(int64_t(8 * n + 8 * i), 0xFEEDull + i);
+      }
+      engine.Submit(w, block.base());
+      blocks.push_back(block.base());
+    }
+  }
+  engine.Drain();
+  uint64_t aborted = 0;
+  for (sim::Addr addr : blocks) {
+    db::TxnBlock block(&engine.simulator().dram(), addr);
+    aborted += block.state() == db::TxnState::kAborted;
+  }
+  EXPECT_GE(aborted, 1u);
+  EXPECT_GE(sched.corruption_detected(), 1u);
+  EXPECT_GE(sched.corruption_checks(), sched.corruption_detected());
+}
+
+TEST(FaultScheduler, LossyChannelsStillCommitEverything) {
+  fault::FaultConfig cfg;
+  cfg.seed = 9;
+  cfg.comm_drop_rate = 0.02;
+  cfg.comm_dup_rate = 0.02;
+  cfg.comm_delay_rate = 0.05;
+  cfg.comm_delay_cycles = 16;
+
+  core::BionicDb engine(Opts());
+  fault::FaultScheduler sched(cfg);
+  sched.Attach(&engine);
+  workload::YcsbOptions yopts = YcsbOpts();
+  yopts.mode = workload::YcsbOptions::Mode::kMultisite;
+  yopts.remote_fraction = 0.75;
+  workload::Ycsb ycsb(&engine, yopts);
+  ASSERT_TRUE(ycsb.Setup().ok());
+  host::RunResult r = RunBatch(&engine, &ycsb, 9, 60);
+
+  // Attach must have turned the delivery-guarantee layer on by itself.
+  EXPECT_TRUE(engine.fabric().reliability().enabled);
+  EXPECT_EQ(r.failed, 0u);
+  EXPECT_EQ(r.committed, r.submitted);
+  EXPECT_GE(engine.fabric().retransmits(), 1u);
+  EXPECT_GE(engine.fabric().counters().Get("duplicates_suppressed"), 1u);
+  bool saw_drop = false;
+  for (const fault::FaultEvent& e : sched.events()) {
+    saw_drop |= e.kind == fault::FaultEvent::Kind::kCommDrop;
+  }
+  EXPECT_TRUE(saw_drop);
+}
+
+TEST(FaultScheduler, WorkerFreezeChargesFrozenCycles) {
+  fault::FaultConfig cfg;
+  cfg.seed = 4;
+  cfg.worker_freeze_rate = 5e-4;
+  cfg.worker_freeze_cycles = 128;
+
+  core::BionicDb engine(Opts());
+  fault::FaultScheduler sched(cfg);
+  sched.Attach(&engine);
+  workload::Ycsb ycsb(&engine, YcsbOpts());
+  ASSERT_TRUE(ycsb.Setup().ok());
+  host::RunResult r = RunBatch(&engine, &ycsb, 4, 40);
+
+  EXPECT_EQ(r.failed, 0u);  // a freeze delays work, it never loses it
+  bool saw_freeze = false;
+  for (const fault::FaultEvent& e : sched.events()) {
+    saw_freeze |= e.kind == fault::FaultEvent::Kind::kWorkerFreeze;
+  }
+  ASSERT_TRUE(saw_freeze);
+  StatsRegistry reg;
+  engine.CollectStats(&reg);
+  uint64_t frozen = 0;
+  for (uint32_t w = 0; w < 2; ++w) {
+    frozen += reg.GetCounter("workers/" + std::to_string(w) +
+                             "/cycles/frozen");
+  }
+  EXPECT_GT(frozen, 0u);
+}
+
+TEST(FaultScheduler, MidBatchCrashReplayVerifies) {
+  fault::FaultConfig cfg;
+  cfg.seed = 21;
+  cfg.dram_spike_rate = 5e-4;
+  cfg.worker_freeze_rate = 1e-4;
+  cfg.worker_freeze_cycles = 64;
+
+  const workload::YcsbOptions yopts = YcsbOpts();
+  core::BionicDb crashed(Opts());
+  fault::FaultScheduler sched(cfg);
+  sched.Attach(&crashed);
+  workload::Ycsb ycsb(&crashed, yopts);
+  ASSERT_TRUE(ycsb.Setup().ok());
+  log::Checkpoint initial = log::Checkpoint::Capture(crashed.database());
+
+  log::CommandLog cmd_log(&crashed);
+  Rng rng(21);
+  std::vector<std::pair<size_t, sim::Addr>> submitted;
+  for (uint32_t w = 0; w < 2; ++w) {
+    for (int i = 0; i < 40; ++i) {
+      sim::Addr block = ycsb.MakeTxn(&rng, w);
+      submitted.emplace_back(cmd_log.Append(w, block), block);
+      crashed.Submit(w, block);
+    }
+  }
+  // Crash once roughly half the batch has committed.
+  const uint64_t deadline = crashed.now() + (1ull << 24);
+  while (crashed.TotalCommitted() < submitted.size() / 2 &&
+         crashed.now() < deadline) {
+    crashed.Step(128);
+  }
+  sched.RecordCrash(crashed.now());
+  for (const auto& [rec, block] : submitted) cmd_log.MarkOutcome(rec, block);
+  uint64_t committed = 0;
+  for (const log::LogRecord& rec : cmd_log.records()) {
+    committed += rec.committed;
+  }
+  ASSERT_GE(committed, 1u);
+  ASSERT_LT(committed, submitted.size());  // genuinely mid-batch
+
+  core::BionicDb recovered(Opts());
+  for (const db::TableSchema& schema :
+       crashed.database().catalogue().tables()) {
+    ASSERT_TRUE(recovered.database().CreateTable(schema).ok());
+  }
+  const db::ProcedureInfo* proc =
+      crashed.database().catalogue().FindProcedure(workload::Ycsb::kTxnType);
+  ASSERT_NE(proc, nullptr);
+  ASSERT_TRUE(recovered
+                  .RegisterProcedure(workload::Ycsb::kTxnType, proc->program,
+                                     proc->block_data_size)
+                  .ok());
+  ASSERT_TRUE(log::Recover(&recovered, initial, cmd_log).ok());
+
+  fault::RecoveryVerifier::Result verdict = fault::RecoveryVerifier::Verify(
+      initial, cmd_log,
+      fault::MakeYcsbUpdateMixApplier(yopts.records_per_partition,
+                                      yopts.accesses_per_txn,
+                                      yopts.updates_per_txn),
+      recovered.database());
+  EXPECT_EQ(verdict.applier_errors, 0u);
+  EXPECT_TRUE(verdict.equivalent) << verdict.first_diff;
+  EXPECT_EQ(verdict.tuples_compared, 2u * yopts.records_per_partition);
+}
+
+struct ChaosOutcome {
+  uint32_t digest;
+  size_t events;
+  uint64_t committed;
+  uint64_t failed;
+  uint64_t cycles;
+};
+
+ChaosOutcome RunChaos(uint64_t seed) {
+  fault::FaultConfig cfg;
+  cfg.seed = seed;
+  cfg.dram_spike_rate = 5e-4;
+  cfg.dram_stuck_rate = 1e-4;
+  cfg.dram_stuck_duration = 64;
+  cfg.worker_freeze_rate = 1e-4;
+  cfg.worker_freeze_cycles = 64;
+
+  core::BionicDb engine(Opts());
+  fault::FaultScheduler sched(cfg);
+  sched.Attach(&engine);
+  workload::Ycsb ycsb(&engine, YcsbOpts());
+  if (!ycsb.Setup().ok()) return {};
+  host::RunResult r = RunBatch(&engine, &ycsb, seed, 40);
+  return {sched.ScheduleDigest(), sched.events().size(), r.committed,
+          r.failed, r.cycles};
+}
+
+TEST(FaultScheduler, SameSeedReplaysIdenticalSchedule) {
+  ChaosOutcome a = RunChaos(17);
+  ChaosOutcome b = RunChaos(17);
+  ASSERT_GT(a.events, 0u);
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.committed, b.committed);
+  EXPECT_EQ(a.failed, b.failed);
+  EXPECT_EQ(a.cycles, b.cycles);
+
+  ChaosOutcome c = RunChaos(18);
+  EXPECT_NE(a.digest, c.digest);
+}
+
+TEST(ShadowModel, RejectsUpdatesToMissingKeysAndOverruns) {
+  log::Checkpoint empty;
+  fault::ShadowModel shadow(empty);
+  std::vector<uint8_t> key{0, 0, 0, 0, 0, 0, 0, 1};
+  const uint8_t data[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  EXPECT_FALSE(shadow.UpdatePayload(0, 0, key, 0, data, 8));
+  shadow.Put(0, 0, key, std::vector<uint8_t>(16, 0xAA));
+  EXPECT_TRUE(shadow.UpdatePayload(0, 0, key, 0, data, 8));
+  EXPECT_FALSE(shadow.UpdatePayload(0, 0, key, 12, data, 8));  // overrun
+  EXPECT_TRUE(shadow.Erase(0, 0, key));
+  EXPECT_FALSE(shadow.Erase(0, 0, key));
+}
+
+}  // namespace
+}  // namespace bionicdb

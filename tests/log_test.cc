@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "host/driver.h"
 #include "log/command_log.h"
@@ -110,6 +113,118 @@ TEST_F(RecoveryTest, LogAndCheckpointFileRoundTrip) {
 
   std::remove(log_path.c_str());
   std::remove(ckpt_path.c_str());
+}
+
+TEST_F(RecoveryTest, CorruptOrTruncatedFilesAreRejected) {
+  core::BionicDb a(Opts());
+  workload::Ycsb ycsb(&a, YcsbOpts());
+  ASSERT_TRUE(ycsb.Setup().ok());
+  log::CommandLog cmd_log(&a);
+  Rng rng(8);
+  std::vector<std::pair<size_t, sim::Addr>> submitted;
+  for (int i = 0; i < 5; ++i) {
+    sim::Addr block = ycsb.MakeTxn(&rng, 0);
+    submitted.emplace_back(cmd_log.Append(0, block), block);
+    a.Submit(0, block);
+  }
+  a.Drain();
+  for (const auto& [rec, block] : submitted) cmd_log.MarkOutcome(rec, block);
+
+  std::string log_path = testing::TempDir() + "/bionicdb_corrupt.log";
+  std::string ckpt_path = testing::TempDir() + "/bionicdb_corrupt.ckpt";
+  ASSERT_TRUE(cmd_log.SaveToFile(log_path).ok());
+  log::Checkpoint ckpt = log::Checkpoint::Capture(a.database());
+  ASSERT_TRUE(ckpt.SaveToFile(ckpt_path).ok());
+
+  auto read_all = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::vector<char>((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  };
+  auto write_all = [](const std::string& path, const std::vector<char>& b) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(b.data(), std::streamsize(b.size()));
+  };
+  std::vector<char> log_bytes = read_all(log_path);
+  std::vector<char> ckpt_bytes = read_all(ckpt_path);
+  ASSERT_GT(log_bytes.size(), 32u);
+
+  // Seed the loading log with real records first: a failed load must leave
+  // them untouched (no partially-applied state).
+  log::CommandLog loaded(&a);
+  ASSERT_TRUE(loaded.LoadFromFile(log_path).ok());
+  const size_t n_records = loaded.records().size();
+  ASSERT_GT(n_records, 0u);
+
+  // A flipped byte in the body breaks the CRC32 trailer.
+  std::vector<char> flipped = log_bytes;
+  flipped[flipped.size() / 2] = char(flipped[flipped.size() / 2] ^ 0x40);
+  write_all(log_path, flipped);
+  Status s = loaded.LoadFromFile(log_path);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("checksum"), std::string::npos)
+      << s.ToString();
+  EXPECT_EQ(loaded.records().size(), n_records);
+
+  // A truncated file cannot satisfy the trailer either.
+  std::vector<char> truncated(log_bytes.begin(),
+                              log_bytes.begin() + long(log_bytes.size()) / 2);
+  write_all(log_path, truncated);
+  EXPECT_FALSE(loaded.LoadFromFile(log_path).ok());
+  EXPECT_EQ(loaded.records().size(), n_records);
+
+  // Wrong magic (a checkpoint is not a command log and vice versa).
+  write_all(log_path, ckpt_bytes);
+  EXPECT_FALSE(loaded.LoadFromFile(log_path).ok());
+  log::Checkpoint loaded_ckpt;
+  write_all(ckpt_path, flipped);
+  EXPECT_FALSE(loaded_ckpt.LoadFromFile(ckpt_path).ok());
+
+  // A missing file reports cleanly too.
+  EXPECT_FALSE(loaded.LoadFromFile(log_path + ".missing").ok());
+
+  std::remove(log_path.c_str());
+  std::remove(ckpt_path.c_str());
+}
+
+TEST_F(RecoveryTest, ReplayIsDeterministic) {
+  core::BionicDb a(Opts());
+  workload::Ycsb ycsb(&a, YcsbOpts());
+  ASSERT_TRUE(ycsb.Setup().ok());
+  log::Checkpoint initial = log::Checkpoint::Capture(a.database());
+  log::CommandLog cmd_log(&a);
+  Rng rng(15);
+  std::vector<std::pair<size_t, sim::Addr>> submitted;
+  for (uint32_t w = 0; w < 2; ++w) {
+    for (int i = 0; i < 20; ++i) {
+      sim::Addr block = ycsb.MakeTxn(&rng, w);
+      submitted.emplace_back(cmd_log.Append(w, block), block);
+      a.Submit(w, block);
+    }
+  }
+  a.Drain();
+  for (const auto& [rec, block] : submitted) cmd_log.MarkOutcome(rec, block);
+
+  // Recovering twice from the same checkpoint + log must reproduce the
+  // same state both times (replay has no hidden nondeterminism).
+  auto recover_once = [&] {
+    core::BionicDb b(Opts());
+    for (const db::TableSchema& schema : a.database().catalogue().tables()) {
+      EXPECT_TRUE(b.database().CreateTable(schema).ok());
+    }
+    const db::ProcedureInfo* proc =
+        a.database().catalogue().FindProcedure(workload::Ycsb::kTxnType);
+    EXPECT_NE(proc, nullptr);
+    EXPECT_TRUE(b.RegisterProcedure(workload::Ycsb::kTxnType, proc->program,
+                                    proc->block_data_size)
+                    .ok());
+    EXPECT_TRUE(log::Recover(&b, initial, cmd_log).ok());
+    return log::Checkpoint::Capture(b.database());
+  };
+  log::Checkpoint first = recover_once();
+  log::Checkpoint second = recover_once();
+  EXPECT_TRUE(first.Equivalent(second));
+  EXPECT_TRUE(first.Equivalent(log::Checkpoint::Capture(a.database())));
 }
 
 TEST_F(RecoveryTest, ReplayOrderSortsByCommitTimestamp) {
