@@ -39,6 +39,8 @@ StatsRegistry& BenchReport::AddEngineRun(const std::string& label,
   reg.SetCounter("run/retries", result.retries);
   reg.SetCounter("run/cycles", result.cycles);
   reg.SetGauge("run/tps", result.tps);
+  reg.SetGauge("run/wall_seconds", result.wall_seconds);
+  reg.SetGauge("run/sim_cycles_per_second", result.SimCyclesPerSecond());
   return reg;
 }
 
@@ -52,6 +54,8 @@ StatsRegistry& BenchReport::AddEngineRun(
   reg.SetCounter("run/retries", result.retries);
   reg.SetCounter("run/cycles", result.cycles);
   reg.SetGauge("run/tps", result.tps);
+  reg.SetGauge("run/wall_seconds", result.wall_seconds);
+  reg.SetGauge("run/sim_cycles_per_second", result.SimCyclesPerSecond());
   reg.SetSummary("run/latency_cycles", result.latency_cycles);
   return reg;
 }

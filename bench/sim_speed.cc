@@ -1,0 +1,180 @@
+// Simulator-speed harness: how much wall-clock time does event-driven
+// cycle skipping (TimingConfig::event_driven, DESIGN.md section 10) save,
+// and is it really free?
+//
+// Each leg runs the exact same workload twice — cycle-by-cycle, then
+// event-driven — on freshly built engines, asserts the two modes agree
+// bit-for-bit (committed/failed/retries, final cycle count, the full
+// engine stats JSON), and reports simulated-cycles-per-wall-second for
+// both plus the speedup. Equivalence violations exit non-zero, so the
+// ctest smoke fixture doubles as a coarse differential test (the fine
+// grained one is tests/sim_warp_test).
+//
+// Legs:
+//  * dram_heavy — dependency-serialized YCSB (one access per transaction,
+//    one softcore context, 4x DRAM latency): the worker spends almost
+//    every cycle parked in a quiescent DRAM wait (block ingest, RET
+//    blocked on the single outstanding index op), the best case for
+//    warping. This is the headline speedup number.
+//  * default — YCSB-C under the paper's default configuration, where
+//    batched dispatch keeps the softcore busy-polling the coprocessor's
+//    in-flight cap (dense wake points); reported so readers see the
+//    realistic (smaller) win.
+#include <cstdlib>
+
+#include "bench/bench_util.h"
+#include "bench/report.h"
+#include "workload/ycsb.h"
+
+namespace bionicdb {
+namespace {
+
+using bench::BenchArgs;
+
+struct Leg {
+  const char* name;
+  uint32_t workers;
+  uint32_t max_contexts;
+  uint32_t accesses_per_txn;
+  uint32_t dram_latency_cycles;
+};
+
+struct ModeResult {
+  host::RunResult run;
+  std::string engine_stats_json;
+  sim::Simulator::WarpStats warp;
+};
+
+ModeResult RunMode(const BenchArgs& args, const Leg& leg, bool event_driven,
+                   bench::BenchReport* report) {
+  core::EngineOptions opts;
+  opts.n_workers = leg.workers;
+  opts.softcore.max_contexts = leg.max_contexts;
+  opts.timing.dram_latency_cycles = leg.dram_latency_cycles;
+  opts.timing.event_driven = event_driven;
+  core::BionicDb engine(opts);
+
+  workload::YcsbOptions yopts;
+  yopts.mode = workload::YcsbOptions::Mode::kReadOnly;
+  yopts.accesses_per_txn = leg.accesses_per_txn;
+  yopts.records_per_partition = args.smoke ? 2'000 : args.quick ? 5'000
+                                                               : 20'000;
+  yopts.payload_len = args.quick ? 64 : 256;
+  workload::Ycsb ycsb(&engine, yopts);
+  if (auto s = ycsb.Setup(); !s.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n", s.ToString().c_str());
+    std::exit(1);
+  }
+
+  const uint64_t txns_per_worker = args.smoke ? 200 : args.quick ? 400
+                                                                 : 2'000;
+  Rng rng(args.seed);
+  host::TxnList txns;
+  for (uint32_t w = 0; w < leg.workers; ++w) {
+    for (uint64_t i = 0; i < txns_per_worker; ++i) {
+      txns.emplace_back(w, ycsb.MakeTxn(&rng, w));
+    }
+  }
+
+  ModeResult mr;
+  mr.run = host::RunToCompletion(&engine, txns);
+  StatsRegistry engine_stats;
+  engine.CollectStats(&engine_stats);
+  mr.engine_stats_json = engine_stats.ToJson(0);
+  mr.warp = engine.simulator().warp_stats();
+
+  std::string label = std::string(leg.name) + "/" +
+                      (event_driven ? "event_driven" : "cycle_accurate");
+  report->AddEngineRun(label, &engine, mr.run);
+  return mr;
+}
+
+/// Asserts the two modes produced bit-identical simulation outcomes.
+void CheckEquivalent(const Leg& leg, const ModeResult& base,
+                     const ModeResult& event) {
+  bool ok = base.run.committed == event.run.committed &&
+            base.run.failed == event.run.failed &&
+            base.run.retries == event.run.retries &&
+            base.run.cycles == event.run.cycles &&
+            base.engine_stats_json == event.engine_stats_json;
+  if (ok) return;
+  std::fprintf(stderr,
+               "sim_speed: leg '%s': event-driven mode DIVERGED from "
+               "cycle-accurate\n"
+               "  committed %llu vs %llu, failed %llu vs %llu, "
+               "retries %llu vs %llu, cycles %llu vs %llu, stats %s\n",
+               leg.name, (unsigned long long)base.run.committed,
+               (unsigned long long)event.run.committed,
+               (unsigned long long)base.run.failed,
+               (unsigned long long)event.run.failed,
+               (unsigned long long)base.run.retries,
+               (unsigned long long)event.run.retries,
+               (unsigned long long)base.run.cycles,
+               (unsigned long long)event.run.cycles,
+               base.engine_stats_json == event.engine_stats_json
+                   ? "identical"
+                   : "DIFFER");
+  std::exit(1);
+}
+
+void RunLeg(const BenchArgs& args, const Leg& leg, TablePrinter* table,
+            bench::BenchReport* report) {
+  ModeResult base = RunMode(args, leg, /*event_driven=*/false, report);
+  ModeResult event = RunMode(args, leg, /*event_driven=*/true, report);
+  CheckEquivalent(leg, base, event);
+
+  const double base_cps = base.run.SimCyclesPerSecond();
+  const double event_cps = event.run.SimCyclesPerSecond();
+  const double speedup = base_cps > 0 ? event_cps / base_cps : 0;
+
+  StatsRegistry& reg = report->AddRun(std::string("speed/") + leg.name);
+  reg.SetCounter("cycles", base.run.cycles);
+  reg.SetGauge("cycle_accurate/wall_seconds", base.run.wall_seconds);
+  reg.SetGauge("cycle_accurate/sim_cycles_per_second", base_cps);
+  reg.SetGauge("event_driven/wall_seconds", event.run.wall_seconds);
+  reg.SetGauge("event_driven/sim_cycles_per_second", event_cps);
+  reg.SetCounter("event_driven/warps", event.warp.warps);
+  reg.SetCounter("event_driven/skipped_cycles", event.warp.skipped_cycles);
+  reg.SetGauge("speedup_vs_cycle_accurate", speedup);
+
+  const double skipped_pct =
+      base.run.cycles > 0
+          ? 100.0 * double(event.warp.skipped_cycles) / double(base.run.cycles)
+          : 0;
+  table->AddRow({leg.name, "cycle_accurate",
+                 std::to_string(base.run.cycles),
+                 TablePrinter::Num(base.run.wall_seconds * 1e3, 1),
+                 bench::Mops(base_cps), "-", "-"});
+  table->AddRow({leg.name, "event_driven",
+                 std::to_string(event.run.cycles),
+                 TablePrinter::Num(event.run.wall_seconds * 1e3, 1),
+                 bench::Mops(event_cps), TablePrinter::Num(skipped_pct, 1),
+                 TablePrinter::Num(speedup, 1) + "x"});
+}
+
+void Run(const BenchArgs& args, bench::BenchReport* report) {
+  bench::PrintHeader("sim_speed",
+                     "event-driven cycle skipping vs per-cycle ticking");
+  TablePrinter table({"workload", "mode", "cycles", "wall (ms)",
+                      "Mcycles/s", "skipped %", "speedup"});
+  // 4x the HC-2's already-high random-access latency + a fully
+  // dependency-serialized workload (one context, one access per txn):
+  // nearly every cycle is a quiescent DRAM wait.
+  RunLeg(args, Leg{"dram_heavy", 1, 1, 1, 380}, &table, report);
+  RunLeg(args, Leg{"default", args.smoke ? 2u : 4u, 32, 16, 95}, &table,
+         report);
+  table.Print();
+  std::printf("(both modes asserted bit-identical: cycles, outcomes, "
+              "engine stats JSON)\n");
+}
+
+}  // namespace
+}  // namespace bionicdb
+
+int main(int argc, char** argv) {
+  auto args = bionicdb::bench::BenchArgs::Parse(argc, argv);
+  bionicdb::bench::BenchReport report("sim_speed");
+  bionicdb::Run(args, &report);
+  report.WriteFile();
+  return 0;
+}

@@ -1,5 +1,7 @@
 #include "comm/channels.h"
 
+#include <algorithm>
+
 namespace bionicdb::comm {
 
 CommFabric::CommFabric(uint32_t n_workers, const sim::TimingConfig& timing,
@@ -138,6 +140,22 @@ void CommFabric::Tick(uint64_t cycle) {
   };
   retransmit(&unacked_requests_, /*is_request=*/true, &request_wire_);
   retransmit(&unacked_responses_, /*is_request=*/false, &response_wire_);
+}
+
+uint64_t CommFabric::NextWakeCycle(uint64_t now) const {
+  uint64_t wake = sim::kNeverWakes;
+  for (const auto& p : request_wire_) wake = std::min(wake, p.deliver_at);
+  for (const auto& p : response_wire_) wake = std::min(wake, p.deliver_at);
+  if (reliability_.enabled) {
+    for (const auto& p : ack_wire_) wake = std::min(wake, p.deliver_at);
+    for (const auto& [seq, u] : unacked_requests_) {
+      wake = std::min(wake, u.next_retransmit_at);
+    }
+    for (const auto& [seq, u] : unacked_responses_) {
+      wake = std::min(wake, u.next_retransmit_at);
+    }
+  }
+  return wake > now ? wake : now + 1;
 }
 
 bool CommFabric::Idle() const {

@@ -108,6 +108,13 @@ class CommFabric : public sim::Component {
   void Tick(uint64_t cycle) override;
   bool Idle() const override;
 
+  /// Event-driven scheduling hint (contract in sim/component.h): the
+  /// earliest delivery or retransmission deadline on any wire. Quiescent
+  /// fabric ticks are pure no-ops (no per-cycle accounting), so no
+  /// SkipCycles override is needed; packets sitting in worker inboxes are
+  /// the workers' wake concern, not the fabric's.
+  uint64_t NextWakeCycle(uint64_t now) const override;
+
   /// One-way latency in cycles between two workers under the configured
   /// topology.
   uint64_t HopLatency(db::WorkerId src, db::WorkerId dst) const;

@@ -566,6 +566,83 @@ void Softcore::StartSwitch(uint64_t now, uint32_t next_ctx, Phase phase) {
   ++stats_.context_switches;
 }
 
+bool Softcore::AnyResumableWaiter() const {
+  for (uint32_t slot : batch_order_) {
+    const TxnContext& ctx = contexts_[slot];
+    if (ctx.in_use && !ctx.finished && ctx.waiting_cp &&
+        cp_valid_[ctx.wait_cp_index]) {
+      return true;
+    }
+  }
+  return false;
+}
+
+uint64_t Softcore::NextWakeCycle(uint64_t now) const {
+  // Tick is a pure no-op while the fixed-cost execution timer runs.
+  if (busy_until_ > now + 1) return busy_until_;
+  switch (state_) {
+    case State::kIdle:
+      // The commit phase never rests in kIdle; defensive next-cycle wake.
+      if (phase_ != Phase::kLogic) return now + 1;
+      if (config_.dynamic_switching && AnyResumableWaiter()) return now + 1;
+      if (!batch_closed_ &&
+          (pending_block_ != sim::kNullAddr || !input_queue_.empty())) {
+        return now + 1;  // TryAdmit acts
+      }
+      if (config_.dynamic_switching && !AllLogicPhasesDone()) {
+        // Parked transactions wake when a routed result fills their CP
+        // register — the worker reports that wake point.
+        return sim::kNeverWakes;
+      }
+      // Batch members left => the commit phase starts next tick; truly
+      // empty => quiescent until the worker submits a block.
+      return batch_order_.empty() ? sim::kNeverWakes : now + 1;
+    case State::kIngestRetry:   // retries Issue (bumps DRAM reject counters)
+    case State::kDispatchRetry: // retries the coprocessor submit
+    case State::kSwitching:     // timer already handled above
+      return now + 1;
+    case State::kFetchBlock:
+    case State::kMemWait:
+      return mem_resp_.empty() ? sim::kNeverWakes : now + 1;
+    case State::kRunning: {
+      const TxnContext& ctx = contexts_[cur_ctx_];
+      const isa::Instruction& inst = ctx.proc->program.at(ctx.pc);
+      if ((inst.opcode == isa::Opcode::kCommit ||
+           inst.opcode == isa::Opcode::kAbort) &&
+          ctx.outstanding_db > 0) {
+        // Draining outstanding DB results: per-cycle spin bulk-applied in
+        // SkipCycles; results arrive through worker wake points.
+        return sim::kNeverWakes;
+      }
+      return now + 1;
+    }
+    case State::kWaitCp:
+      return cp_valid_[contexts_[cur_ctx_].cp_base + pending_inst_.rs1]
+                 ? now + 1
+                 : sim::kNeverWakes;
+  }
+  return now + 1;
+}
+
+void Softcore::SkipCycles(uint64_t now, uint64_t count) {
+  if (busy_until_ > now + 1) return;  // timer cycles have no accounting
+  if (state_ == State::kWaitCp) {
+    counters_.Add("ret_wait_cycles", count);
+    return;
+  }
+  if (state_ == State::kRunning) {
+    // Only the COMMIT/ABORT result-drain spin is ever skipped in
+    // kRunning; each spin cycle executes the instruction fetch (one
+    // instruction retired per Execute call) plus the wait counter.
+    const TxnContext& ctx = contexts_[cur_ctx_];
+    const isa::Instruction& inst = ctx.proc->program.at(ctx.pc);
+    stats_.instructions += count;
+    counters_.Add(inst.opcode == isa::Opcode::kCommit ? "commit_wait_cycles"
+                                                      : "abort_wait_cycles",
+                  count);
+  }
+}
+
 void Softcore::CollectStats(StatsScope scope) const {
   scope.SetCounter("committed", stats_.committed);
   scope.SetCounter("aborted", stats_.aborted);

@@ -31,6 +31,7 @@
 #include "db/types.h"
 #include "index/db_op.h"
 #include "isa/program.h"
+#include "sim/component.h"
 #include "sim/config.h"
 #include "sim/memory.h"
 
@@ -84,6 +85,16 @@ class Softcore {
 
   void Tick(uint64_t now);
   bool Idle() const;
+
+  /// Event-driven scheduling hint (contract in sim/component.h): the
+  /// fixed-cost execution timer is a pure no-op until busy_until_; stalled
+  /// states that spin a per-cycle counter (RET wait, COMMIT/ABORT result
+  /// drain) are quiescent-with-bulk-accounting and wake via the worker's
+  /// own hints (result routing fills the CP registers).
+  uint64_t NextWakeCycle(uint64_t now) const;
+  /// Bulk-applies the per-cycle counters a quiescent span would have
+  /// accumulated (ret/commit/abort wait counters, spin instructions).
+  void SkipCycles(uint64_t now, uint64_t count);
 
   const BatchStats& stats() const { return stats_; }
   CounterSet& counters() { return counters_; }
@@ -177,6 +188,8 @@ class Softcore {
   /// Dynamic scheduling helpers.
   bool TryResumeWaiter(uint64_t now);
   bool AllLogicPhasesDone() const;
+  /// Side-effect-free probe of TryResumeWaiter's search.
+  bool AnyResumableWaiter() const;
 
   db::Database* db_;
   sim::DramMemory* dram_;

@@ -1,5 +1,7 @@
 #include "core/worker.h"
 
+#include <algorithm>
+
 namespace bionicdb::core {
 
 PartitionWorker::PartitionWorker(db::Database* db, db::WorkerId id,
@@ -106,6 +108,54 @@ void PartitionWorker::Tick(uint64_t cycle) {
 
 bool PartitionWorker::Idle() const {
   return softcore_->Idle() && coproc_->Idle();
+}
+
+uint64_t PartitionWorker::NextWakeCycle(uint64_t now) const {
+  // A frozen worker does nothing but count frozen cycles until the thaw —
+  // even with packets or results queued (they wait, as in per-cycle mode).
+  if (now + 1 < frozen_until_) return frozen_until_;
+  if (fabric_ != nullptr && (!fabric_->requests(id_).empty() ||
+                             !fabric_->responses(id_).empty())) {
+    return now + 1;  // background unit / response drain acts
+  }
+  if (!coproc_->results().empty()) return now + 1;  // result routing acts
+  return std::min(coproc_->NextWakeCycle(now), softcore_->NextWakeCycle(now));
+}
+
+void PartitionWorker::SkipCycles(uint64_t now, uint64_t count) {
+  cycles_.total += count;
+  if (now + 1 < frozen_until_) {
+    // Sub-blocks do not tick while frozen, so they get no skip either.
+    cycles_.frozen += count;
+    return;
+  }
+  // Forward the skip first so the classification below sees the same
+  // span-steady stall flags a real tick would have produced.
+  coproc_->SkipCycles(now, count);
+  softcore_->SkipCycles(now, count);
+  switch (softcore_->wait_kind(now + 1)) {
+    case Softcore::WaitKind::kBusy:
+      cycles_.busy += count;
+      break;
+    case Softcore::WaitKind::kDramWait:
+      cycles_.dram_stall += count;
+      break;
+    case Softcore::WaitKind::kDispatchBlocked:
+      cycles_.backpressure += count;
+      break;
+    case Softcore::WaitKind::kCpWait:
+    case Softcore::WaitKind::kIdle:
+      if (coproc_->hazard_stalled()) {
+        cycles_.hazard_block += count;
+      } else if (coproc_->dram_stalled()) {
+        cycles_.dram_stall += count;
+      } else if (!coproc_->Idle()) {
+        cycles_.busy += count;
+      } else {
+        cycles_.idle += count;
+      }
+      break;
+  }
 }
 
 void PartitionWorker::CollectStats(StatsScope scope) const {

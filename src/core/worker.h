@@ -33,6 +33,16 @@ class PartitionWorker : public sim::Component, public DbDispatcher {
   void Tick(uint64_t cycle) override;
   bool Idle() const override;
 
+  /// Event-driven scheduling hint (contract in sim/component.h): frozen
+  /// spans wake at thaw; pending fabric packets or unrouted coprocessor
+  /// results want the next cycle; otherwise the earliest of the
+  /// coprocessor's and softcore's own wake points.
+  uint64_t NextWakeCycle(uint64_t now) const override;
+  /// Bulk-applies the cycle-breakdown accounting for a skipped span (one
+  /// bucket per cycle, identical to per-cycle classification) and forwards
+  /// the skip to the coprocessor and softcore.
+  void SkipCycles(uint64_t now, uint64_t count) override;
+
   // DbDispatcher:
   bool DispatchLocal(const index::DbOp& op) override;
   void DispatchRemote(uint32_t partition, const index::DbOp& op) override;

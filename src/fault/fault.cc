@@ -1,6 +1,7 @@
 #include "fault/fault.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/hash.h"
 #include "db/tuple.h"
@@ -39,6 +40,24 @@ void FaultScheduler::Attach(core::BionicDb* engine) {
   engine_ = engine;
   dram_ = &engine->simulator().dram();
   channels_.assign(engine->options().timing.dram_channels, ChannelWindows{});
+  // Precompute each stream's first fire (geometric gaps). Draw order is
+  // fixed — per channel spike then stuck, then bitflip, then freeze — so a
+  // seed maps to one schedule regardless of simulation mode.
+  const uint64_t start = engine->simulator().now();
+  for (ChannelWindows& cw : channels_) {
+    if (config_.dram_spike_rate > 0) {
+      cw.spike_next = ScheduleNext(start, config_.dram_spike_rate);
+    }
+    if (config_.dram_stuck_rate > 0) {
+      cw.stuck_next = ScheduleNext(start, config_.dram_stuck_rate);
+    }
+  }
+  if (config_.bitflip_rate > 0) {
+    bitflip_next_ = ScheduleNext(start, config_.bitflip_rate);
+  }
+  if (config_.worker_freeze_rate > 0) {
+    freeze_next_ = ScheduleNext(start, config_.worker_freeze_rate);
+  }
   dram_->set_fault_hook(this);
   engine->fabric().set_fault_hook(this);
   if (config_.comm_faults_enabled() &&
@@ -56,39 +75,67 @@ void FaultScheduler::Detach() {
   dram_ = nullptr;
 }
 
+uint64_t FaultScheduler::ScheduleNext(uint64_t from, double rate) {
+  // Geometric gap between successes of a per-cycle Bernoulli(rate) draw:
+  // P(gap = k) = (1-rate)^(k-1) * rate, sampled by inversion.
+  const double u = schedule_rng_.NextDouble();  // in [0, 1)
+  const double g = std::floor(std::log1p(-u) / std::log1p(-rate)) + 1.0;
+  // NaN/inf/overflow (tiny rates can push the gap past uint64 range): the
+  // stream never fires within the simulation horizon.
+  if (!(g < 9e18)) return sim::kNeverWakes;
+  uint64_t gap = uint64_t(g);
+  if (gap < 1) gap = 1;
+  const uint64_t next = from + gap;
+  return next < from ? sim::kNeverWakes : next;
+}
+
 void FaultScheduler::Tick(uint64_t cycle) {
   if (engine_ == nullptr || !config_.any_enabled()) return;
-  if (config_.dram_faults_enabled()) {
-    for (uint32_t ch = 0; ch < channels_.size(); ++ch) {
-      if (config_.dram_spike_rate > 0 &&
-          schedule_rng_.NextBool(config_.dram_spike_rate)) {
-        channels_[ch].spike_until = cycle + config_.dram_spike_duration;
-        counters_.Add("injected/dram_spike");
-        events_.push_back({cycle, FaultEvent::Kind::kDramSpike, ch,
-                           channels_[ch].spike_until});
-      }
-      if (config_.dram_stuck_rate > 0 &&
-          schedule_rng_.NextBool(config_.dram_stuck_rate)) {
-        channels_[ch].stuck_until = cycle + config_.dram_stuck_duration;
-        counters_.Add("injected/dram_stuck");
-        events_.push_back({cycle, FaultEvent::Kind::kDramStuck, ch,
-                           channels_[ch].stuck_until});
-      }
+  for (uint32_t ch = 0; ch < uint32_t(channels_.size()); ++ch) {
+    ChannelWindows& cw = channels_[ch];
+    while (cw.spike_next <= cycle) {
+      const uint64_t at = cw.spike_next;
+      cw.spike_until = at + config_.dram_spike_duration;
+      counters_.Add("injected/dram_spike");
+      events_.push_back(
+          {at, FaultEvent::Kind::kDramSpike, ch, cw.spike_until});
+      cw.spike_next = ScheduleNext(at, config_.dram_spike_rate);
+    }
+    while (cw.stuck_next <= cycle) {
+      const uint64_t at = cw.stuck_next;
+      cw.stuck_until = at + config_.dram_stuck_duration;
+      counters_.Add("injected/dram_stuck");
+      events_.push_back(
+          {at, FaultEvent::Kind::kDramStuck, ch, cw.stuck_until});
+      cw.stuck_next = ScheduleNext(at, config_.dram_stuck_rate);
     }
   }
-  if (config_.bitflip_rate > 0 && !guard_addrs_.empty() &&
-      schedule_rng_.NextBool(config_.bitflip_rate)) {
-    FlipRandomBit(cycle);
+  while (bitflip_next_ <= cycle) {
+    const uint64_t at = bitflip_next_;
+    // A fire with no guarded tuples yet injects nothing; the stream keeps
+    // its cadence either way (mode-independent RNG consumption).
+    if (!guard_addrs_.empty()) FlipRandomBit(at);
+    bitflip_next_ = ScheduleNext(at, config_.bitflip_rate);
   }
-  if (config_.worker_freeze_rate > 0 &&
-      schedule_rng_.NextBool(config_.worker_freeze_rate)) {
-    uint32_t w = uint32_t(
-        schedule_rng_.NextUint64(engine_->options().n_workers));
-    engine_->worker(w).FreezeUntil(cycle + config_.worker_freeze_cycles);
+  while (freeze_next_ <= cycle) {
+    const uint64_t at = freeze_next_;
+    uint32_t w =
+        uint32_t(schedule_rng_.NextUint64(engine_->options().n_workers));
+    engine_->worker(w).FreezeUntil(at + config_.worker_freeze_cycles);
     counters_.Add("injected/worker_freeze");
-    events_.push_back({cycle, FaultEvent::Kind::kWorkerFreeze, w,
+    events_.push_back({at, FaultEvent::Kind::kWorkerFreeze, w,
                        config_.worker_freeze_cycles});
+    freeze_next_ = ScheduleNext(at, config_.worker_freeze_rate);
   }
+}
+
+uint64_t FaultScheduler::NextWakeCycle(uint64_t now) const {
+  if (engine_ == nullptr || !config_.any_enabled()) return sim::kNeverWakes;
+  uint64_t wake = std::min(bitflip_next_, freeze_next_);
+  for (const ChannelWindows& cw : channels_) {
+    wake = std::min(wake, std::min(cw.spike_next, cw.stuck_next));
+  }
+  return wake > now ? wake : now + 1;
 }
 
 uint64_t FaultScheduler::ExtraLatency(uint64_t now, uint32_t channel) {

@@ -120,6 +120,11 @@ class FaultScheduler : public sim::Component,
   void Tick(uint64_t cycle) override;
   bool Idle() const override { return true; }
 
+  /// Event-driven scheduling hint: the earliest precomputed injection
+  /// cycle across all fault streams (kNeverWakes when detached or fully
+  /// disabled). Quiescent ticks are pure no-ops, so no SkipCycles needed.
+  uint64_t NextWakeCycle(uint64_t now) const override;
+
   // sim::DramFaultHook:
   uint64_t ExtraLatency(uint64_t now, uint32_t channel) override;
   bool ChannelStuck(uint64_t now, uint32_t channel) override;
@@ -171,18 +176,32 @@ class FaultScheduler : public sim::Component,
   /// guarded tuple.
   void FlipRandomBit(uint64_t cycle);
 
+  /// Draws the next fire cycle after `from` for a per-cycle Bernoulli
+  /// stream of probability `rate`, via geometric gap sampling (one RNG
+  /// draw per event instead of one per cycle). This is what lets the
+  /// scheduler advertise its schedule to the event-driven simulator; both
+  /// simulation modes run the same precomputed schedule, so fault timing
+  /// and digests are identical between them.
+  uint64_t ScheduleNext(uint64_t from, double rate);
+
   FaultConfig config_;
   core::BionicDb* engine_ = nullptr;
   sim::DramMemory* dram_ = nullptr;
 
-  Rng schedule_rng_;  // advanced once per tick decision
+  Rng schedule_rng_;  // advanced once per scheduled event
   Rng packet_rng_;    // advanced once per transmitted packet
 
   struct ChannelWindows {
     uint64_t spike_until = 0;
     uint64_t stuck_until = 0;
+    // Next scheduled injection per stream (kNeverWakes = stream disabled
+    // or exhausted past the representable horizon).
+    uint64_t spike_next = sim::kNeverWakes;
+    uint64_t stuck_next = sim::kNeverWakes;
   };
   std::vector<ChannelWindows> channels_;
+  uint64_t bitflip_next_ = sim::kNeverWakes;
+  uint64_t freeze_next_ = sim::kNeverWakes;
 
   // Guard table. The vector gives O(1) random victim selection; the map
   // gives O(log n) verification. std::map keeps ScrubAll order (and thus

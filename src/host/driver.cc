@@ -1,13 +1,24 @@
 #include "host/driver.h"
 
+#include <chrono>
+
 #include "common/random.h"
 
 namespace bionicdb::host {
+
+namespace {
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+}  // namespace
 
 RunResult RunToCompletion(core::BionicDb* engine, const TxnList& txns,
                           bool retry_aborts, uint32_t max_rounds) {
   RunResult result;
   result.submitted = txns.size();
+  const auto wall_start = std::chrono::steady_clock::now();
   const uint64_t start_cycle = engine->now();
   const uint64_t committed_before = engine->TotalCommitted();
 
@@ -49,6 +60,7 @@ RunResult RunToCompletion(core::BionicDb* engine, const TxnList& txns,
   result.committed = engine->TotalCommitted() - committed_before;
   result.tps =
       engine->options().timing.Throughput(result.committed, result.cycles);
+  result.wall_seconds = SecondsSince(wall_start);
   return result;
 }
 
@@ -65,6 +77,7 @@ ClosedLoopResult RunClosedLoop(core::BionicDb* engine,
 
   ClosedLoopResult result;
   sim::DramMemory* dram = &engine->simulator().dram();
+  const auto wall_start = std::chrono::steady_clock::now();
   const uint64_t start_cycle = engine->now();
   const uint64_t deadline = start_cycle + options.max_cycles;
   const uint64_t target = uint64_t(workers) * options.txns_per_worker;
@@ -115,6 +128,7 @@ ClosedLoopResult RunClosedLoop(core::BionicDb* engine,
   result.cycles = engine->now() - start_cycle;
   result.tps =
       engine->options().timing.Throughput(result.committed, result.cycles);
+  result.wall_seconds = SecondsSince(wall_start);
   return result;
 }
 

@@ -27,9 +27,16 @@ struct RunResult {
   uint64_t retries = 0;
   uint64_t cycles = 0;
   double tps = 0;
+  /// Host wall-clock seconds spent simulating this run (simulator speed
+  /// instrumentation — not a property of the simulated hardware).
+  double wall_seconds = 0;
 
   /// Committed transactions per second at the engine clock.
   double Mtps() const { return tps / 1e6; }
+  /// Host-side simulation speed (simulated cycles per wall second).
+  double SimCyclesPerSecond() const {
+    return wall_seconds > 0 ? double(cycles) / wall_seconds : 0;
+  }
 };
 
 /// One queued transaction: which worker's input queue it enters.
@@ -68,9 +75,16 @@ struct ClosedLoopResult {
   uint64_t retries = 0;
   uint64_t cycles = 0;
   double tps = 0;
+  /// Host wall-clock seconds spent simulating this run.
+  double wall_seconds = 0;
   /// End-to-end commit latency per transaction in cycles (submission to
   /// observed commit, across retries), with quantiles.
   Summary latency_cycles;
+
+  /// Host-side simulation speed (simulated cycles per wall second).
+  double SimCyclesPerSecond() const {
+    return wall_seconds > 0 ? double(cycles) / wall_seconds : 0;
+  }
 };
 
 /// Drives the engine like a closed-loop client: keeps `inflight_per_worker`

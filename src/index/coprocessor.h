@@ -9,6 +9,7 @@
 #ifndef BIONICDB_INDEX_COPROCESSOR_H_
 #define BIONICDB_INDEX_COPROCESSOR_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 
@@ -43,6 +44,17 @@ class IndexCoprocessor : public sim::Component {
   void Tick(uint64_t cycle) override;
   bool Idle() const override {
     return hash_->Idle() && skiplist_->Idle() && results_.empty();
+  }
+
+  /// Earliest wake of the two pipelines. Queued results_ don't factor in:
+  /// the worker (which drains them) reports its own now + 1 hint while
+  /// they are pending.
+  uint64_t NextWakeCycle(uint64_t now) const override {
+    return std::min(hash_->NextWakeCycle(now), skiplist_->NextWakeCycle(now));
+  }
+  void SkipCycles(uint64_t now, uint64_t count) override {
+    hash_->SkipCycles(now, count);
+    skiplist_->SkipCycles(now, count);
   }
 
   uint32_t inflight() const {

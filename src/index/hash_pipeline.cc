@@ -1,5 +1,6 @@
 #include "index/hash_pipeline.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "cc/visibility.h"
@@ -437,6 +438,68 @@ void HashPipeline::TickTraverse(uint64_t now, uint32_t unit_idx) {
     counters_.Add("traverse_dram_stall");
       tick_dram_stall_ = true;
   }
+}
+
+bool HashPipeline::HashBlockedOnLock() const {
+  if (!hash_blocked_.has_value() || !config_.hazard_prevention) return false;
+  const Op& op = pool_[*hash_blocked_];
+  return lock_table_.HeldByOther(
+      db_->hash_index(op.req.table, partition_)->BucketIndex(op.hash),
+      *hash_blocked_);
+}
+
+uint64_t HashPipeline::NextWakeCycle(uint64_t now) const {
+  // Stages with queued responses/acks process one item per tick.
+  if (!install_ack_.empty() || !install_resp_.empty() ||
+      !headfetch_resp_.empty() || !keycomp_resp_.empty()) {
+    return now + 1;
+  }
+  // Head-of-line DRAM-reject retries re-issue every tick (each attempt
+  // bumps DRAM reject counters, so those cycles cannot be skipped).
+  if (install_blocked_.has_value() || headfetch_blocked_.has_value()) {
+    return now + 1;
+  }
+  if (hash_blocked_.has_value()) {
+    // A lock stall is quiescent until the holder's install completes — a
+    // DRAM ack, hence someone else's wake point. A DRAM-reject stall
+    // retries every tick.
+    if (!HashBlockedOnLock()) return now + 1;
+  } else if (!hash_resp_.empty()) {
+    return now + 1;
+  }
+  // KeyFetch admits (or retries a rejected admission) whenever an op is
+  // queued and a slot is free.
+  if (!pending_in_.empty() && !free_slots_.empty()) return now + 1;
+  for (const TraverseUnit& u : traverse_units_) {
+    if (u.cur_op.has_value()) {
+      if (!u.waiting || !u.resp.empty()) return now + 1;
+    } else if (!u.in.empty()) {
+      return now + 1;
+    }
+  }
+  // Dirty waiters are pure hazard-stall accounting between their polling
+  // reads; polls and deadlines are fixed future cycles.
+  uint64_t wake = sim::kNeverWakes;
+  for (const DirtyWaiter& w : dirty_waiters_) {
+    wake = std::min(wake, std::min(w.deadline, w.next_poll));
+  }
+  return wake > now ? wake : now + 1;
+}
+
+void HashPipeline::SkipCycles(uint64_t now, uint64_t count) {
+  (void)now;
+  if (active_ > 0 || !pending_in_.empty()) {
+    busy_cycles_ += count;
+    occupancy_sum_ += uint64_t(active_) * count;
+  }
+  bool hazard = false;
+  if (HashBlockedOnLock()) {
+    counters_.Add("hash_lock_stall_cycles", count);
+    hazard = true;
+  }
+  if (!dirty_waiters_.empty()) hazard = true;
+  tick_dram_stall_ = false;
+  tick_hazard_stall_ = hazard;
 }
 
 void HashPipeline::CollectStats(StatsScope scope) const {

@@ -40,6 +40,7 @@
 #include "db/database.h"
 #include "index/db_op.h"
 #include "index/lock_table.h"
+#include "sim/component.h"
 #include "sim/config.h"
 #include "sim/memory.h"
 
@@ -75,6 +76,19 @@ class HashPipeline {
 
   void Tick(uint64_t now);
   bool Idle() const { return active_ == 0 && pending_in_.empty(); }
+
+  /// Event-driven scheduling hint (contract in sim/component.h): the next
+  /// cycle at which a Tick would do more than the per-cycle accounting
+  /// SkipCycles reproduces. Mirrors each stage's control flow: any stage
+  /// with a queued response/ack, a pending admission with a free slot, or
+  /// a DRAM-reject retry (retries bump DRAM reject counters) wants the
+  /// very next cycle; a Hash stage stalled behind a hazard lock and
+  /// dirty-waiters between polls are quiescent.
+  uint64_t NextWakeCycle(uint64_t now) const;
+  /// Bulk-applies the busy/occupancy accounting and per-cycle stall
+  /// counters/flags for skipped cycles now+1 .. now+count.
+  void SkipCycles(uint64_t now, uint64_t count);
+
   uint32_t active_ops() const { return active_; }
   /// Ops inside the pipeline or queued at its entrance (for the
   /// coprocessor-level in-flight cap).
@@ -132,6 +146,10 @@ class HashPipeline {
   bool CompareOrAdvance(uint64_t now, uint32_t slot);
   /// Hands an op whose first node mismatched to the least-loaded unit.
   void EnqueueTraverse(uint32_t slot);
+
+  /// True when the Hash stage's head-of-line op is stalled on a hazard
+  /// lock held by another slot (as opposed to a rejected DRAM issue).
+  bool HashBlockedOnLock() const;
 
   db::Database* db_;
   sim::DramMemory* dram_;

@@ -561,6 +561,80 @@ void SkiplistPipeline::TickScanner(uint64_t now, uint32_t scanner_idx) {
   }
 }
 
+uint64_t SkiplistPipeline::NextWakeCycle(uint64_t now) const {
+  // Queued responses/acks and admissions process next tick.
+  if (!install_ack_.empty() || !keyfetch_resp_.empty()) return now + 1;
+  if (!pending_in_.empty() && !free_slots_.empty()) return now + 1;
+  // Installs with unissued link writes retry every tick (DRAM rejects
+  // bump counters); installs waiting purely on acks are quiescent.
+  for (uint32_t slot : installing_) {
+    if (!pool_[slot].writes_left.empty()) return now + 1;
+  }
+  for (const Stage& s : stages_) {
+    if (!s.cur_op.has_value()) {
+      if (!s.in.empty()) return now + 1;
+      continue;
+    }
+    const Op& op = pool_[*s.cur_op];
+    switch (s.wait) {
+      case Wait::kNone:
+        return now + 1;  // Advance acts on cached data
+      case Wait::kLoad:
+      case Wait::kNext:
+        if (!s.resp.empty()) return now + 1;
+        break;  // pure DRAM wait
+      case Wait::kLockMove:
+        if (!lock_table_.HeldByOther(
+                SkiplistLockKey(s.pending_next, uint32_t(op.level)),
+                *s.cur_op)) {
+          return now + 1;  // lock freed: the re-read issues next tick
+        }
+        break;  // quiescent lock stall (bulk-counted in SkipCycles)
+      case Wait::kLockDown:
+        if (!lock_table_.HeldByOther(
+                SkiplistLockKey(op.cur, uint32_t(op.level)), *s.cur_op)) {
+          return now + 1;
+        }
+        break;
+    }
+  }
+  for (const Scanner& sc : scanners_) {
+    if (sc.cur_op.has_value()) {
+      if (!sc.waiting || !sc.resp.empty()) return now + 1;
+    } else if (!sc.in.empty()) {
+      return now + 1;
+    }
+  }
+  return sim::kNeverWakes;
+}
+
+void SkiplistPipeline::SkipCycles(uint64_t now, uint64_t count) {
+  (void)now;
+  if (active_ > 0 || !pending_in_.empty()) {
+    busy_cycles_ += count;
+    occupancy_sum_ += uint64_t(active_) * count;
+  }
+  bool hazard = false;
+  for (const Stage& s : stages_) {
+    if (!s.cur_op.has_value()) continue;
+    const Op& op = pool_[*s.cur_op];
+    const bool lock_stalled =
+        (s.wait == Wait::kLockMove &&
+         lock_table_.HeldByOther(
+             SkiplistLockKey(s.pending_next, uint32_t(op.level)),
+             *s.cur_op)) ||
+        (s.wait == Wait::kLockDown &&
+         lock_table_.HeldByOther(
+             SkiplistLockKey(op.cur, uint32_t(op.level)), *s.cur_op));
+    if (lock_stalled) {
+      counters_.Add("lock_stall_cycles", count);
+      hazard = true;
+    }
+  }
+  tick_dram_stall_ = false;
+  tick_hazard_stall_ = hazard;
+}
+
 void SkiplistPipeline::CollectStats(StatsScope scope) const {
   scope.SetCounter("busy_cycles", busy_cycles_);
   scope.SetCounter("pool_size", config_.pool_size);

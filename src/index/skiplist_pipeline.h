@@ -42,6 +42,7 @@
 #include "db/skiplist_layout.h"
 #include "index/db_op.h"
 #include "index/lock_table.h"
+#include "sim/component.h"
 #include "sim/config.h"
 #include "sim/memory.h"
 
@@ -64,6 +65,17 @@ class SkiplistPipeline {
 
   void Tick(uint64_t now);
   bool Idle() const { return active_ == 0 && pending_in_.empty(); }
+
+  /// Event-driven scheduling hint (contract in sim/component.h). Any stage
+  /// or scanner holding cached work, a queued response, a pending
+  /// admission with a free slot, or a DRAM-reject retry wants the next
+  /// cycle; stages stalled on hazard path locks and installs waiting only
+  /// on write acks are quiescent until another block's wake point.
+  uint64_t NextWakeCycle(uint64_t now) const;
+  /// Bulk-applies busy/occupancy accounting and per-cycle lock-stall
+  /// counters/flags for skipped cycles now+1 .. now+count.
+  void SkipCycles(uint64_t now, uint64_t count);
+
   uint32_t active_ops() const { return active_; }
   /// Ops inside the pipeline or queued at its entrance (for the
   /// coprocessor-level in-flight cap).

@@ -7,6 +7,11 @@
 
 namespace bionicdb::sim {
 
+/// Wake hint meaning "no future cycle is interesting to this block on its
+/// own" — it only reacts to other blocks' activity (which produce their own
+/// wake points).
+inline constexpr uint64_t kNeverWakes = UINT64_MAX;
+
 /// A clocked hardware block. The simulator calls Tick exactly once per
 /// simulated cycle, in registration order; all inter-component communication
 /// flows through queues, so ordering within a cycle never creates
@@ -24,6 +29,37 @@ class Component {
 
   /// True when the block has no outstanding work (used for drain detection).
   virtual bool Idle() const = 0;
+
+  /// Event-driven scheduling hint, queried after Tick(now): the earliest
+  /// future cycle at which ticking this block could do anything beyond the
+  /// per-cycle accounting that SkipCycles bulk-applies. The contract:
+  ///
+  ///   * A block may return `w > now + 1` only if Tick(c) for every cycle
+  ///     c in (now, w) would leave all externally visible state unchanged,
+  ///     EXCEPT for per-cycle counters/telemetry which the block must
+  ///     reproduce exactly in SkipCycles. "Externally visible" includes
+  ///     DRAM traffic (a retried Issue bumps reject counters, so retry
+  ///     states must return now + 1).
+  ///   * kNeverWakes means the block is quiescent until some other block
+  ///     acts on it; the simulator still wakes it at every other block's
+  ///     wake point, so this is safe whenever all self-driven activity is
+  ///     exhausted.
+  ///   * The default (now + 1) opts out of skipping entirely, so blocks
+  ///     that have not been audited remain cycle-exact.
+  ///
+  /// Hints are recomputed after every real tick, so they may be computed
+  /// from post-tick state of blocks that ticked earlier the same cycle.
+  virtual uint64_t NextWakeCycle(uint64_t now) const { return now + 1; }
+
+  /// Bulk-applies the per-cycle accounting Tick would have performed for
+  /// the skipped cycles now+1 .. now+count (all within this block's
+  /// advertised quiescent span). Must leave the block in exactly the state
+  /// that `count` real Ticks would have, including stall-attribution
+  /// counters and per-tick flags read by enclosing blocks.
+  virtual void SkipCycles(uint64_t now, uint64_t count) {
+    (void)now;
+    (void)count;
+  }
 
   const std::string& name() const { return name_; }
 

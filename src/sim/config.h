@@ -45,6 +45,14 @@ struct TimingConfig {
   /// Cycles to Prepare + Dispatch a DB instruction to the coprocessor.
   uint32_t db_dispatch_cycles = 2;
 
+  /// Event-driven fast path: when every registered block agrees (via
+  /// Component::NextWakeCycle) that the next interesting cycle is now + k,
+  /// the simulator warps the clock by k and bulk-charges the skipped cycles
+  /// to the same idle/stall buckets per-cycle ticking would have used.
+  /// Cycle counts, engine results and stats are bit-identical in both
+  /// modes; off by default (cycle-by-cycle ticking).
+  bool event_driven = false;
+
   /// Converts a cycle count to seconds at the configured clock.
   double CyclesToSeconds(uint64_t cycles) const {
     return double(cycles) / (clock_mhz * 1e6);

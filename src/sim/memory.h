@@ -134,6 +134,16 @@ class DramMemory {
   /// True when no requests are in flight.
   bool Idle() const { return in_flight_ == 0; }
 
+  /// Event-driven scheduling hint: the earliest cycle at which an in-flight
+  /// request completes (Tick before then is a pure no-op), or kNeverWakes
+  /// with nothing in flight. Queried post-Tick, so the head completion is
+  /// always in the future; clamped defensively anyway.
+  uint64_t NextWakeCycle(uint64_t now) const {
+    if (pending_.empty()) return UINT64_MAX;
+    const uint64_t ready = pending_.top().complete_at;
+    return ready > now ? ready : now + 1;
+  }
+
   uint64_t total_reads() const { return total_reads_; }
   uint64_t total_writes() const { return total_writes_; }
   uint64_t backpressure_rejects() const { return backpressure_rejects_; }

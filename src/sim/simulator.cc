@@ -1,46 +1,122 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
+
 namespace bionicdb::sim {
 
 Simulator::Simulator(const TimingConfig& config)
-    : config_(config), dram_(config) {}
+    : config_(config), dram_(config) {
+  // Typical machine: fabric + a handful of workers + fault scheduler.
+  components_.reserve(16);
+  component_cycles_.reserve(16);
+  scratch_busy_.reserve(16);
+}
 
 void Simulator::AddComponent(Component* component) {
+  // Flush first: scratch entries only cover components that existed for
+  // every sampled tick since the last flush.
+  FlushSamples();
   components_.push_back(component);
   component_cycles_.emplace_back();
+  scratch_busy_.push_back(0);
 }
 
 void Simulator::TickOnce() {
   ++now_;
   dram_.Tick(now_);
+  ++scratch_ticks_;
   for (size_t i = 0; i < components_.size(); ++i) {
     components_[i]->Tick(now_);
     // Post-tick sample: a component with outstanding work this cycle is
-    // charged as busy, otherwise idle.
-    if (components_[i]->Idle()) {
-      ++component_cycles_[i].idle;
-    } else {
-      ++component_cycles_[i].busy;
-    }
+    // charged as busy, otherwise idle (idle = ticks - busy, on flush).
+    scratch_busy_[i] += components_[i]->Idle() ? 0 : 1;
   }
 }
 
+void Simulator::FlushSamples() const {
+  if (scratch_ticks_ == 0) return;
+  for (size_t i = 0; i < component_cycles_.size(); ++i) {
+    component_cycles_[i].busy += scratch_busy_[i];
+    component_cycles_[i].idle += scratch_ticks_ - scratch_busy_[i];
+    scratch_busy_[i] = 0;
+  }
+  scratch_ticks_ = 0;
+}
+
+uint64_t Simulator::NextWakeCycle() const {
+  uint64_t wake = dram_.NextWakeCycle(now_);
+  for (const Component* c : components_) {
+    if (wake <= now_ + 1) return now_ + 1;
+    wake = std::min(wake, c->NextWakeCycle(now_));
+  }
+  // A hint at or before now_ would stall the clock; clamp it forward.
+  return std::max(wake, now_ + 1);
+}
+
+void Simulator::WarpBefore(uint64_t limit) {
+  uint64_t wake = std::min(NextWakeCycle(), limit);
+  if (wake <= now_ + 1) return;
+  const uint64_t skip = wake - now_ - 1;
+  // Bulk busy/idle sample: Idle() is constant across a quiescent span (no
+  // block's externally visible state changes), so one post-skip probe
+  // stands in for `skip` per-cycle samples.
+  scratch_ticks_ += skip;
+  for (size_t i = 0; i < components_.size(); ++i) {
+    if (!components_[i]->Idle()) scratch_busy_[i] += skip;
+    components_[i]->SkipCycles(now_, skip);
+  }
+  ++warp_stats_.warps;
+  warp_stats_.skipped_cycles += skip;
+  now_ += skip;
+}
+
+template <typename DoneFn>
+bool Simulator::RunLoop(DoneFn&& done, uint64_t limit) {
+  bool fired = true;
+  if (config_.event_driven) {
+    while (!done()) {
+      if (now_ >= limit) {
+        fired = false;
+        break;
+      }
+      WarpBefore(limit);
+      TickOnce();
+    }
+  } else {
+    while (!done()) {
+      if (now_ >= limit) {
+        fired = false;
+        break;
+      }
+      TickOnce();
+    }
+  }
+  FlushSamples();
+  return fired;
+}
+
 void Simulator::Step(uint64_t cycles) {
-  for (uint64_t i = 0; i < cycles; ++i) TickOnce();
+  const uint64_t target = now_ + cycles;
+  if (config_.event_driven) {
+    while (now_ < target) {
+      WarpBefore(target);
+      TickOnce();
+    }
+  } else {
+    for (uint64_t i = 0; i < cycles; ++i) TickOnce();
+  }
+  FlushSamples();
 }
 
 bool Simulator::RunUntil(const std::function<bool()>& done,
                          uint64_t max_cycles) {
   uint64_t limit = (max_cycles == UINT64_MAX) ? UINT64_MAX : now_ + max_cycles;
-  while (!done()) {
-    if (now_ >= limit) return false;
-    TickOnce();
-  }
-  return true;
+  return RunLoop(done, limit);
 }
 
 bool Simulator::RunUntilIdle(uint64_t max_cycles) {
-  return RunUntil(
+  uint64_t limit = (max_cycles == UINT64_MAX) ? UINT64_MAX : now_ + max_cycles;
+  return RunLoop(
       [this] {
         if (!dram_.Idle()) return false;
         for (Component* c : components_) {
@@ -48,10 +124,11 @@ bool Simulator::RunUntilIdle(uint64_t max_cycles) {
         }
         return true;
       },
-      max_cycles);
+      limit);
 }
 
 void Simulator::CollectStats(StatsScope scope) const {
+  FlushSamples();
   scope.SetCounter("cycles", now_);
   scope.SetGauge("clock_mhz", config_.clock_mhz);
   scope.MergeCounterSet(counters_);

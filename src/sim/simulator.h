@@ -19,6 +19,12 @@ namespace bionicdb::sim {
 /// Per cycle: DRAM delivers completions first (so responses are visible to
 /// blocks in the same cycle), then every registered component ticks in
 /// registration order.
+///
+/// With TimingConfig::event_driven set, quiescent spans — stretches where
+/// every block's NextWakeCycle hint agrees nothing happens — are skipped in
+/// one jump instead of ticked cycle by cycle. Skipped cycles are
+/// bulk-charged through Component::SkipCycles so busy/idle sampling and all
+/// stall-attribution counters stay bit-identical to per-cycle ticking.
 class Simulator {
  public:
   explicit Simulator(const TimingConfig& config = TimingConfig());
@@ -31,6 +37,9 @@ class Simulator {
 
   /// Runs until `done()` returns true or `max_cycles` elapse.
   /// Returns true if `done` fired (false = cycle budget exhausted).
+  /// In event-driven mode `done` must be a function of component/DRAM
+  /// state, not of now(): it is evaluated once per real tick, and real
+  /// ticks are the only cycles where component state can change.
   bool RunUntil(const std::function<bool()>& done,
                 uint64_t max_cycles = UINT64_MAX);
 
@@ -65,9 +74,20 @@ class Simulator {
     uint64_t idle = 0;
   };
   const std::vector<ComponentCycles>& component_cycles() const {
+    FlushSamples();
     return component_cycles_;
   }
   const std::vector<Component*>& components() const { return components_; }
+
+  /// Event-driven warp telemetry. Deliberately NOT part of CollectStats:
+  /// stats must be bit-identical between modes (the differential tests
+  /// compare the JSON), so host-side speedup data is exposed separately
+  /// for the sim_speed harness.
+  struct WarpStats {
+    uint64_t warps = 0;           // number of clock jumps taken
+    uint64_t skipped_cycles = 0;  // cycles covered by jumps (never ticked)
+  };
+  const WarpStats& warp_stats() const { return warp_stats_; }
 
   /// Dumps simulator-level stats (clock, per-component busy/idle, DRAM
   /// channel utilisation) under `scope`.
@@ -76,11 +96,41 @@ class Simulator {
  private:
   void TickOnce();
 
+  /// Minimum of all blocks' wake hints (clamped to > now_), with an
+  /// early-out as soon as any block wants the very next cycle.
+  uint64_t NextWakeCycle() const;
+
+  /// Event-driven jump: if every block's next interesting cycle is past
+  /// now_ + 1, advances the clock to just before min(wake, limit),
+  /// bulk-charging the skipped cycles. `limit` is the last cycle the
+  /// caller will still tick for real. Leaves now_ < limit so the caller's
+  /// next TickOnce lands exactly on the wake (or limit) cycle.
+  void WarpBefore(uint64_t limit);
+
+  /// Folds the sampling scratch accumulated since the last flush into
+  /// component_cycles_. Sampling goes through a scratch so the per-cycle
+  /// hot loop touches one counter per component instead of read-modify-
+  /// writing the busy/idle pair; flushed per Step/RunUntil call and
+  /// lazily on read.
+  void FlushSamples() const;
+
+  /// Shared Step/RunUntil driver, templated so RunUntilIdle's predicate is
+  /// a directly inlined lambda instead of a std::function indirection in
+  /// the hot loop.
+  template <typename DoneFn>
+  bool RunLoop(DoneFn&& done, uint64_t limit);
+
   TimingConfig config_;
   DramMemory dram_;
   std::vector<Component*> components_;
-  std::vector<ComponentCycles> component_cycles_;
+  // Mutable + scratch: samples accumulate in scratch_busy_/scratch_ticks_
+  // during a run and fold into component_cycles_ on flush (also from const
+  // readers, hence mutable).
+  mutable std::vector<ComponentCycles> component_cycles_;
+  mutable std::vector<uint64_t> scratch_busy_;
+  mutable uint64_t scratch_ticks_ = 0;
   uint64_t now_ = 0;
+  WarpStats warp_stats_;
   CounterSet counters_;
 };
 
