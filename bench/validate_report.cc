@@ -112,6 +112,15 @@ bool ValidateFile(const std::string& path) {
     if (!Num(*stats, "run/committed", &ignored)) {
       return Fail(path, "run '" + label + "': missing run/committed");
     }
+    // Wall-clock provenance: CI trend dashboards key off these two, so a
+    // report that drops them is broken even if the sim stats are fine.
+    if (!Num(*stats, "run/wall_seconds", &ignored)) {
+      return Fail(path, "run '" + label + "': missing run/wall_seconds");
+    }
+    if (!Num(*stats, "run/sim_cycles_per_second", &ignored)) {
+      return Fail(path,
+                  "run '" + label + "': missing run/sim_cycles_per_second");
+    }
     if (!workers->is_object() || workers->members().empty()) {
       return Fail(path, "run '" + label + "': empty workers tree");
     }

@@ -1,6 +1,8 @@
 #include "comm/channels.h"
 
 #include <algorithm>
+#include <cassert>
+#include <type_traits>
 
 namespace bionicdb::comm {
 
@@ -12,7 +14,10 @@ CommFabric::CommFabric(uint32_t n_workers, const sim::TimingConfig& timing,
       topology_(topology),
       cluster_(cluster),
       request_inbox_(n_workers),
-      response_inbox_(n_workers) {}
+      response_inbox_(n_workers),
+      staged_(n_workers),
+      stamped_requests_(n_workers),
+      stamped_responses_(n_workers) {}
 
 uint64_t CommFabric::HopLatency(db::WorkerId src, db::WorkerId dst) const {
   // Node-crossing messages take the inter-node link: one network hop plus
@@ -28,6 +33,17 @@ uint64_t CommFabric::HopLatency(db::WorkerId src, db::WorkerId dst) const {
   uint64_t steps = std::min(fwd, bwd);
   if (steps == 0) steps = 1;
   return steps * timing_.onchip_hop_cycles;
+}
+
+uint64_t CommFabric::MinHopLatency() const {
+  if (n_workers_ < 2) return timing_.onchip_hop_cycles;
+  uint64_t min_hop = sim::kNeverWakes;
+  for (uint32_t s = 0; s < n_workers_; ++s) {
+    for (uint32_t d = 0; d < n_workers_; ++d) {
+      if (s != d) min_hop = std::min(min_hop, HopLatency(s, d));
+    }
+  }
+  return min_hop;
 }
 
 template <typename T>
@@ -56,6 +72,27 @@ void CommFabric::Transmit(uint64_t now, bool is_request, db::WorkerId src,
 
 void CommFabric::SendRequest(uint64_t now, db::WorkerId src, db::WorkerId dst,
                              const index::DbOp& op) {
+  if (epoch_mode_) {
+    // Island-confined staging: `src` is the calling island's worker, so no
+    // other thread touches staged_[src] until the barrier.
+    staged_[src].push_back({now, dst, /*is_request=*/true, op, {}});
+    return;
+  }
+  SendRequestNow(now, src, dst, op);
+}
+
+void CommFabric::SendResponse(uint64_t now, db::WorkerId src,
+                              db::WorkerId dst,
+                              const index::DbResult& result) {
+  if (epoch_mode_) {
+    staged_[src].push_back({now, dst, /*is_request=*/false, {}, result});
+    return;
+  }
+  SendResponseNow(now, src, dst, result);
+}
+
+void CommFabric::SendRequestNow(uint64_t now, db::WorkerId src,
+                                db::WorkerId dst, const index::DbOp& op) {
   uint64_t seq = 0;
   if (reliability_.enabled) {
     seq = ++next_seq_;
@@ -67,9 +104,9 @@ void CommFabric::SendRequest(uint64_t now, db::WorkerId src, db::WorkerId dst,
   counters_.Add("requests_sent");
 }
 
-void CommFabric::SendResponse(uint64_t now, db::WorkerId src,
-                              db::WorkerId dst,
-                              const index::DbResult& result) {
+void CommFabric::SendResponseNow(uint64_t now, db::WorkerId src,
+                                 db::WorkerId dst,
+                                 const index::DbResult& result) {
   uint64_t seq = 0;
   if (reliability_.enabled) {
     seq = ++next_seq_;
@@ -82,36 +119,36 @@ void CommFabric::SendResponse(uint64_t now, db::WorkerId src,
   counters_.Add("responses_sent");
 }
 
-void CommFabric::Tick(uint64_t cycle) {
+template <typename T>
+void CommFabric::DeliverWire(uint64_t cycle, std::deque<InFlight<T>>* wire,
+                             std::vector<std::deque<T>>* inboxes) {
   // Latencies differ per (src,dst) path (ring distance, node crossings),
   // so the wire is scanned rather than popped FIFO: a short-path message
   // may physically overtake a long-path one. Per-path ordering is
   // preserved because same-path messages share latency and the scan keeps
   // relative order.
-  auto deliver = [this, cycle](auto* wire, auto* inboxes) {
-    for (auto it = wire->begin(); it != wire->end();) {
-      if (it->deliver_at <= cycle) {
-        if (reliability_.enabled && it->seq != 0) {
-          // Ack every arrival (even duplicates, so a lost first ack still
-          // quiesces the sender) but deliver only the first copy.
-          ack_wire_.push_back({cycle + HopLatency(it->dst, it->src), it->src,
-                               it->seq, 0, it->dst});
-          if (!delivered_seqs_.insert(it->seq).second) {
-            counters_.Add("duplicates_suppressed");
-            it = wire->erase(it);
-            continue;
-          }
+  for (auto it = wire->begin(); it != wire->end();) {
+    if (it->deliver_at <= cycle) {
+      if (reliability_.enabled && it->seq != 0) {
+        // Ack every arrival (even duplicates, so a lost first ack still
+        // quiesces the sender) but deliver only the first copy.
+        ack_wire_.push_back({cycle + HopLatency(it->dst, it->src), it->src,
+                             it->seq, 0, it->dst});
+        if (!delivered_seqs_.insert(it->seq).second) {
+          counters_.Add("duplicates_suppressed");
+          it = wire->erase(it);
+          continue;
         }
-        (*inboxes)[it->dst].push_back(it->payload);
-        it = wire->erase(it);
-      } else {
-        ++it;
       }
+      if (inboxes != nullptr) (*inboxes)[it->dst].push_back(it->payload);
+      it = wire->erase(it);
+    } else {
+      ++it;
     }
-  };
-  deliver(&request_wire_, &request_inbox_);
-  deliver(&response_wire_, &response_inbox_);
-  if (!reliability_.enabled) return;
+  }
+}
+
+void CommFabric::RetireAcks(uint64_t cycle) {
   // Arrived acks retire the sender's unacked copies.
   for (auto it = ack_wire_.begin(); it != ack_wire_.end();) {
     if (it->deliver_at <= cycle) {
@@ -122,6 +159,9 @@ void CommFabric::Tick(uint64_t cycle) {
       ++it;
     }
   }
+}
+
+void CommFabric::RunRetransmits(uint64_t cycle) {
   // Timed-out packets retransmit (subject to fault injection again — a
   // retry can be dropped too; with drop probability < 1 delivery is
   // eventually certain).
@@ -142,6 +182,14 @@ void CommFabric::Tick(uint64_t cycle) {
   retransmit(&unacked_responses_, /*is_request=*/false, &response_wire_);
 }
 
+void CommFabric::Tick(uint64_t cycle) {
+  DeliverWire(cycle, &request_wire_, &request_inbox_);
+  DeliverWire(cycle, &response_wire_, &response_inbox_);
+  if (!reliability_.enabled) return;
+  RetireAcks(cycle);
+  RunRetransmits(cycle);
+}
+
 uint64_t CommFabric::NextWakeCycle(uint64_t now) const {
   uint64_t wake = sim::kNeverWakes;
   for (const auto& p : request_wire_) wake = std::min(wake, p.deliver_at);
@@ -158,21 +206,170 @@ uint64_t CommFabric::NextWakeCycle(uint64_t now) const {
   return wake > now ? wake : now + 1;
 }
 
-bool CommFabric::Idle() const {
-  if (!request_wire_.empty() || !response_wire_.empty()) return false;
-  // Unacked packets keep the fabric live so the simulator ticks through
-  // retransmission timeouts instead of declaring quiescence on a drop.
-  if (!ack_wire_.empty() || !unacked_requests_.empty() ||
-      !unacked_responses_.empty()) {
-    return false;
+bool CommFabric::Idle() const { return !BusyNow(); }
+
+// --- Epoch machinery (parallel island execution) -------------------------
+
+uint64_t CommFabric::NextDeliveryCycle() const {
+  uint64_t c = sim::kNeverWakes;
+  for (const auto& p : request_wire_) c = std::min(c, p.deliver_at);
+  for (const auto& p : response_wire_) c = std::min(c, p.deliver_at);
+  return c;
+}
+
+uint64_t CommFabric::NextInternalCycle() const {
+  if (!reliability_.enabled) return sim::kNeverWakes;
+  uint64_t c = sim::kNeverWakes;
+  for (const auto& [seq, u] : unacked_requests_) {
+    c = std::min(c, u.next_retransmit_at);
   }
-  for (const auto& q : request_inbox_) {
-    if (!q.empty()) return false;
+  for (const auto& [seq, u] : unacked_responses_) {
+    c = std::min(c, u.next_retransmit_at);
   }
-  for (const auto& q : response_inbox_) {
-    if (!q.empty()) return false;
+  return c;
+}
+
+void CommFabric::BeginEpoch(uint64_t from, uint64_t to) {
+  (void)from;
+  // Overlay over delivered_seqs_: sequences whose FIRST copy lands inside
+  // this epoch. Planning must not mutate real dedup state (EndEpoch replays
+  // it authoritatively), but must still stage only one copy per sequence.
+  // Sequences are fabric-unique across both wires, so one overlay serves
+  // both plans.
+  std::unordered_set<uint64_t> planned;
+  auto plan = [&](const auto& wire, auto& stamped) {
+    using Entry = std::remove_reference_t<decltype(wire.front())>;
+    std::vector<const Entry*> due;
+    for (const auto& p : wire) {
+      if (p.deliver_at <= to) {
+        assert(p.deliver_at > from);
+        due.push_back(&p);
+      }
+    }
+    // Serial delivery order: by cycle, then wire order within a cycle
+    // (stable sort preserves the deque scan order on ties).
+    std::stable_sort(due.begin(), due.end(),
+                     [](const Entry* a, const Entry* b) {
+                       return a->deliver_at < b->deliver_at;
+                     });
+    for (const Entry* p : due) {
+      if (reliability_.enabled && p->seq != 0) {
+        if (delivered_seqs_.count(p->seq) > 0 ||
+            !planned.insert(p->seq).second) {
+          continue;  // duplicate — EndEpoch accounts for its suppression
+        }
+      }
+      stamped[p->dst].push_back({p->deliver_at, p->payload});
+    }
+  };
+#ifndef NDEBUG
+  for (const auto& q : stamped_requests_) assert(q.empty());
+  for (const auto& q : stamped_responses_) assert(q.empty());
+#endif
+  plan(request_wire_, stamped_requests_);
+  plan(response_wire_, stamped_responses_);
+}
+
+uint64_t CommFabric::NextEventCycle() const {
+  uint64_t c = sim::kNeverWakes;
+  for (const auto& p : request_wire_) c = std::min(c, p.deliver_at);
+  for (const auto& p : response_wire_) c = std::min(c, p.deliver_at);
+  for (const auto& p : ack_wire_) c = std::min(c, p.deliver_at);
+  for (const auto& [seq, u] : unacked_requests_) {
+    c = std::min(c, u.next_retransmit_at);
   }
-  return true;
+  for (const auto& [seq, u] : unacked_responses_) {
+    c = std::min(c, u.next_retransmit_at);
+  }
+  for (const auto& q : staged_) {
+    if (!q.empty()) c = std::min(c, q.front().cycle);
+  }
+  return c;
+}
+
+void CommFabric::ReplayStagedSends(uint64_t cycle) {
+  // Serial send order within a cycle: components tick in worker-id order
+  // after the fabric, and each worker's sends follow its program order —
+  // exactly the per-src queue order here.
+  for (uint32_t src = 0; src < n_workers_; ++src) {
+    auto& q = staged_[src];
+    while (!q.empty() && q.front().cycle == cycle) {
+      const StagedSend& s = q.front();
+      if (s.is_request) {
+        SendRequestNow(cycle, src, s.dst, s.op);
+      } else {
+        SendResponseNow(cycle, src, s.dst, s.result);
+      }
+      q.pop_front();
+    }
+  }
+}
+
+void CommFabric::EndEpoch(uint64_t from, uint64_t to) {
+  uint64_t prev = from;
+  for (;;) {
+    uint64_t c = NextEventCycle();
+    if (c > to) break;
+    assert(c > prev);
+    // Busy/idle attribution mirrors the serial per-cycle sample exactly.
+    // Non-event cycles (prev, c): fabric state is constant (post prev's
+    // sends), so one probe covers the whole span — the event-driven serial
+    // mode does the same via its skip probe.
+    if (BusyNow()) {
+      epoch_busy_cycles_ += (c - 1) - prev;
+      last_active_cycle_ = std::max(last_active_cycle_, c - 1);
+    }
+    last_active_cycle_ = std::max(last_active_cycle_, c);
+    DeliverWire(c, &request_wire_,
+                static_cast<std::vector<std::deque<index::DbOp>>*>(nullptr));
+    DeliverWire(
+        c, &response_wire_,
+        static_cast<std::vector<std::deque<index::DbResult>>*>(nullptr));
+    if (reliability_.enabled) {
+      RetireAcks(c);
+      RunRetransmits(c);
+    }
+    // The serial sample at an event cycle is taken after the fabric's tick
+    // but before later components (the workers) send at the same cycle.
+    if (BusyNow()) ++epoch_busy_cycles_;
+    ReplayStagedSends(c);
+    prev = c;
+  }
+  if (to > prev && BusyNow()) {
+    epoch_busy_cycles_ += to - prev;
+    last_active_cycle_ = std::max(last_active_cycle_, to);
+  }
+#ifndef NDEBUG
+  // Every staged send carried a cycle inside the epoch, and every stamp was
+  // consumed by its island before the barrier.
+  for (const auto& q : staged_) assert(q.empty());
+  for (const auto& q : stamped_requests_) assert(q.empty());
+  for (const auto& q : stamped_responses_) assert(q.empty());
+#endif
+}
+
+uint64_t CommFabric::NextStampCycle(uint32_t island, uint64_t now) const {
+  uint64_t wake = sim::kNeverWakes;
+  if (!stamped_requests_[island].empty()) {
+    wake = std::min(wake, stamped_requests_[island].front().first);
+  }
+  if (!stamped_responses_[island].empty()) {
+    wake = std::min(wake, stamped_responses_[island].front().first);
+  }
+  return wake > now ? wake : now + 1;
+}
+
+void CommFabric::DeliverStamps(uint32_t island, uint64_t cycle) {
+  auto& reqs = stamped_requests_[island];
+  while (!reqs.empty() && reqs.front().first == cycle) {
+    request_inbox_[island].push_back(std::move(reqs.front().second));
+    reqs.pop_front();
+  }
+  auto& resps = stamped_responses_[island];
+  while (!resps.empty() && resps.front().first == cycle) {
+    response_inbox_[island].push_back(std::move(resps.front().second));
+    resps.pop_front();
+  }
 }
 
 void CommFabric::CollectStats(StatsScope scope) const {

@@ -21,6 +21,7 @@
 #include <deque>
 #include <map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "common/stats.h"
@@ -28,6 +29,7 @@
 #include "index/db_op.h"
 #include "sim/component.h"
 #include "sim/config.h"
+#include "sim/epoch.h"
 
 namespace bionicdb::comm {
 
@@ -68,7 +70,7 @@ struct ReliabilityConfig {
   uint64_t retransmit_timeout_cycles = 4096;
 };
 
-class CommFabric : public sim::Component {
+class CommFabric : public sim::Component, public sim::EpochFabric {
  public:
   /// Multi-chip/multi-node deployment (paper section 4.6 future work:
   /// "the message-passing channels should be diversified with additional
@@ -119,6 +121,22 @@ class CommFabric : public sim::Component {
   /// topology.
   uint64_t HopLatency(db::WorkerId src, db::WorkerId dst) const;
 
+  // --- sim::EpochFabric (parallel island execution; see sim/epoch.h) ----
+  uint64_t MinHopLatency() const override;
+  uint64_t NextDeliveryCycle() const override;
+  uint64_t NextInternalCycle() const override;
+  void SetEpochMode(bool on) override { epoch_mode_ = on; }
+  void BeginEpoch(uint64_t from, uint64_t to) override;
+  void EndEpoch(uint64_t from, uint64_t to) override;
+  uint64_t NextStampCycle(uint32_t island, uint64_t now) const override;
+  void DeliverStamps(uint32_t island, uint64_t cycle) override;
+  uint64_t TakeEpochBusySample() override {
+    uint64_t v = epoch_busy_cycles_;
+    epoch_busy_cycles_ = 0;
+    return v;
+  }
+  uint64_t last_active_cycle() const override { return last_active_cycle_; }
+
   uint64_t messages_sent() const { return messages_sent_; }
   CounterSet& counters() { return counters_; }
 
@@ -164,6 +182,45 @@ class CommFabric : public sim::Component {
                 db::WorkerId dst, const T& payload, uint64_t seq,
                 std::deque<InFlight<T>>* wire);
 
+  /// The real send paths (sequence assignment, unacked tracking, Transmit,
+  /// counters). SendRequest/SendResponse call them directly in serial
+  /// operation and defer to them from EndEpoch's staged-send replay in
+  /// epoch mode.
+  void SendRequestNow(uint64_t now, db::WorkerId src, db::WorkerId dst,
+                      const index::DbOp& op);
+  void SendResponseNow(uint64_t now, db::WorkerId src, db::WorkerId dst,
+                       const index::DbResult& result);
+
+  /// One island send captured during an epoch, replayed by EndEpoch.
+  struct StagedSend {
+    uint64_t cycle;
+    db::WorkerId dst;
+    bool is_request;
+    index::DbOp op;            // valid when is_request
+    index::DbResult result;    // valid when !is_request
+  };
+
+  bool BusyNow() const {
+    return !request_wire_.empty() || !response_wire_.empty() ||
+           !ack_wire_.empty() || !unacked_requests_.empty() ||
+           !unacked_responses_.empty();
+  }
+  /// Earliest unprocessed event cycle in the live fabric state (delivery,
+  /// ack arrival, retransmission deadline, or staged send) — EndEpoch's
+  /// replay cursor.
+  uint64_t NextEventCycle() const;
+
+  /// Shared per-cycle machinery used by both Tick (serial) and EndEpoch
+  /// (epoch replay). `inboxes == nullptr` skips the inbox push — in epoch
+  /// replay the destination island already consumed the payload via its
+  /// stamp, so only fabric-side bookkeeping (acks, dedup, counters) runs.
+  template <typename T>
+  void DeliverWire(uint64_t cycle, std::deque<InFlight<T>>* wire,
+                   std::vector<std::deque<T>>* inboxes);
+  void RetireAcks(uint64_t cycle);
+  void RunRetransmits(uint64_t cycle);
+  void ReplayStagedSends(uint64_t cycle);
+
   uint32_t n_workers_;
   sim::TimingConfig timing_;
   Topology topology_;
@@ -186,6 +243,19 @@ class CommFabric : public sim::Component {
   std::map<uint64_t, Unacked<index::DbResult>> unacked_responses_;
   std::unordered_set<uint64_t> delivered_seqs_;
   uint64_t retransmits_ = 0;
+
+  // Epoch (parallel-mode) state. staged_[src] is written only by the island
+  // owning worker `src` during an epoch and drained by EndEpoch at the
+  // barrier; stamped_* queues are written by BeginEpoch at the barrier and
+  // drained only by the destination island's thread — every access pair is
+  // ordered by the barrier, so no locks are needed.
+  bool epoch_mode_ = false;
+  std::vector<std::deque<StagedSend>> staged_;
+  std::vector<std::deque<std::pair<uint64_t, index::DbOp>>> stamped_requests_;
+  std::vector<std::deque<std::pair<uint64_t, index::DbResult>>>
+      stamped_responses_;
+  uint64_t epoch_busy_cycles_ = 0;
+  uint64_t last_active_cycle_ = 0;
 
   uint64_t messages_sent_ = 0;
   CounterSet counters_;

@@ -47,6 +47,26 @@ void Summary::Add(double v) {
   }
 }
 
+void Summary::MergeFrom(const Summary& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const uint64_t merged_count = count_ + other.count_;
+  const double merged_sum = sum_ + other.sum_;
+  const double merged_min = std::min(min_, other.min_);
+  const double merged_max = std::max(max_, other.max_);
+  // Feed the other reservoir's elements through the regular sampling path
+  // (deterministic: this summary's own rng_state_ advances), then restore
+  // the exact aggregate moments Add approximated along the way.
+  for (double v : other.reservoir_) Add(v);
+  count_ = merged_count;
+  sum_ = merged_sum;
+  min_ = merged_min;
+  max_ = merged_max;
+}
+
 double Summary::Quantile(double q) const {
   if (reservoir_.empty()) return 0;
   if (!(q > 0)) q = 0;  // also maps NaN to 0

@@ -19,6 +19,13 @@ class Summary {
  public:
   void Add(double v);
 
+  /// Deterministically folds `other` into this summary. count/sum/min/max
+  /// combine exactly; the reservoir absorbs the other reservoir's elements
+  /// through the same sampling path Add uses. Merging into an empty
+  /// summary is an exact copy, so per-lane stats collected on one lane
+  /// merge bit-identically to having sampled on that lane directly.
+  void MergeFrom(const Summary& other);
+
   uint64_t count() const { return count_; }
   double min() const { return count_ ? min_ : 0; }
   double max() const { return count_ ? max_ : 0; }

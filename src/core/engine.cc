@@ -4,6 +4,10 @@ namespace bionicdb::core {
 
 BionicDb::BionicDb(const EngineOptions& options) : options_(options) {
   sim_ = std::make_unique<sim::Simulator>(options.timing);
+  // One DRAM lane + arena per partition (the per-worker memory channels of
+  // Fig. 1b). Must precede table creation so rows land in their partition's
+  // arena.
+  sim_->dram().ConfigurePartitions(options.n_workers);
   database_ = std::make_unique<db::Database>(&sim_->dram(), options.n_workers,
                                              options.seed);
   fabric_ = std::make_unique<comm::CommFabric>(
@@ -14,8 +18,9 @@ BionicDb::BionicDb(const EngineOptions& options) : options_(options) {
     workers_.push_back(std::make_unique<PartitionWorker>(
         database_.get(), w, options.timing, options.softcore, options.coproc,
         fabric_.get()));
-    sim_->AddComponent(workers_.back().get());
+    sim_->AddComponent(workers_.back().get(), w);
   }
+  sim_->SetEpochFabric(fabric_.get(), fabric_.get());
 }
 
 Status BionicDb::RegisterProcedure(db::TxnTypeId type, isa::Program program,

@@ -44,6 +44,24 @@ void Softcore::WriteCp(const index::DbResult& result) {
   }
 }
 
+index::DbOp Softcore::MakeMemOp(isa::Opcode op_code, sim::Addr addr) {
+  index::DbOp op;
+  op.op = op_code;
+  op.mem_addr = addr;
+  op.origin_worker = worker_id_;
+  op.txn_slot = cur_ctx_;
+  op.is_remote = true;
+  return op;
+}
+
+void Softcore::CompleteRemoteLoad(uint64_t now, const index::DbResult& result) {
+  assert(state_ == State::kMemWait && remote_mem_wait_);
+  Gp(cur_ctx_, pending_inst_.rd) = result.payload;
+  remote_mem_wait_ = false;
+  state_ = State::kRunning;
+  busy_until_ = now + 1;
+}
+
 void Softcore::Tick(uint64_t now) {
   if (now < busy_until_) return;
   switch (state_) {
@@ -96,6 +114,7 @@ void Softcore::Tick(uint64_t now) {
       Execute(now);
       return;
     case State::kMemWait:
+      if (remote_mem_wait_) return;  // resumed via CompleteRemoteLoad
       if (!mem_resp_.empty()) {
         mem_resp_.pop_front();
         // LOAD writeback: the value is read functionally on arrival.
@@ -304,6 +323,18 @@ void Softcore::Execute(uint64_t now) {
       uint64_t addr = Gp(cur_ctx_, inst.rs1) + inst.imm;
       pending_inst_ = inst;
       ++ctx.pc;
+      if (!dram_->IsLocalTo(addr, worker_id_)) {
+        // Foreign partition's arena: the fetch rides the fabric to the
+        // owner's island (its lane, its timing) and the value comes back as
+        // a mem_load response routed to CompleteRemoteLoad.
+        dispatcher_->DispatchRemote(dram_->OwnerPartition(addr),
+                                    MakeMemOp(Opcode::kLoad, addr));
+        remote_mem_wait_ = true;
+        state_ = State::kMemWait;
+        busy_until_ = now + cost;
+        counters_.Add("remote_loads");
+        return;
+      }
       if (!dram_->Issue(now, addr, false, &mem_resp_, 0)) {
         // Retry the issue next tick by staying at this instruction.
         --ctx.pc;
@@ -316,6 +347,19 @@ void Softcore::Execute(uint64_t now) {
     }
     case Opcode::kStore: {
       uint64_t addr = Gp(cur_ctx_, inst.rs2) + inst.imm;
+      if (!dram_->IsLocalTo(addr, worker_id_)) {
+        // Posted remote write: fire-and-forget over the fabric; the owner
+        // applies it functionally and charges its own DRAM lane. Per-path
+        // FIFO delivery keeps it ordered before this context's later
+        // commit publication to the same partition.
+        index::DbOp op = MakeMemOp(Opcode::kStore, addr);
+        op.mem_value = Gp(cur_ctx_, inst.rs1);
+        dispatcher_->DispatchRemote(dram_->OwnerPartition(addr), op);
+        ++ctx.pc;
+        busy_until_ = now + cost;
+        counters_.Add("remote_stores");
+        return;
+      }
       dram_->Write64(addr, Gp(cur_ctx_, inst.rs1));
       // Posted write: charged to bandwidth, does not stall the core.
       dram_->Issue(now, addr, true, nullptr, 0);
@@ -392,6 +436,17 @@ void Softcore::Execute(uint64_t now) {
         return;  // all DB instructions must have returned
       }
       for (const cc::WriteSetEntry& e : ctx.write_set) {
+        if (!dram_->IsLocalTo(e.tuple_addr, worker_id_)) {
+          // Remote tuple: publication executes on the owning island (it
+          // applies the header update and issues the writeback on its own
+          // lane).
+          index::DbOp op = MakeMemOp(Opcode::kCommit, e.tuple_addr);
+          op.write_kind = e.kind;
+          op.ts = ctx.ts;
+          dispatcher_->DispatchRemote(dram_->OwnerPartition(e.tuple_addr), op);
+          counters_.Add("remote_commit_publishes");
+          continue;
+        }
         cc::ApplyCommit(dram_, e, ctx.ts);
         dram_->Issue(now, e.tuple_addr, true, nullptr, 0);
       }
@@ -409,6 +464,13 @@ void Softcore::Execute(uint64_t now) {
         return;  // late results may still add write-set entries
       }
       for (const cc::WriteSetEntry& e : ctx.write_set) {
+        if (!dram_->IsLocalTo(e.tuple_addr, worker_id_)) {
+          index::DbOp op = MakeMemOp(Opcode::kAbort, e.tuple_addr);
+          op.write_kind = e.kind;
+          dispatcher_->DispatchRemote(dram_->OwnerPartition(e.tuple_addr), op);
+          counters_.Add("remote_abort_rollbacks");
+          continue;
+        }
         cc::ApplyAbort(dram_, e);
         dram_->Issue(now, e.tuple_addr, true, nullptr, 0);
       }

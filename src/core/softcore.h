@@ -83,6 +83,12 @@ class Softcore {
   /// response packet). Appends to the owning transaction's write-set.
   void WriteCp(const index::DbResult& result);
 
+  /// Resumes a LOAD stalled on a remote raw-memory fetch (partitioned DRAM:
+  /// the address lives in another partition's arena, so the value arrives
+  /// as a fabric response instead of a local DRAM completion). The worker
+  /// routes `mem_load` responses here rather than through WriteCp.
+  void CompleteRemoteLoad(uint64_t now, const index::DbResult& result);
+
   void Tick(uint64_t now);
   bool Idle() const;
 
@@ -183,6 +189,9 @@ class Softcore {
   void StartSwitch(uint64_t now, uint32_t next_ctx, Phase phase);
 
   uint64_t& Gp(uint32_t ctx, isa::Reg r);
+  /// Builds a raw-memory fabric op (remote LOAD/STORE/commit publication)
+  /// targeting the partition owning `addr`.
+  index::DbOp MakeMemOp(isa::Opcode op_code, sim::Addr addr);
   void ResetBatch();
   void CompleteRet(uint64_t now, const isa::Instruction& inst);
   /// Dynamic scheduling helpers.
@@ -219,6 +228,9 @@ class Softcore {
   Phase phase_ = Phase::kLogic;
   uint32_t cur_ctx_ = 0;
   uint64_t busy_until_ = 0;
+  /// kMemWait variant: the LOAD went to a foreign partition over the
+  /// fabric; the wake comes from CompleteRemoteLoad, not mem_resp_.
+  bool remote_mem_wait_ = false;
   // Pending items for stalled states.
   isa::Instruction pending_inst_;
   index::DbOp pending_op_;

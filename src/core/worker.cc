@@ -1,6 +1,7 @@
 #include "core/worker.h"
 
 #include <algorithm>
+#include <cassert>
 
 namespace bionicdb::core {
 
@@ -11,7 +12,8 @@ PartitionWorker::PartitionWorker(db::Database* db, db::WorkerId id,
                                  comm::CommFabric* fabric)
     : sim::Component("worker/" + std::to_string(id)),
       id_(id),
-      fabric_(fabric) {
+      fabric_(fabric),
+      dram_(db->dram()) {
   coproc_ = std::make_unique<index::IndexCoprocessor>(db, id, coproc_config);
   softcore_ = std::make_unique<Softcore>(db, id, timing, softcore_config,
                                          this);
@@ -41,12 +43,18 @@ void PartitionWorker::Tick(uint64_t cycle) {
   }
 
   // Background unit: dispatch inbound remote requests to the local index
-  // coprocessor. Stops at the first capacity reject to preserve channel
-  // FIFO order.
+  // coprocessor (index ops) or execute them inline on the local DRAM lane
+  // (raw-memory ops under partitioned DRAM). Stops at the first
+  // capacity/backpressure reject to preserve channel FIFO order.
   if (fabric_ != nullptr) {
     auto& inbound = fabric_->requests(id_);
     while (!inbound.empty()) {
-      if (!coproc_->Submit(inbound.front())) break;
+      const index::DbOp& op = inbound.front();
+      if (op.is_mem_op()) {
+        if (!HandleMemOp(cycle, op)) break;
+      } else if (!coproc_->Submit(op)) {
+        break;
+      }
       inbound.pop_front();
     }
   }
@@ -63,13 +71,36 @@ void PartitionWorker::Tick(uint64_t cycle) {
     }
   }
 
-  // Inbound response packets: asynchronous CP-register writeback.
+  // Answer remote LOADs whose DRAM read completed this cycle.
+  while (!mem_inbox_.empty()) {
+    sim::MemResponse resp = mem_inbox_.front();
+    mem_inbox_.pop_front();
+    auto it = mem_pending_.find(resp.cookie);
+    assert(it != mem_pending_.end());
+    const index::DbOp& op = it->second;
+    index::DbResult r;
+    r.origin_worker = op.origin_worker;
+    r.txn_slot = op.txn_slot;
+    r.payload = resp.data.empty() ? 0 : resp.data[0];
+    r.is_remote = true;
+    r.sent_at = op.sent_at;
+    r.mem_load = true;
+    fabric_->SendResponse(cycle, id_, op.origin_worker, r);
+    mem_pending_.erase(it);
+  }
+
+  // Inbound response packets: asynchronous CP-register writeback, or the
+  // stalled softcore's remote-LOAD resume.
   if (fabric_ != nullptr) {
     auto& responses = fabric_->responses(id_);
     while (!responses.empty()) {
       const index::DbResult& r = responses.front();
       if (r.sent_at != 0) remote_rtt_.Add(double(cycle - r.sent_at));
-      softcore_->WriteCp(r);
+      if (r.mem_load) {
+        softcore_->CompleteRemoteLoad(cycle, r);
+      } else {
+        softcore_->WriteCp(r);
+      }
       responses.pop_front();
     }
   }
@@ -107,7 +138,14 @@ void PartitionWorker::Tick(uint64_t cycle) {
 }
 
 bool PartitionWorker::Idle() const {
-  return softcore_->Idle() && coproc_->Idle();
+  // The worker owns its fabric inbox emptiness (the fabric's own Idle
+  // covers only packets in flight), plus the raw-memory service unit.
+  if (fabric_ != nullptr && (!fabric_->requests(id_).empty() ||
+                             !fabric_->responses(id_).empty())) {
+    return false;
+  }
+  return softcore_->Idle() && coproc_->Idle() && mem_inbox_.empty() &&
+         mem_pending_.empty();
 }
 
 uint64_t PartitionWorker::NextWakeCycle(uint64_t now) const {
@@ -119,6 +157,9 @@ uint64_t PartitionWorker::NextWakeCycle(uint64_t now) const {
     return now + 1;  // background unit / response drain acts
   }
   if (!coproc_->results().empty()) return now + 1;  // result routing acts
+  if (!mem_inbox_.empty()) return now + 1;  // remote-LOAD answers go out
+  // mem_pending_ needs no wake of its own: the completion that fills
+  // mem_inbox_ is already the DRAM lane's wake point.
   return std::min(coproc_->NextWakeCycle(now), softcore_->NextWakeCycle(now));
 }
 
@@ -155,6 +196,41 @@ void PartitionWorker::SkipCycles(uint64_t now, uint64_t count) {
         cycles_.idle += count;
       }
       break;
+  }
+}
+
+bool PartitionWorker::HandleMemOp(uint64_t cycle, const index::DbOp& op) {
+  switch (op.op) {
+    case isa::Opcode::kStore:
+      // Posted remote write: functional effect now, bandwidth charged on
+      // this lane (reject ignored, exactly like local posted stores).
+      dram_->Write64(op.mem_addr, op.mem_value);
+      dram_->Issue(cycle, op.mem_addr, true, nullptr, 0);
+      return true;
+    case isa::Opcode::kCommit: {
+      cc::ApplyCommit(dram_, cc::WriteSetEntry{op.mem_addr, op.write_kind},
+                      op.ts);
+      dram_->Issue(cycle, op.mem_addr, true, nullptr, 0);
+      return true;
+    }
+    case isa::Opcode::kAbort: {
+      cc::ApplyAbort(dram_, cc::WriteSetEntry{op.mem_addr, op.write_kind});
+      dram_->Issue(cycle, op.mem_addr, true, nullptr, 0);
+      return true;
+    }
+    case isa::Opcode::kLoad: {
+      const uint64_t cookie = mem_cookie_next_;
+      if (!dram_->Issue(cycle, op.mem_addr, false, &mem_inbox_, cookie,
+                        /*snapshot_words=*/1)) {
+        return false;  // backpressure: leave queued, retry next tick
+      }
+      ++mem_cookie_next_;
+      mem_pending_.emplace(cookie, op);
+      return true;
+    }
+    default:
+      assert(false && "unexpected raw-memory opcode");
+      return true;
   }
 }
 

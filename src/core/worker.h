@@ -2,13 +2,15 @@
 // (paper Fig. 2).
 //
 // Per tick the worker runs its background unit (inbound remote requests ->
-// local coprocessor), routes completed coprocessor results (local ones to
+// local coprocessor for index ops, executed inline for raw-memory ops under
+// partitioned DRAM), routes completed coprocessor results (local ones to
 // CP-register writeback, remote ones back over the response channel),
 // applies inbound response packets, and advances the coprocessor and
 // softcore.
 #ifndef BIONICDB_CORE_WORKER_H_
 #define BIONICDB_CORE_WORKER_H_
 
+#include <map>
 #include <memory>
 
 #include "comm/channels.h"
@@ -88,14 +90,26 @@ class PartitionWorker : public sim::Component, public DbDispatcher {
   void CollectStats(StatsScope scope) const;
 
  private:
+  /// Executes one inbound raw-memory op (remote LOAD/STORE/commit
+  /// publication against this partition's arena) on this worker's DRAM
+  /// lane. Returns false when a LOAD hit DRAM backpressure — the caller
+  /// leaves the op queued and retries next tick, preserving channel FIFO.
+  bool HandleMemOp(uint64_t cycle, const index::DbOp& op);
+
   db::WorkerId id_;
   comm::CommFabric* fabric_;
+  sim::DramMemory* dram_;
   uint64_t now_ = 0;
   std::unique_ptr<index::IndexCoprocessor> coproc_;
   std::unique_ptr<Softcore> softcore_;
   CycleBreakdown cycles_;
   Summary remote_rtt_;
   uint64_t frozen_until_ = 0;
+  // Remote raw-memory LOADs in service on the local lane: completions land
+  // in mem_inbox_ and are answered over the response channel.
+  sim::MemResponseQueue mem_inbox_;
+  std::map<uint64_t, index::DbOp> mem_pending_;
+  uint64_t mem_cookie_next_ = 1;
 };
 
 }  // namespace bionicdb::core

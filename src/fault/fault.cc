@@ -40,6 +40,9 @@ void FaultScheduler::Attach(core::BionicDb* engine) {
   engine_ = engine;
   dram_ = &engine->simulator().dram();
   channels_.assign(engine->options().timing.dram_channels, ChannelWindows{});
+  if (arena_guards_.size() < dram_->n_arenas()) {
+    arena_guards_.resize(dram_->n_arenas());
+  }
   // Precompute each stream's first fire (geometric gaps). Draw order is
   // fixed — per channel spike then stuck, then bitflip, then freeze — so a
   // seed maps to one schedule regardless of simulation mode.
@@ -114,7 +117,7 @@ void FaultScheduler::Tick(uint64_t cycle) {
     const uint64_t at = bitflip_next_;
     // A fire with no guarded tuples yet injects nothing; the stream keeps
     // its cadence either way (mode-independent RNG consumption).
-    if (!guard_addrs_.empty()) FlipRandomBit(at);
+    if (guarded_tuples() > 0) FlipRandomBit(at);
     bitflip_next_ = ScheduleNext(at, config_.bitflip_rate);
   }
   while (freeze_next_ <= cycle) {
@@ -149,19 +152,28 @@ bool FaultScheduler::ChannelStuck(uint64_t now, uint32_t channel) {
   return channel < channels_.size() && now < channels_[channel].stuck_until;
 }
 
+FaultScheduler::ArenaGuards& FaultScheduler::GuardsFor(sim::Addr addr) {
+  uint32_t arena = dram_->ArenaOf(addr);
+  return arena_guards_[arena < arena_guards_.size() ? arena : 0];
+}
+
 void FaultScheduler::OnTupleAllocated(sim::Addr addr) {
-  auto [it, inserted] = guards_.emplace(addr, 0);
+  ArenaGuards& ag = GuardsFor(addr);
+  auto [it, inserted] = ag.guards.emplace(addr, 0);
   it->second = ComputeGuard(addr);
-  if (inserted) guard_addrs_.push_back(addr);
+  if (inserted) ag.guard_addrs.push_back(addr);
 }
 
 bool FaultScheduler::VerifyTuple(sim::Addr addr) {
-  auto it = guards_.find(addr);
-  if (it == guards_.end()) return true;  // unguarded (pre-attach) tuple
-  ++corruption_checks_;
+  ArenaGuards& ag = GuardsFor(addr);
+  auto it = ag.guards.find(addr);
+  if (it == ag.guards.end()) return true;  // unguarded (pre-attach) tuple
+  ++ag.checks;
   if (ComputeGuard(addr) == it->second) return true;
-  ++corruption_detected_;
-  counters_.Add("detected/corruption");
+  // Arena-confined counting only: the global CounterSet is not touched
+  // here because this path runs on island threads under parallel
+  // execution; CollectStats folds the per-arena totals back in.
+  ++ag.detected;
   return false;
 }
 
@@ -216,8 +228,17 @@ uint32_t FaultScheduler::ComputeGuard(sim::Addr addr) const {
 }
 
 void FaultScheduler::FlipRandomBit(uint64_t cycle) {
-  sim::Addr addr =
-      guard_addrs_[schedule_rng_.NextUint64(guard_addrs_.size())];
+  // Victim index over the arena-order concatenation of the guard vectors
+  // (identical in serial and parallel runs; see ArenaGuards).
+  uint64_t idx = schedule_rng_.NextUint64(guarded_tuples());
+  sim::Addr addr = sim::kNullAddr;
+  for (const ArenaGuards& ag : arena_guards_) {
+    if (idx < ag.guard_addrs.size()) {
+      addr = ag.guard_addrs[idx];
+      break;
+    }
+    idx -= ag.guard_addrs.size();
+  }
   db::TupleAccessor t(dram_, addr);
   // Guarded region = 7 shape bytes + key bytes. Flipping outside it (links,
   // timestamps, payload) is not detectable by the shape guard and would be
@@ -239,8 +260,10 @@ void FaultScheduler::FlipRandomBit(uint64_t cycle) {
 
 std::vector<sim::Addr> FaultScheduler::ScrubAll() {
   std::vector<sim::Addr> corrupted;
-  for (const auto& [addr, crc] : guards_) {
-    if (ComputeGuard(addr) != crc) corrupted.push_back(addr);
+  for (const ArenaGuards& ag : arena_guards_) {
+    for (const auto& [addr, crc] : ag.guards) {
+      if (ComputeGuard(addr) != crc) corrupted.push_back(addr);
+    }
   }
   return corrupted;
 }
@@ -260,11 +283,18 @@ uint32_t FaultScheduler::ScheduleDigest() const {
 
 void FaultScheduler::CollectStats(StatsScope scope) const {
   scope.SetCounter("events", events_.size());
-  scope.SetCounter("guarded_tuples", guard_addrs_.size());
-  scope.SetCounter("corruption_checks", corruption_checks_);
-  scope.SetCounter("corruption_detected", corruption_detected_);
+  scope.SetCounter("guarded_tuples", guarded_tuples());
+  scope.SetCounter("corruption_checks", corruption_checks());
+  scope.SetCounter("corruption_detected", corruption_detected());
   scope.SetCounter("schedule_digest", ScheduleDigest());
-  scope.MergeCounterSet(counters_);
+  // "detected/corruption" is tracked per arena (VerifyTuple runs on island
+  // threads); fold it into the counter view with the original key-presence
+  // semantics (absent when zero).
+  CounterSet merged = counters_;
+  if (corruption_detected() > 0) {
+    merged.Add("detected/corruption", corruption_detected());
+  }
+  scope.MergeCounterSet(merged);
 }
 
 }  // namespace bionicdb::fault

@@ -161,9 +161,21 @@ class FaultScheduler : public sim::Component,
   /// (published by benches under the `fault/` namespace).
   void CollectStats(StatsScope scope) const;
 
-  uint64_t guarded_tuples() const { return uint64_t(guard_addrs_.size()); }
-  uint64_t corruption_checks() const { return corruption_checks_; }
-  uint64_t corruption_detected() const { return corruption_detected_; }
+  uint64_t guarded_tuples() const {
+    uint64_t n = 0;
+    for (const ArenaGuards& ag : arena_guards_) n += ag.guard_addrs.size();
+    return n;
+  }
+  uint64_t corruption_checks() const {
+    uint64_t n = 0;
+    for (const ArenaGuards& ag : arena_guards_) n += ag.checks;
+    return n;
+  }
+  uint64_t corruption_detected() const {
+    uint64_t n = 0;
+    for (const ArenaGuards& ag : arena_guards_) n += ag.detected;
+    return n;
+  }
 
  private:
   /// CRC32 over the tuple's immutable "shape" bytes (height, key_len,
@@ -203,17 +215,27 @@ class FaultScheduler : public sim::Component,
   uint64_t bitflip_next_ = sim::kNeverWakes;
   uint64_t freeze_next_ = sim::kNeverWakes;
 
-  // Guard table. The vector gives O(1) random victim selection; the map
-  // gives O(log n) verification. std::map keeps ScrubAll order (and thus
-  // any downstream iteration) deterministic.
-  std::map<sim::Addr, uint32_t> guards_;
-  std::vector<sim::Addr> guard_addrs_;
+  // Guard tables, one per DRAM arena. The vector gives O(1) random victim
+  // selection; the map gives O(log n) verification (std::map keeps ScrubAll
+  // order deterministic — arenas are disjoint ascending address ranges, so
+  // arena-order iteration equals global address order). The per-arena split
+  // matters for island-parallel execution: OnTupleAllocated/VerifyTuple are
+  // called from the island owning the arena, so each slot is thread-
+  // confined and its registration order is mode-independent. FlipRandomBit
+  // indexes the arena-order concatenation, which is therefore identical in
+  // serial and parallel runs.
+  struct ArenaGuards {
+    std::map<sim::Addr, uint32_t> guards;
+    std::vector<sim::Addr> guard_addrs;
+    uint64_t checks = 0;
+    uint64_t detected = 0;
+  };
+  ArenaGuards& GuardsFor(sim::Addr addr);
+  std::vector<ArenaGuards> arena_guards_;
   std::vector<sim::Addr> flipped_tuples_;
 
   std::vector<FaultEvent> events_;
   CounterSet counters_;
-  uint64_t corruption_checks_ = 0;
-  uint64_t corruption_detected_ = 0;
 };
 
 }  // namespace bionicdb::fault

@@ -1,6 +1,7 @@
 #include "host/driver.h"
 
 #include <chrono>
+#include <thread>
 
 #include "common/random.h"
 
@@ -62,6 +63,11 @@ RunResult RunToCompletion(core::BionicDb* engine, const TxnList& txns,
       engine->options().timing.Throughput(result.committed, result.cycles);
   result.wall_seconds = SecondsSince(wall_start);
   return result;
+}
+
+uint32_t HostHardwareThreads() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n > 0 ? n : 1;  // 0 = "unknown" per the standard
 }
 
 ClosedLoopResult RunClosedLoop(core::BionicDb* engine,

@@ -49,6 +49,12 @@ using TxnList = std::vector<std::pair<db::WorkerId, sim::Addr>>;
 RunResult RunToCompletion(core::BionicDb* engine, const TxnList& txns,
                           bool retry_aborts = true, uint32_t max_rounds = 50);
 
+/// Hardware threads available to parallel island simulation
+/// (TimingConfig::parallel_hosts) on this host, never reported as zero.
+/// Benches use it to decide whether a wall-clock speedup floor is a fair
+/// assertion (a 1-core CI container cannot beat its own serial run).
+uint32_t HostHardwareThreads();
+
 // --- Closed-loop driving with latency measurement -------------------------
 
 /// Produces the next transaction block for `worker` (a fresh allocation per

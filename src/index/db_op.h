@@ -41,6 +41,21 @@ struct DbOp {
   /// dispatch, never stamped). Echoed into the DbResult so the origin can
   /// measure channel round-trip latency.
   uint64_t sent_at = 0;
+
+  /// Raw-memory operation shipped to the partition owning `mem_addr`
+  /// (nonzero = this is a memory op, not an index op). Under partitioned
+  /// DRAM a softcore LOAD/STORE/commit-publication touching a foreign
+  /// partition's arena must execute on the owner's island — its DRAM lane,
+  /// its timing — so it travels the fabric like any remote DB op:
+  ///  * kLoad:  owner reads 8 bytes at mem_addr, responds with the value.
+  ///  * kStore: owner writes `mem_value` at mem_addr (fire-and-forget).
+  ///  * kCommit/kAbort: owner applies the write-set entry {mem_addr,
+  ///    `write_kind` (repurposed above), commit ts in `ts`} and issues the
+  ///    tuple-header writeback on its own lane.
+  sim::Addr mem_addr = sim::kNullAddr;
+  uint64_t mem_value = 0;
+  cc::WriteKind write_kind = cc::WriteKind::kNone;
+  bool is_mem_op() const { return mem_addr != sim::kNullAddr; }
 };
 
 /// Result written back (asynchronously) to the initiator's CP register.
@@ -56,6 +71,10 @@ struct DbResult {
   sim::Addr tuple_addr = sim::kNullAddr;
   bool is_remote = false;  // must be routed back over the channels
   uint64_t sent_at = 0;    // echo of DbOp::sent_at (remote RTT measurement)
+  /// Response to a remote raw-memory kLoad: `payload` carries the loaded
+  /// value and the origin resumes its stalled softcore instead of writing
+  /// a CP register.
+  bool mem_load = false;
 
   /// The 64-bit value stored into the CP register.
   uint64_t ToCpValue() const { return isa::EncodeCpValue(status, payload); }

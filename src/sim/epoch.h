@@ -1,0 +1,86 @@
+// Epoch interface between the parallel island scheduler and the message
+// fabric (DESIGN.md section 11).
+//
+// The conservative parallel scheme splits simulated time into epochs
+// (T, Tend] whose length never exceeds the fabric's minimum hop latency W:
+// a message sent at cycle c is delivered at c + hop >= c + W > Tend, so
+// every delivery inside an epoch is decided by state that existed at the
+// barrier — islands can free-run the epoch concurrently with zero
+// mid-epoch communication. At each barrier the coordinator asks the
+// fabric to:
+//
+//  1. BeginEpoch(from, to): predict, read-only, every packet that will
+//     arrive during (from, to] and stage it per destination island with
+//     its exact delivery cycle ("epoch stamps"). Islands consume their
+//     stamps via DeliverStamps at exactly those cycles.
+//  2. EndEpoch(from, to): replay the epoch authoritatively on the fabric's
+//     own state — retire deliveries, generate/retire acks, run
+//     retransmissions, and perform the sends islands staged during the
+//     epoch, all in exact serial per-cycle order (so RNG draws, sequence
+//     numbers and busy/idle accounting match the single-threaded mode
+//     bit for bit).
+//
+// While SetEpochMode(true) is active, island-side SendRequest/SendResponse
+// only append to a thread-confined staging buffer (worker id = buffer
+// index); the real sends happen inside EndEpoch.
+#ifndef BIONICDB_SIM_EPOCH_H_
+#define BIONICDB_SIM_EPOCH_H_
+
+#include <cstdint>
+
+namespace bionicdb::sim {
+
+class EpochFabric {
+ public:
+  virtual ~EpochFabric() = default;
+
+  /// Minimum one-way hop latency over all worker pairs — the conservative
+  /// lookahead W. 0 means same-cycle cross-island delivery is possible and
+  /// parallel execution must fall back to the serial path.
+  virtual uint64_t MinHopLatency() const = 0;
+
+  /// Earliest in-flight packet delivery cycle (kNeverWakes when none).
+  /// Caps the epoch: arrivals mutate fabric and island state, so they must
+  /// land exactly where the plan predicted them.
+  virtual uint64_t NextDeliveryCycle() const = 0;
+
+  /// Earliest fabric-internal event that is NOT a packet delivery
+  /// (retransmission deadlines). Also caps the epoch: a retransmit puts a
+  /// new packet on the wire, which BeginEpoch could not have predicted.
+  virtual uint64_t NextInternalCycle() const = 0;
+
+  /// Toggles epoch staging of island sends (see the header comment).
+  virtual void SetEpochMode(bool on) = 0;
+
+  /// Plans the epoch (from, to]: stages every predicted packet arrival per
+  /// destination island. Read-only on fabric state.
+  virtual void BeginEpoch(uint64_t from, uint64_t to) = 0;
+
+  /// Replays the epoch authoritatively (see the header comment). Island
+  /// inboxes are NOT pushed to — islands already consumed the staged
+  /// stamps during the epoch.
+  virtual void EndEpoch(uint64_t from, uint64_t to) = 0;
+
+  /// Next staged-arrival cycle for `island` strictly after `now`
+  /// (kNeverWakes when none left this epoch) — an island-side wake hint.
+  virtual uint64_t NextStampCycle(uint32_t island, uint64_t now) const = 0;
+
+  /// Pushes `island`'s staged arrivals due at exactly `cycle` into its
+  /// inboxes. Called by the island's own thread inside its tick loop.
+  virtual void DeliverStamps(uint32_t island, uint64_t cycle) = 0;
+
+  /// Returns and clears the busy-cycle count EndEpoch attributed to the
+  /// fabric for the finished epoch (folded into the fabric component's
+  /// busy/idle scratch by the coordinator).
+  virtual uint64_t TakeEpochBusySample() = 0;
+
+  /// Last cycle at which EndEpoch saw the fabric active (delivery, ack,
+  /// retransmit, send, or nonempty in-flight state). Lets the coordinator
+  /// truncate the final epoch's idle tail exactly where the serial loop
+  /// would have stopped ticking.
+  virtual uint64_t last_active_cycle() const = 0;
+};
+
+}  // namespace bionicdb::sim
+
+#endif  // BIONICDB_SIM_EPOCH_H_

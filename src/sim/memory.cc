@@ -1,31 +1,87 @@
 #include "sim/memory.h"
 
+#include <atomic>
 #include <cassert>
+#include <mutex>
 
 namespace bionicdb::sim {
 
+namespace {
+
+/// Small direct-mapped thread-local page cache in front of the shared page
+/// table, so the hot functional read/write path takes the shared_mutex only
+/// on a miss. Entries are tagged with the owning DramMemory's generation;
+/// pages are never freed while the owner lives, so a hit is always valid.
+struct PageCacheEntry {
+  uint64_t owner_gen = 0;
+  uint64_t page = 0;
+  uint8_t* ptr = nullptr;
+};
+constexpr size_t kPageCacheSlots = 8;
+thread_local PageCacheEntry tls_page_cache[kPageCacheSlots];
+
+std::atomic<uint64_t> next_memory_generation{1};
+
+}  // namespace
+
+thread_local uint32_t DramMemory::tls_partition_ = DramMemory::kHostPartition;
+
 DramMemory::DramMemory(const TimingConfig& config)
-    : config_(config), channels_(config.dram_channels) {
+    : config_(config),
+      generation_(next_memory_generation.fetch_add(1,
+                                                   std::memory_order_relaxed)) {
   assert(config.dram_channels > 0);
+  arenas_.resize(1);
+  lanes_.resize(1);
+  lanes_[0].channels.resize(config.dram_channels);
+}
+
+void DramMemory::ConfigurePartitions(uint32_t n) {
+  if (n <= 1) return;  // single-partition layout == the classic one
+  // Must run before any allocation or traffic: existing addresses would
+  // otherwise straddle the new arena map.
+  assert(arenas_.size() == 1 && arenas_[0].next_free == arenas_[0].base);
+  assert(lanes_[0].in_flight == 0 && lanes_[0].seq == 0);
+  partitioned_ = true;
+  arenas_.resize(size_t(n) + 1);
+  for (uint32_t p = 0; p < n; ++p) {
+    Addr base = (Addr(p) + 1) << kArenaShift;
+    arenas_[p + 1].base = base;
+    arenas_[p + 1].next_free = base;
+  }
+  lanes_.resize(n);
+  for (Lane& l : lanes_) l.channels.resize(config_.dram_channels);
 }
 
 Addr DramMemory::Allocate(uint64_t size, uint64_t align) {
   assert(align != 0 && (align & (align - 1)) == 0);
-  next_free_ = (next_free_ + align - 1) & ~(align - 1);
-  Addr out = next_free_;
-  next_free_ += size;
+  Arena& arena = CurrentArena();
+  arena.next_free = (arena.next_free + align - 1) & ~(align - 1);
+  Addr out = arena.next_free;
+  arena.next_free += size;
   return out;
 }
 
 uint8_t* DramMemory::PageFor(Addr addr) {
   uint64_t page = addr >> kPageBits;
-  auto it = pages_.find(page);
-  if (it == pages_.end()) {
+  PageCacheEntry& slot = tls_page_cache[page % kPageCacheSlots];
+  if (slot.owner_gen == generation_ && slot.page == page) return slot.ptr;
+  uint8_t* ptr = nullptr;
+  {
+    std::shared_lock<std::shared_mutex> read_lock(pages_mu_);
+    auto it = pages_.find(page);
+    if (it != pages_.end()) ptr = it->second.get();
+  }
+  if (ptr == nullptr) {
     auto mem = std::make_unique<uint8_t[]>(kPageSize);
     std::memset(mem.get(), 0, kPageSize);
-    it = pages_.emplace(page, std::move(mem)).first;
+    std::unique_lock<std::shared_mutex> write_lock(pages_mu_);
+    // Another thread may have materialised the page between the locks;
+    // emplace keeps the first copy either way.
+    ptr = pages_.emplace(page, std::move(mem)).first->second.get();
   }
-  return it->second.get();
+  slot = PageCacheEntry{generation_, page, ptr};
+  return ptr;
 }
 
 const uint8_t* DramMemory::PageForRead(Addr addr) const {
@@ -85,36 +141,36 @@ void DramMemory::Write8(Addr addr, uint8_t value) {
 
 uint32_t DramMemory::ChannelOf(Addr addr) const {
   // Scatter-gather DIMMs interleave at fine (8 B) granularity; spread
-  // consecutive words across channels as the HC-2 does.
-  return static_cast<uint32_t>((addr >> 3) % channels_.size());
+  // consecutive words across the lane's channels as the HC-2 does.
+  return static_cast<uint32_t>((addr >> 3) % config_.dram_channels);
 }
 
-DramMemory::Channel* DramMemory::AdmitRequest(uint64_t now, Addr addr,
-                                              bool is_write,
+DramMemory::Channel* DramMemory::AdmitRequest(Lane* lane, uint64_t now,
+                                              Addr addr, bool is_write,
                                               uint64_t* start) {
   uint32_t channel = ChannelOf(addr);
-  Channel& ch = channels_[channel];
+  Channel& ch = lane->channels[channel];
   if (fault_hook_ != nullptr && fault_hook_->ChannelStuck(now, channel)) {
     // A stuck-busy channel refuses admission entirely; requesters see it as
     // prolonged backpressure and keep retrying, which is exactly how a
     // wedged DIMM manifests to the pipelines.
-    ++fault_stuck_rejects_;
-    ++backpressure_rejects_;
+    ++lane->fault_stuck_rejects;
+    ++lane->backpressure_rejects;
     ++ch.rejects;
     if (is_write) {
-      ++write_rejects_;
+      ++lane->write_rejects;
     } else {
-      ++read_rejects_;
+      ++lane->read_rejects;
     }
     return nullptr;
   }
   if (ch.queued >= config_.dram_channel_queue_depth) {
-    ++backpressure_rejects_;
+    ++lane->backpressure_rejects;
     ++ch.rejects;
     if (is_write) {
-      ++write_rejects_;
+      ++lane->write_rejects;
     } else {
-      ++read_rejects_;
+      ++lane->read_rejects;
     }
     return nullptr;
   }
@@ -123,20 +179,20 @@ DramMemory::Channel* DramMemory::AdmitRequest(uint64_t now, Addr addr,
     uint64_t extra = fault_hook_->ExtraLatency(now, channel);
     if (extra > 0) {
       *start += extra;
-      fault_spike_cycles_ += extra;
+      lane->fault_spike_cycles += extra;
     }
   }
-  queue_wait_cycles_.Add(double(*start - now));
+  lane->queue_wait_cycles.Add(double(*start - now));
   ch.busy_until = *start + config_.dram_issue_gap_cycles;
   ch.issue_busy_cycles += config_.dram_issue_gap_cycles;
   ch.queued_sum += ch.queued;
   ++ch.queued;
   ++ch.issued;
-  ++in_flight_;
+  ++lane->in_flight;
   if (is_write) {
-    ++total_writes_;
+    ++lane->total_writes;
   } else {
-    ++total_reads_;
+    ++lane->total_reads;
   }
   return &ch;
 }
@@ -144,59 +200,78 @@ DramMemory::Channel* DramMemory::AdmitRequest(uint64_t now, Addr addr,
 bool DramMemory::Issue(uint64_t now, Addr addr, bool is_write,
                        MemResponseQueue* sink, uint64_t cookie,
                        uint32_t snapshot_words) {
+  Lane& lane = CurrentLane();
   uint64_t start = 0;
-  if (AdmitRequest(now, addr, is_write, &start) == nullptr) return false;
+  if (AdmitRequest(&lane, now, addr, is_write, &start) == nullptr) {
+    return false;
+  }
   uint64_t complete_at = start + config_.dram_latency_cycles;
-  pending_.push(Pending{complete_at, seq_++, addr, cookie, is_write,
-                        /*apply_write=*/false, /*write_value=*/0,
-                        snapshot_words, sink});
+  lane.pending.push(Pending{complete_at, lane.seq++, addr, cookie, is_write,
+                            /*apply_write=*/false, /*write_value=*/0,
+                            snapshot_words, sink});
   return true;
 }
 
 bool DramMemory::IssueWrite64(uint64_t now, Addr addr, uint64_t value,
                               MemResponseQueue* sink, uint64_t cookie) {
+  Lane& lane = CurrentLane();
   uint64_t start = 0;
-  if (AdmitRequest(now, addr, /*is_write=*/true, &start) == nullptr) {
+  if (AdmitRequest(&lane, now, addr, /*is_write=*/true, &start) == nullptr) {
     return false;
   }
   uint64_t complete_at = start + config_.dram_latency_cycles;
-  pending_.push(Pending{complete_at, seq_++, addr, cookie, /*is_write=*/true,
-                        /*apply_write=*/true, value, /*snapshot_words=*/0,
-                        sink});
+  lane.pending.push(Pending{complete_at, lane.seq++, addr, cookie,
+                            /*is_write=*/true,
+                            /*apply_write=*/true, value, /*snapshot_words=*/0,
+                            sink});
   return true;
 }
 
 void DramMemory::CollectStats(StatsScope scope, uint64_t now) const {
-  scope.SetCounter("reads", total_reads_);
-  scope.SetCounter("writes", total_writes_);
-  scope.SetCounter("backpressure_rejects", backpressure_rejects_);
-  scope.SetCounter("read_rejects", read_rejects_);
-  scope.SetCounter("write_rejects", write_rejects_);
+  scope.SetCounter("reads", total_reads());
+  scope.SetCounter("writes", total_writes());
+  scope.SetCounter("backpressure_rejects", backpressure_rejects());
+  scope.SetCounter("read_rejects", read_rejects());
+  scope.SetCounter("write_rejects", write_rejects());
   scope.SetCounter("allocated_bytes", allocated_bytes());
-  scope.SetSummary("queue_wait_cycles", queue_wait_cycles_);
+  scope.SetSummary("queue_wait_cycles", queue_wait_cycles());
   if (fault_hook_ != nullptr) {
     // Only emitted under fault injection so unfaulted bench reports are
     // byte-identical to pre-fault builds.
-    scope.SetCounter("fault_stuck_rejects", fault_stuck_rejects_);
-    scope.SetCounter("fault_spike_cycles", fault_spike_cycles_);
+    scope.SetCounter("fault_stuck_rejects", fault_stuck_rejects());
+    scope.SetCounter("fault_spike_cycles", fault_spike_cycles());
   }
   StatsScope chans = scope.Sub("channels");
-  for (size_t i = 0; i < channels_.size(); ++i) {
-    const Channel& ch = channels_[i];
+  for (uint32_t i = 0; i < config_.dram_channels; ++i) {
+    // Channel i aggregated over lanes (lane order) so the report shape does
+    // not depend on partitioning.
+    uint64_t issued = 0, rejects = 0, issue_busy = 0, queued_sum = 0;
+    for (const Lane& l : lanes_) {
+      const Channel& ch = l.channels[i];
+      issued += ch.issued;
+      rejects += ch.rejects;
+      issue_busy += ch.issue_busy_cycles;
+      queued_sum += ch.queued_sum;
+    }
     StatsScope c = chans.Sub(std::to_string(i));
-    c.SetCounter("issued", ch.issued);
-    c.SetCounter("rejects", ch.rejects);
+    c.SetCounter("issued", issued);
+    c.SetCounter("rejects", rejects);
     c.SetGauge("issue_utilization",
-               now > 0 ? double(ch.issue_busy_cycles) / double(now) : 0);
+               now > 0 ? double(issue_busy) / double(now) : 0);
     c.SetGauge("mean_queue_occupancy",
-               ch.issued > 0 ? double(ch.queued_sum) / double(ch.issued) : 0);
+               issued > 0 ? double(queued_sum) / double(issued) : 0);
   }
 }
 
 void DramMemory::Tick(uint64_t now) {
-  while (!pending_.empty() && pending_.top().complete_at <= now) {
-    const Pending& p = pending_.top();
-    channels_[ChannelOf(p.addr)].queued--;
+  for (uint32_t i = 0; i < lanes_.size(); ++i) TickLane(i, now);
+}
+
+void DramMemory::TickLane(uint32_t lane_idx, uint64_t now) {
+  Lane& lane = lanes_[lane_idx];
+  while (!lane.pending.empty() && lane.pending.top().complete_at <= now) {
+    const Pending& p = lane.pending.top();
+    lane.channels[ChannelOf(p.addr)].queued--;
     if (p.apply_write) Write64(p.addr, p.write_value);
     if (p.sink != nullptr) {
       MemResponse resp{p.addr, p.cookie, p.is_write, {}};
@@ -208,8 +283,8 @@ void DramMemory::Tick(uint64_t now) {
       }
       p.sink->push_back(std::move(resp));
     }
-    pending_.pop();
-    --in_flight_;
+    lane.pending.pop();
+    --lane.in_flight;
   }
 }
 

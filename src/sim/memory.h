@@ -16,6 +16,16 @@
 //    (backpressure beyond that) and completes each request a fixed latency
 //    after service starts. Completions are delivered into the requester's
 //    response queue during DramMemory::Tick.
+//
+// Partitioned operation (ConfigurePartitions): the DORA-style engine gives
+// every partition worker a private slice of the address space (an "arena")
+// and a private copy of the channel array (a "lane"), so a per-partition
+// island — worker plus its DRAM lane — touches no timing state shared with
+// other islands and can tick on its own host thread (DESIGN.md section 11).
+// Which arena/lane an access uses is carried in a thread-local partition
+// context (PartitionScope) so none of the allocation or issue call sites
+// change signature. With one partition (or when never configured) the
+// layout is bit-identical to the original single-arena, single-lane model.
 #ifndef BIONICDB_SIM_MEMORY_H_
 #define BIONICDB_SIM_MEMORY_H_
 
@@ -24,6 +34,7 @@
 #include <deque>
 #include <memory>
 #include <queue>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -62,6 +73,11 @@ using MemResponseQueue = std::deque<MemResponse>;
 /// state advanced by their own simulator Tick (seeded RNG), never from
 /// wall-clock or allocation addresses of the host process, so the same seed
 /// reproduces the same fault schedule bit-for-bit.
+///
+/// Threading contract (parallel islands, DESIGN.md section 11): Extra-
+/// Latency/ChannelStuck/VerifyTuple/OnTupleAllocated are called from island
+/// threads during an epoch and must only read state written before the
+/// epoch barrier or touch per-arena state owned by the calling island.
 class DramFaultHook {
  public:
   virtual ~DramFaultHook() = default;
@@ -87,11 +103,65 @@ class DramFaultHook {
 
 class DramMemory {
  public:
+  /// Thread-local partition context value meaning "the host" — allocations
+  /// go to the shared arena 0, timed accesses to lane 0.
+  static constexpr uint32_t kHostPartition = UINT32_MAX;
+
   explicit DramMemory(const TimingConfig& config);
+
+  /// Splits the address space and the channel model into per-partition
+  /// arenas and lanes (see the header comment). Must be called before any
+  /// allocation or timed traffic; `n <= 1` keeps the original single-
+  /// arena, single-lane layout bit-for-bit.
+  void ConfigurePartitions(uint32_t n);
+  bool partitioned() const { return partitioned_; }
+  uint32_t n_lanes() const { return uint32_t(lanes_.size()); }
+
+  /// RAII thread-local partition context: while in scope, Allocate targets
+  /// the partition's arena and Issue/IssueWrite64 its lane. The simulator
+  /// wraps island component ticks in one; the database wraps bulk loading
+  /// (which must place each partition's tuples in that partition's arena).
+  /// Nesting restores the previous context. Cheap enough for per-tick use.
+  class PartitionScope {
+   public:
+    explicit PartitionScope(uint32_t partition)
+        : saved_(tls_partition_) {
+      tls_partition_ = partition;
+    }
+    ~PartitionScope() { tls_partition_ = saved_; }
+    PartitionScope(const PartitionScope&) = delete;
+    PartitionScope& operator=(const PartitionScope&) = delete;
+
+   private:
+    uint32_t saved_;
+  };
+
+  /// Arena index owning `addr` (0 = host/shared, r+1 = partition r).
+  uint32_t ArenaOf(Addr addr) const {
+    if (!partitioned_) return 0;
+    uint64_t a = addr >> kArenaShift;
+    return a < arenas_.size() ? uint32_t(a) : 0;
+  }
+  uint32_t n_arenas() const { return uint32_t(arenas_.size()); }
+  /// True when `partition` may access `addr` directly: un-partitioned
+  /// memory, the shared host arena (transaction blocks), or the
+  /// partition's own arena. Foreign addresses must go through the message
+  /// fabric (softcore remote LOAD/STORE/commit publication).
+  bool IsLocalTo(Addr addr, uint32_t partition) const {
+    uint32_t arena = ArenaOf(addr);
+    return arena == 0 || arena - 1 == partition;
+  }
+  /// Partition owning `addr`'s arena (callers check !IsLocalTo first; the
+  /// shared arena defensively maps to partition 0).
+  uint32_t OwnerPartition(Addr addr) const {
+    uint32_t arena = ArenaOf(addr);
+    return arena == 0 ? 0 : arena - 1;
+  }
 
   // --- Functional interface -------------------------------------------
 
-  /// Allocates `size` bytes (aligned to `align`) from the bump allocator.
+  /// Allocates `size` bytes (aligned to `align`) from the current
+  /// partition context's arena bump allocator.
   Addr Allocate(uint64_t size, uint64_t align = 8);
 
   /// Raw byte accessors. Accessing unallocated space is allowed (pages are
@@ -106,15 +176,21 @@ class DramMemory {
   uint8_t Read8(Addr addr) const;
   void Write8(Addr addr, uint8_t value);
 
-  /// Bytes handed out by the allocator so far (database footprint).
-  uint64_t allocated_bytes() const { return next_free_ - kHeapBase; }
+  /// Bytes handed out by the allocator so far (database footprint, summed
+  /// over all arenas).
+  uint64_t allocated_bytes() const {
+    uint64_t total = 0;
+    for (const Arena& a : arenas_) total += a.next_free - a.base;
+    return total;
+  }
 
   // --- Timing interface -----------------------------------------------
 
-  /// Attempts to enqueue a memory request at cycle `now`. Returns false when
-  /// the target channel's queue is full (the requester must retry — this is
-  /// how DRAM backpressure propagates into the pipelines). When `sink` is
-  /// null the completion is dropped (fire-and-forget write). For reads,
+  /// Attempts to enqueue a memory request at cycle `now` on the current
+  /// partition context's lane. Returns false when the target channel's
+  /// queue is full (the requester must retry — this is how DRAM
+  /// backpressure propagates into the pipelines). When `sink` is null the
+  /// completion is dropped (fire-and-forget write). For reads,
   /// `snapshot_words` 64-bit words starting at `addr` are copied into the
   /// response at completion time.
   bool Issue(uint64_t now, Addr addr, bool is_write, MemResponseQueue* sink,
@@ -128,36 +204,62 @@ class DramMemory {
   bool IssueWrite64(uint64_t now, Addr addr, uint64_t value,
                     MemResponseQueue* sink, uint64_t cookie);
 
-  /// Delivers all completions due at or before `now`.
+  /// Delivers all completions due at or before `now` (every lane).
   void Tick(uint64_t now);
+  /// Per-lane tick, for island-parallel execution.
+  void TickLane(uint32_t lane, uint64_t now);
 
-  /// True when no requests are in flight.
-  bool Idle() const { return in_flight_ == 0; }
+  /// True when no requests are in flight on any lane.
+  bool Idle() const {
+    for (const Lane& l : lanes_) {
+      if (l.in_flight != 0) return false;
+    }
+    return true;
+  }
+  bool LaneIdle(uint32_t lane) const { return lanes_[lane].in_flight == 0; }
 
   /// Event-driven scheduling hint: the earliest cycle at which an in-flight
   /// request completes (Tick before then is a pure no-op), or kNeverWakes
   /// with nothing in flight. Queried post-Tick, so the head completion is
   /// always in the future; clamped defensively anyway.
   uint64_t NextWakeCycle(uint64_t now) const {
-    if (pending_.empty()) return UINT64_MAX;
-    const uint64_t ready = pending_.top().complete_at;
+    uint64_t wake = UINT64_MAX;
+    for (size_t i = 0; i < lanes_.size(); ++i) {
+      uint64_t w = LaneNextWake(uint32_t(i), now);
+      if (w < wake) wake = w;
+    }
+    return wake;
+  }
+  uint64_t LaneNextWake(uint32_t lane, uint64_t now) const {
+    const Lane& l = lanes_[lane];
+    if (l.pending.empty()) return UINT64_MAX;
+    const uint64_t ready = l.pending.top().complete_at;
     return ready > now ? ready : now + 1;
   }
 
-  uint64_t total_reads() const { return total_reads_; }
-  uint64_t total_writes() const { return total_writes_; }
-  uint64_t backpressure_rejects() const { return backpressure_rejects_; }
-  uint64_t read_rejects() const { return read_rejects_; }
-  uint64_t write_rejects() const { return write_rejects_; }
+  uint64_t total_reads() const { return SumLanes(&Lane::total_reads); }
+  uint64_t total_writes() const { return SumLanes(&Lane::total_writes); }
+  uint64_t backpressure_rejects() const {
+    return SumLanes(&Lane::backpressure_rejects);
+  }
+  uint64_t read_rejects() const { return SumLanes(&Lane::read_rejects); }
+  uint64_t write_rejects() const { return SumLanes(&Lane::write_rejects); }
 
   /// Queueing delay (cycles between request issue and service start)
   /// across all accepted requests — the congestion half of DRAM latency;
-  /// the service half is the fixed dram_latency_cycles.
-  const Summary& queue_wait_cycles() const { return queue_wait_cycles_; }
+  /// the service half is the fixed dram_latency_cycles. Merged over lanes
+  /// in lane order (exact copy with a single lane).
+  Summary queue_wait_cycles() const {
+    Summary merged;
+    for (const Lane& l : lanes_) merged.MergeFrom(l.queue_wait_cycles);
+    return merged;
+  }
 
   /// Dumps per-channel utilisation, queue occupancy and the
   /// backpressure-reject breakdown under `scope`. `now` is the current
-  /// simulated cycle (utilisation denominator).
+  /// simulated cycle (utilisation denominator). Per-channel figures are
+  /// summed over lanes in lane order, so the JSON shape is independent of
+  /// partitioning.
   void CollectStats(StatsScope scope, uint64_t now) const;
 
   const TimingConfig& config() const { return config_; }
@@ -182,14 +284,22 @@ class DramMemory {
   }
 
   /// Admissions rejected because the target channel was fault-stuck.
-  uint64_t fault_stuck_rejects() const { return fault_stuck_rejects_; }
+  uint64_t fault_stuck_rejects() const {
+    return SumLanes(&Lane::fault_stuck_rejects);
+  }
   /// Total extra latency cycles added by injected spikes.
-  uint64_t fault_spike_cycles() const { return fault_spike_cycles_; }
+  uint64_t fault_spike_cycles() const {
+    return SumLanes(&Lane::fault_spike_cycles);
+  }
 
  private:
   static constexpr uint64_t kPageBits = 16;  // 64 KiB pages
   static constexpr uint64_t kPageSize = 1ull << kPageBits;
   static constexpr Addr kHeapBase = 0x1000;  // keep low addresses unmapped
+  /// Partition arenas start at (partition + 1) << kArenaShift: 1 TiB slices
+  /// a bump allocator never crosses, so the arena of an address is its top
+  /// bits — no lookup table.
+  static constexpr uint64_t kArenaShift = 40;
 
   struct Pending {
     uint64_t complete_at;
@@ -217,33 +327,73 @@ class DramMemory {
     uint64_t queued_sum = 0;         // sum of occupancy sampled per issue
   };
 
+  /// One partition's private timing model: its own channel array, pending
+  /// queue and counters. Nothing in a lane is touched by other islands, so
+  /// lanes tick concurrently without synchronisation.
+  struct Lane {
+    std::vector<Channel> channels;
+    std::priority_queue<Pending, std::vector<Pending>, std::greater<Pending>>
+        pending;
+    uint64_t seq = 0;
+    uint64_t in_flight = 0;
+    uint64_t total_reads = 0;
+    uint64_t total_writes = 0;
+    uint64_t backpressure_rejects = 0;
+    uint64_t read_rejects = 0;
+    uint64_t write_rejects = 0;
+    uint64_t fault_stuck_rejects = 0;
+    uint64_t fault_spike_cycles = 0;
+    Summary queue_wait_cycles;
+  };
+
+  /// One partition's private address-space slice.
+  struct Arena {
+    Addr base = kHeapBase;
+    Addr next_free = kHeapBase;
+  };
+
   /// Common admission path: channel lookup, backpressure check, occupancy
   /// accounting. Returns nullptr on reject (counters updated); otherwise
   /// the channel, with `*start` set to the service start cycle.
-  Channel* AdmitRequest(uint64_t now, Addr addr, bool is_write,
+  Channel* AdmitRequest(Lane* lane, uint64_t now, Addr addr, bool is_write,
                         uint64_t* start);
+
+  Lane& CurrentLane() {
+    if (!partitioned_ || tls_partition_ == kHostPartition) return lanes_[0];
+    return lanes_[tls_partition_ < lanes_.size() ? tls_partition_ : 0];
+  }
+  Arena& CurrentArena() {
+    if (!partitioned_ || tls_partition_ == kHostPartition) return arenas_[0];
+    uint32_t idx = tls_partition_ + 1;
+    return arenas_[idx < arenas_.size() ? idx : 0];
+  }
+
+  uint64_t SumLanes(uint64_t Lane::* field) const {
+    uint64_t total = 0;
+    for (const Lane& l : lanes_) total += l.*field;
+    return total;
+  }
 
   uint8_t* PageFor(Addr addr);
   const uint8_t* PageForRead(Addr addr) const;
   uint32_t ChannelOf(Addr addr) const;
 
-  TimingConfig config_;
-  mutable std::unordered_map<uint64_t, std::unique_ptr<uint8_t[]>> pages_;
-  Addr next_free_ = kHeapBase;
+  static thread_local uint32_t tls_partition_;
 
-  std::vector<Channel> channels_;
-  std::priority_queue<Pending, std::vector<Pending>, std::greater<Pending>>
-      pending_;
-  uint64_t seq_ = 0;
-  uint64_t in_flight_ = 0;
-  uint64_t total_reads_ = 0;
-  uint64_t total_writes_ = 0;
-  uint64_t backpressure_rejects_ = 0;
-  uint64_t read_rejects_ = 0;
-  uint64_t write_rejects_ = 0;
-  uint64_t fault_stuck_rejects_ = 0;
-  uint64_t fault_spike_cycles_ = 0;
-  Summary queue_wait_cycles_;
+  TimingConfig config_;
+  /// Unique per-instance id tagging thread-local page-cache entries so a
+  /// cache never serves pages of a destroyed (or different) DramMemory.
+  const uint64_t generation_;
+  // The page table is the one structure shared across islands (an island
+  // may materialise a page of the host arena while writing a scan result
+  // into the initiator's transaction block). Pages are never freed, so a
+  // pointer obtained under the lock stays valid forever.
+  mutable std::shared_mutex pages_mu_;
+  mutable std::unordered_map<uint64_t, std::unique_ptr<uint8_t[]>> pages_;
+
+  bool partitioned_ = false;
+  std::vector<Arena> arenas_;
+  std::vector<Lane> lanes_;
   DramFaultHook* fault_hook_ = nullptr;
 };
 

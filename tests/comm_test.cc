@@ -68,14 +68,16 @@ TEST(CommFabric, RingLatencyScalesWithDistance) {
   EXPECT_EQ(xbar.HopLatency(0, 4), 3u);  // distance-independent
 }
 
-TEST(CommFabric, IdleReflectsWireAndInboxes) {
+TEST(CommFabric, IdleReflectsWireState) {
   CommFabric fabric(2, Cfg());
   EXPECT_TRUE(fabric.Idle());
   fabric.SendRequest(0, 0, 1, Op(0));
   EXPECT_FALSE(fabric.Idle());
+  // Delivery empties the wire; a delivered-but-undrained inbox is the
+  // destination worker's wake concern (PartitionWorker::Idle covers its
+  // inboxes), not the fabric's — the fabric itself is quiescent.
   fabric.Tick(50);
-  EXPECT_FALSE(fabric.Idle());  // sitting in the inbox
-  fabric.requests(1).clear();
+  EXPECT_EQ(fabric.requests(1).size(), 1u);
   EXPECT_TRUE(fabric.Idle());
 }
 

@@ -300,7 +300,10 @@ TEST(SoftcoreRemote, RemoteUpdateCommitsAcrossPartitions) {
   engine.Submit(0, block.base());  // initiated by worker 0
   engine.Drain();
   EXPECT_EQ(engine.TotalCommitted(), 1u);
-  EXPECT_EQ(engine.fabric().messages_sent(), 2u);  // request + response
+  // Partitioned memory makes the remote tuple's arena foreign to worker 0:
+  // UPDATE request + response, the STORE shipped to the owning partition,
+  // and COMMIT publishing the remote write-set entry.
+  EXPECT_EQ(engine.fabric().messages_sent(), 4u);
 
   db::TupleAccessor t(engine.database().dram(),
                       engine.database().FindU64(0, 1, 4));
