@@ -10,10 +10,15 @@
 //   --smoke     minimal single-config run (implies --quick; used by the
 //               bench_smoke ctest target to exercise the JSON report path)
 //   --seed=N    workload RNG seed (default 42)
+//   --help      print the accepted flags and exit
+//
+// Unknown flags are an error (exit 2): a typo like --qiuck silently
+// running the full-size sweep wastes a CI hour before anyone notices.
 #ifndef BIONICDB_BENCH_BENCH_UTIL_H_
 #define BIONICDB_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <thread>
@@ -32,6 +37,16 @@ struct BenchArgs {
   bool smoke = false;
   uint64_t seed = 42;
 
+  static void PrintUsage(const char* prog, std::FILE* out) {
+    std::fprintf(out,
+                 "usage: %s [--quick] [--smoke] [--seed=N]\n"
+                 "  --quick   smaller populations/transaction counts\n"
+                 "  --smoke   minimal single-config run (implies --quick)\n"
+                 "  --seed=N  workload RNG seed (default 42)\n"
+                 "  --help    show this message\n",
+                 prog);
+  }
+
   static BenchArgs Parse(int argc, char** argv) {
     BenchArgs args;
     for (int i = 1; i < argc; ++i) {
@@ -41,7 +56,20 @@ struct BenchArgs {
         args.smoke = true;
         args.quick = true;
       } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
-        args.seed = std::strtoull(argv[i] + 7, nullptr, 10);
+        char* end = nullptr;
+        args.seed = std::strtoull(argv[i] + 7, &end, 10);
+        if (end == argv[i] + 7 || *end != '\0') {
+          std::fprintf(stderr, "%s: bad value in '%s'\n", argv[0], argv[i]);
+          PrintUsage(argv[0], stderr);
+          std::exit(2);
+        }
+      } else if (std::strcmp(argv[i], "--help") == 0) {
+        PrintUsage(argv[0], stdout);
+        std::exit(0);
+      } else {
+        std::fprintf(stderr, "%s: unknown flag '%s'\n", argv[0], argv[i]);
+        PrintUsage(argv[0], stderr);
+        std::exit(2);
       }
     }
     return args;

@@ -29,14 +29,12 @@ int main(int argc, char** argv) {
 
   // Measured: push a request + response through the simulated crossbar.
   comm::CommFabric fabric(2, timing);
-  index::DbOp op;
   uint64_t t0 = 100;
-  fabric.SendRequest(t0, 0, 1, op);
+  fabric.Send(t0, 0, 1, comm::Envelope(comm::Header{}, comm::IndexOp{}));
   uint64_t t = t0;
   while (fabric.requests(1).empty()) fabric.Tick(++t);
   fabric.requests(1).pop_front();
-  index::DbResult result;
-  fabric.SendResponse(t, 1, 0, result);
+  fabric.Send(t, 1, 0, comm::Envelope(comm::Header{}, comm::IndexResult{}));
   while (fabric.responses(0).empty()) fabric.Tick(++t);
   double ns = double(t - t0) * 1000.0 / timing.clock_mhz;
   std::printf("\nMeasured on-chip round trip through the simulated fabric: "

@@ -5,7 +5,8 @@
 //  * the document parses as JSON;
 //  * required keys exist: "bench" (string), "schema_version" (number),
 //    "runs" (non-empty array of {label, stats});
-//  * every run with engine stats carries sim cycle/throughput metrics;
+//  * every run with engine stats carries sim cycle/throughput metrics and
+//    the per-message-class fabric counters (sent >= delivered per class);
 //  * every worker's cycle breakdown is exhaustive: busy + dram_stall +
 //    hazard_block + backpressure + idle (+ frozen, present only under
 //    fault injection) matches cycles/total within 1%.
@@ -34,6 +35,35 @@ bool Num(const json::Value& stats, const std::string& key, double* out) {
   const json::Value* v = stats.FindPath(key);
   if (v == nullptr || !v->is_number()) return false;
   *out = v->number();
+  return true;
+}
+
+/// Every engine run must expose the per-message-class fabric counters
+/// (fabric/<class>/sent|delivered|retransmitted for all four classes), and
+/// a class can never deliver more envelopes than were sent — retransmits
+/// are counted separately, and the reliability layer dedups duplicates
+/// before they reach an inbox.
+bool CheckFabricClasses(const std::string& path, const std::string& label,
+                        const json::Value& stats) {
+  static const char* kClasses[] = {"index_op", "mem_op", "index_result",
+                                   "mem_result"};
+  for (const char* cls : kClasses) {
+    const std::string base = std::string("fabric/") + cls;
+    double sent, delivered, retransmitted;
+    if (!Num(stats, base + "/sent", &sent) ||
+        !Num(stats, base + "/delivered", &delivered) ||
+        !Num(stats, base + "/retransmitted", &retransmitted)) {
+      return Fail(path, "run '" + label + "': missing " + base +
+                            "/sent|delivered|retransmitted");
+    }
+    if (sent < delivered) {
+      char buf[160];
+      std::snprintf(buf, sizeof buf,
+                    "run '%s' %s: delivered %.0f exceeds sent %.0f",
+                    label.c_str(), base.c_str(), delivered, sent);
+      return Fail(path, buf);
+    }
+  }
   return true;
 }
 
@@ -121,6 +151,7 @@ bool ValidateFile(const std::string& path) {
       return Fail(path,
                   "run '" + label + "': missing run/sim_cycles_per_second");
     }
+    if (!CheckFabricClasses(path, label, *stats)) return false;
     if (!workers->is_object() || workers->members().empty()) {
       return Fail(path, "run '" + label + "': empty workers tree");
     }

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cassert>
-#include <type_traits>
 
 namespace bionicdb::comm {
 
@@ -46,82 +45,58 @@ uint64_t CommFabric::MinHopLatency() const {
   return min_hop;
 }
 
-template <typename T>
-void CommFabric::Transmit(uint64_t now, bool is_request, db::WorkerId src,
-                          db::WorkerId dst, const T& payload, uint64_t seq,
-                          std::deque<InFlight<T>>* wire) {
+void CommFabric::Transmit(uint64_t now, db::WorkerId src, db::WorkerId dst,
+                          const Envelope& env, std::deque<InFlight>* wire) {
   uint64_t deliver_at = now + HopLatency(src, dst);
   FaultDecision fd;
   if (fault_hook_ != nullptr) {
-    fd = fault_hook_->OnPacket(now, is_request, src, dst);
+    fd = fault_hook_->OnPacket(now, env.cls(), src, dst);
   }
   if (fd.delay_cycles > 0) counters_.Add("packets_delayed");
   if (fd.drop) {
     // Without reliability the packet is simply lost; with it, the sender's
     // unacked copy retransmits on timeout.
-    counters_.Add(is_request ? "requests_dropped" : "responses_dropped");
+    counters_.Add(env.is_request() ? "requests_dropped"
+                                   : "responses_dropped");
   } else {
-    wire->push_back({deliver_at + fd.delay_cycles, dst, payload, seq, src});
+    wire->push_back({deliver_at + fd.delay_cycles, dst, env, src});
   }
   if (fd.duplicate) {
     counters_.Add("packets_duplicated");
-    wire->push_back(
-        {deliver_at + fd.delay_cycles + 1, dst, payload, seq, src});
+    wire->push_back({deliver_at + fd.delay_cycles + 1, dst, env, src});
   }
 }
 
-void CommFabric::SendRequest(uint64_t now, db::WorkerId src, db::WorkerId dst,
-                             const index::DbOp& op) {
+void CommFabric::Send(uint64_t now, db::WorkerId src, db::WorkerId dst,
+                      const Envelope& env) {
   if (epoch_mode_) {
     // Island-confined staging: `src` is the calling island's worker, so no
     // other thread touches staged_[src] until the barrier.
-    staged_[src].push_back({now, dst, /*is_request=*/true, op, {}});
+    staged_[src].push_back({now, dst, env});
     return;
   }
-  SendRequestNow(now, src, dst, op);
+  SendNow(now, src, dst, env);
 }
 
-void CommFabric::SendResponse(uint64_t now, db::WorkerId src,
-                              db::WorkerId dst,
-                              const index::DbResult& result) {
-  if (epoch_mode_) {
-    staged_[src].push_back({now, dst, /*is_request=*/false, {}, result});
-    return;
-  }
-  SendResponseNow(now, src, dst, result);
-}
-
-void CommFabric::SendRequestNow(uint64_t now, db::WorkerId src,
-                                db::WorkerId dst, const index::DbOp& op) {
-  uint64_t seq = 0;
+void CommFabric::SendNow(uint64_t now, db::WorkerId src, db::WorkerId dst,
+                         const Envelope& env) {
+  const bool is_request = env.is_request();
+  Envelope sent = env;
+  auto* unacked = is_request ? &unacked_requests_ : &unacked_responses_;
   if (reliability_.enabled) {
-    seq = ++next_seq_;
-    unacked_requests_[seq] = Unacked<index::DbOp>{
-        src, dst, op, now + reliability_.retransmit_timeout_cycles};
+    sent.hdr.seq = ++next_seq_;
+    (*unacked)[sent.hdr.seq] = Unacked{
+        src, dst, sent, now + reliability_.retransmit_timeout_cycles};
   }
-  Transmit(now, /*is_request=*/true, src, dst, op, seq, &request_wire_);
+  Transmit(now, src, dst, sent,
+           is_request ? &request_wire_ : &response_wire_);
   ++messages_sent_;
-  counters_.Add("requests_sent");
+  ++class_sent_[size_t(env.cls())];
+  counters_.Add(is_request ? "requests_sent" : "responses_sent");
 }
 
-void CommFabric::SendResponseNow(uint64_t now, db::WorkerId src,
-                                 db::WorkerId dst,
-                                 const index::DbResult& result) {
-  uint64_t seq = 0;
-  if (reliability_.enabled) {
-    seq = ++next_seq_;
-    unacked_responses_[seq] = Unacked<index::DbResult>{
-        src, dst, result, now + reliability_.retransmit_timeout_cycles};
-  }
-  Transmit(now, /*is_request=*/false, src, dst, result, seq,
-           &response_wire_);
-  ++messages_sent_;
-  counters_.Add("responses_sent");
-}
-
-template <typename T>
-void CommFabric::DeliverWire(uint64_t cycle, std::deque<InFlight<T>>* wire,
-                             std::vector<std::deque<T>>* inboxes) {
+void CommFabric::DeliverWire(uint64_t cycle, std::deque<InFlight>* wire,
+                             std::vector<std::deque<Envelope>>* inboxes) {
   // Latencies differ per (src,dst) path (ring distance, node crossings),
   // so the wire is scanned rather than popped FIFO: a short-path message
   // may physically overtake a long-path one. Per-path ordering is
@@ -129,18 +104,22 @@ void CommFabric::DeliverWire(uint64_t cycle, std::deque<InFlight<T>>* wire,
   // relative order.
   for (auto it = wire->begin(); it != wire->end();) {
     if (it->deliver_at <= cycle) {
-      if (reliability_.enabled && it->seq != 0) {
+      if (reliability_.enabled && it->env.hdr.seq != 0) {
         // Ack every arrival (even duplicates, so a lost first ack still
         // quiesces the sender) but deliver only the first copy.
         ack_wire_.push_back({cycle + HopLatency(it->dst, it->src), it->src,
-                             it->seq, 0, it->dst});
-        if (!delivered_seqs_.insert(it->seq).second) {
+                             it->env.hdr.seq});
+        if (!delivered_seqs_.insert(it->env.hdr.seq).second) {
           counters_.Add("duplicates_suppressed");
           it = wire->erase(it);
           continue;
         }
       }
-      if (inboxes != nullptr) (*inboxes)[it->dst].push_back(it->payload);
+      // First delivery of this logical packet: counted here in ALL modes
+      // (serial/event-driven Tick, and EndEpoch's authoritative replay
+      // where inboxes == nullptr), never in DeliverStamps.
+      ++class_delivered_[size_t(it->env.cls())];
+      if (inboxes != nullptr) (*inboxes)[it->dst].push_back(it->env);
       it = wire->erase(it);
     } else {
       ++it;
@@ -152,8 +131,8 @@ void CommFabric::RetireAcks(uint64_t cycle) {
   // Arrived acks retire the sender's unacked copies.
   for (auto it = ack_wire_.begin(); it != ack_wire_.end();) {
     if (it->deliver_at <= cycle) {
-      unacked_requests_.erase(it->payload);
-      unacked_responses_.erase(it->payload);
+      unacked_requests_.erase(it->seq);
+      unacked_responses_.erase(it->seq);
       it = ack_wire_.erase(it);
     } else {
       ++it;
@@ -164,22 +143,22 @@ void CommFabric::RetireAcks(uint64_t cycle) {
 void CommFabric::RunRetransmits(uint64_t cycle) {
   // Timed-out packets retransmit (subject to fault injection again — a
   // retry can be dropped too; with drop probability < 1 delivery is
-  // eventually certain).
-  auto retransmit = [this, cycle](auto* unacked, bool is_request,
-                                  auto* wire) {
+  // eventually certain). Requests scan before responses; within a map,
+  // sequence order keeps the fault-hook consultation deterministic.
+  auto retransmit = [this, cycle](auto* unacked, auto* wire) {
     for (auto& [seq, entry] : *unacked) {
       if (cycle >= entry.next_retransmit_at) {
         ++retransmits_;
         counters_.Add("retransmits");
-        Transmit(cycle, is_request, entry.src, entry.dst, entry.payload, seq,
-                 wire);
+        ++class_retransmitted_[size_t(entry.env.cls())];
+        Transmit(cycle, entry.src, entry.dst, entry.env, wire);
         entry.next_retransmit_at =
             cycle + reliability_.retransmit_timeout_cycles;
       }
     }
   };
-  retransmit(&unacked_requests_, /*is_request=*/true, &request_wire_);
-  retransmit(&unacked_responses_, /*is_request=*/false, &response_wire_);
+  retransmit(&unacked_requests_, &request_wire_);
+  retransmit(&unacked_responses_, &response_wire_);
 }
 
 void CommFabric::Tick(uint64_t cycle) {
@@ -237,9 +216,8 @@ void CommFabric::BeginEpoch(uint64_t from, uint64_t to) {
   // Sequences are fabric-unique across both wires, so one overlay serves
   // both plans.
   std::unordered_set<uint64_t> planned;
-  auto plan = [&](const auto& wire, auto& stamped) {
-    using Entry = std::remove_reference_t<decltype(wire.front())>;
-    std::vector<const Entry*> due;
+  auto plan = [&](const std::deque<InFlight>& wire, auto& stamped) {
+    std::vector<const InFlight*> due;
     for (const auto& p : wire) {
       if (p.deliver_at <= to) {
         assert(p.deliver_at > from);
@@ -249,17 +227,17 @@ void CommFabric::BeginEpoch(uint64_t from, uint64_t to) {
     // Serial delivery order: by cycle, then wire order within a cycle
     // (stable sort preserves the deque scan order on ties).
     std::stable_sort(due.begin(), due.end(),
-                     [](const Entry* a, const Entry* b) {
+                     [](const InFlight* a, const InFlight* b) {
                        return a->deliver_at < b->deliver_at;
                      });
-    for (const Entry* p : due) {
-      if (reliability_.enabled && p->seq != 0) {
-        if (delivered_seqs_.count(p->seq) > 0 ||
-            !planned.insert(p->seq).second) {
+    for (const InFlight* p : due) {
+      if (reliability_.enabled && p->env.hdr.seq != 0) {
+        if (delivered_seqs_.count(p->env.hdr.seq) > 0 ||
+            !planned.insert(p->env.hdr.seq).second) {
           continue;  // duplicate — EndEpoch accounts for its suppression
         }
       }
-      stamped[p->dst].push_back({p->deliver_at, p->payload});
+      stamped[p->dst].push_back({p->deliver_at, p->env});
     }
   };
 #ifndef NDEBUG
@@ -294,12 +272,7 @@ void CommFabric::ReplayStagedSends(uint64_t cycle) {
   for (uint32_t src = 0; src < n_workers_; ++src) {
     auto& q = staged_[src];
     while (!q.empty() && q.front().cycle == cycle) {
-      const StagedSend& s = q.front();
-      if (s.is_request) {
-        SendRequestNow(cycle, src, s.dst, s.op);
-      } else {
-        SendResponseNow(cycle, src, s.dst, s.result);
-      }
+      SendNow(cycle, src, q.front().dst, q.front().env);
       q.pop_front();
     }
   }
@@ -320,11 +293,8 @@ void CommFabric::EndEpoch(uint64_t from, uint64_t to) {
       last_active_cycle_ = std::max(last_active_cycle_, c - 1);
     }
     last_active_cycle_ = std::max(last_active_cycle_, c);
-    DeliverWire(c, &request_wire_,
-                static_cast<std::vector<std::deque<index::DbOp>>*>(nullptr));
-    DeliverWire(
-        c, &response_wire_,
-        static_cast<std::vector<std::deque<index::DbResult>>*>(nullptr));
+    DeliverWire(c, &request_wire_, nullptr);
+    DeliverWire(c, &response_wire_, nullptr);
     if (reliability_.enabled) {
       RetireAcks(c);
       RunRetransmits(c);
@@ -375,6 +345,12 @@ void CommFabric::DeliverStamps(uint32_t island, uint64_t cycle) {
 void CommFabric::CollectStats(StatsScope scope) const {
   scope.SetCounter("messages_sent", messages_sent_);
   scope.SetCounter("n_workers", n_workers_);
+  for (uint32_t c = 0; c < kNumMessageClasses; ++c) {
+    StatsScope cls = scope.Sub(MessageClassName(MessageClass(c)));
+    cls.SetCounter("sent", class_sent_[c]);
+    cls.SetCounter("delivered", class_delivered_[c]);
+    cls.SetCounter("retransmitted", class_retransmitted_[c]);
+  }
   scope.MergeCounterSet(counters_);
 }
 

@@ -2,11 +2,10 @@
 // (paper section 4.6, Fig. 1b).
 //
 // Each partition worker owns a communication link consisting of a request
-// channel and a response channel. A DB instruction targeting a remote
-// partition is packed into a request packet (piggybacking the transaction
-// timestamp and source/destination worker ids) and sent asynchronously; the
-// remote background unit dispatches it to its index coprocessor and the
-// result returns through the response channel. A request/response pair
+// channel and a response channel. Every packet is a comm::Envelope (see
+// envelope.h): the fabric routes, delays, acknowledges and retransmits on
+// the envelope HEADER alone — it never inspects the payload, so adding a
+// new message class costs the transport nothing. A request/response pair
 // costs 6 cycles total (3 per hop at 125 MHz = 24 ns each way, Table 3) —
 // no memory round trips, no thread synchronization.
 //
@@ -17,6 +16,7 @@
 #ifndef BIONICDB_COMM_CHANNELS_H_
 #define BIONICDB_COMM_CHANNELS_H_
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -24,9 +24,9 @@
 #include <utility>
 #include <vector>
 
+#include "comm/envelope.h"
 #include "common/stats.h"
 #include "db/types.h"
-#include "index/db_op.h"
 #include "sim/component.h"
 #include "sim/config.h"
 #include "sim/epoch.h"
@@ -48,20 +48,23 @@ struct FaultDecision {
 
 /// Fault-injection surface of the comm fabric (implemented by
 /// fault::FaultScheduler). Consulted once per transmission, including
-/// retransmissions, so a retried packet can be dropped again.
+/// retransmissions, so a retried packet can be dropped again. Decisions
+/// may depend on the message class, so drop/dup/delay applies uniformly
+/// to every class without the hook parsing payloads.
 class ChannelFaultHook {
  public:
   virtual ~ChannelFaultHook() = default;
-  virtual FaultDecision OnPacket(uint64_t now, bool is_request,
+  virtual FaultDecision OnPacket(uint64_t now, MessageClass cls,
                                  db::WorkerId src, db::WorkerId dst) = 0;
 };
 
 /// Delivery-guarantee layer countering injected comm faults (paper-faithful
 /// channels are lossless, so this is OFF by default and adds zero cycles to
 /// the Table 3 latencies when disabled). When enabled, every data packet
-/// carries a fabric-unique sequence number; receivers acknowledge every
-/// arrival and deliver only the first copy of each sequence (dedup), and
-/// senders retransmit unacknowledged packets on a timeout.
+/// carries a fabric-unique sequence number in its envelope header;
+/// receivers acknowledge every arrival and deliver only the first copy of
+/// each sequence (dedup), and senders retransmit unacknowledged packets on
+/// a timeout.
 struct ReliabilityConfig {
   bool enabled = false;
   /// Cycles before an unacknowledged packet is retransmitted. Must exceed
@@ -89,21 +92,19 @@ class CommFabric : public sim::Component, public sim::EpochFabric {
              Topology topology = Topology::kCrossbar)
       : CommFabric(n_workers, timing, topology, ClusterConfig{}) {}
 
-  /// Sends a DB-instruction request packet from `src` to `dst`.
-  void SendRequest(uint64_t now, db::WorkerId src, db::WorkerId dst,
-                   const index::DbOp& op);
-
-  /// Sends a result packet back to the initiating worker.
-  void SendResponse(uint64_t now, db::WorkerId src, db::WorkerId dst,
-                    const index::DbResult& result);
+  /// Puts `env` on the wire from `src` to `dst`. Request-class envelopes
+  /// ride the request channel, result-class envelopes the response channel;
+  /// the fabric decides from the header tag alone.
+  void Send(uint64_t now, db::WorkerId src, db::WorkerId dst,
+            const Envelope& env);
 
   /// Delivered inbound request packets for `worker` (drained by its
   /// background unit).
-  std::deque<index::DbOp>& requests(db::WorkerId worker) {
+  std::deque<Envelope>& requests(db::WorkerId worker) {
     return request_inbox_[worker];
   }
   /// Delivered inbound response packets for `worker`.
-  std::deque<index::DbResult>& responses(db::WorkerId worker) {
+  std::deque<Envelope>& responses(db::WorkerId worker) {
     return response_inbox_[worker];
   }
 
@@ -152,52 +153,63 @@ class CommFabric : public sim::Component, public sim::EpochFabric {
   const ReliabilityConfig& reliability() const { return reliability_; }
   uint64_t retransmits() const { return retransmits_; }
 
-  /// Dumps message counters and per-direction wire/inbox occupancy under
-  /// `scope`.
+  /// Per-message-class traffic totals (fabric/<class>/sent|delivered|
+  /// retransmitted in CollectStats). `delivered` counts first deliveries
+  /// of each logical packet, identically in all three simulation modes.
+  uint64_t class_sent(MessageClass c) const {
+    return class_sent_[size_t(c)];
+  }
+  uint64_t class_delivered(MessageClass c) const {
+    return class_delivered_[size_t(c)];
+  }
+  uint64_t class_retransmitted(MessageClass c) const {
+    return class_retransmitted_[size_t(c)];
+  }
+
+  /// Dumps message counters (including the per-class subtrees) and
+  /// per-direction wire/inbox occupancy under `scope`.
   void CollectStats(StatsScope scope) const;
 
  private:
-  template <typename T>
   struct InFlight {
     uint64_t deliver_at;
     db::WorkerId dst;
-    T payload;
-    uint64_t seq = 0;       // reliability sequence number (0 = untracked)
-    db::WorkerId src = 0;   // ack return path
+    Envelope env;            // carries seq in env.hdr.seq
+    db::WorkerId src = 0;    // ack return path
+  };
+
+  /// Acks ride a dedicated lossless wire: they model the tiny
+  /// credit-return signals of the channel hardware, not data packets.
+  struct InFlightAck {
+    uint64_t deliver_at;
+    db::WorkerId dst;  // the original sender, who retires its unacked copy
+    uint64_t seq;
   };
 
   /// Sender-side copy of an unacknowledged packet.
-  template <typename T>
   struct Unacked {
     db::WorkerId src;
     db::WorkerId dst;
-    T payload;
+    Envelope env;
     uint64_t next_retransmit_at;
   };
 
   /// Shared transmission path: consults the fault hook, then places the
   /// packet (and any injected duplicate) on the wire.
-  template <typename T>
-  void Transmit(uint64_t now, bool is_request, db::WorkerId src,
-                db::WorkerId dst, const T& payload, uint64_t seq,
-                std::deque<InFlight<T>>* wire);
+  void Transmit(uint64_t now, db::WorkerId src, db::WorkerId dst,
+                const Envelope& env, std::deque<InFlight>* wire);
 
-  /// The real send paths (sequence assignment, unacked tracking, Transmit,
-  /// counters). SendRequest/SendResponse call them directly in serial
-  /// operation and defer to them from EndEpoch's staged-send replay in
-  /// epoch mode.
-  void SendRequestNow(uint64_t now, db::WorkerId src, db::WorkerId dst,
-                      const index::DbOp& op);
-  void SendResponseNow(uint64_t now, db::WorkerId src, db::WorkerId dst,
-                       const index::DbResult& result);
+  /// The real send path (sequence assignment, unacked tracking, Transmit,
+  /// counters). Send calls it directly in serial operation and defers to
+  /// it from EndEpoch's staged-send replay in epoch mode.
+  void SendNow(uint64_t now, db::WorkerId src, db::WorkerId dst,
+               const Envelope& env);
 
   /// One island send captured during an epoch, replayed by EndEpoch.
   struct StagedSend {
     uint64_t cycle;
     db::WorkerId dst;
-    bool is_request;
-    index::DbOp op;            // valid when is_request
-    index::DbResult result;    // valid when !is_request
+    Envelope env;
   };
 
   bool BusyNow() const {
@@ -214,9 +226,8 @@ class CommFabric : public sim::Component, public sim::EpochFabric {
   /// (epoch replay). `inboxes == nullptr` skips the inbox push — in epoch
   /// replay the destination island already consumed the payload via its
   /// stamp, so only fabric-side bookkeeping (acks, dedup, counters) runs.
-  template <typename T>
-  void DeliverWire(uint64_t cycle, std::deque<InFlight<T>>* wire,
-                   std::vector<std::deque<T>>* inboxes);
+  void DeliverWire(uint64_t cycle, std::deque<InFlight>* wire,
+                   std::vector<std::deque<Envelope>>* inboxes);
   void RetireAcks(uint64_t cycle);
   void RunRetransmits(uint64_t cycle);
   void ReplayStagedSends(uint64_t cycle);
@@ -226,21 +237,20 @@ class CommFabric : public sim::Component, public sim::EpochFabric {
   Topology topology_;
   ClusterConfig cluster_;
 
-  std::deque<InFlight<index::DbOp>> request_wire_;
-  std::deque<InFlight<index::DbResult>> response_wire_;
-  std::vector<std::deque<index::DbOp>> request_inbox_;
-  std::vector<std::deque<index::DbResult>> response_inbox_;
+  std::deque<InFlight> request_wire_;
+  std::deque<InFlight> response_wire_;
+  std::vector<std::deque<Envelope>> request_inbox_;
+  std::vector<std::deque<Envelope>> response_inbox_;
 
-  // Reliability state. Acks ride a dedicated wire (payload = acked seq) and
-  // are themselves lossless: they model the tiny credit-return signals of
-  // the channel hardware, not data packets. std::map keeps retransmission
-  // scan order deterministic.
+  // Reliability state. std::map keeps retransmission scan order
+  // deterministic; requests scan before responses (RunRetransmits), so the
+  // maps stay separate even though both hold plain envelopes.
   ChannelFaultHook* fault_hook_ = nullptr;
   ReliabilityConfig reliability_;
   uint64_t next_seq_ = 0;
-  std::deque<InFlight<uint64_t>> ack_wire_;
-  std::map<uint64_t, Unacked<index::DbOp>> unacked_requests_;
-  std::map<uint64_t, Unacked<index::DbResult>> unacked_responses_;
+  std::deque<InFlightAck> ack_wire_;
+  std::map<uint64_t, Unacked> unacked_requests_;
+  std::map<uint64_t, Unacked> unacked_responses_;
   std::unordered_set<uint64_t> delivered_seqs_;
   uint64_t retransmits_ = 0;
 
@@ -251,13 +261,15 @@ class CommFabric : public sim::Component, public sim::EpochFabric {
   // ordered by the barrier, so no locks are needed.
   bool epoch_mode_ = false;
   std::vector<std::deque<StagedSend>> staged_;
-  std::vector<std::deque<std::pair<uint64_t, index::DbOp>>> stamped_requests_;
-  std::vector<std::deque<std::pair<uint64_t, index::DbResult>>>
-      stamped_responses_;
+  std::vector<std::deque<std::pair<uint64_t, Envelope>>> stamped_requests_;
+  std::vector<std::deque<std::pair<uint64_t, Envelope>>> stamped_responses_;
   uint64_t epoch_busy_cycles_ = 0;
   uint64_t last_active_cycle_ = 0;
 
   uint64_t messages_sent_ = 0;
+  std::array<uint64_t, kNumMessageClasses> class_sent_{};
+  std::array<uint64_t, kNumMessageClasses> class_delivered_{};
+  std::array<uint64_t, kNumMessageClasses> class_retransmitted_{};
   CounterSet counters_;
 };
 

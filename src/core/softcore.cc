@@ -8,13 +8,13 @@ namespace bionicdb::core {
 
 Softcore::Softcore(db::Database* db, db::WorkerId worker_id,
                    const sim::TimingConfig& timing, Config config,
-                   DbDispatcher* dispatcher)
+                   comm::IssuePort* port)
     : db_(db),
       dram_(db->dram()),
       worker_id_(worker_id),
       timing_(timing),
       config_(config),
-      dispatcher_(dispatcher),
+      port_(port),
       gp_(config.n_gp_regs, 0),
       cp_(config.n_cp_regs, 0),
       cp_valid_(config.n_cp_regs, 1),
@@ -31,32 +31,32 @@ bool Softcore::Idle() const {
          pending_block_ == sim::kNullAddr && batch_order_.empty();
 }
 
-void Softcore::WriteCp(const index::DbResult& result) {
-  assert(result.cp_index < cp_.size());
-  cp_[result.cp_index] = result.ToCpValue();
-  cp_valid_[result.cp_index] = 1;
-  TxnContext& ctx = contexts_[result.txn_slot];
+void Softcore::WriteCp(const comm::Envelope& result) {
+  const comm::IndexResult& r = result.index_result();
+  assert(result.hdr.cp_index < cp_.size());
+  cp_[result.hdr.cp_index] = r.ToCpValue();
+  cp_valid_[result.hdr.cp_index] = 1;
+  TxnContext& ctx = contexts_[result.hdr.txn_slot];
   assert(ctx.outstanding_db > 0);
   --ctx.outstanding_db;
-  if (result.write_kind != cc::WriteKind::kNone) {
-    ctx.write_set.push_back(
-        cc::WriteSetEntry{result.tuple_addr, result.write_kind});
+  if (r.write_kind != cc::WriteKind::kNone) {
+    ctx.write_set.push_back(cc::WriteSetEntry{r.tuple_addr, r.write_kind});
   }
 }
 
-index::DbOp Softcore::MakeMemOp(isa::Opcode op_code, sim::Addr addr) {
-  index::DbOp op;
-  op.op = op_code;
-  op.mem_addr = addr;
-  op.origin_worker = worker_id_;
-  op.txn_slot = cur_ctx_;
-  op.is_remote = true;
-  return op;
+comm::Envelope Softcore::MakeMemOp(comm::MemOp::Kind kind, sim::Addr addr) {
+  comm::Header h;
+  h.origin = worker_id_;
+  h.txn_slot = cur_ctx_;
+  comm::MemOp op;
+  op.kind = kind;
+  op.addr = addr;
+  return comm::Envelope(h, op);
 }
 
-void Softcore::CompleteRemoteLoad(uint64_t now, const index::DbResult& result) {
+void Softcore::CompleteRemoteLoad(uint64_t now, const comm::Envelope& result) {
   assert(state_ == State::kMemWait && remote_mem_wait_);
-  Gp(cur_ctx_, pending_inst_.rd) = result.payload;
+  Gp(cur_ctx_, pending_inst_.rd) = result.mem_result().value;
   remote_mem_wait_ = false;
   state_ = State::kRunning;
   busy_until_ = now + 1;
@@ -135,7 +135,7 @@ void Softcore::Tick(uint64_t now) {
       return;
     }
     case State::kDispatchRetry:
-      if (dispatcher_->DispatchLocal(pending_op_)) {
+      if (port_->Issue(worker_id_, pending_op_)) {
         ++contexts_[cur_ctx_].outstanding_db;
         state_ = State::kRunning;
         busy_until_ = now + 1;
@@ -327,8 +327,8 @@ void Softcore::Execute(uint64_t now) {
         // Foreign partition's arena: the fetch rides the fabric to the
         // owner's island (its lane, its timing) and the value comes back as
         // a mem_load response routed to CompleteRemoteLoad.
-        dispatcher_->DispatchRemote(dram_->OwnerPartition(addr),
-                                    MakeMemOp(Opcode::kLoad, addr));
+        port_->Issue(dram_->OwnerPartition(addr),
+                     MakeMemOp(comm::MemOp::Kind::kLoad, addr));
         remote_mem_wait_ = true;
         state_ = State::kMemWait;
         busy_until_ = now + cost;
@@ -352,9 +352,9 @@ void Softcore::Execute(uint64_t now) {
         // applies it functionally and charges its own DRAM lane. Per-path
         // FIFO delivery keeps it ordered before this context's later
         // commit publication to the same partition.
-        index::DbOp op = MakeMemOp(Opcode::kStore, addr);
-        op.mem_value = Gp(cur_ctx_, inst.rs1);
-        dispatcher_->DispatchRemote(dram_->OwnerPartition(addr), op);
+        comm::Envelope env = MakeMemOp(comm::MemOp::Kind::kStore, addr);
+        env.mem_op().store_value = Gp(cur_ctx_, inst.rs1);
+        port_->Issue(dram_->OwnerPartition(addr), env);
         ++ctx.pc;
         busy_until_ = now + cost;
         counters_.Add("remote_stores");
@@ -440,10 +440,11 @@ void Softcore::Execute(uint64_t now) {
           // Remote tuple: publication executes on the owning island (it
           // applies the header update and issues the writeback on its own
           // lane).
-          index::DbOp op = MakeMemOp(Opcode::kCommit, e.tuple_addr);
-          op.write_kind = e.kind;
-          op.ts = ctx.ts;
-          dispatcher_->DispatchRemote(dram_->OwnerPartition(e.tuple_addr), op);
+          comm::Envelope env =
+              MakeMemOp(comm::MemOp::Kind::kCommit, e.tuple_addr);
+          env.mem_op().write_kind = e.kind;
+          env.mem_op().commit_ts = ctx.ts;
+          port_->Issue(dram_->OwnerPartition(e.tuple_addr), env);
           counters_.Add("remote_commit_publishes");
           continue;
         }
@@ -465,9 +466,10 @@ void Softcore::Execute(uint64_t now) {
       }
       for (const cc::WriteSetEntry& e : ctx.write_set) {
         if (!dram_->IsLocalTo(e.tuple_addr, worker_id_)) {
-          index::DbOp op = MakeMemOp(Opcode::kAbort, e.tuple_addr);
-          op.write_kind = e.kind;
-          dispatcher_->DispatchRemote(dram_->OwnerPartition(e.tuple_addr), op);
+          comm::Envelope env =
+              MakeMemOp(comm::MemOp::Kind::kAbort, e.tuple_addr);
+          env.mem_op().write_kind = e.kind;
+          port_->Issue(dram_->OwnerPartition(e.tuple_addr), env);
           counters_.Add("remote_abort_rollbacks");
           continue;
         }
@@ -499,7 +501,7 @@ void Softcore::ExecuteDb(uint64_t now, const isa::Instruction& inst) {
   assert(schema != nullptr);
   const sim::Addr data = ctx.block_base + db::kTxnBlockHeaderSize;
 
-  index::DbOp op;
+  comm::IndexOp op;
   op.op = inst.opcode;
   op.table = inst.table_id;
   op.ts = ctx.ts;
@@ -513,9 +515,10 @@ void Softcore::ExecuteDb(uint64_t now, const isa::Instruction& inst) {
     op.out_buf = data + inst.aux_offset;
     op.scan_count = inst.scan_count;
   }
-  op.origin_worker = worker_id_;
-  op.cp_index = ctx.cp_base + inst.cp;
-  op.txn_slot = cur_ctx_;
+  comm::Header hdr;
+  hdr.origin = worker_id_;
+  hdr.cp_index = ctx.cp_base + inst.cp;
+  hdr.txn_slot = cur_ctx_;
 
   uint32_t partition = worker_id_;
   if (inst.part_reg != isa::kNoReg) {
@@ -526,23 +529,21 @@ void Softcore::ExecuteDb(uint64_t now, const isa::Instruction& inst) {
   // Replicated tables are always served locally.
   if (schema->replicated) partition = worker_id_;
 
-  cp_valid_[op.cp_index] = 0;
+  cp_valid_[hdr.cp_index] = 0;
   ++ctx.pc;
   busy_until_ = now + timing_.db_dispatch_cycles;
 
-  if (partition == worker_id_) {
-    if (!dispatcher_->DispatchLocal(op)) {
-      pending_op_ = op;
-      state_ = State::kDispatchRetry;
-      return;
-    }
-    ++ctx.outstanding_db;
-  } else {
-    op.is_remote = true;
-    dispatcher_->DispatchRemote(partition, op);
-    ++ctx.outstanding_db;
-    counters_.Add("remote_dispatches");
+  // One dispatch surface for both destinations: Issue can only reject a
+  // LOCAL request (coprocessor at its in-flight cap); fabric sends never
+  // block.
+  comm::Envelope env(hdr, op);
+  if (!port_->Issue(partition, env)) {
+    pending_op_ = env;
+    state_ = State::kDispatchRetry;
+    return;
   }
+  ++ctx.outstanding_db;
+  if (partition != worker_id_) counters_.Add("remote_dispatches");
 }
 
 void Softcore::FinishTxn(uint64_t now, bool committed) {

@@ -29,24 +29,13 @@
 #include "db/database.h"
 #include "db/txn_block.h"
 #include "db/types.h"
-#include "index/db_op.h"
+#include "comm/envelope.h"
 #include "isa/program.h"
 #include "sim/component.h"
 #include "sim/config.h"
 #include "sim/memory.h"
 
 namespace bionicdb::core {
-
-/// Callback surface the softcore uses to dispatch DB instructions; the
-/// worker implements it (local coprocessor submit or channel send).
-class DbDispatcher {
- public:
-  virtual ~DbDispatcher() = default;
-  /// Returns false when the local coprocessor is at capacity (retry).
-  virtual bool DispatchLocal(const index::DbOp& op) = 0;
-  /// Remote sends are asynchronous and never block the softcore.
-  virtual void DispatchRemote(uint32_t partition, const index::DbOp& op) = 0;
-};
 
 class Softcore {
  public:
@@ -73,21 +62,22 @@ class Softcore {
 
   Softcore(db::Database* db, db::WorkerId worker_id,
            const sim::TimingConfig& timing, Config config,
-           DbDispatcher* dispatcher);
+           comm::IssuePort* port);
 
   /// Queues a transaction block for execution.
   void SubmitBlock(sim::Addr block_base) { input_queue_.push_back(block_base); }
   size_t input_queue_depth() const { return input_queue_.size(); }
 
-  /// CP-register writeback for a completed DB instruction (local result or
-  /// response packet). Appends to the owning transaction's write-set.
-  void WriteCp(const index::DbResult& result);
+  /// CP-register writeback for a completed DB instruction (a kIndexResult
+  /// envelope, local or off the fabric). Appends to the owning
+  /// transaction's write-set.
+  void WriteCp(const comm::Envelope& result);
 
   /// Resumes a LOAD stalled on a remote raw-memory fetch (partitioned DRAM:
   /// the address lives in another partition's arena, so the value arrives
   /// as a fabric response instead of a local DRAM completion). The worker
-  /// routes `mem_load` responses here rather than through WriteCp.
-  void CompleteRemoteLoad(uint64_t now, const index::DbResult& result);
+  /// routes kMemResult envelopes here rather than through WriteCp.
+  void CompleteRemoteLoad(uint64_t now, const comm::Envelope& result);
 
   void Tick(uint64_t now);
   bool Idle() const;
@@ -189,9 +179,9 @@ class Softcore {
   void StartSwitch(uint64_t now, uint32_t next_ctx, Phase phase);
 
   uint64_t& Gp(uint32_t ctx, isa::Reg r);
-  /// Builds a raw-memory fabric op (remote LOAD/STORE/commit publication)
-  /// targeting the partition owning `addr`.
-  index::DbOp MakeMemOp(isa::Opcode op_code, sim::Addr addr);
+  /// Builds a raw-memory kMemOp envelope (remote LOAD/STORE/commit
+  /// publication) addressed by the caller to the partition owning `addr`.
+  comm::Envelope MakeMemOp(comm::MemOp::Kind kind, sim::Addr addr);
   void ResetBatch();
   void CompleteRet(uint64_t now, const isa::Instruction& inst);
   /// Dynamic scheduling helpers.
@@ -205,7 +195,7 @@ class Softcore {
   db::WorkerId worker_id_;
   sim::TimingConfig timing_;
   Config config_;
-  DbDispatcher* dispatcher_;
+  comm::IssuePort* port_;
 
   std::deque<sim::Addr> input_queue_;
   sim::MemResponseQueue mem_resp_;
@@ -233,7 +223,7 @@ class Softcore {
   bool remote_mem_wait_ = false;
   // Pending items for stalled states.
   isa::Instruction pending_inst_;
-  index::DbOp pending_op_;
+  comm::Envelope pending_op_;
   uint32_t pending_partition_ = 0;
   sim::Addr pending_block_ = sim::kNullAddr;
   uint32_t switch_target_ = 0;

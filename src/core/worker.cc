@@ -19,15 +19,35 @@ PartitionWorker::PartitionWorker(db::Database* db, db::WorkerId id,
                                          this);
 }
 
-bool PartitionWorker::DispatchLocal(const index::DbOp& op) {
-  return coproc_->Submit(op);
-}
-
-void PartitionWorker::DispatchRemote(uint32_t partition,
-                                     const index::DbOp& op) {
-  index::DbOp stamped = op;
-  stamped.sent_at = now_;
-  fabric_->SendRequest(now_, id_, partition, stamped);
+bool PartitionWorker::Issue(db::WorkerId dst, const comm::Envelope& env) {
+  if (dst != id_) {
+    // Fabric send. Requests get the wire-out cycle stamped for RTT
+    // measurement; responses echo the request's stamp untouched.
+    comm::Envelope stamped = env;
+    if (stamped.is_request()) stamped.hdr.sent_at = now_;
+    fabric_->Send(now_, id_, dst, stamped);
+    return true;
+  }
+  // Local apply, dispatched purely on message class.
+  switch (env.cls()) {
+    case comm::MessageClass::kIndexOp:
+      return coproc_->Submit(env);
+    case comm::MessageClass::kMemOp:
+      return HandleMemOp(now_, env);
+    case comm::MessageClass::kIndexResult:
+      if (env.hdr.sent_at != 0) {
+        remote_rtt_.Add(double(now_ - env.hdr.sent_at));
+      }
+      softcore_->WriteCp(env);
+      return true;
+    case comm::MessageClass::kMemResult:
+      if (env.hdr.sent_at != 0) {
+        remote_rtt_.Add(double(now_ - env.hdr.sent_at));
+      }
+      softcore_->CompleteRemoteLoad(now_, env);
+      return true;
+  }
+  return true;
 }
 
 void PartitionWorker::Tick(uint64_t cycle) {
@@ -42,33 +62,25 @@ void PartitionWorker::Tick(uint64_t cycle) {
     return;
   }
 
-  // Background unit: dispatch inbound remote requests to the local index
-  // coprocessor (index ops) or execute them inline on the local DRAM lane
-  // (raw-memory ops under partitioned DRAM). Stops at the first
+  // Background unit: apply inbound request envelopes through the local
+  // side of the Issue port (kIndexOp -> coprocessor, kMemOp -> raw-memory
+  // service under partitioned DRAM). Stops at the first
   // capacity/backpressure reject to preserve channel FIFO order.
   if (fabric_ != nullptr) {
     auto& inbound = fabric_->requests(id_);
     while (!inbound.empty()) {
-      const index::DbOp& op = inbound.front();
-      if (op.is_mem_op()) {
-        if (!HandleMemOp(cycle, op)) break;
-      } else if (!coproc_->Submit(op)) {
-        break;
-      }
+      if (!Issue(id_, inbound.front())) break;
       inbound.pop_front();
     }
   }
 
-  // Route completed coprocessor results.
+  // Route completed coprocessor results to their origin — the local
+  // softcore and a remote peer are the same Issue call.
   auto& results = coproc_->results();
   while (!results.empty()) {
-    index::DbResult r = results.front();
+    comm::Envelope r = results.front();
     results.pop_front();
-    if (r.is_remote) {
-      fabric_->SendResponse(cycle, id_, r.origin_worker, r);
-    } else {
-      softcore_->WriteCp(r);
-    }
+    Issue(r.hdr.origin, r);
   }
 
   // Answer remote LOADs whose DRAM read completed this cycle.
@@ -77,30 +89,19 @@ void PartitionWorker::Tick(uint64_t cycle) {
     mem_inbox_.pop_front();
     auto it = mem_pending_.find(resp.cookie);
     assert(it != mem_pending_.end());
-    const index::DbOp& op = it->second;
-    index::DbResult r;
-    r.origin_worker = op.origin_worker;
-    r.txn_slot = op.txn_slot;
-    r.payload = resp.data.empty() ? 0 : resp.data[0];
-    r.is_remote = true;
-    r.sent_at = op.sent_at;
-    r.mem_load = true;
-    fabric_->SendResponse(cycle, id_, op.origin_worker, r);
+    comm::MemResult result;
+    result.value = resp.data.empty() ? 0 : resp.data[0];
+    Issue(it->second.hdr.origin, comm::Envelope::Reply(it->second, result));
     mem_pending_.erase(it);
   }
 
-  // Inbound response packets: asynchronous CP-register writeback, or the
-  // stalled softcore's remote-LOAD resume.
+  // Inbound response envelopes: asynchronous CP-register writeback, or the
+  // stalled softcore's remote-LOAD resume (dispatched by class inside
+  // Issue, which also records the round trip).
   if (fabric_ != nullptr) {
     auto& responses = fabric_->responses(id_);
     while (!responses.empty()) {
-      const index::DbResult& r = responses.front();
-      if (r.sent_at != 0) remote_rtt_.Add(double(cycle - r.sent_at));
-      if (r.mem_load) {
-        softcore_->CompleteRemoteLoad(cycle, r);
-      } else {
-        softcore_->WriteCp(r);
-      }
+      Issue(id_, responses.front());
       responses.pop_front();
     }
   }
@@ -199,39 +200,36 @@ void PartitionWorker::SkipCycles(uint64_t now, uint64_t count) {
   }
 }
 
-bool PartitionWorker::HandleMemOp(uint64_t cycle, const index::DbOp& op) {
-  switch (op.op) {
-    case isa::Opcode::kStore:
+bool PartitionWorker::HandleMemOp(uint64_t cycle, const comm::Envelope& env) {
+  const comm::MemOp& op = env.mem_op();
+  switch (op.kind) {
+    case comm::MemOp::Kind::kStore:
       // Posted remote write: functional effect now, bandwidth charged on
       // this lane (reject ignored, exactly like local posted stores).
-      dram_->Write64(op.mem_addr, op.mem_value);
-      dram_->Issue(cycle, op.mem_addr, true, nullptr, 0);
+      dram_->Write64(op.addr, op.store_value);
+      dram_->Issue(cycle, op.addr, true, nullptr, 0);
       return true;
-    case isa::Opcode::kCommit: {
-      cc::ApplyCommit(dram_, cc::WriteSetEntry{op.mem_addr, op.write_kind},
-                      op.ts);
-      dram_->Issue(cycle, op.mem_addr, true, nullptr, 0);
+    case comm::MemOp::Kind::kCommit:
+      cc::ApplyCommit(dram_, cc::WriteSetEntry{op.addr, op.write_kind},
+                      op.commit_ts);
+      dram_->Issue(cycle, op.addr, true, nullptr, 0);
       return true;
-    }
-    case isa::Opcode::kAbort: {
-      cc::ApplyAbort(dram_, cc::WriteSetEntry{op.mem_addr, op.write_kind});
-      dram_->Issue(cycle, op.mem_addr, true, nullptr, 0);
+    case comm::MemOp::Kind::kAbort:
+      cc::ApplyAbort(dram_, cc::WriteSetEntry{op.addr, op.write_kind});
+      dram_->Issue(cycle, op.addr, true, nullptr, 0);
       return true;
-    }
-    case isa::Opcode::kLoad: {
+    case comm::MemOp::Kind::kLoad: {
       const uint64_t cookie = mem_cookie_next_;
-      if (!dram_->Issue(cycle, op.mem_addr, false, &mem_inbox_, cookie,
+      if (!dram_->Issue(cycle, op.addr, false, &mem_inbox_, cookie,
                         /*snapshot_words=*/1)) {
         return false;  // backpressure: leave queued, retry next tick
       }
       ++mem_cookie_next_;
-      mem_pending_.emplace(cookie, op);
+      mem_pending_.emplace(cookie, env);
       return true;
     }
-    default:
-      assert(false && "unexpected raw-memory opcode");
-      return true;
   }
+  return true;
 }
 
 void PartitionWorker::CollectStats(StatsScope scope) const {

@@ -1,12 +1,14 @@
 // A partition worker: softcore + index coprocessor + channel endpoints
 // (paper Fig. 2).
 //
-// Per tick the worker runs its background unit (inbound remote requests ->
-// local coprocessor for index ops, executed inline for raw-memory ops under
-// partitioned DRAM), routes completed coprocessor results (local ones to
-// CP-register writeback, remote ones back over the response channel),
-// applies inbound response packets, and advances the coprocessor and
-// softcore.
+// Per tick the worker runs its background unit (inbound request envelopes
+// -> local coprocessor for kIndexOp, the raw-memory service unit for kMemOp
+// under partitioned DRAM), routes completed coprocessor results, applies
+// inbound response envelopes, and advances the coprocessor and softcore.
+// All of that routing funnels through one surface: the worker IS the
+// comm::IssuePort for every endpoint it hosts — a destination equal to its
+// own id applies the envelope locally by message class, anything else goes
+// on the fabric (requests stamped with the send cycle for RTT).
 #ifndef BIONICDB_CORE_WORKER_H_
 #define BIONICDB_CORE_WORKER_H_
 
@@ -21,7 +23,7 @@
 
 namespace bionicdb::core {
 
-class PartitionWorker : public sim::Component, public DbDispatcher {
+class PartitionWorker : public sim::Component, public comm::IssuePort {
  public:
   PartitionWorker(db::Database* db, db::WorkerId id,
                   const sim::TimingConfig& timing,
@@ -45,9 +47,13 @@ class PartitionWorker : public sim::Component, public DbDispatcher {
   /// the skip to the coprocessor and softcore.
   void SkipCycles(uint64_t now, uint64_t count) override;
 
-  // DbDispatcher:
-  bool DispatchLocal(const index::DbOp& op) override;
-  void DispatchRemote(uint32_t partition, const index::DbOp& op) override;
+  // comm::IssuePort: the single dispatch surface. `dst == id()` applies
+  // the envelope locally (kIndexOp -> coprocessor submit, kMemOp ->
+  // raw-memory service, kIndexResult -> CP writeback, kMemResult ->
+  // remote-LOAD resume); any other destination is a fabric send. Returns
+  // false only for a local request rejected this cycle (in-flight cap /
+  // DRAM backpressure).
+  bool Issue(db::WorkerId dst, const comm::Envelope& env) override;
 
   db::WorkerId id() const { return id_; }
   Softcore& softcore() { return *softcore_; }
@@ -90,11 +96,12 @@ class PartitionWorker : public sim::Component, public DbDispatcher {
   void CollectStats(StatsScope scope) const;
 
  private:
-  /// Executes one inbound raw-memory op (remote LOAD/STORE/commit
+  /// Executes one inbound kMemOp envelope (remote LOAD/STORE/commit
   /// publication against this partition's arena) on this worker's DRAM
   /// lane. Returns false when a LOAD hit DRAM backpressure — the caller
-  /// leaves the op queued and retries next tick, preserving channel FIFO.
-  bool HandleMemOp(uint64_t cycle, const index::DbOp& op);
+  /// leaves the envelope queued and retries next tick, preserving channel
+  /// FIFO.
+  bool HandleMemOp(uint64_t cycle, const comm::Envelope& env);
 
   db::WorkerId id_;
   comm::CommFabric* fabric_;
@@ -108,7 +115,7 @@ class PartitionWorker : public sim::Component, public DbDispatcher {
   // Remote raw-memory LOADs in service on the local lane: completions land
   // in mem_inbox_ and are answered over the response channel.
   sim::MemResponseQueue mem_inbox_;
-  std::map<uint64_t, index::DbOp> mem_pending_;
+  std::map<uint64_t, comm::Envelope> mem_pending_;
   uint64_t mem_cookie_next_ = 1;
 };
 

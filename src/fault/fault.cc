@@ -177,9 +177,14 @@ bool FaultScheduler::VerifyTuple(sim::Addr addr) {
   return false;
 }
 
-comm::FaultDecision FaultScheduler::OnPacket(uint64_t now, bool is_request,
+comm::FaultDecision FaultScheduler::OnPacket(uint64_t now,
+                                             comm::MessageClass cls,
                                              db::WorkerId src,
                                              db::WorkerId dst) {
+  // Digest compatibility: fault events encode the message direction, not
+  // the full class — the schedule is a function of the packet stream's
+  // request/response shape, which the envelope refactor preserves.
+  const bool is_request = comm::IsRequestClass(cls);
   comm::FaultDecision fd;
   if (!config_.comm_faults_enabled()) return fd;
   if (config_.comm_drop_rate > 0 &&

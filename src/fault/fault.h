@@ -132,7 +132,7 @@ class FaultScheduler : public sim::Component,
   bool VerifyTuple(sim::Addr addr) override;
 
   // comm::ChannelFaultHook:
-  comm::FaultDecision OnPacket(uint64_t now, bool is_request,
+  comm::FaultDecision OnPacket(uint64_t now, comm::MessageClass cls,
                                db::WorkerId src, db::WorkerId dst) override;
 
   /// Records a host-initiated crash (the harness kills the engine and runs

@@ -14,28 +14,27 @@ IndexCoprocessor::IndexCoprocessor(db::Database* db,
                                                  config.skiplist, &results_);
 }
 
-bool IndexCoprocessor::Submit(const DbOp& op) {
+bool IndexCoprocessor::Submit(const comm::Envelope& env) {
   if (inflight() >= config_.max_inflight) {
     counters_.Add("cap_rejects");
     return false;
   }
-  const db::TableSchema* schema = db_->catalogue().FindTable(op.table);
+  const db::TableSchema* schema =
+      db_->catalogue().FindTable(env.index_op().table);
   if (schema == nullptr) {
-    DbResult r;
-    r.origin_worker = op.origin_worker;
-    r.cp_index = op.cp_index;
-    r.txn_slot = op.txn_slot;
+    comm::IndexResult r;
     r.status = isa::CpStatus::kError;
-    r.is_remote = op.is_remote;
-    r.sent_at = op.sent_at;
-    results_.push_back(r);
+    results_.push_back(comm::Envelope::Reply(env, r));
     return true;
   }
-  counters_.Add(op.is_remote ? "background_ops" : "foreground_ops");
+  // Background = shipped here by a remote initiator; the header is the
+  // single source of truth for remoteness (origin != serving partition).
+  counters_.Add(env.hdr.origin != partition_ ? "background_ops"
+                                             : "foreground_ops");
   if (schema->index == db::IndexKind::kHash) {
-    return hash_->Accept(op);
+    return hash_->Accept(env);
   }
-  return skiplist_->Accept(op);
+  return skiplist_->Accept(env);
 }
 
 void IndexCoprocessor::Tick(uint64_t cycle) {

@@ -33,13 +33,13 @@ class IndexCoprocessor : public sim::Component {
   IndexCoprocessor(db::Database* db, db::PartitionId partition,
                    Config config);
 
-  /// Submits a DB instruction. Returns false when the coprocessor is at its
-  /// in-flight cap (the dispatcher must retry next cycle).
-  bool Submit(const DbOp& op);
+  /// Submits a kIndexOp envelope. Returns false when the coprocessor is at
+  /// its in-flight cap (the issuing port must retry next cycle).
+  bool Submit(const comm::Envelope& env);
 
-  /// Completed results, ready for CP-register writeback or response
-  /// routing. The worker drains this queue.
-  DbResultQueue& results() { return results_; }
+  /// Completed kIndexResult reply envelopes, ready for CP-register
+  /// writeback or response routing. The worker drains this queue.
+  ResultQueue& results() { return results_; }
 
   void Tick(uint64_t cycle) override;
   bool Idle() const override {
@@ -82,7 +82,7 @@ class IndexCoprocessor : public sim::Component {
   db::Database* db_;
   db::PartitionId partition_;
   Config config_;
-  DbResultQueue results_;
+  ResultQueue results_;
   std::unique_ptr<HashPipeline> hash_;
   std::unique_ptr<SkiplistPipeline> skiplist_;
   CounterSet counters_;

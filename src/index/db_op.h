@@ -1,86 +1,38 @@
-// DB-instruction requests and results as they flow through the index
-// coprocessor and the on-chip communication channels.
+// Index-side view of the fabric message taxonomy.
+//
+// Historically this header held a single `DbOp`/`DbResult` pair that mixed
+// index-probe fields, raw-memory operands, routing metadata and RTT/ack
+// state in one record, with fields repurposed across meanings. That
+// god-struct is gone: messages are now typed `comm::Envelope`s
+// (comm/envelope.h) — a routing header plus exactly one of `IndexOp`,
+// `MemOp`, `IndexResult`, `MemResult` — and the transport never looks past
+// the header.
+//
+// What the index layer consumes and produces:
+//
+//  * The coprocessor accepts `kIndexOp` envelopes (IndexCoprocessor::Submit)
+//    from the local softcore and from remote workers' background traffic
+//    alike; remoteness is derived from the header (origin != partition),
+//    never flagged in the payload.
+//  * Both pipelines finish an op by pushing a `kIndexResult` reply envelope
+//    (Envelope::Reply echoes origin/cp_index/txn_slot/sent_at) onto the
+//    shared ResultQueue; the owning worker routes each entry home — to the
+//    local softcore's CP registers or back over the response channel.
+//  * Raw-memory traffic (`kMemOp`/`kMemResult`) never enters the index
+//    layer; the worker's background unit services it directly.
 #ifndef BIONICDB_INDEX_DB_OP_H_
 #define BIONICDB_INDEX_DB_OP_H_
 
-#include <cstdint>
 #include <deque>
 
-#include "cc/write_set.h"
-#include "db/types.h"
-#include "isa/instruction.h"
-#include "sim/memory.h"
+#include "comm/envelope.h"
 
 namespace bionicdb::index {
 
-/// One dispatched DB instruction. Built by the softcore's Prepare stage
-/// (which attaches the transaction timestamp and metadata from the
-/// catalogue) and consumed by an index coprocessor — the local one, or a
-/// remote one reached through the on-chip channels.
-struct DbOp {
-  isa::Opcode op = isa::Opcode::kNop;
-  db::TableId table = 0;
-  db::Timestamp ts = 0;
-
-  /// Key location inside the initiator's transaction block. Remote
-  /// coprocessors fetch it directly: the FPGA-side DRAM is physically
-  /// shared even though partitions are logically private.
-  sim::Addr key_addr = sim::kNullAddr;
-  uint16_t key_len = 0;
-
-  sim::Addr payload_src = sim::kNullAddr;  // INSERT: payload bytes
-  uint32_t payload_len = 0;
-  sim::Addr out_buf = sim::kNullAddr;      // SCAN: result buffer
-  uint32_t scan_count = 0;                 // SCAN: max tuples
-
-  db::WorkerId origin_worker = 0;  // who gets the result
-  uint32_t cp_index = 0;           // physical CP register at the origin
-  uint32_t txn_slot = 0;           // origin context slot (write-set routing)
-  bool is_remote = false;          // arrived as a background request
-  /// Cycle the origin worker put the request on the wire (0 = local
-  /// dispatch, never stamped). Echoed into the DbResult so the origin can
-  /// measure channel round-trip latency.
-  uint64_t sent_at = 0;
-
-  /// Raw-memory operation shipped to the partition owning `mem_addr`
-  /// (nonzero = this is a memory op, not an index op). Under partitioned
-  /// DRAM a softcore LOAD/STORE/commit-publication touching a foreign
-  /// partition's arena must execute on the owner's island — its DRAM lane,
-  /// its timing — so it travels the fabric like any remote DB op:
-  ///  * kLoad:  owner reads 8 bytes at mem_addr, responds with the value.
-  ///  * kStore: owner writes `mem_value` at mem_addr (fire-and-forget).
-  ///  * kCommit/kAbort: owner applies the write-set entry {mem_addr,
-  ///    `write_kind` (repurposed above), commit ts in `ts`} and issues the
-  ///    tuple-header writeback on its own lane.
-  sim::Addr mem_addr = sim::kNullAddr;
-  uint64_t mem_value = 0;
-  cc::WriteKind write_kind = cc::WriteKind::kNone;
-  bool is_mem_op() const { return mem_addr != sim::kNullAddr; }
-};
-
-/// Result written back (asynchronously) to the initiator's CP register.
-struct DbResult {
-  db::WorkerId origin_worker = 0;
-  uint32_t cp_index = 0;
-  uint32_t txn_slot = 0;
-  isa::CpStatus status = isa::CpStatus::kOk;
-  /// Tuple payload address for point operations; tuple count for SCAN.
-  uint64_t payload = 0;
-  /// Write-set bookkeeping the origin worker records on writeback.
-  cc::WriteKind write_kind = cc::WriteKind::kNone;
-  sim::Addr tuple_addr = sim::kNullAddr;
-  bool is_remote = false;  // must be routed back over the channels
-  uint64_t sent_at = 0;    // echo of DbOp::sent_at (remote RTT measurement)
-  /// Response to a remote raw-memory kLoad: `payload` carries the loaded
-  /// value and the origin resumes its stalled softcore instead of writing
-  /// a CP register.
-  bool mem_load = false;
-
-  /// The 64-bit value stored into the CP register.
-  uint64_t ToCpValue() const { return isa::EncodeCpValue(status, payload); }
-};
-
-using DbResultQueue = std::deque<DbResult>;
+/// Completed-result staging shared by the hash and skiplist pipelines,
+/// drained by the worker each tick (one-cycle result-routing latency, as in
+/// the per-cycle hardware model).
+using ResultQueue = std::deque<comm::Envelope>;
 
 }  // namespace bionicdb::index
 

@@ -17,7 +17,7 @@ uint32_t Bursts(uint64_t bytes) {
 }  // namespace
 
 HashPipeline::HashPipeline(db::Database* db, db::PartitionId partition,
-                           Config config, DbResultQueue* results)
+                           Config config, ResultQueue* results)
     : db_(db),
       dram_(db->dram()),
       partition_(partition),
@@ -31,18 +31,18 @@ HashPipeline::HashPipeline(db::Database* db, db::PartitionId partition,
   }
 }
 
-bool HashPipeline::Accept(const DbOp& op) {
+bool HashPipeline::Accept(const comm::Envelope& env) {
   if (free_slots_.empty() && pending_in_.size() >= pool_.size()) return false;
-  pending_in_.push_back(op);
+  pending_in_.push_back(env);
   return true;
 }
 
-uint32_t HashPipeline::AllocSlot(const DbOp& op) {
+uint32_t HashPipeline::AllocSlot(const comm::Envelope& env) {
   assert(!free_slots_.empty());
   uint32_t slot = free_slots_.back();
   free_slots_.pop_back();
   pool_[slot] = Op{};
-  pool_[slot].req = op;
+  pool_[slot].req = env;
   pool_[slot].in_use = true;
   ++active_;
   return slot;
@@ -51,9 +51,10 @@ uint32_t HashPipeline::AllocSlot(const DbOp& op) {
 void HashPipeline::FreeSlot(uint32_t slot) {
   assert(pool_[slot].in_use);
   if (pool_[slot].holds_lock) {
-    lock_table_.Release(db_->hash_index(pool_[slot].req.table, partition_)
-                            ->BucketIndex(pool_[slot].hash),
-                        slot);
+    lock_table_.Release(
+        db_->hash_index(pool_[slot].req.index_op().table, partition_)
+            ->BucketIndex(pool_[slot].hash),
+        slot);
   }
   pool_[slot].in_use = false;
   free_slots_.push_back(slot);
@@ -62,18 +63,12 @@ void HashPipeline::FreeSlot(uint32_t slot) {
 
 void HashPipeline::Emit(uint32_t slot, isa::CpStatus status, uint64_t payload,
                         cc::WriteKind kind, sim::Addr tuple_addr) {
-  const DbOp& req = pool_[slot].req;
-  DbResult r;
-  r.origin_worker = req.origin_worker;
-  r.cp_index = req.cp_index;
-  r.txn_slot = req.txn_slot;
+  comm::IndexResult r;
   r.status = status;
   r.payload = payload;
   r.write_kind = status == isa::CpStatus::kOk ? kind : cc::WriteKind::kNone;
   r.tuple_addr = tuple_addr;
-  r.is_remote = req.is_remote;
-  r.sent_at = req.sent_at;
-  results_->push_back(r);
+  results_->push_back(comm::Envelope::Reply(pool_[slot].req, r));
   FreeSlot(slot);
 }
 
@@ -107,12 +102,13 @@ void HashPipeline::Tick(uint64_t now) {
 
 void HashPipeline::TickKeyFetch(uint64_t now) {
   if (pending_in_.empty() || free_slots_.empty()) return;
-  const DbOp& op = pending_in_.front();
+  const comm::Envelope& op = pending_in_.front();
   // The key read targets the initiator's transaction block; the response
   // wakes the Hash stage.
   // Peek-issue before allocating so a DRAM reject leaves no side effects.
   uint32_t slot = AllocSlot(op);
-  if (!dram_->Issue(now, pool_[slot].req.key_addr, false, &hash_resp_, slot)) {
+  if (!dram_->Issue(now, pool_[slot].req.index_op().key_addr, false,
+                    &hash_resp_, slot)) {
     FreeSlot(slot);
     counters_.Add("keyfetch_dram_stall");
     tick_dram_stall_ = true;
@@ -124,9 +120,10 @@ void HashPipeline::TickKeyFetch(uint64_t now) {
 
 bool HashPipeline::TryPassHashStage(uint64_t now, uint32_t slot) {
   Op& op = pool_[slot];
-  db::HashTableLayout* layout = db_->hash_index(op.req.table, partition_);
+  db::HashTableLayout* layout =
+      db_->hash_index(op.req.index_op().table, partition_);
   uint64_t bucket = layout->BucketIndex(op.hash);
-  const bool is_insert = op.req.op == isa::Opcode::kInsert;
+  const bool is_insert = op.req.index_op().op == isa::Opcode::kInsert;
   if (config_.hazard_prevention) {
     if (lock_table_.HeldByOther(bucket, slot)) {
       counters_.Add("hash_lock_stall_cycles");
@@ -162,11 +159,11 @@ void HashPipeline::TickHash(uint64_t now) {
   Op& op = pool_[slot];
   // Functional key fetch (keys in transaction blocks are immutable while
   // the transaction runs).
-  std::vector<uint8_t> key(op.req.key_len);
-  dram_->ReadBytes(op.req.key_addr, key.data(), key.size());
+  std::vector<uint8_t> key(op.req.index_op().key_len);
+  dram_->ReadBytes(op.req.index_op().key_addr, key.data(), key.size());
   op.hash = db::HashTableLayout::HashKey(key.data(), uint16_t(key.size()));
   op.bucket_slot =
-      db_->hash_index(op.req.table, partition_)->BucketSlot(op.hash);
+      db_->hash_index(op.req.index_op().table, partition_)->BucketSlot(op.hash);
   counters_.Add("hash_stage_ops");
   if (!TryPassHashStage(now, slot)) hash_blocked_ = slot;
 }
@@ -205,11 +202,12 @@ void HashPipeline::TickInstall(uint64_t now) {
   // off and a racing insert's head write has not completed (Fig. 6a).
   sim::Addr old_head = resp.data[0];
 
-  std::vector<uint8_t> key(op.req.key_len);
-  dram_->ReadBytes(op.req.key_addr, key.data(), key.size());
-  std::vector<uint8_t> payload(op.req.payload_len);
+  std::vector<uint8_t> key(op.req.index_op().key_len);
+  dram_->ReadBytes(op.req.index_op().key_addr, key.data(), key.size());
+  std::vector<uint8_t> payload(op.req.index_op().payload_len);
   if (!payload.empty()) {
-    dram_->ReadBytes(op.req.payload_src, payload.data(), payload.size());
+    dram_->ReadBytes(op.req.index_op().payload_src, payload.data(),
+                     payload.size());
   }
   // New tuples are born dirty; COMMIT publishes them (section 4.7).
   sim::Addr tuple = db::AllocateTuple(
@@ -273,7 +271,7 @@ void HashPipeline::FinishAccess(uint64_t now, uint32_t slot,
   db::TupleAccessor t(dram_, tuple_addr);
   cc::AccessMode mode;
   cc::WriteKind kind = cc::WriteKind::kNone;
-  switch (op.req.op) {
+  switch (op.req.index_op().op) {
     case isa::Opcode::kUpdate:
       mode = cc::AccessMode::kUpdate;
       kind = cc::WriteKind::kUpdate;
@@ -286,7 +284,7 @@ void HashPipeline::FinishAccess(uint64_t now, uint32_t slot,
       mode = cc::AccessMode::kRead;
       break;
   }
-  cc::VisibilityResult vr = cc::CheckVisibility(&t, op.req.ts, mode);
+  cc::VisibilityResult vr = cc::CheckVisibility(&t, op.req.index_op().ts, mode);
   if (vr.header_dirtied) PostWrite(now, tuple_addr);
   if (vr.status != isa::CpStatus::kOk) {
     if (vr.dirty_conflict && config_.dirty_wait_cycles > 0) {
@@ -353,8 +351,8 @@ bool HashPipeline::CompareOrAdvance(uint64_t now, uint32_t slot) {
     return true;
   }
   db::TupleAccessor t(dram_, op.cur);
-  std::vector<uint8_t> key(op.req.key_len);
-  dram_->ReadBytes(op.req.key_addr, key.data(), key.size());
+  std::vector<uint8_t> key(op.req.index_op().key_len);
+  dram_->ReadBytes(op.req.index_op().key_addr, key.data(), key.size());
   if (db::CompareKeyToTuple(*dram_, key.data(), uint16_t(key.size()), t) ==
       0) {
     FinishAccess(now, slot, op.cur);
@@ -444,7 +442,8 @@ bool HashPipeline::HashBlockedOnLock() const {
   if (!hash_blocked_.has_value() || !config_.hazard_prevention) return false;
   const Op& op = pool_[*hash_blocked_];
   return lock_table_.HeldByOther(
-      db_->hash_index(op.req.table, partition_)->BucketIndex(op.hash),
+      db_->hash_index(op.req.index_op().table, partition_)
+          ->BucketIndex(op.hash),
       *hash_blocked_);
 }
 

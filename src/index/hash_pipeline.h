@@ -69,10 +69,11 @@ class HashPipeline {
   };
 
   HashPipeline(db::Database* db, db::PartitionId partition,
-               Config config, DbResultQueue* results);
+               Config config, ResultQueue* results);
 
-  /// Admits a new op into KeyFetch. False when the slot pool is exhausted.
-  bool Accept(const DbOp& op);
+  /// Admits a new kIndexOp envelope into KeyFetch. False when the slot
+  /// pool is exhausted.
+  bool Accept(const comm::Envelope& env);
 
   void Tick(uint64_t now);
   bool Idle() const { return active_ == 0 && pending_in_.empty(); }
@@ -111,7 +112,7 @@ class HashPipeline {
 
  private:
   struct Op {
-    DbOp req;
+    comm::Envelope req;  // the kIndexOp envelope being served
     uint64_t hash = 0;
     sim::Addr bucket_slot = sim::kNullAddr;
     sim::Addr cur = sim::kNullAddr;        // current chain node
@@ -120,8 +121,10 @@ class HashPipeline {
     bool in_use = false;
   };
 
-  uint32_t AllocSlot(const DbOp& op);
+  uint32_t AllocSlot(const comm::Envelope& env);
   void FreeSlot(uint32_t slot);
+  /// Builds the kIndexResult reply envelope (header echoed from the
+  /// request) and retires the slot.
   void Emit(uint32_t slot, isa::CpStatus status, uint64_t payload,
             cc::WriteKind kind, sim::Addr tuple_addr);
   /// Terminal visibility check + result emission for a matched tuple.
@@ -155,12 +158,12 @@ class HashPipeline {
   sim::DramMemory* dram_;
   db::PartitionId partition_;
   Config config_;
-  DbResultQueue* results_;
+  ResultQueue* results_;
 
   std::vector<Op> pool_;
   std::vector<uint32_t> free_slots_;
   uint32_t active_ = 0;
-  std::deque<DbOp> pending_in_;
+  std::deque<comm::Envelope> pending_in_;
 
   LockTable lock_table_;
 

@@ -15,7 +15,7 @@ uint32_t Bursts(uint64_t bytes) { return uint32_t((bytes + 63) / 64); }
 
 SkiplistPipeline::SkiplistPipeline(db::Database* db,
                                    db::PartitionId partition, Config config,
-                                   DbResultQueue* results)
+                                   ResultQueue* results)
     : db_(db),
       dram_(db->dram()),
       partition_(partition),
@@ -46,18 +46,18 @@ SkiplistPipeline::SkiplistPipeline(db::Database* db,
   assert(stages_.back().lo == 0);
 }
 
-bool SkiplistPipeline::Accept(const DbOp& op) {
+bool SkiplistPipeline::Accept(const comm::Envelope& env) {
   if (free_slots_.empty() && pending_in_.size() >= pool_.size()) return false;
-  pending_in_.push_back(op);
+  pending_in_.push_back(env);
   return true;
 }
 
-uint32_t SkiplistPipeline::AllocSlot(const DbOp& op) {
+uint32_t SkiplistPipeline::AllocSlot(const comm::Envelope& env) {
   assert(!free_slots_.empty());
   uint32_t slot = free_slots_.back();
   free_slots_.pop_back();
   pool_[slot] = Op{};
-  pool_[slot].req = op;
+  pool_[slot].req = env;
   pool_[slot].in_use = true;
   ++active_;
   return slot;
@@ -77,18 +77,12 @@ void SkiplistPipeline::FreeSlot(uint32_t slot) {
 void SkiplistPipeline::Emit(uint32_t slot, isa::CpStatus status,
                             uint64_t payload, cc::WriteKind kind,
                             sim::Addr tuple_addr) {
-  const DbOp& req = pool_[slot].req;
-  DbResult r;
-  r.origin_worker = req.origin_worker;
-  r.cp_index = req.cp_index;
-  r.txn_slot = req.txn_slot;
+  comm::IndexResult r;
   r.status = status;
   r.payload = payload;
   r.write_kind = status == isa::CpStatus::kOk ? kind : cc::WriteKind::kNone;
   r.tuple_addr = tuple_addr;
-  r.is_remote = req.is_remote;
-  r.sent_at = req.sent_at;
-  results_->push_back(r);
+  results_->push_back(comm::Envelope::Reply(pool_[slot].req, r));
   FreeSlot(slot);
 }
 
@@ -99,7 +93,7 @@ void SkiplistPipeline::PostWrite(uint64_t now, sim::Addr addr) {
 }
 
 db::SkiplistLayout* SkiplistPipeline::Layout(const Op& op) const {
-  return db_->skiplist_index(op.req.table, partition_);
+  return db_->skiplist_index(op.req.index_op().table, partition_);
 }
 
 std::vector<uint64_t> SkiplistPipeline::LinksFromSnapshot(
@@ -167,11 +161,11 @@ void SkiplistPipeline::TickKeyFetch(uint64_t now) {
     keyfetch_resp_.pop_front();
     uint32_t slot = uint32_t(resp.cookie);
     Op& op = pool_[slot];
-    op.key.resize(op.req.key_len);
-    dram_->ReadBytes(op.req.key_addr, op.key.data(), op.key.size());
+    op.key.resize(op.req.index_op().key_len);
+    dram_->ReadBytes(op.req.index_op().key_addr, op.key.data(), op.key.size());
     op.cur = Layout(op)->head();
     op.level = stages_[0].hi;
-    if (op.req.op == isa::Opcode::kInsert) {
+    if (op.req.index_op().op == isa::Opcode::kInsert) {
       op.new_height = Layout(op)->NextHeight();
     }
     stages_[0].in.push_back(slot);
@@ -179,8 +173,8 @@ void SkiplistPipeline::TickKeyFetch(uint64_t now) {
   // Admit one new op per cycle.
   if (pending_in_.empty() || free_slots_.empty()) return;
   uint32_t slot = AllocSlot(pending_in_.front());
-  if (!dram_->Issue(now, pool_[slot].req.key_addr, false, &keyfetch_resp_,
-                    slot)) {
+  if (!dram_->Issue(now, pool_[slot].req.index_op().key_addr, false,
+                    &keyfetch_resp_, slot)) {
     FreeSlot(slot);
     counters_.Add("keyfetch_dram_stall");
     tick_dram_stall_ = true;
@@ -265,7 +259,7 @@ void SkiplistPipeline::TickStage(uint64_t now, uint32_t stage_idx) {
 void SkiplistPipeline::Advance(uint64_t now, Stage* stage) {
   uint32_t slot = *stage->cur_op;
   Op& op = pool_[slot];
-  const bool is_insert = op.req.op == isa::Opcode::kInsert;
+  const bool is_insert = op.req.index_op().op == isa::Opcode::kInsert;
   while (true) {
     if (op.level < stage->lo) {
       LeaveStage(now, stage);
@@ -310,7 +304,7 @@ void SkiplistPipeline::NextArrived(uint64_t now, Stage* stage,
                                    const std::vector<uint64_t>& words) {
   uint32_t slot = *stage->cur_op;
   Op& op = pool_[slot];
-  const bool is_insert = op.req.op == isa::Opcode::kInsert;
+  const bool is_insert = op.req.index_op().op == isa::Opcode::kInsert;
   sim::Addr next = stage->pending_next;
   // Integrity guard before trusting the fetched tower's key bytes.
   if (!dram_->VerifyTupleGuard(next)) {
@@ -386,7 +380,7 @@ void SkiplistPipeline::FinishAccess(uint64_t now, uint32_t slot,
   db::TupleAccessor t(dram_, tuple_addr);
   cc::AccessMode mode;
   cc::WriteKind kind = cc::WriteKind::kNone;
-  switch (op.req.op) {
+  switch (op.req.index_op().op) {
     case isa::Opcode::kUpdate:
       mode = cc::AccessMode::kUpdate;
       kind = cc::WriteKind::kUpdate;
@@ -399,7 +393,7 @@ void SkiplistPipeline::FinishAccess(uint64_t now, uint32_t slot,
       mode = cc::AccessMode::kRead;
       break;
   }
-  cc::VisibilityResult vr = cc::CheckVisibility(&t, op.req.ts, mode);
+  cc::VisibilityResult vr = cc::CheckVisibility(&t, op.req.index_op().ts, mode);
   if (vr.header_dirtied) PostWrite(now, tuple_addr);
   if (vr.status != isa::CpStatus::kOk) {
     Emit(slot, vr.status, 0, cc::WriteKind::kNone, sim::kNullAddr);
@@ -410,7 +404,7 @@ void SkiplistPipeline::FinishAccess(uint64_t now, uint32_t slot,
 
 void SkiplistPipeline::Terminal(uint64_t now, uint32_t slot) {
   Op& op = pool_[slot];
-  switch (op.req.op) {
+  switch (op.req.index_op().op) {
     case isa::Opcode::kSearch:
     case isa::Opcode::kUpdate:
     case isa::Opcode::kRemove: {
@@ -430,9 +424,10 @@ void SkiplistPipeline::Terminal(uint64_t now, uint32_t slot) {
       return;
     }
     case isa::Opcode::kInsert: {
-      std::vector<uint8_t> payload(op.req.payload_len);
+      std::vector<uint8_t> payload(op.req.index_op().payload_len);
       if (!payload.empty()) {
-        dram_->ReadBytes(op.req.payload_src, payload.data(), payload.size());
+        dram_->ReadBytes(op.req.index_op().payload_src, payload.data(),
+                         payload.size());
       }
       sim::Addr tower = db::AllocateTuple(
           dram_, op.new_height, op.key.data(), uint16_t(op.key.size()),
@@ -488,7 +483,7 @@ void SkiplistPipeline::TickScanner(uint64_t now, uint32_t scanner_idx) {
     if (sc.in.empty()) return;
     uint32_t slot = sc.in.front();
     Op& op = pool_[slot];
-    if (op.cur == sim::kNullAddr || op.req.scan_count == 0) {
+    if (op.cur == sim::kNullAddr || op.req.index_op().scan_count == 0) {
       sc.in.pop_front();
       Emit(slot, isa::CpStatus::kOk, 0, cc::WriteKind::kNone, sim::kNullAddr);
       return;
@@ -530,18 +525,19 @@ void SkiplistPipeline::TickScanner(uint64_t now, uint32_t scanner_idx) {
     return;
   }
   db::TupleAccessor t(dram_, op.cur);
-  if (cc::ScanVisible(t, op.req.ts)) {
+  if (cc::ScanVisible(t, op.req.index_op().ts)) {
     // Collect the tuple: its payload address lands in the result buffer.
-    dram_->Write64(op.req.out_buf + 8ull * op.collected, t.payload_addr());
+    dram_->Write64(op.req.index_op().out_buf + 8ull * op.collected,
+                   t.payload_addr());
     ++op.collected;
     if (op.collected % 8 == 0) {
-      PostWrite(now, op.req.out_buf + 8ull * (op.collected - 8));
+      PostWrite(now, op.req.index_op().out_buf + 8ull * (op.collected - 8));
     }
   }
   sim::Addr next = words.size() > 3 ? words[3] : sim::kNullAddr;  // level 0
-  if (op.collected >= op.req.scan_count || next == sim::kNullAddr) {
+  if (op.collected >= op.req.index_op().scan_count || next == sim::kNullAddr) {
     if (op.collected % 8 != 0) {
-      PostWrite(now, op.req.out_buf + 8ull * (op.collected & ~7u));
+      PostWrite(now, op.req.index_op().out_buf + 8ull * (op.collected & ~7u));
     }
     counters_.Add("scans_completed");
     uint32_t n = op.collected;

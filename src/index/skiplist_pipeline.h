@@ -58,10 +58,11 @@ class SkiplistPipeline {
   };
 
   SkiplistPipeline(db::Database* db, db::PartitionId partition,
-                   Config config, DbResultQueue* results);
+                   Config config, ResultQueue* results);
 
-  /// Admits a new op. False when the slot pool is exhausted.
-  bool Accept(const DbOp& op);
+  /// Admits a new kIndexOp envelope. False when the slot pool is
+  /// exhausted.
+  bool Accept(const comm::Envelope& env);
 
   void Tick(uint64_t now);
   bool Idle() const { return active_ == 0 && pending_in_.empty(); }
@@ -106,7 +107,7 @@ class SkiplistPipeline {
       3 + db::kSkiplistMaxHeight;
 
   struct Op {
-    DbOp req;
+    comm::Envelope req;  // the kIndexOp envelope being served
     std::vector<uint8_t> key;
     sim::Addr cur = sim::kNullAddr;
     int level = 0;
@@ -149,7 +150,7 @@ class SkiplistPipeline {
     sim::MemResponseQueue resp;
   };
 
-  uint32_t AllocSlot(const DbOp& op);
+  uint32_t AllocSlot(const comm::Envelope& env);
   void FreeSlot(uint32_t slot);
   void Emit(uint32_t slot, isa::CpStatus status, uint64_t payload,
             cc::WriteKind kind, sim::Addr tuple_addr);
@@ -183,12 +184,12 @@ class SkiplistPipeline {
   sim::DramMemory* dram_;
   db::PartitionId partition_;
   Config config_;
-  DbResultQueue* results_;
+  ResultQueue* results_;
 
   std::vector<Op> pool_;
   std::vector<uint32_t> free_slots_;
   uint32_t active_ = 0;
-  std::deque<DbOp> pending_in_;
+  std::deque<comm::Envelope> pending_in_;
   sim::MemResponseQueue keyfetch_resp_;
 
   std::vector<Stage> stages_;

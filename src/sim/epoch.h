@@ -20,9 +20,9 @@
 //     numbers and busy/idle accounting match the single-threaded mode
 //     bit for bit).
 //
-// While SetEpochMode(true) is active, island-side SendRequest/SendResponse
-// only append to a thread-confined staging buffer (worker id = buffer
-// index); the real sends happen inside EndEpoch.
+// While SetEpochMode(true) is active, island-side Send calls only append
+// to a thread-confined staging buffer (worker id = buffer index); the real
+// sends happen inside EndEpoch.
 #ifndef BIONICDB_SIM_EPOCH_H_
 #define BIONICDB_SIM_EPOCH_H_
 

@@ -10,22 +10,30 @@ namespace {
 
 sim::TimingConfig Cfg() { return sim::TimingConfig(); }
 
-index::DbOp Op(uint32_t cp) {
-  index::DbOp op;
-  op.cp_index = cp;
-  return op;
+/// A request envelope whose header carries `cp` for identification.
+Envelope Op(uint32_t cp) {
+  Header h;
+  h.cp_index = cp;
+  return Envelope(h, IndexOp{});
+}
+
+/// A response envelope (kIndexResult) with the same identification.
+Envelope Result(uint32_t cp) {
+  Header h;
+  h.cp_index = cp;
+  return Envelope(h, IndexResult{});
 }
 
 TEST(CommFabric, CrossbarDeliversAfterHopLatency) {
   CommFabric fabric(4, Cfg(), Topology::kCrossbar);
-  fabric.SendRequest(/*now=*/10, /*src=*/0, /*dst=*/2, Op(7));
+  fabric.Send(/*now=*/10, /*src=*/0, /*dst=*/2, Op(7));
   fabric.Tick(11);
   EXPECT_TRUE(fabric.requests(2).empty());
   fabric.Tick(12);
   EXPECT_TRUE(fabric.requests(2).empty());
   fabric.Tick(13);  // 3-cycle hop
   ASSERT_EQ(fabric.requests(2).size(), 1u);
-  EXPECT_EQ(fabric.requests(2).front().cp_index, 7u);
+  EXPECT_EQ(fabric.requests(2).front().hdr.cp_index, 7u);
   EXPECT_TRUE(fabric.requests(0).empty());
   EXPECT_TRUE(fabric.requests(1).empty());
 }
@@ -38,21 +46,19 @@ TEST(CommFabric, RoundTripIsSixCycles) {
 
 TEST(CommFabric, ResponsesRouteToInitiator) {
   CommFabric fabric(3, Cfg());
-  index::DbResult r;
-  r.cp_index = 9;
-  fabric.SendResponse(0, /*src=*/2, /*dst=*/1, r);
+  fabric.Send(0, /*src=*/2, /*dst=*/1, Result(9));
   fabric.Tick(100);
   ASSERT_EQ(fabric.responses(1).size(), 1u);
-  EXPECT_EQ(fabric.responses(1).front().cp_index, 9u);
+  EXPECT_EQ(fabric.responses(1).front().hdr.cp_index, 9u);
 }
 
 TEST(CommFabric, FifoPerDestination) {
   CommFabric fabric(2, Cfg());
-  for (uint32_t i = 0; i < 5; ++i) fabric.SendRequest(i, 0, 1, Op(i));
+  for (uint32_t i = 0; i < 5; ++i) fabric.Send(i, 0, 1, Op(i));
   fabric.Tick(100);
   ASSERT_EQ(fabric.requests(1).size(), 5u);
   for (uint32_t i = 0; i < 5; ++i) {
-    EXPECT_EQ(fabric.requests(1)[i].cp_index, i);
+    EXPECT_EQ(fabric.requests(1)[i].hdr.cp_index, i);
   }
 }
 
@@ -71,7 +77,7 @@ TEST(CommFabric, RingLatencyScalesWithDistance) {
 TEST(CommFabric, IdleReflectsWireState) {
   CommFabric fabric(2, Cfg());
   EXPECT_TRUE(fabric.Idle());
-  fabric.SendRequest(0, 0, 1, Op(0));
+  fabric.Send(0, 0, 1, Op(0));
   EXPECT_FALSE(fabric.Idle());
   // Delivery empties the wire; a delivered-but-undrained inbox is the
   // destination worker's wake concern (PartitionWorker::Idle covers its
@@ -113,11 +119,11 @@ TEST(CommFabric, ShortPathMessagesOvertakeLongOnes) {
   cluster.workers_per_node = 2;
   cluster.inter_node_cycles = 100;
   CommFabric fabric(4, Cfg(), Topology::kCrossbar, cluster);
-  fabric.SendRequest(0, /*src=*/2, /*dst=*/1, Op(1));  // cross-node, slow
-  fabric.SendRequest(0, /*src=*/0, /*dst=*/1, Op(2));  // on-chip, fast
+  fabric.Send(0, /*src=*/2, /*dst=*/1, Op(1));  // cross-node, slow
+  fabric.Send(0, /*src=*/0, /*dst=*/1, Op(2));  // on-chip, fast
   fabric.Tick(10);
   ASSERT_EQ(fabric.requests(1).size(), 1u);
-  EXPECT_EQ(fabric.requests(1).front().cp_index, 2u);  // fast one first
+  EXPECT_EQ(fabric.requests(1).front().hdr.cp_index, 2u);  // fast one first
   fabric.Tick(200);
   EXPECT_EQ(fabric.requests(1).size(), 2u);
 }
@@ -136,12 +142,12 @@ TEST(CommFabric, RingUnderClusterConfig) {
   EXPECT_EQ(fabric.HopLatency(0, 5), 256u);  // node crossing: 250 + 2x3
   EXPECT_EQ(fabric.HopLatency(7, 0), 256u);  // ring-adjacent but cross-node
 
-  fabric.SendRequest(/*now=*/0, /*src=*/0, /*dst=*/5, Op(3));
+  fabric.Send(/*now=*/0, /*src=*/0, /*dst=*/5, Op(3));
   fabric.Tick(255);
   EXPECT_TRUE(fabric.requests(5).empty());
   fabric.Tick(256);
   ASSERT_EQ(fabric.requests(5).size(), 1u);
-  EXPECT_EQ(fabric.requests(5).front().cp_index, 3u);
+  EXPECT_EQ(fabric.requests(5).front().hdr.cp_index, 3u);
 }
 
 /// Scripted per-packet fault decisions, consumed in transmission order.
@@ -149,7 +155,8 @@ class ScriptedFaults : public ChannelFaultHook {
  public:
   explicit ScriptedFaults(std::vector<FaultDecision> script)
       : script_(std::move(script)) {}
-  FaultDecision OnPacket(uint64_t, bool, db::WorkerId, db::WorkerId) override {
+  FaultDecision OnPacket(uint64_t, MessageClass, db::WorkerId,
+                         db::WorkerId) override {
     if (next_ >= script_.size()) return FaultDecision{};
     return script_[next_++];
   }
@@ -165,13 +172,13 @@ TEST(CommFabric, DroppedPacketIsRetransmitted) {
   ScriptedFaults faults(std::vector<FaultDecision>{{.drop = true}});
   fabric.set_fault_hook(&faults);
 
-  fabric.SendRequest(/*now=*/0, /*src=*/0, /*dst=*/1, Op(5));
+  fabric.Send(/*now=*/0, /*src=*/0, /*dst=*/1, Op(5));
   fabric.Tick(5);
   EXPECT_TRUE(fabric.requests(1).empty());
   EXPECT_FALSE(fabric.Idle());  // unacked copy keeps the fabric live
   for (uint64_t c = 6; c <= 14; ++c) fabric.Tick(c);
   ASSERT_EQ(fabric.requests(1).size(), 1u);  // retransmit delivered
-  EXPECT_EQ(fabric.requests(1).front().cp_index, 5u);
+  EXPECT_EQ(fabric.requests(1).front().hdr.cp_index, 5u);
   EXPECT_EQ(fabric.retransmits(), 1u);
   // Once the ack returns, the sender forgets the packet: no more copies.
   for (uint64_t c = 15; c <= 40; ++c) fabric.Tick(c);
@@ -186,7 +193,7 @@ TEST(CommFabric, DuplicateDeliveredOnlyOnce) {
   ScriptedFaults faults(std::vector<FaultDecision>{{.duplicate = true}});
   fabric.set_fault_hook(&faults);
 
-  fabric.SendResponse(/*now=*/0, /*src=*/1, /*dst=*/0, {});
+  fabric.Send(/*now=*/0, /*src=*/1, /*dst=*/0, Result(0));
   for (uint64_t c = 1; c <= 10; ++c) fabric.Tick(c);
   EXPECT_EQ(fabric.responses(0).size(), 1u);  // second copy suppressed
   EXPECT_EQ(fabric.counters().Get("duplicates_suppressed"), 1u);
@@ -199,7 +206,7 @@ TEST(CommFabric, ReliabilityOffDropsSilently) {
   CommFabric fabric(2, Cfg());
   ScriptedFaults faults(std::vector<FaultDecision>{{.drop = true}});
   fabric.set_fault_hook(&faults);
-  fabric.SendRequest(0, 0, 1, Op(1));
+  fabric.Send(0, 0, 1, Op(1));
   for (uint64_t c = 1; c <= 20; ++c) fabric.Tick(c);
   EXPECT_TRUE(fabric.requests(1).empty());
   EXPECT_TRUE(fabric.Idle());

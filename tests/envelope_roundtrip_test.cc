@@ -1,0 +1,184 @@
+// Envelope round-trip property test (DESIGN.md section 12).
+//
+// Randomized request/response exchanges through the fabric with the
+// reliability layer on and seeded comm faults (drop/duplicate/delay)
+// battering every transmission. The endpoints here are deliberately thin —
+// the test exercises the transport contract itself, for every message
+// class:
+//
+//  * exactly-once apply: despite drops (forcing retransmits) and
+//    duplicates, each request envelope is applied at its destination
+//    exactly once, and each reply reaches its origin exactly once;
+//  * class pairing: a kIndexOp is answered by a kIndexResult, a kMemOp by
+//    a kMemResult, and the reply arrives with the class the server chose;
+//  * header echo: the reply carries the request's origin/cp_index/txn_slot
+//    and its sent_at stamp unchanged, so the origin's RTT measurement
+//    (drain cycle - sent_at) is exact per class.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "comm/channels.h"
+#include "common/random.h"
+#include "sim/config.h"
+
+namespace bionicdb::comm {
+namespace {
+
+/// Seeded per-transmission chaos. Rates are high enough that a few hundred
+/// messages see many drops, duplicates AND delayed copies.
+class SeededFaults : public ChannelFaultHook {
+ public:
+  explicit SeededFaults(uint64_t seed) : rng_(seed) {}
+  FaultDecision OnPacket(uint64_t, MessageClass, db::WorkerId,
+                         db::WorkerId) override {
+    FaultDecision fd;
+    if (rng_.NextBool(0.15)) {
+      fd.drop = true;
+      return fd;
+    }
+    if (rng_.NextBool(0.10)) fd.duplicate = true;
+    if (rng_.NextBool(0.10)) fd.delay_cycles = rng_.NextInRange(1, 40);
+    return fd;
+  }
+
+ private:
+  Rng rng_;
+};
+
+using RoundTripParams = std::tuple<uint64_t /*seed*/, uint32_t /*workers*/>;
+
+class EnvelopeRoundTrip : public ::testing::TestWithParam<RoundTripParams> {};
+
+TEST_P(EnvelopeRoundTrip, ExactlyOnceApplyAndRttEchoPerClass) {
+  auto [seed, n_workers] = GetParam();
+  CommFabric fabric(n_workers, sim::TimingConfig());
+  fabric.set_reliability({.enabled = true, .retransmit_timeout_cycles = 64});
+  SeededFaults faults(seed);
+  fabric.set_fault_hook(&faults);
+
+  constexpr uint32_t kMessages = 200;
+  Rng plan_rng(seed ^ 0xabcdef);
+
+  struct Sent {
+    db::WorkerId src;
+    db::WorkerId dst;
+    MessageClass cls;
+    uint64_t sent_at;
+  };
+  std::map<uint32_t, Sent> sent;           // id -> send record
+  std::map<uint32_t, uint32_t> applied;    // id -> server-side apply count
+  std::map<uint32_t, uint32_t> replied;    // id -> origin-side reply count
+
+  uint32_t next_id = 0;
+  uint64_t cycle = 0;
+  // Interleave sends with delivery service so retransmit, dedup and fault
+  // machinery all run while traffic is still being generated.
+  while (next_id < kMessages || fabric.retransmits() < 1 ||
+         replied.size() < kMessages) {
+    ++cycle;
+    ASSERT_LT(cycle, 200'000u) << "round trips did not converge: "
+                               << replied.size() << "/" << kMessages;
+    if (next_id < kMessages && cycle % 3 == 0) {
+      const uint32_t id = next_id++;
+      Header h;
+      h.origin = db::WorkerId(plan_rng.NextUint64(n_workers));
+      h.cp_index = id;
+      h.txn_slot = id % 7;
+      h.sent_at = cycle;  // the origin's wire-out stamp
+      db::WorkerId dst = db::WorkerId(plan_rng.NextUint64(n_workers - 1));
+      if (dst >= h.origin) ++dst;  // never self: envelopes always travel
+      const bool mem = plan_rng.NextBool(0.5);
+      Envelope env = mem ? Envelope(h, MemOp{MemOp::Kind::kLoad, id})
+                         : Envelope(h, IndexOp{});
+      fabric.Send(cycle, h.origin, dst, env);
+      sent.emplace(id, Sent{h.origin, dst, env.cls(), cycle});
+    }
+    fabric.Tick(cycle);
+    // Servers: apply each request and reply with the paired result class.
+    for (uint32_t w = 0; w < n_workers; ++w) {
+      auto& inbox = fabric.requests(w);
+      while (!inbox.empty()) {
+        const Envelope& req = inbox.front();
+        const auto it = sent.find(req.hdr.cp_index);
+        ASSERT_NE(it, sent.end());
+        EXPECT_EQ(w, it->second.dst);
+        EXPECT_EQ(req.cls(), it->second.cls);
+        ++applied[req.hdr.cp_index];
+        Envelope reply =
+            req.cls() == MessageClass::kMemOp
+                ? Envelope::Reply(req, MemResult{req.mem_op().addr})
+                : Envelope::Reply(req, IndexResult{});
+        fabric.Send(cycle, w, req.hdr.origin, reply);
+        inbox.pop_front();
+      }
+      auto& replies = fabric.responses(w);
+      while (!replies.empty()) {
+        const Envelope& r = replies.front();
+        const auto it = sent.find(r.hdr.cp_index);
+        ASSERT_NE(it, sent.end());
+        const Sent& record = it->second;
+        EXPECT_EQ(w, record.src);
+        // Class pairing: requests come back as their paired result class.
+        EXPECT_EQ(r.cls(), record.cls == MessageClass::kMemOp
+                               ? MessageClass::kMemResult
+                               : MessageClass::kIndexResult);
+        // Header echo: the RTT stamp survives both hops (and any
+        // retransmissions) unchanged, so the measured round trip is exact.
+        EXPECT_EQ(r.hdr.sent_at, record.sent_at);
+        EXPECT_EQ(r.hdr.txn_slot, r.hdr.cp_index % 7);
+        EXPECT_GE(cycle - r.hdr.sent_at,
+                  uint64_t(fabric.HopLatency(record.src, record.dst) +
+                           fabric.HopLatency(record.dst, record.src)));
+        if (r.cls() == MessageClass::kMemResult) {
+          EXPECT_EQ(r.mem_result().value, r.hdr.cp_index);
+        }
+        ++replied[r.hdr.cp_index];
+        replies.pop_front();
+      }
+    }
+  }
+  // Drain any trailing retransmitted copies; dedup must suppress them all.
+  for (uint64_t c = cycle + 1; c < cycle + 500; ++c) {
+    fabric.Tick(c);
+    for (uint32_t w = 0; w < n_workers; ++w) {
+      ASSERT_TRUE(fabric.requests(w).empty());
+      ASSERT_TRUE(fabric.responses(w).empty());
+    }
+  }
+
+  // Exactly-once: every message applied once and answered once, despite
+  // the drop rate guaranteeing retransmissions occurred.
+  EXPECT_GT(fabric.retransmits(), 0u);
+  ASSERT_EQ(applied.size(), kMessages);
+  ASSERT_EQ(replied.size(), kMessages);
+  for (const auto& [id, n] : applied) EXPECT_EQ(n, 1u) << "id " << id;
+  for (const auto& [id, n] : replied) EXPECT_EQ(n, 1u) << "id " << id;
+
+  // Per-class accounting: everything sent was (eventually) delivered
+  // exactly once, and only request/response classes that were used moved.
+  for (MessageClass c :
+       {MessageClass::kIndexOp, MessageClass::kMemOp,
+        MessageClass::kIndexResult, MessageClass::kMemResult}) {
+    EXPECT_EQ(fabric.class_sent(c), fabric.class_delivered(c))
+        << MessageClassName(c);
+  }
+  EXPECT_EQ(fabric.class_sent(MessageClass::kIndexOp),
+            fabric.class_delivered(MessageClass::kIndexResult));
+  EXPECT_EQ(fabric.class_sent(MessageClass::kMemOp),
+            fabric.class_delivered(MessageClass::kMemResult));
+  EXPECT_EQ(fabric.class_sent(MessageClass::kIndexOp) +
+                fabric.class_sent(MessageClass::kMemOp),
+            uint64_t(kMessages));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndTopologies, EnvelopeRoundTrip,
+    ::testing::Combine(::testing::Values(1ull, 7ull, 1234567ull),
+                       ::testing::Values(2u, 4u, 8u)));
+
+}  // namespace
+}  // namespace bionicdb::comm

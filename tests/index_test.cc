@@ -52,21 +52,22 @@ class IndexPipelineTest : public ::testing::Test {
     return a;
   }
 
-  DbOp MakeOp(isa::Opcode op, uint64_t key, uint32_t cp) {
-    DbOp o;
+  comm::Envelope MakeOp(isa::Opcode op, uint64_t key, uint32_t cp) {
+    comm::IndexOp o;
     o.op = op;
     o.table = 0;
     o.ts = 1000;
     o.key_addr = PutKey(key);
     o.key_len = 8;
-    o.cp_index = cp;
-    return o;
+    comm::Header h;
+    h.cp_index = cp;
+    return comm::Envelope(h, o);
   }
 
   /// Submits (retrying on cap) and runs until all results arrive.
-  std::vector<DbResult> RunOps(std::vector<DbOp> ops) {
+  std::vector<comm::Envelope> RunOps(std::vector<comm::Envelope> ops) {
     size_t next = 0;
-    std::vector<DbResult> results;
+    std::vector<comm::Envelope> results;
     sim_->RunUntil(
         [&] {
           while (next < ops.size() && coproc_->Submit(ops[next])) ++next;
@@ -97,13 +98,13 @@ TEST_F(IndexPipelineTest, HashSearchHitAndMiss) {
   ASSERT_EQ(results.size(), 2u);
   // Results may complete out of submission order; identify by cp_index.
   for (const auto& r : results) {
-    if (r.cp_index == 0) {
-      EXPECT_EQ(r.status, isa::CpStatus::kOk);
+    if (r.hdr.cp_index == 0) {
+      EXPECT_EQ(r.index_result().status, isa::CpStatus::kOk);
       uint64_t got;
-      sim_->dram().ReadBytes(r.payload, &got, 8);
+      sim_->dram().ReadBytes(r.index_result().payload, &got, 8);
       EXPECT_EQ(got, 77u);
     } else {
-      EXPECT_EQ(r.status, isa::CpStatus::kNotFound);
+      EXPECT_EQ(r.index_result().status, isa::CpStatus::kNotFound);
     }
   }
 }
@@ -121,13 +122,13 @@ TEST_F(IndexPipelineTest, HashSearchTakesAtLeastThreeMemoryTrips) {
 
 TEST_F(IndexPipelineTest, HashInsertInstallsDirtyTuple) {
   Init(db::IndexKind::kHash);
-  DbOp op = MakeOp(isa::Opcode::kInsert, 42, 0);
-  op.payload_src = PutU64(4242);
-  op.payload_len = 8;
+  comm::Envelope op = MakeOp(isa::Opcode::kInsert, 42, 0);
+  op.index_op().payload_src = PutU64(4242);
+  op.index_op().payload_len = 8;
   auto results = RunOps({op});
   ASSERT_EQ(results.size(), 1u);
-  EXPECT_EQ(results[0].status, isa::CpStatus::kOk);
-  EXPECT_EQ(results[0].write_kind, cc::WriteKind::kInsert);
+  EXPECT_EQ(results[0].index_result().status, isa::CpStatus::kOk);
+  EXPECT_EQ(results[0].index_result().write_kind, cc::WriteKind::kInsert);
   sim::Addr t = db_->FindU64(0, 0, 42);
   ASSERT_NE(t, sim::kNullAddr);
   db::TupleAccessor acc(&sim_->dram(), t);
@@ -160,9 +161,9 @@ TEST_F(IndexPipelineTest, VisibilityRejectionFlowsToResult) {
   // First update dirties the tuple; the second (other txn) must be
   // rejected by the blind dirty check.
   auto r1 = RunOps({MakeOp(isa::Opcode::kUpdate, 7, 0)});
-  EXPECT_EQ(r1[0].status, isa::CpStatus::kOk);
+  EXPECT_EQ(r1[0].index_result().status, isa::CpStatus::kOk);
   auto r2 = RunOps({MakeOp(isa::Opcode::kSearch, 7, 1)});
-  EXPECT_EQ(r2[0].status, isa::CpStatus::kRejected);
+  EXPECT_EQ(r2[0].index_result().status, isa::CpStatus::kRejected);
 }
 
 TEST_F(IndexPipelineTest, InflightCapRejectsSubmit) {
@@ -179,12 +180,12 @@ TEST_F(IndexPipelineTest, InflightCapRejectsSubmit) {
 // The Fig. 6 hazard experiment: racing inserts into ONE bucket.
 TEST_F(IndexPipelineTest, InsertHazardPreventedByLockTable) {
   Init(db::IndexKind::kHash, /*hash_buckets=*/1, /*hazard_prevention=*/true);
-  std::vector<DbOp> ops;
+  std::vector<comm::Envelope> ops;
   constexpr int kN = 16;
   for (int i = 0; i < kN; ++i) {
-    DbOp op = MakeOp(isa::Opcode::kInsert, 100 + i, uint32_t(i));
-    op.payload_src = PutU64(i);
-    op.payload_len = 8;
+    comm::Envelope op = MakeOp(isa::Opcode::kInsert, 100 + i, uint32_t(i));
+    op.index_op().payload_src = PutU64(i);
+    op.index_op().payload_len = 8;
     ops.push_back(op);
   }
   auto results = RunOps(ops);
@@ -200,12 +201,12 @@ TEST_F(IndexPipelineTest, InsertHazardPreventedByLockTable) {
 
 TEST_F(IndexPipelineTest, InsertHazardManifestsWithoutPrevention) {
   Init(db::IndexKind::kHash, /*hash_buckets=*/1, /*hazard_prevention=*/false);
-  std::vector<DbOp> ops;
+  std::vector<comm::Envelope> ops;
   constexpr int kN = 16;
   for (int i = 0; i < kN; ++i) {
-    DbOp op = MakeOp(isa::Opcode::kInsert, 100 + i, uint32_t(i));
-    op.payload_src = PutU64(i);
-    op.payload_len = 8;
+    comm::Envelope op = MakeOp(isa::Opcode::kInsert, 100 + i, uint32_t(i));
+    op.index_op().payload_src = PutU64(i);
+    op.index_op().payload_len = 8;
     ops.push_back(op);
   }
   RunOps(ops);
@@ -224,33 +225,34 @@ TEST_F(IndexPipelineTest, SkiplistSearchInsertScan) {
   auto r = RunOps({MakeOp(isa::Opcode::kSearch, 20, 0),
                    MakeOp(isa::Opcode::kSearch, 21, 1)});
   for (const auto& res : r) {
-    if (res.cp_index == 0) {
-      EXPECT_EQ(res.status, isa::CpStatus::kOk);
+    if (res.hdr.cp_index == 0) {
+      EXPECT_EQ(res.index_result().status, isa::CpStatus::kOk);
     }
-    if (res.cp_index == 1) {
-      EXPECT_EQ(res.status, isa::CpStatus::kNotFound);
+    if (res.hdr.cp_index == 1) {
+      EXPECT_EQ(res.index_result().status, isa::CpStatus::kNotFound);
     }
   }
   // Pipeline insert, then scan across it.
-  DbOp ins = MakeOp(isa::Opcode::kInsert, 21, 2);
-  ins.payload_src = PutU64(2121);
-  ins.payload_len = 8;
+  comm::Envelope ins = MakeOp(isa::Opcode::kInsert, 21, 2);
+  ins.index_op().payload_src = PutU64(2121);
+  ins.index_op().payload_len = 8;
   auto ri = RunOps({ins});
-  EXPECT_EQ(ri[0].status, isa::CpStatus::kOk);
+  EXPECT_EQ(ri[0].index_result().status, isa::CpStatus::kOk);
   ASSERT_TRUE(db_->skiplist_index(0, 0)->CheckInvariants());
 
-  DbOp scan = MakeOp(isa::Opcode::kScan, 10, 3);
-  scan.scan_count = 5;
-  scan.out_buf = scratch_ + (1 << 16);
+  comm::Envelope scan = MakeOp(isa::Opcode::kScan, 10, 3);
+  scan.index_op().scan_count = 5;
+  scan.index_op().out_buf = scratch_ + (1 << 16);
   auto rs = RunOps({scan});
   ASSERT_EQ(rs.size(), 1u);
-  EXPECT_EQ(rs[0].status, isa::CpStatus::kOk);
+  EXPECT_EQ(rs[0].index_result().status, isa::CpStatus::kOk);
   // The in-flight insert of key 21 is dirty -> invisible to the scan; the
   // five results are 10,12,14,16,18.
-  EXPECT_EQ(rs[0].payload, 5u);
+  EXPECT_EQ(rs[0].index_result().payload, 5u);
   std::vector<uint64_t> keys;
   for (int i = 0; i < 5; ++i) {
-    sim::Addr payload_addr = sim_->dram().Read64(scan.out_buf + 8 * i);
+    sim::Addr payload_addr =
+        sim_->dram().Read64(scan.index_op().out_buf + 8 * i);
     // Recover the tuple key: payload sits right after the key in memory.
     uint64_t got;
     sim_->dram().ReadBytes(payload_addr, &got, 8);
@@ -262,12 +264,12 @@ TEST_F(IndexPipelineTest, SkiplistSearchInsertScan) {
 // The Fig. 7 hazard experiment: racing skiplist inserts on adjacent keys.
 TEST_F(IndexPipelineTest, SkiplistInsertHazardPrevented) {
   Init(db::IndexKind::kSkiplist, 0, /*hazard_prevention=*/true);
-  std::vector<DbOp> ops;
+  std::vector<comm::Envelope> ops;
   constexpr int kN = 24;
   for (int i = 0; i < kN; ++i) {
-    DbOp op = MakeOp(isa::Opcode::kInsert, 1000 + i, uint32_t(i));
-    op.payload_src = PutU64(i);
-    op.payload_len = 8;
+    comm::Envelope op = MakeOp(isa::Opcode::kInsert, 1000 + i, uint32_t(i));
+    op.index_op().payload_src = PutU64(i);
+    op.index_op().payload_len = 8;
     ops.push_back(op);
   }
   auto results = RunOps(ops);

@@ -1,0 +1,190 @@
+// Refactor-equivalence differential suite: the three execution modes —
+// serial per-cycle, serial event-driven (cycle skipping), and parallel
+// islands (epoch barriers) — must agree byte-for-byte on everything a run
+// produces: submitted/committed/failed/retry counts, the final simulated
+// clock, the fault-schedule digest, and the COMPLETE engine stats JSON
+// (per-worker cycle breakdowns, pipeline stall counters, DRAM channel
+// stats, per-message-class fabric counters).
+//
+// This is the safety net under the typed-envelope message path: any change
+// that leaks mode-dependent behaviour into routing, stamping, reliability
+// or fault-injection order shows up here as a one-byte JSON diff.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "fault/fault.h"
+#include "host/driver.h"
+#include "workload/tpcc.h"
+#include "workload/ycsb.h"
+
+namespace bionicdb {
+namespace {
+
+enum class Mode { kSerial, kEventDriven, kParallel };
+
+const char* ModeName(Mode m) {
+  switch (m) {
+    case Mode::kSerial: return "serial";
+    case Mode::kEventDriven: return "event_driven";
+    case Mode::kParallel: return "parallel";
+  }
+  return "?";
+}
+
+core::EngineOptions Options(Mode mode, uint32_t n_workers) {
+  core::EngineOptions opts;
+  opts.n_workers = n_workers;
+  switch (mode) {
+    case Mode::kSerial:
+      break;
+    case Mode::kEventDriven:
+      opts.timing.event_driven = true;
+      break;
+    case Mode::kParallel:
+      opts.timing.parallel_hosts = 4;
+      break;
+  }
+  return opts;
+}
+
+struct Outcome {
+  host::RunResult run;
+  uint64_t final_now = 0;
+  std::string stats_json;
+  uint32_t fault_digest = 0;
+};
+
+void ExpectIdentical(const Outcome& base, const Outcome& other,
+                     const char* base_name, const char* other_name) {
+  SCOPED_TRACE(std::string(base_name) + " vs " + other_name);
+  EXPECT_EQ(base.run.submitted, other.run.submitted);
+  EXPECT_EQ(base.run.committed, other.run.committed);
+  EXPECT_EQ(base.run.failed, other.run.failed);
+  EXPECT_EQ(base.run.retries, other.run.retries);
+  EXPECT_EQ(base.run.cycles, other.run.cycles);
+  EXPECT_EQ(base.final_now, other.final_now);
+  EXPECT_EQ(base.fault_digest, other.fault_digest);
+  EXPECT_EQ(base.stats_json, other.stats_json);
+}
+
+workload::YcsbOptions MultisiteYcsb() {
+  workload::YcsbOptions o;
+  o.mode = workload::YcsbOptions::Mode::kMultisite;
+  o.records_per_partition = 200;
+  o.payload_len = 32;
+  o.accesses_per_txn = 4;
+  o.updates_per_txn = 2;
+  o.scan_len = 10;
+  return o;
+}
+
+Outcome RunYcsbMultisite(Mode mode) {
+  core::EngineOptions opts = Options(mode, /*n_workers=*/4);
+  core::BionicDb engine(opts);
+  workload::Ycsb ycsb(&engine, MultisiteYcsb());
+  EXPECT_TRUE(ycsb.Setup().ok());
+  Rng rng(17);
+  host::TxnList txns;
+  for (uint32_t w = 0; w < opts.n_workers; ++w) {
+    for (uint64_t i = 0; i < 30; ++i) {
+      txns.emplace_back(w, ycsb.MakeTxn(&rng, w));
+    }
+  }
+  Outcome out;
+  out.run = host::RunToCompletion(&engine, txns);
+  out.final_now = engine.now();
+  StatsRegistry reg;
+  engine.CollectStats(&reg);
+  out.stats_json = reg.ToJson();
+  return out;
+}
+
+Outcome RunTpccMix(Mode mode) {
+  core::EngineOptions opts = Options(mode, /*n_workers=*/2);
+  opts.softcore.max_contexts = 4;
+  core::BionicDb engine(opts);
+  workload::Tpcc tpcc(&engine, workload::TpccTestOptions());
+  EXPECT_TRUE(tpcc.Setup().ok());
+  Rng rng(29);
+  host::TxnList txns;
+  for (uint32_t w = 0; w < opts.n_workers; ++w) {
+    for (uint64_t i = 0; i < 30; ++i) {
+      txns.emplace_back(w, tpcc.MakeMixed(&rng, w));
+    }
+  }
+  Outcome out;
+  out.run = host::RunToCompletion(&engine, txns);
+  out.final_now = engine.now();
+  StatsRegistry reg;
+  engine.CollectStats(&reg);
+  out.stats_json = reg.ToJson();
+  return out;
+}
+
+Outcome RunFaultChaos(Mode mode) {
+  // Every fault class on: DRAM spikes/stuck windows, bit flips, channel
+  // drop/dup/delay (auto-enabling the reliability layer), worker freezes.
+  // Every envelope class is exercised under retransmission and dedup.
+  fault::FaultConfig cfg;
+  cfg.seed = 41;
+  cfg.dram_spike_rate = 5e-4;
+  cfg.dram_spike_extra_cycles = 32;
+  cfg.dram_stuck_rate = 1e-4;
+  cfg.dram_stuck_duration = 64;
+  cfg.bitflip_rate = 2e-4;
+  cfg.comm_drop_rate = 2e-3;
+  cfg.comm_dup_rate = 1e-3;
+  cfg.comm_delay_rate = 1e-3;
+  cfg.comm_delay_cycles = 32;
+  cfg.worker_freeze_rate = 1e-4;
+  cfg.worker_freeze_cycles = 64;
+
+  core::EngineOptions opts = Options(mode, /*n_workers=*/2);
+  core::BionicDb engine(opts);
+  fault::FaultScheduler sched(cfg);
+  sched.Attach(&engine);
+  workload::Ycsb ycsb(&engine, MultisiteYcsb());
+  EXPECT_TRUE(ycsb.Setup().ok());
+  Rng rng(41);
+  host::TxnList txns;
+  for (uint32_t w = 0; w < opts.n_workers; ++w) {
+    for (uint64_t i = 0; i < 40; ++i) {
+      txns.emplace_back(w, ycsb.MakeTxn(&rng, w));
+    }
+  }
+  Outcome out;
+  out.run = host::RunToCompletion(&engine, txns);
+  EXPECT_GT(sched.events().size(), 0u);
+  out.final_now = engine.now();
+  StatsRegistry reg;
+  engine.CollectStats(&reg);
+  out.stats_json = reg.ToJson();
+  out.fault_digest = sched.ScheduleDigest();
+  sched.Detach();
+  return out;
+}
+
+template <typename Runner>
+void ThreeWay(Runner runner) {
+  const Outcome serial = runner(Mode::kSerial);
+  const Outcome event = runner(Mode::kEventDriven);
+  const Outcome parallel = runner(Mode::kParallel);
+  ASSERT_GT(serial.run.committed, 0u);
+  ExpectIdentical(serial, event, ModeName(Mode::kSerial),
+                  ModeName(Mode::kEventDriven));
+  ExpectIdentical(serial, parallel, ModeName(Mode::kSerial),
+                  ModeName(Mode::kParallel));
+}
+
+TEST(ModeEquivalence, YcsbMultisite) { ThreeWay(RunYcsbMultisite); }
+
+TEST(ModeEquivalence, TpccMix) { ThreeWay(RunTpccMix); }
+
+TEST(ModeEquivalence, FaultChaos) { ThreeWay(RunFaultChaos); }
+
+}  // namespace
+}  // namespace bionicdb

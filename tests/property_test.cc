@@ -48,13 +48,13 @@ TEST_P(HashInsertSurvival, AllInsertsSurvive) {
   sim.AddComponent(&coproc);
 
   sim::Addr scratch = sim.dram().Allocate(16 * n_ops);
-  std::vector<index::DbOp> ops;
+  std::vector<comm::Envelope> ops;
   for (uint32_t i = 0; i < n_ops; ++i) {
     uint8_t kb[8];
     db::EncodeKeyU64(1000 + i, kb);
     sim.dram().WriteBytes(scratch + 16 * i, kb, 8);
     sim.dram().Write64(scratch + 16 * i + 8, i);
-    index::DbOp op;
+    comm::IndexOp op;
     op.op = isa::Opcode::kInsert;
     op.table = 0;
     op.ts = 1;
@@ -62,15 +62,17 @@ TEST_P(HashInsertSurvival, AllInsertsSurvive) {
     op.key_len = 8;
     op.payload_src = scratch + 16 * i + 8;
     op.payload_len = 8;
-    op.cp_index = i;
-    ops.push_back(op);
+    comm::Header h;
+    h.cp_index = i;
+    ops.push_back(comm::Envelope(h, op));
   }
   size_t next = 0, done = 0;
   ASSERT_TRUE(sim.RunUntil(
       [&] {
         while (next < ops.size() && coproc.Submit(ops[next])) ++next;
         while (!coproc.results().empty()) {
-          EXPECT_EQ(coproc.results().front().status, isa::CpStatus::kOk);
+          EXPECT_EQ(coproc.results().front().index_result().status,
+                    isa::CpStatus::kOk);
           coproc.results().pop_front();
           ++done;
         }
@@ -115,7 +117,7 @@ TEST_P(SkiplistIntegrity, InvariantsAfterConcurrentInserts) {
   Rng rng(seed);
   constexpr uint32_t kOps = 48;
   sim::Addr scratch = sim.dram().Allocate(16 * kOps);
-  std::vector<index::DbOp> ops;
+  std::vector<comm::Envelope> ops;
   std::vector<uint64_t> keys;
   for (uint32_t i = 0; i < kOps; ++i) {
     // Clustered keys maximise shared insert paths (hazard pressure).
@@ -127,7 +129,7 @@ TEST_P(SkiplistIntegrity, InvariantsAfterConcurrentInserts) {
     uint8_t kb[8];
     db::EncodeKeyU64(key, kb);
     sim.dram().WriteBytes(scratch + 16 * i, kb, 8);
-    index::DbOp op;
+    comm::IndexOp op;
     op.op = isa::Opcode::kInsert;
     op.table = 0;
     op.ts = 1;
@@ -135,8 +137,9 @@ TEST_P(SkiplistIntegrity, InvariantsAfterConcurrentInserts) {
     op.key_len = 8;
     op.payload_src = scratch + 16 * i + 8;
     op.payload_len = 8;
-    op.cp_index = i;
-    ops.push_back(op);
+    comm::Header h;
+    h.cp_index = i;
+    ops.push_back(comm::Envelope(h, op));
   }
   size_t next = 0, done = 0;
   ASSERT_TRUE(sim.RunUntil(

@@ -91,9 +91,9 @@ class OneShotSender : public sim::Component {
       : sim::Component("sender"), fabric_(fabric), send_at_(send_at) {}
   void Tick(uint64_t now) override {
     if (!sent_ && now >= send_at_) {
-      index::DbOp op;
-      op.origin_worker = 0;
-      fabric_->SendRequest(now, 0, 1, op);
+      comm::Header h;
+      h.origin = 0;
+      fabric_->Send(now, 0, 1, comm::Envelope(h, comm::IndexOp{}));
       sent_ = true;
     }
   }
