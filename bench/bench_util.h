@@ -31,18 +31,48 @@
 namespace bionicdb::bench {
 
 struct BenchArgs {
+  /// Simulator execution mode for engine-backed runs (results are
+  /// bit-identical across all three; the flag exists so determinism can be
+  /// demonstrated — and CI can exercise every mode — from one binary).
+  enum class SimMode { kSerial, kEventDriven, kParallel };
+
   bool quick = false;
   /// Minimal run: one small configuration, no native baselines. Exercises
   /// the full measurement + JSON-report path in seconds for CI smoke.
   bool smoke = false;
   uint64_t seed = 42;
+  SimMode mode = SimMode::kSerial;
+
+  void ApplyMode(core::EngineOptions* opts) const {
+    switch (mode) {
+      case SimMode::kSerial:
+        break;
+      case SimMode::kEventDriven:
+        opts->timing.event_driven = true;
+        break;
+      case SimMode::kParallel:
+        opts->timing.parallel_hosts = 4;
+        break;
+    }
+  }
+
+  const char* ModeName() const {
+    switch (mode) {
+      case SimMode::kSerial: return "serial";
+      case SimMode::kEventDriven: return "event";
+      case SimMode::kParallel: return "parallel";
+    }
+    return "?";
+  }
 
   static void PrintUsage(const char* prog, std::FILE* out) {
     std::fprintf(out,
-                 "usage: %s [--quick] [--smoke] [--seed=N]\n"
+                 "usage: %s [--quick] [--smoke] [--seed=N] [--mode=M]\n"
                  "  --quick   smaller populations/transaction counts\n"
                  "  --smoke   minimal single-config run (implies --quick)\n"
                  "  --seed=N  workload RNG seed (default 42)\n"
+                 "  --mode=M  simulator mode: serial (default), event, "
+                 "parallel\n"
                  "  --help    show this message\n",
                  prog);
   }
@@ -55,6 +85,19 @@ struct BenchArgs {
       } else if (std::strcmp(argv[i], "--smoke") == 0) {
         args.smoke = true;
         args.quick = true;
+      } else if (std::strncmp(argv[i], "--mode=", 7) == 0) {
+        const char* m = argv[i] + 7;
+        if (std::strcmp(m, "serial") == 0) {
+          args.mode = SimMode::kSerial;
+        } else if (std::strcmp(m, "event") == 0) {
+          args.mode = SimMode::kEventDriven;
+        } else if (std::strcmp(m, "parallel") == 0) {
+          args.mode = SimMode::kParallel;
+        } else {
+          std::fprintf(stderr, "%s: bad value in '%s'\n", argv[0], argv[i]);
+          PrintUsage(argv[0], stderr);
+          std::exit(2);
+        }
       } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
         char* end = nullptr;
         args.seed = std::strtoull(argv[i] + 7, &end, 10);

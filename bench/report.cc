@@ -49,6 +49,7 @@ StatsRegistry& BenchReport::AddEngineRun(
     const host::ClosedLoopResult& result) {
   StatsRegistry& reg = AddRun(label);
   engine->CollectStats(&reg);
+  reg.SetCounter("run/submitted", result.submitted);
   reg.SetCounter("run/committed", result.committed);
   reg.SetCounter("run/failed", result.failed);
   reg.SetCounter("run/retries", result.retries);
@@ -57,6 +58,15 @@ StatsRegistry& BenchReport::AddEngineRun(
   reg.SetGauge("run/wall_seconds", result.wall_seconds);
   reg.SetGauge("run/sim_cycles_per_second", result.SimCyclesPerSecond());
   reg.SetSummary("run/latency_cycles", result.latency_cycles);
+  return reg;
+}
+
+StatsRegistry& BenchReport::AddEngineRun(const std::string& label,
+                                         core::BionicDb* engine,
+                                         const host::OpenLoopResult& result) {
+  StatsRegistry& reg = AddRun(label);
+  engine->CollectStats(&reg);
+  host::RecordOpenLoopStats(result, StatsScope(&reg, "run"));
   return reg;
 }
 

@@ -52,6 +52,12 @@ class BenchReport {
                               core::BionicDb* engine,
                               const host::ClosedLoopResult& result);
 
+  /// Same for an open-loop run (offered/goodput rates, shed counters, and
+  /// latency SLO gauges under "run/latency/...").
+  StatsRegistry& AddEngineRun(const std::string& label,
+                              core::BionicDb* engine,
+                              const host::OpenLoopResult& result);
+
   std::string ToJson() const;
 
   /// Writes BENCH_<name>.json in the current working directory.

@@ -9,7 +9,11 @@
 //    the per-message-class fabric counters (sent >= delivered per class);
 //  * every worker's cycle breakdown is exhaustive: busy + dram_stall +
 //    hazard_block + backpressure + idle (+ frozen, present only under
-//    fault injection) matches cycles/total within 1%.
+//    fault injection) matches cycles/total within 1%;
+//  * every open-loop run (marked by run/offered_tps) carries the latency
+//    SLO gauges (run/latency/p50|p99|p999, ordered), run/goodput and
+//    run/shed, with shed <= submitted, goodput <= offered load, and
+//    submitted == committed + failed + shed.
 //
 // Usage: validate_report <path> [<path>...]; exits non-zero on the first
 // failed file.
@@ -63,6 +67,63 @@ bool CheckFabricClasses(const std::string& path, const std::string& label,
                     label.c_str(), base.c_str(), delivered, sent);
       return Fail(path, buf);
     }
+  }
+  return true;
+}
+
+/// Open-loop runs (identified by run/offered_tps) must report the latency
+/// SLO fields, and the admission/shedding arithmetic must close: shedding
+/// can never exceed the offered transactions, goodput can never exceed the
+/// offered load, and every offered transaction must end in exactly one of
+/// committed/failed/shed.
+bool CheckOpenLoopRun(const std::string& path, const std::string& label,
+                      const json::Value& stats) {
+  double offered;
+  if (!Num(stats, "run/offered_tps", &offered)) return true;  // closed loop
+  double p50, p99, p999, goodput, shed, submitted, committed, failed;
+  if (!Num(stats, "run/latency/p50", &p50) ||
+      !Num(stats, "run/latency/p99", &p99) ||
+      !Num(stats, "run/latency/p999", &p999)) {
+    return Fail(path, "open-loop run '" + label +
+                          "': missing run/latency/p50|p99|p999");
+  }
+  if (!Num(stats, "run/goodput", &goodput)) {
+    return Fail(path, "open-loop run '" + label + "': missing run/goodput");
+  }
+  if (!Num(stats, "run/shed", &shed) ||
+      !Num(stats, "run/submitted", &submitted) ||
+      !Num(stats, "run/committed", &committed) ||
+      !Num(stats, "run/failed", &failed)) {
+    return Fail(path, "open-loop run '" + label +
+                          "': missing run/shed|submitted|committed|failed");
+  }
+  char buf[200];
+  if (p50 > p99 || p99 > p999) {
+    std::snprintf(buf, sizeof buf,
+                  "open-loop run '%s': latency quantiles out of order "
+                  "(p50 %.0f, p99 %.0f, p999 %.0f)",
+                  label.c_str(), p50, p99, p999);
+    return Fail(path, buf);
+  }
+  if (shed > submitted) {
+    std::snprintf(buf, sizeof buf,
+                  "open-loop run '%s': shed %.0f exceeds submitted %.0f",
+                  label.c_str(), shed, submitted);
+    return Fail(path, buf);
+  }
+  if (goodput > offered * (1 + 1e-9)) {
+    std::snprintf(buf, sizeof buf,
+                  "open-loop run '%s': goodput %.0f exceeds offered load "
+                  "%.0f",
+                  label.c_str(), goodput, offered);
+    return Fail(path, buf);
+  }
+  if (committed + failed + shed != submitted) {
+    std::snprintf(buf, sizeof buf,
+                  "open-loop run '%s': committed %.0f + failed %.0f + shed "
+                  "%.0f != submitted %.0f",
+                  label.c_str(), committed, failed, shed, submitted);
+    return Fail(path, buf);
   }
   return true;
 }
@@ -152,6 +213,7 @@ bool ValidateFile(const std::string& path) {
                   "run '" + label + "': missing run/sim_cycles_per_second");
     }
     if (!CheckFabricClasses(path, label, *stats)) return false;
+    if (!CheckOpenLoopRun(path, label, *stats)) return false;
     if (!workers->is_object() || workers->members().empty()) {
       return Fail(path, "run '" + label + "': empty workers tree");
     }

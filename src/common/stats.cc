@@ -28,6 +28,18 @@ uint64_t UniformBelow(uint64_t* state, uint64_t bound) {
   }
 }
 
+/// Uniform double in [0,1) from the deterministic mixer.
+double UnitDraw(uint64_t* state) {
+  return double(SplitMix64(state) >> 11) * 0x1.0p-53;
+}
+
+/// Deterministic Fisher-Yates shuffle driven by the summary's own state.
+void ShuffleDet(std::vector<double>* v, uint64_t* state) {
+  for (size_t i = v->size(); i > 1; --i) {
+    std::swap((*v)[i - 1], (*v)[UniformBelow(state, i)]);
+  }
+}
+
 }  // namespace
 
 void Summary::Add(double v) {
@@ -35,6 +47,23 @@ void Summary::Add(double v) {
   if (count_ == 0 || v > max_) max_ = v;
   ++count_;
   sum_ += v;
+  // Exact tail-histogram path (non-negative finite series only).
+  if (bucketable_) {
+    if (!(v >= 0) || !std::isfinite(v)) {
+      bucketable_ = false;
+    } else if (v < 1) {
+      ++below_one_;
+    } else {
+      if (tail_.empty()) tail_.assign(kTailOctaves * kTailSubBuckets, 0);
+      uint32_t octave = uint32_t(std::min(std::ilogb(v),
+                                          int(kTailOctaves) - 1));
+      // Sub-bucket from the mantissa: v / 2^octave is in [1, 2).
+      uint32_t sub = uint32_t((std::ldexp(v, -int(octave)) - 1.0) *
+                              kTailSubBuckets);
+      if (sub >= kTailSubBuckets) sub = kTailSubBuckets - 1;
+      ++tail_[octave * kTailSubBuckets + sub];
+    }
+  }
   ++seen_;
   if (reservoir_.size() < kReservoirSize) {
     reservoir_.push_back(v);
@@ -53,24 +82,71 @@ void Summary::MergeFrom(const Summary& other) {
     *this = other;
     return;
   }
-  const uint64_t merged_count = count_ + other.count_;
-  const double merged_sum = sum_ + other.sum_;
-  const double merged_min = std::min(min_, other.min_);
-  const double merged_max = std::max(max_, other.max_);
-  // Feed the other reservoir's elements through the regular sampling path
-  // (deterministic: this summary's own rng_state_ advances), then restore
-  // the exact aggregate moments Add approximated along the way.
-  for (double v : other.reservoir_) Add(v);
-  count_ = merged_count;
-  sum_ = merged_sum;
-  min_ = merged_min;
-  max_ = merged_max;
+  // Exact aggregate state: moments and the tail histogram add directly.
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  bucketable_ = bucketable_ && other.bucketable_;
+  below_one_ += other.below_one_;
+  if (!other.tail_.empty()) {
+    if (tail_.empty()) {
+      tail_ = other.tail_;
+    } else {
+      for (size_t i = 0; i < tail_.size(); ++i) tail_[i] += other.tail_[i];
+    }
+  }
+  // Weighted reservoir merge: both reservoirs are uniform samples of their
+  // streams, so draw each merged slot from one side with probability
+  // proportional to that side's remaining (unsampled) stream mass — the
+  // standard union algorithm for equal-size reservoirs. Each retained
+  // element stands for stream_count / retained_count originals.
+  if (reservoir_.size() + other.reservoir_.size() > kReservoirSize) {
+    std::vector<double> a = std::move(reservoir_);
+    std::vector<double> b = other.reservoir_;
+    ShuffleDet(&a, &rng_state_);
+    ShuffleDet(&b, &rng_state_);
+    double mass_a = double(seen_);
+    double mass_b = double(other.seen_);
+    const double per_a = mass_a / double(a.size());
+    const double per_b = mass_b / double(b.size());
+    std::vector<double> merged;
+    merged.reserve(kReservoirSize);
+    size_t ia = 0, ib = 0;
+    while (merged.size() < kReservoirSize &&
+           (ia < a.size() || ib < b.size())) {
+      bool take_a;
+      if (ia >= a.size()) {
+        take_a = false;
+      } else if (ib >= b.size()) {
+        take_a = true;
+      } else {
+        take_a = UnitDraw(&rng_state_) * (mass_a + mass_b) < mass_a;
+      }
+      if (take_a) {
+        merged.push_back(a[ia++]);
+        mass_a = std::max(0.0, mass_a - per_a);
+      } else {
+        merged.push_back(b[ib++]);
+        mass_b = std::max(0.0, mass_b - per_b);
+      }
+    }
+    reservoir_ = std::move(merged);
+  } else {
+    reservoir_.insert(reservoir_.end(), other.reservoir_.begin(),
+                      other.reservoir_.end());
+  }
+  seen_ = count_;
 }
 
 double Summary::Quantile(double q) const {
   if (reservoir_.empty()) return 0;
   if (!(q > 0)) q = 0;  // also maps NaN to 0
   if (q > 1) q = 1;
+  // Bucketed tail path once sampling has dropped elements: the reservoir's
+  // own p999 over <= 4096 slots is statistically meaningless for long
+  // series, while the bucket counts are exact.
+  if (reservoir_.size() != count_ && bucketable_) return TailQuantile(q);
   std::vector<double> sorted = reservoir_;
   std::sort(sorted.begin(), sorted.end());
   double pos = q * double(sorted.size() - 1);
@@ -78,6 +154,28 @@ double Summary::Quantile(double q) const {
   size_t hi = static_cast<size_t>(std::ceil(pos));
   double frac = pos - double(lo);
   return sorted[lo] * (1 - frac) + sorted[hi] * frac;
+}
+
+double Summary::TailQuantile(double q) const {
+  // Nearest-rank over the exact per-bucket counts; a rank inside a bucket
+  // reports the bucket midpoint (relative error <= kTailRelativeError).
+  const uint64_t rank = uint64_t(q * double(count_ - 1));
+  if (rank < below_one_) {
+    // [0,1) bucket: absolute error < 1; min_ is the best representative.
+    return min_;
+  }
+  uint64_t cum = below_one_;
+  for (size_t i = 0; i < tail_.size(); ++i) {
+    cum += tail_[i];
+    if (rank < cum) {
+      const uint32_t octave = uint32_t(i) / kTailSubBuckets;
+      const uint32_t sub = uint32_t(i) % kTailSubBuckets;
+      double mid = std::ldexp(1.0 + (double(sub) + 0.5) / kTailSubBuckets,
+                              int(octave));
+      return std::min(std::max(mid, min_), max_);
+    }
+  }
+  return max_;
 }
 
 void Histogram::Add(uint64_t v) {
@@ -160,6 +258,7 @@ void WriteLeaf(json::Writer* w, const Leaf& leaf) {
       w->Key("p50"); w->Value(s.Quantile(0.5));
       w->Key("p90"); w->Value(s.Quantile(0.9));
       w->Key("p99"); w->Value(s.Quantile(0.99));
+      w->Key("p999"); w->Value(s.Quantile(0.999));
       w->EndObject();
       return;
     }

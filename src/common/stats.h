@@ -14,16 +14,32 @@
 namespace bionicdb {
 
 /// Streaming summary of a scalar series: count/min/max/mean plus quantiles
-/// from a bounded reservoir.
+/// from a bounded reservoir, backed for non-negative series by an exact
+/// log-bucketed tail histogram so deep quantiles (p999) stay trustworthy
+/// when the series dwarfs the reservoir.
 class Summary {
  public:
+  /// Per-octave sub-buckets of the tail histogram. Each bucket spans a
+  /// 1/kTailSubBuckets slice of its power-of-two octave, so a bucketed
+  /// quantile (reported as the bucket midpoint) carries a relative error
+  /// of at most 1/(2*kTailSubBuckets) for values in [1, 2^kTailOctaves).
+  static constexpr uint32_t kTailSubBuckets = 16;
+  static constexpr uint32_t kTailOctaves = 64;
+
+  /// Documented worst-case relative error of a bucketed quantile
+  /// (= 1/32 ≈ 3.2%); values in [0,1) instead carry absolute error < 1.
+  static constexpr double kTailRelativeError = 0.5 / kTailSubBuckets;
+
   void Add(double v);
 
   /// Deterministically folds `other` into this summary. count/sum/min/max
-  /// combine exactly; the reservoir absorbs the other reservoir's elements
-  /// through the same sampling path Add uses. Merging into an empty
-  /// summary is an exact copy, so per-lane stats collected on one lane
-  /// merge bit-identically to having sampled on that lane directly.
+  /// and the tail histogram combine exactly; the reservoirs combine with a
+  /// weighted merge — each side contributes slots in proportion to the
+  /// total samples it has seen, not just the elements it retained — so
+  /// merged reservoir quantiles stay unbiased even when one side
+  /// summarized millions of samples. Merging into an empty summary is an
+  /// exact copy, so per-lane stats collected on one lane merge
+  /// bit-identically to having sampled on that lane directly.
   void MergeFrom(const Summary& other);
 
   uint64_t count() const { return count_; }
@@ -32,8 +48,12 @@ class Summary {
   double mean() const { return count_ ? sum_ / double(count_) : 0; }
   double sum() const { return sum_; }
 
-  /// Quantile from the reservoir sample (exact while the series is shorter
-  /// than the reservoir). `q` is clamped to [0,1]; an empty summary
+  /// Quantile estimate. Exact (sorted-sample interpolation) while every
+  /// sample is still retained in the reservoir; beyond that, non-negative
+  /// series use the exact per-bucket counts of the log-bucketed tail
+  /// histogram (relative error <= kTailRelativeError, clamped to the
+  /// observed [min,max]), and series containing negative values fall back
+  /// to the sampled reservoir. `q` is clamped to [0,1]; an empty summary
   /// reports 0.
   double Quantile(double q) const;
 
@@ -43,6 +63,10 @@ class Summary {
  private:
   static constexpr size_t kReservoirSize = 4096;
 
+  /// Quantile from the tail histogram's exact bucket counts (requires
+  /// bucketable_ and count_ > 0).
+  double TailQuantile(double q) const;
+
   uint64_t count_ = 0;
   double sum_ = 0;
   double min_ = 0;
@@ -50,6 +74,15 @@ class Summary {
   std::vector<double> reservoir_;
   uint64_t seen_ = 0;     // for reservoir sampling
   uint64_t rng_state_ = 0x9e3779b97f4a7c15ULL;  // deterministic sampler
+
+  // Exact tail histogram over every sample (not just the reservoir), for
+  // non-negative finite series: below_one_ counts samples in [0,1);
+  // tail_ (lazily allocated, kTailOctaves * kTailSubBuckets slots) counts
+  // samples >= 1 by (octave, sub-bucket). A negative or non-finite sample
+  // permanently disables the bucketed path for this summary.
+  uint64_t below_one_ = 0;
+  std::vector<uint64_t> tail_;
+  bool bucketable_ = true;
 };
 
 /// Fixed power-of-two latency histogram: bucket i counts samples in
@@ -99,7 +132,7 @@ class CounterSet {
 /// Hierarchical metric registry: every metric lives at a '/'-separated
 /// path ("workers/0/cycles/busy"), and ToJson() renders the whole tree as
 /// nested JSON objects. Leaves are counters (uint64), gauges (double) or
-/// summaries (rendered as {count,min,max,mean,p50,p90,p99}).
+/// summaries (rendered as {count,min,max,mean,p50,p90,p99,p999}).
 ///
 /// This is the collection surface between the simulated hardware and the
 /// bench reporters: components keep their cheap local CounterSet/Summary

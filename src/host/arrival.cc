@@ -1,0 +1,53 @@
+#include "host/arrival.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bionicdb::host {
+
+ArrivalProcess::ArrivalProcess(const ArrivalOptions& options, double clock_mhz)
+    : options_(options), rng_(options.seed) {
+  const double cycles_per_second = clock_mhz * 1e6;
+  const double mean_rate =
+      std::max(options.offered_tps, 1e-9) / cycles_per_second;  // per cycle
+  if (options_.process == ArrivalOptions::Process::kPoisson) {
+    base_interval_ = burst_interval_ = 1.0 / mean_rate;
+    return;
+  }
+  // MMPP-2: pick the base rate so that
+  //   base_rate * (1 - f) + multiplier * base_rate * f == mean_rate.
+  const double f = std::clamp(options.burst_fraction, 0.001, 0.999);
+  const double m = std::max(options.burst_multiplier, 1.0);
+  const double base_rate = mean_rate / (1.0 - f + m * f);
+  base_interval_ = 1.0 / base_rate;
+  burst_interval_ = 1.0 / (m * base_rate);
+  base_sojourn_ = options.mean_burst_cycles * (1.0 - f) / f;
+  state_end_ = ExpDraw(base_sojourn_);
+}
+
+double ArrivalProcess::ExpDraw(double mean_cycles) {
+  // Inverse CDF; 1 - u is in (0,1], so the log argument never hits zero.
+  return -std::log(1.0 - rng_.NextDouble()) * mean_cycles;
+}
+
+uint64_t ArrivalProcess::Next() {
+  if (options_.process == ArrivalOptions::Process::kPoisson) {
+    now_ += ExpDraw(base_interval_);
+    return uint64_t(now_);
+  }
+  for (;;) {
+    const double dt = ExpDraw(in_burst_ ? burst_interval_ : base_interval_);
+    if (now_ + dt <= state_end_) {
+      now_ += dt;
+      return uint64_t(now_);
+    }
+    // No arrival before the state switch: jump to it and redraw — exact for
+    // a Poisson process thanks to memorylessness.
+    now_ = state_end_;
+    in_burst_ = !in_burst_;
+    state_end_ = now_ + ExpDraw(in_burst_ ? options_.mean_burst_cycles
+                                          : base_sojourn_);
+  }
+}
+
+}  // namespace bionicdb::host

@@ -1,0 +1,73 @@
+// Seeded arrival-process generators for open-loop driving.
+//
+// Closed-loop harnesses (RunClosedLoop) regulate themselves: a slow server
+// slows its own clients, which hides queueing collapse. An open-loop client
+// keeps offering transactions at its own rate regardless of how the server
+// is doing — the model production OLTP systems are provisioned against.
+// These generators produce the arrival timeline for that client as a pure
+// function of their seed, in simulated cycles, so a sweep is bit-for-bit
+// reproducible and identical across the simulator's execution modes.
+#ifndef BIONICDB_HOST_ARRIVAL_H_
+#define BIONICDB_HOST_ARRIVAL_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+
+namespace bionicdb::host {
+
+struct ArrivalOptions {
+  enum class Process {
+    /// Memoryless arrivals at a constant rate (exponential inter-arrivals).
+    kPoisson,
+    /// Two-state Markov-modulated Poisson process: a base state and a
+    /// burst state with a higher rate, exponential sojourns in each. Same
+    /// long-run offered load as kPoisson, much heavier short-term queueing.
+    kBursty,
+  };
+
+  Process process = Process::kPoisson;
+  /// Offered load in transactions per second at the engine clock
+  /// (time-averaged over both states for kBursty).
+  double offered_tps = 1e6;
+  /// kBursty: burst-state arrival rate = multiplier x base-state rate.
+  double burst_multiplier = 8.0;
+  /// kBursty: long-run fraction of time spent in the burst state.
+  double burst_fraction = 0.125;
+  /// kBursty: mean burst sojourn in cycles. The base-state sojourn is
+  /// derived from burst_fraction so the long-run rate stays offered_tps.
+  double mean_burst_cycles = 20'000;
+  uint64_t seed = 42;
+};
+
+/// Deterministic arrival-time generator: each Next() call returns the
+/// absolute simulated cycle of the next arrival (non-decreasing). The
+/// timeline depends only on the options and the engine clock rate — never
+/// on what the simulator did with earlier arrivals.
+class ArrivalProcess {
+ public:
+  ArrivalProcess(const ArrivalOptions& options, double clock_mhz);
+
+  /// Cycle of the next arrival (relative to construction at cycle 0).
+  uint64_t Next();
+
+  const ArrivalOptions& options() const { return options_; }
+
+ private:
+  /// Exponential draw with the given mean, in cycles.
+  double ExpDraw(double mean_cycles);
+
+  ArrivalOptions options_;
+  Rng rng_;
+  double now_ = 0;  // continuous time in cycles
+  // kBursty state machine.
+  bool in_burst_ = false;
+  double state_end_ = 0;
+  double base_interval_ = 0;   // mean inter-arrival in the base state
+  double burst_interval_ = 0;  // ... in the burst state
+  double base_sojourn_ = 0;    // mean base-state sojourn
+};
+
+}  // namespace bionicdb::host
+
+#endif  // BIONICDB_HOST_ARRIVAL_H_

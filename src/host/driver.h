@@ -16,13 +16,17 @@
 #include "common/stats.h"
 #include "core/engine.h"
 #include "db/txn_block.h"
+#include "host/arrival.h"
 
 namespace bionicdb::host {
 
 struct RunResult {
   uint64_t submitted = 0;
   uint64_t committed = 0;
-  /// Transactions still aborted after the retry budget.
+  /// Transactions still aborted after the retry budget, or stuck mid-flight
+  /// when a Drain cycle budget ran out. submitted == committed + failed
+  /// holds on return — the driver aborts the process if its accounting
+  /// ever breaks that invariant.
   uint64_t failed = 0;
   uint64_t retries = 0;
   uint64_t cycles = 0;
@@ -74,9 +78,15 @@ struct ClosedLoopOptions {
 };
 
 struct ClosedLoopResult {
+  /// Transactions the loop handed to the engine (distinct blocks; in-place
+  /// retries of an aborted block are counted under `retries` instead).
+  uint64_t submitted = 0;
   uint64_t committed = 0;
-  /// Transactions dropped from the closed loop still aborted (only possible
-  /// with retry_aborts off — retried aborts either commit or run forever).
+  /// Transactions dropped from the closed loop: still aborted with
+  /// retry_aborts off, or still unfinished (queued, running, or mid-retry)
+  /// when max_cycles ran out. submitted == committed + failed always holds
+  /// on return — the driver aborts the process if its own accounting ever
+  /// breaks that invariant.
   uint64_t failed = 0;
   uint64_t retries = 0;
   uint64_t cycles = 0;
@@ -101,6 +111,86 @@ struct ClosedLoopResult {
 ClosedLoopResult RunClosedLoop(core::BionicDb* engine,
                                const TxnFactory& factory,
                                const ClosedLoopOptions& options);
+
+// --- Open-loop driving with admission control -----------------------------
+
+struct OpenLoopOptions {
+  /// Arrival process (Poisson or bursty MMPP) and offered load.
+  ArrivalOptions arrival;
+  /// Total transactions the client offers before the run winds down.
+  uint64_t total_txns = 2000;
+  /// Bounded per-worker admission queue: an arrival finding its worker's
+  /// queue full is shed immediately (counted, never executed).
+  uint32_t admission_queue_depth = 64;
+  /// Hardware-side outstanding blocks per worker; queued transactions wait
+  /// in the admission queue until a slot frees (that wait is part of the
+  /// measured latency).
+  uint32_t inflight_per_worker = 8;
+  /// Shed a queued transaction once its wait exceeds this (0 = no timeout).
+  uint64_t queue_timeout_cycles = 0;
+  /// Simulation quantum between arrival/completion checks; bounds both the
+  /// admission resolution and the latency measurement resolution.
+  uint64_t check_quantum_cycles = 50;
+  bool retry_aborts = true;
+  uint64_t max_cycles = 4ull << 30;
+};
+
+struct OpenLoopResult {
+  /// Arrivals the client offered to the system (admitted or not).
+  uint64_t submitted = 0;
+  /// Arrivals that entered an admission queue (submitted - shed_queue_full).
+  uint64_t admitted = 0;
+  /// Admitted transactions handed to the hardware input queues.
+  uint64_t dispatched = 0;
+  uint64_t committed = 0;
+  /// Dispatched transactions that did not commit: still aborted with
+  /// retry_aborts off, or in flight when max_cycles ran out.
+  uint64_t failed = 0;
+  /// Load-shedding total (= shed_queue_full + shed_timeout). The driver
+  /// aborts the process unless submitted == committed + failed + shed on
+  /// return.
+  uint64_t shed = 0;
+  uint64_t shed_queue_full = 0;
+  /// Queued longer than queue_timeout_cycles, or still queued at the
+  /// max_cycles deadline.
+  uint64_t shed_timeout = 0;
+  uint64_t retries = 0;
+  uint64_t cycles = 0;
+  /// Measured offered / committed rates over the elapsed cycles (0 when no
+  /// cycles elapsed — a zero-arrival run divides nothing).
+  double offered_tps = 0;
+  double goodput_tps = 0;
+  /// Host wall-clock seconds spent simulating this run.
+  double wall_seconds = 0;
+  /// Arrival-to-commit latency in cycles — from the generated arrival
+  /// instant (not admission, not dispatch), so admission-queue wait is
+  /// included. p999 is tail-exact via the Summary's bucketed path.
+  Summary latency_cycles;
+
+  /// Host-side simulation speed (simulated cycles per wall second).
+  double SimCyclesPerSecond() const {
+    return wall_seconds > 0 ? double(cycles) / wall_seconds : 0;
+  }
+};
+
+/// Drives the engine open-loop: transactions arrive on the seeded timeline
+/// of `options.arrival` regardless of how the engine keeps up, wait in a
+/// bounded per-worker admission queue (or are shed), and are dispatched to
+/// the hardware as inflight slots free. Deterministic for a fixed option
+/// set: the arrival timeline, worker routing and every reported stat are
+/// bit-identical across the simulator's serial, event-driven and parallel
+/// modes.
+OpenLoopResult RunOpenLoop(core::BionicDb* engine, const TxnFactory& factory,
+                           const OpenLoopOptions& options);
+
+/// Writes the open-loop run metrics under `scope` (the "run/..." subtree of
+/// a bench report): counters, offered/goodput rates, and the latency
+/// summary plus explicit latency/p50|p99|p999 gauges. Wall-clock fields
+/// (wall_seconds, sim_cycles_per_second) are host measurement provenance,
+/// not simulated results; `include_wall_clock = false` lets determinism
+/// tests compare the simulated portion byte-for-byte.
+void RecordOpenLoopStats(const OpenLoopResult& result, StatsScope scope,
+                         bool include_wall_clock = true);
 
 }  // namespace bionicdb::host
 

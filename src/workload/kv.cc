@@ -132,4 +132,8 @@ sim::Addr KvBench::MakeRemoveTxn(const std::vector<uint64_t>& keys) {
   return block.base();
 }
 
+std::function<sim::Addr(db::WorkerId)> KvBench::Factory(Rng* rng) {
+  return [this, rng](db::WorkerId w) { return MakeSearchTxn(rng, w); };
+}
+
 }  // namespace bionicdb::workload

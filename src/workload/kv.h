@@ -8,6 +8,7 @@
 #define BIONICDB_WORKLOAD_KV_H_
 
 #include <cstdint>
+#include <functional>
 
 #include "common/random.h"
 #include "common/status.h"
@@ -47,6 +48,11 @@ class KvBench {
   /// A transaction of `ops_per_txn` REMOVEs of the given keys (churn /
   /// tombstone exercise). `keys` must hold ops_per_txn entries.
   sim::Addr MakeRemoveTxn(const std::vector<uint64_t>& keys);
+
+  /// On-demand search-transaction generator in the host driver's
+  /// TxnFactory shape. `rng` and this workload must outlive the returned
+  /// function.
+  std::function<sim::Addr(db::WorkerId)> Factory(Rng* rng);
 
   const KvOptions& options() const { return options_; }
 

@@ -578,6 +578,10 @@ sim::Addr Tpcc::MakeMixed(Rng* rng, db::WorkerId home) {
   return rng->NextBool(0.5) ? MakeNewOrder(rng, home) : MakePayment(rng, home);
 }
 
+std::function<sim::Addr(db::WorkerId)> Tpcc::Factory(Rng* rng) {
+  return [this, rng](db::WorkerId home) { return MakeMixed(rng, home); };
+}
+
 sim::Addr Tpcc::MakeDelivery(Rng* rng, db::WorkerId home) {
   db::TxnBlock block = engine_->AllocateBlock(kDeliveryTxn);
   uint32_t dd = uint32_t(rng->NextUint64(options_.districts_per_warehouse));

@@ -20,6 +20,7 @@
 #define BIONICDB_WORKLOAD_TPCC_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/random.h"
@@ -73,6 +74,11 @@ class Tpcc {
   sim::Addr MakePayment(Rng* rng, db::WorkerId home);
   /// 50:50 mix, as in Fig. 9b.
   sim::Addr MakeMixed(Rng* rng, db::WorkerId home);
+
+  /// On-demand NewOrder/Payment-mix generator in the host driver's
+  /// TxnFactory shape. `rng` and this workload must outlive the returned
+  /// function.
+  std::function<sim::Addr(db::WorkerId)> Factory(Rng* rng);
 
   /// Extension: delivers the oldest undelivered order of one district —
   /// tombstones its NEW-ORDER row, stamps the carrier, marks each order

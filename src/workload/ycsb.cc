@@ -232,4 +232,8 @@ uint64_t Ycsb::SubmitBatch(Rng* rng, uint64_t n_per_worker) {
   return total;
 }
 
+std::function<sim::Addr(db::WorkerId)> Ycsb::Factory(Rng* rng) {
+  return [this, rng](db::WorkerId w) { return MakeTxn(rng, w); };
+}
+
 }  // namespace bionicdb::workload

@@ -14,6 +14,7 @@
 #define BIONICDB_WORKLOAD_YCSB_H_
 
 #include <cstdint>
+#include <functional>
 
 #include "common/random.h"
 #include "common/status.h"
@@ -58,6 +59,12 @@ class Ycsb {
 
   /// Submits `n` transactions per worker and returns total submitted.
   uint64_t SubmitBatch(Rng* rng, uint64_t n_per_worker);
+
+  /// On-demand generator in the host driver's TxnFactory shape (for the
+  /// closed/open-loop drivers, which pull transactions as slots free
+  /// instead of pre-populating blocks). `rng` and this workload must
+  /// outlive the returned function.
+  std::function<sim::Addr(db::WorkerId)> Factory(Rng* rng);
 
   uint64_t block_data_size() const { return block_data_size_; }
   const YcsbOptions& options() const { return options_; }
