@@ -70,6 +70,43 @@ StatsRegistry& BenchReport::AddEngineRun(const std::string& label,
   return reg;
 }
 
+StatsRegistry& BenchReport::AddClusterRun(const std::string& label,
+                                          cluster::ClusterDb* cluster,
+                                          const host::ClusterRunResult& result,
+                                          double multisite_fraction) {
+  StatsRegistry& reg = AddRun(label);
+  cluster->CollectStats(&reg);
+  // Cluster totals, exactly once. The result's top-level counters are
+  // already the per-chip sums (and its latency summary the weighted merge
+  // of the per-chip digests), so this must NOT add the chip rows on top —
+  // doing so would double-count every transaction.
+  reg.SetCounter("run/submitted", result.submitted);
+  reg.SetCounter("run/committed", result.committed);
+  reg.SetCounter("run/failed", result.failed);
+  reg.SetCounter("run/retries", result.retries);
+  reg.SetCounter("run/cycles", result.cycles);
+  reg.SetGauge("run/tps", result.tps);
+  reg.SetGauge("run/wall_seconds", result.wall_seconds);
+  reg.SetGauge("run/sim_cycles_per_second", result.SimCyclesPerSecond());
+  reg.SetSummary("run/latency_cycles", result.latency_cycles);
+  reg.SetGauge("run/latency/p50", result.latency_cycles.Quantile(0.5));
+  reg.SetGauge("run/latency/p99", result.latency_cycles.Quantile(0.99));
+  reg.SetCounter("run/cluster/n_chips", cluster->n_chips());
+  reg.SetCounter("run/cluster/workers_per_chip",
+                 cluster->workers_per_chip());
+  reg.SetGauge("run/cluster/multisite_fraction", multisite_fraction);
+  for (size_t c = 0; c < result.chips.size(); ++c) {
+    const auto& chip = result.chips[c];
+    const std::string p = "run/chips/" + std::to_string(c) + "/";
+    reg.SetCounter(p + "submitted", chip.submitted);
+    reg.SetCounter(p + "committed", chip.committed);
+    reg.SetCounter(p + "failed", chip.failed);
+    reg.SetCounter(p + "retries", chip.retries);
+    reg.SetSummary(p + "latency_cycles", chip.latency_cycles);
+  }
+  return reg;
+}
+
 std::string BenchReport::ToJson() const {
   // Assembled by hand: the run stats arrive as finished JSON blocks from
   // StatsRegistry::ToJson, spliced in with adjusted indentation.

@@ -25,6 +25,7 @@
 #include <utility>
 #include <vector>
 
+#include "cluster/cluster.h"
 #include "common/stats.h"
 #include "core/engine.h"
 #include "host/driver.h"
@@ -57,6 +58,18 @@ class BenchReport {
   StatsRegistry& AddEngineRun(const std::string& label,
                               core::BionicDb* engine,
                               const host::OpenLoopResult& result);
+
+  /// Records a cluster closed-loop run: the sharded engine's full stats
+  /// (including the `cluster/` and `fabric/interchip/` subtrees), the
+  /// merged run metrics under "run/..." — counted exactly once from the
+  /// already-merged cluster totals, never re-summed from the per-chip rows
+  /// — the cluster shape under "run/cluster/...", and the per-chip rows
+  /// under "run/chips/<c>/...". The run-level latency summary is the
+  /// count-weighted merge of the per-chip digests.
+  StatsRegistry& AddClusterRun(const std::string& label,
+                               cluster::ClusterDb* cluster,
+                               const host::ClusterRunResult& result,
+                               double multisite_fraction);
 
   std::string ToJson() const;
 

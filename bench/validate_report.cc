@@ -18,11 +18,13 @@
 // Usage: validate_report <path> [<path>...]; exits non-zero on the first
 // failed file.
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/json.h"
 
@@ -43,14 +45,16 @@ bool Num(const json::Value& stats, const std::string& key, double* out) {
 }
 
 /// Every engine run must expose the per-message-class fabric counters
-/// (fabric/<class>/sent|delivered|retransmitted for all four classes), and
-/// a class can never deliver more envelopes than were sent — retransmits
-/// are counted separately, and the reliability layer dedups duplicates
-/// before they reach an inbox.
+/// (fabric/<class>/sent|delivered|retransmitted for all eight classes,
+/// the 2PC classes included), and a class can never deliver more
+/// envelopes than were sent — retransmits are counted separately, and the
+/// reliability layer dedups duplicates before they reach an inbox.
 bool CheckFabricClasses(const std::string& path, const std::string& label,
                         const json::Value& stats) {
-  static const char* kClasses[] = {"index_op", "mem_op", "index_result",
-                                   "mem_result"};
+  static const char* kClasses[] = {"index_op",    "mem_op",
+                                   "index_result", "mem_result",
+                                   "prepare_req",  "prepare_ack",
+                                   "commit_req",   "commit_ack"};
   for (const char* cls : kClasses) {
     const std::string base = std::string("fabric/") + cls;
     double sent, delivered, retransmitted;
@@ -128,6 +132,129 @@ bool CheckOpenLoopRun(const std::string& path, const std::string& label,
   return true;
 }
 
+/// One cluster run's contribution to the cross-run scale-out check.
+struct ClusterRunPoint {
+  std::string label;
+  double n_chips = 0;
+  double fraction = 0;
+  double tps = 0;
+};
+
+/// Cluster runs (identified by run/cluster/n_chips) must close their
+/// accounting across chips: the per-chip rows sum exactly to the run
+/// totals (counted once — a double-counted merge would show up here as a
+/// 2x mismatch), every transaction ends committed or failed, and the
+/// merged latency quantiles are ordered. Multi-chip runs must also carry
+/// the inter-chip link counters with sent >= delivered per link.
+bool CheckClusterRun(const std::string& path, const std::string& label,
+                     const json::Value& stats, ClusterRunPoint* point) {
+  double n_chips;
+  if (!Num(stats, "run/cluster/n_chips", &n_chips)) return true;
+  double fraction, submitted, committed, failed, tps, p50, p99;
+  if (!Num(stats, "run/cluster/multisite_fraction", &fraction) ||
+      !Num(stats, "run/submitted", &submitted) ||
+      !Num(stats, "run/committed", &committed) ||
+      !Num(stats, "run/failed", &failed) || !Num(stats, "run/tps", &tps) ||
+      !Num(stats, "run/latency/p50", &p50) ||
+      !Num(stats, "run/latency/p99", &p99)) {
+    return Fail(path, "cluster run '" + label +
+                          "': missing run/cluster or run/ metrics");
+  }
+  char buf[220];
+  if (committed + failed != submitted) {
+    std::snprintf(buf, sizeof buf,
+                  "cluster run '%s': committed %.0f + failed %.0f != "
+                  "submitted %.0f",
+                  label.c_str(), committed, failed, submitted);
+    return Fail(path, buf);
+  }
+  if (p50 > p99) {
+    std::snprintf(buf, sizeof buf,
+                  "cluster run '%s': merged latency quantiles out of order "
+                  "(p50 %.0f > p99 %.0f)",
+                  label.c_str(), p50, p99);
+    return Fail(path, buf);
+  }
+  double chip_submitted = 0, chip_committed = 0, chip_failed = 0;
+  for (uint32_t c = 0; c < uint32_t(n_chips); ++c) {
+    const std::string p = "run/chips/" + std::to_string(c) + "/";
+    double s, k, f;
+    if (!Num(stats, p + "submitted", &s) || !Num(stats, p + "committed", &k) ||
+        !Num(stats, p + "failed", &f)) {
+      return Fail(path, "cluster run '" + label + "': missing " + p +
+                            "submitted|committed|failed");
+    }
+    chip_submitted += s;
+    chip_committed += k;
+    chip_failed += f;
+  }
+  if (chip_submitted != submitted || chip_committed != committed ||
+      chip_failed != failed) {
+    std::snprintf(buf, sizeof buf,
+                  "cluster run '%s': per-chip sums (%.0f/%.0f/%.0f) != run "
+                  "totals (%.0f/%.0f/%.0f) — double-counted merge?",
+                  label.c_str(), chip_submitted, chip_committed, chip_failed,
+                  submitted, committed, failed);
+    return Fail(path, buf);
+  }
+  if (n_chips > 1) {
+    bool any_link = false;
+    for (uint32_t s = 0; s < uint32_t(n_chips) && !any_link; ++s) {
+      for (uint32_t d = 0; d < uint32_t(n_chips); ++d) {
+        if (s == d) continue;
+        const std::string base = "fabric/interchip/c" + std::to_string(s) +
+                                 "_c" + std::to_string(d);
+        double sent, delivered, peak;
+        if (!Num(stats, base + "/sent", &sent) ||
+            !Num(stats, base + "/delivered", &delivered) ||
+            !Num(stats, base + "/queue_peak", &peak)) {
+          return Fail(path, "cluster run '" + label + "': missing " + base +
+                                "/sent|delivered|queue_peak");
+        }
+        if (sent < delivered) {
+          std::snprintf(buf, sizeof buf,
+                        "cluster run '%s' %s: delivered %.0f exceeds sent "
+                        "%.0f",
+                        label.c_str(), base.c_str(), delivered, sent);
+          return Fail(path, buf);
+        }
+        any_link = true;
+      }
+    }
+  }
+  point->label = label;
+  point->n_chips = n_chips;
+  point->fraction = fraction;
+  point->tps = tps;
+  return true;
+}
+
+/// Scale-out sanity across a report's cluster runs: at a fixed chip count,
+/// raising the multisite fraction can only cost throughput (2PC rounds
+/// replace single-chip commits), so tps must be monotone non-increasing in
+/// the fraction. A 5% slack absorbs workload-mix noise at nearby
+/// fractions.
+bool CheckClusterMonotonicity(const std::string& path,
+                              const std::vector<ClusterRunPoint>& points) {
+  for (size_t i = 0; i < points.size(); ++i) {
+    for (size_t j = i + 1; j < points.size(); ++j) {
+      const ClusterRunPoint& a = points[i];
+      const ClusterRunPoint& b = points[j];
+      if (a.n_chips != b.n_chips || a.fraction >= b.fraction) continue;
+      if (b.tps > a.tps * 1.05) {
+        char buf[220];
+        std::snprintf(buf, sizeof buf,
+                      "cluster runs '%s' -> '%s': tps rose %.0f -> %.0f as "
+                      "multisite fraction rose %.2f -> %.2f",
+                      a.label.c_str(), b.label.c_str(), a.tps, b.tps,
+                      a.fraction, b.fraction);
+        return Fail(path, buf);
+      }
+    }
+  }
+  return true;
+}
+
 bool CheckWorkerBreakdown(const std::string& path, const std::string& label,
                           const std::string& worker,
                           const json::Value& cycles) {
@@ -139,10 +266,13 @@ bool CheckWorkerBreakdown(const std::string& path, const std::string& label,
     return Fail(path, "run '" + label + "' worker " + worker +
                           ": incomplete cycle breakdown");
   }
-  // `frozen` exists only in fault-injection runs (optional, default 0).
+  // `frozen` exists only in fault-injection runs, `interchip_stall` only
+  // in multi-chip runs (both optional, default 0).
   double frozen = 0;
   Num(cycles, "frozen", &frozen);
-  double sum = busy + dram + hazard + bp + idle + frozen;
+  double interchip = 0;
+  Num(cycles, "interchip_stall", &interchip);
+  double sum = busy + dram + hazard + bp + idle + frozen + interchip;
   if (total <= 0) {
     return Fail(path,
                 "run '" + label + "' worker " + worker + ": zero cycles");
@@ -185,6 +315,7 @@ bool ValidateFile(const std::string& path) {
 
   size_t engine_runs = 0;
   size_t workers_checked = 0;
+  std::vector<ClusterRunPoint> cluster_points;
   for (const json::Value& run : runs->array()) {
     const json::Value* label_v = run.Find("label");
     const json::Value* stats = run.Find("stats");
@@ -214,6 +345,9 @@ bool ValidateFile(const std::string& path) {
     }
     if (!CheckFabricClasses(path, label, *stats)) return false;
     if (!CheckOpenLoopRun(path, label, *stats)) return false;
+    ClusterRunPoint point;
+    if (!CheckClusterRun(path, label, *stats, &point)) return false;
+    if (point.n_chips > 0) cluster_points.push_back(point);
     if (!workers->is_object() || workers->members().empty()) {
       return Fail(path, "run '" + label + "': empty workers tree");
     }
@@ -229,9 +363,11 @@ bool ValidateFile(const std::string& path) {
       ++workers_checked;
     }
   }
-  std::printf("%s: OK (%zu runs, %zu engine runs, %zu worker breakdowns)\n",
+  if (!CheckClusterMonotonicity(path, cluster_points)) return false;
+  std::printf("%s: OK (%zu runs, %zu engine runs, %zu worker breakdowns, "
+              "%zu cluster runs)\n",
               path.c_str(), runs->array().size(), engine_runs,
-              workers_checked);
+              workers_checked, cluster_points.size());
   return true;
 }
 

@@ -1,0 +1,64 @@
+#include "cluster/cluster.h"
+
+#include <string>
+
+namespace bionicdb::cluster {
+
+namespace {
+
+core::EngineOptions BuildEngineOptions(const ClusterOptions& options) {
+  core::EngineOptions opts = options.engine;
+  opts.n_workers = options.n_chips * options.workers_per_chip;
+  if (options.n_chips > 1) {
+    opts.cluster.workers_per_node = options.workers_per_chip;
+    opts.softcore.two_pc.workers_per_chip = options.workers_per_chip;
+  } else {
+    // Single chip: leave every cluster knob at its plain-engine default so
+    // the 1-chip point of a scale-out sweep is the unmodified engine.
+    opts.cluster.workers_per_node = 0;
+    opts.softcore.two_pc.workers_per_chip = 0;
+  }
+  return opts;
+}
+
+}  // namespace
+
+ClusterDb::ClusterDb(const ClusterOptions& options) : options_(options) {
+  engine_ = std::make_unique<core::BionicDb>(BuildEngineOptions(options_));
+}
+
+uint64_t ClusterDb::ChipCommitted(uint32_t chip) const {
+  uint64_t n = 0;
+  for (uint32_t w = 0; w < options_.workers_per_chip; ++w) {
+    n += engine_->worker(chip * options_.workers_per_chip + w)
+             .stats()
+             .committed;
+  }
+  return n;
+}
+
+uint64_t ClusterDb::ChipAborted(uint32_t chip) const {
+  uint64_t n = 0;
+  for (uint32_t w = 0; w < options_.workers_per_chip; ++w) {
+    n += engine_->worker(chip * options_.workers_per_chip + w)
+             .stats()
+             .aborted;
+  }
+  return n;
+}
+
+void ClusterDb::CollectStats(StatsRegistry* registry) const {
+  engine_->CollectStats(registry);
+  StatsScope root(registry, "");
+  StatsScope cluster = root.Sub("cluster");
+  cluster.SetCounter("n_chips", options_.n_chips);
+  cluster.SetCounter("workers_per_chip", options_.workers_per_chip);
+  StatsScope chips = cluster.Sub("chips");
+  for (uint32_t c = 0; c < options_.n_chips; ++c) {
+    StatsScope chip = chips.Sub(std::to_string(c));
+    chip.SetCounter("committed", ChipCommitted(c));
+    chip.SetCounter("aborted", ChipAborted(c));
+  }
+}
+
+}  // namespace bionicdb::cluster

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <string>
 
 namespace bionicdb::comm {
 
@@ -16,14 +17,20 @@ CommFabric::CommFabric(uint32_t n_workers, const sim::TimingConfig& timing,
       response_inbox_(n_workers),
       staged_(n_workers),
       stamped_requests_(n_workers),
-      stamped_responses_(n_workers) {}
+      stamped_responses_(n_workers) {
+  if (cluster_.workers_per_node > 0) {
+    n_chips_ = (n_workers_ + cluster_.workers_per_node - 1) /
+               cluster_.workers_per_node;
+  }
+  if (n_chips_ == 0) n_chips_ = 1;
+  links_.resize(size_t(n_chips_) * n_chips_);
+}
 
 uint64_t CommFabric::HopLatency(db::WorkerId src, db::WorkerId dst) const {
-  // Node-crossing messages take the inter-node link: one network hop plus
+  // Chip-crossing messages take the inter-chip tier: one network hop plus
   // an on-chip hop at each end.
-  if (cluster_.workers_per_node > 0 &&
-      src / cluster_.workers_per_node != dst / cluster_.workers_per_node) {
-    return cluster_.inter_node_cycles + 2ull * timing_.onchip_hop_cycles;
+  if (ChipOf(src) != ChipOf(dst)) {
+    return timing_.interchip_latency_cycles + 2ull * timing_.onchip_hop_cycles;
   }
   if (topology_ == Topology::kCrossbar) return timing_.onchip_hop_cycles;
   // Ring: shortest direction around the ring, one hop-latency per step.
@@ -38,16 +45,41 @@ uint64_t CommFabric::MinHopLatency() const {
   if (n_workers_ < 2) return timing_.onchip_hop_cycles;
   uint64_t min_hop = sim::kNeverWakes;
   for (uint32_t s = 0; s < n_workers_; ++s) {
-    for (uint32_t d = 0; d < n_workers_; ++d) {
-      if (s != d) min_hop = std::min(min_hop, HopLatency(s, d));
-    }
+    min_hop = std::min(min_hop, MinHopLatencyFrom(s));
+  }
+  return min_hop;
+}
+
+uint64_t CommFabric::MinHopLatencyFrom(uint32_t island) const {
+  if (n_workers_ < 2) return timing_.onchip_hop_cycles;
+  uint64_t min_hop = sim::kNeverWakes;
+  for (uint32_t d = 0; d < n_workers_; ++d) {
+    if (d != island) min_hop = std::min(min_hop, HopLatency(island, d));
   }
   return min_hop;
 }
 
 void CommFabric::Transmit(uint64_t now, db::WorkerId src, db::WorkerId dst,
                           const Envelope& env, std::deque<InFlight>* wire) {
-  uint64_t deliver_at = now + HopLatency(src, dst);
+  uint64_t depart = now;
+  const uint32_t src_chip = ChipOf(src);
+  const uint32_t dst_chip = ChipOf(dst);
+  if (src_chip != dst_chip) {
+    // Finite link bandwidth: one packet per interchip_issue_gap_cycles on
+    // each directed chip-pair link; later packets queue behind earlier
+    // ones. Queueing only pushes deliver_at later, so the epoch lookahead
+    // bound (send at s delivers no earlier than s + min hop) still holds.
+    LinkState& link = links_[size_t(src_chip) * n_chips_ + dst_chip];
+    const uint64_t gap = std::max<uint64_t>(
+        1, timing_.interchip_issue_gap_cycles);
+    if (link.next_free > now) {
+      uint64_t backlog = (link.next_free - now + gap - 1) / gap;
+      link.queue_peak = std::max(link.queue_peak, backlog);
+      depart = link.next_free;
+    }
+    link.next_free = depart + gap;
+  }
+  uint64_t deliver_at = depart + HopLatency(src, dst);
   FaultDecision fd;
   if (fault_hook_ != nullptr) {
     fd = fault_hook_->OnPacket(now, env.cls(), src, dst);
@@ -92,6 +124,11 @@ void CommFabric::SendNow(uint64_t now, db::WorkerId src, db::WorkerId dst,
            is_request ? &request_wire_ : &response_wire_);
   ++messages_sent_;
   ++class_sent_[size_t(env.cls())];
+  if (ChipOf(src) != ChipOf(dst)) {
+    // Logical inter-chip sends; retransmissions re-enter Transmit for
+    // bandwidth but are counted under fabric/<class>/retransmitted.
+    ++links_[size_t(ChipOf(src)) * n_chips_ + ChipOf(dst)].sent;
+  }
   counters_.Add(is_request ? "requests_sent" : "responses_sent");
 }
 
@@ -119,6 +156,10 @@ void CommFabric::DeliverWire(uint64_t cycle, std::deque<InFlight>* wire,
       // (serial/event-driven Tick, and EndEpoch's authoritative replay
       // where inboxes == nullptr), never in DeliverStamps.
       ++class_delivered_[size_t(it->env.cls())];
+      if (ChipOf(it->src) != ChipOf(it->dst)) {
+        ++links_[size_t(ChipOf(it->src)) * n_chips_ + ChipOf(it->dst)]
+              .delivered;
+      }
       if (inboxes != nullptr) (*inboxes)[it->dst].push_back(it->env);
       it = wire->erase(it);
     } else {
@@ -194,6 +235,20 @@ uint64_t CommFabric::NextDeliveryCycle() const {
   for (const auto& p : request_wire_) c = std::min(c, p.deliver_at);
   for (const auto& p : response_wire_) c = std::min(c, p.deliver_at);
   return c;
+}
+
+void CommFabric::NextDeliveryCyclesTo(
+    std::vector<uint64_t>* per_island) const {
+  std::fill(per_island->begin(), per_island->end(), sim::kNeverWakes);
+  auto scan = [per_island](const std::deque<InFlight>& wire) {
+    for (const auto& p : wire) {
+      if (p.dst < per_island->size()) {
+        (*per_island)[p.dst] = std::min((*per_island)[p.dst], p.deliver_at);
+      }
+    }
+  };
+  scan(request_wire_);
+  scan(response_wire_);
 }
 
 uint64_t CommFabric::NextInternalCycle() const {
@@ -350,6 +405,20 @@ void CommFabric::CollectStats(StatsScope scope) const {
     cls.SetCounter("sent", class_sent_[c]);
     cls.SetCounter("delivered", class_delivered_[c]);
     cls.SetCounter("retransmitted", class_retransmitted_[c]);
+  }
+  if (n_chips_ > 1) {
+    StatsScope interchip = scope.Sub("interchip");
+    for (uint32_t s = 0; s < n_chips_; ++s) {
+      for (uint32_t d = 0; d < n_chips_; ++d) {
+        if (s == d) continue;
+        const LinkState& link = links_[size_t(s) * n_chips_ + d];
+        StatsScope ls = interchip.Sub("c" + std::to_string(s) + "_c" +
+                                      std::to_string(d));
+        ls.SetCounter("sent", link.sent);
+        ls.SetCounter("delivered", link.delivered);
+        ls.SetCounter("queue_peak", link.queue_peak);
+      }
+    }
   }
   scope.MergeCounterSet(counters_);
 }

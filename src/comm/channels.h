@@ -78,12 +78,13 @@ class CommFabric : public sim::Component, public sim::EpochFabric {
   /// Multi-chip/multi-node deployment (paper section 4.6 future work:
   /// "the message-passing channels should be diversified with additional
   /// connectivities for inter-node communication"). Workers are grouped
-  /// into nodes of `workers_per_node`; messages crossing a node boundary
-  /// pay `inter_node_cycles` instead of the on-chip hop. 0 = single node.
+  /// into chips of `workers_per_node`; messages crossing a chip boundary
+  /// ride the inter-chip tier — TimingConfig::interchip_latency_cycles one
+  /// way plus an on-chip hop at each end, through a finite-bandwidth
+  /// directed link per chip pair (interchip_issue_gap_cycles per packet;
+  /// back-to-back packets queue). 0 = single chip, on-chip tier only.
   struct ClusterConfig {
     uint32_t workers_per_node = 0;
-    /// ~2 us one-way (RDMA-class network) at 125 MHz.
-    uint32_t inter_node_cycles = 250;
   };
 
   CommFabric(uint32_t n_workers, const sim::TimingConfig& timing,
@@ -124,7 +125,14 @@ class CommFabric : public sim::Component, public sim::EpochFabric {
 
   // --- sim::EpochFabric (parallel island execution; see sim/epoch.h) ----
   uint64_t MinHopLatency() const override;
+  /// Per-tier lookahead: the cheapest hop a packet SENT BY `island` can
+  /// take. On a multi-chip fabric an island whose only peers are across the
+  /// inter-chip tier contributes a lookahead of hundreds of cycles, letting
+  /// the PDES barrier widen epochs instead of clamping the whole cluster to
+  /// the on-chip 3-cycle bound.
+  uint64_t MinHopLatencyFrom(uint32_t island) const override;
   uint64_t NextDeliveryCycle() const override;
+  void NextDeliveryCyclesTo(std::vector<uint64_t>* per_island) const override;
   uint64_t NextInternalCycle() const override;
   void SetEpochMode(bool on) override { epoch_mode_ = on; }
   void BeginEpoch(uint64_t from, uint64_t to) override;
@@ -194,10 +202,17 @@ class CommFabric : public sim::Component, public sim::EpochFabric {
     uint64_t next_retransmit_at;
   };
 
-  /// Shared transmission path: consults the fault hook, then places the
-  /// packet (and any injected duplicate) on the wire.
+  /// Shared transmission path: charges inter-chip link bandwidth (packets
+  /// crossing chips depart when the directed link frees up), consults the
+  /// fault hook, then places the packet (and any injected duplicate) on
+  /// the wire.
   void Transmit(uint64_t now, db::WorkerId src, db::WorkerId dst,
                 const Envelope& env, std::deque<InFlight>* wire);
+
+  /// Chip index of a worker (0 when the cluster tier is off).
+  uint32_t ChipOf(db::WorkerId w) const {
+    return cluster_.workers_per_node > 0 ? w / cluster_.workers_per_node : 0;
+  }
 
   /// The real send path (sequence assignment, unacked tracking, Transmit,
   /// counters). Send calls it directly in serial operation and defers to
@@ -236,6 +251,19 @@ class CommFabric : public sim::Component, public sim::EpochFabric {
   sim::TimingConfig timing_;
   Topology topology_;
   ClusterConfig cluster_;
+  uint32_t n_chips_ = 1;
+
+  /// One directed finite-bandwidth link per ordered chip pair, indexed
+  /// src_chip * n_chips_ + dst_chip. Mutated only on the serial paths
+  /// (SendNow / Tick retransmits / EndEpoch replay), so all three
+  /// simulation modes see identical queueing.
+  struct LinkState {
+    uint64_t next_free = 0;   // first cycle the link can take a packet
+    uint64_t sent = 0;        // logical packets (retransmits excluded)
+    uint64_t delivered = 0;   // first deliveries
+    uint64_t queue_peak = 0;  // deepest backlog seen at enqueue, in packets
+  };
+  std::vector<LinkState> links_;
 
   std::deque<InFlight> request_wire_;
   std::deque<InFlight> response_wire_;

@@ -15,6 +15,10 @@
 //   kMemOp        request    MemOp          worker raw-memory service unit
 //   kIndexResult  response   IndexResult    softcore CP-register writeback
 //   kMemResult    response   MemResult      softcore remote-LOAD resume
+//   kPrepareReq   request    PrepareReq     worker 2PC participant unit
+//   kPrepareAck   response   PrepareAck     softcore 2PC coordinator
+//   kCommitReq    request    CommitReq      worker 2PC participant unit
+//   kCommitAck    response   CommitAck      softcore 2PC coordinator
 //
 // The variant alternative order IS the MessageClass encoding, so
 // `MessageClass(payload.index())` is the tag and no second discriminant can
@@ -24,6 +28,7 @@
 
 #include <cstdint>
 #include <variant>
+#include <vector>
 
 #include "cc/write_set.h"
 #include "db/types.h"
@@ -37,12 +42,17 @@ enum class MessageClass : uint8_t {
   kMemOp = 1,
   kIndexResult = 2,
   kMemResult = 3,
+  kPrepareReq = 4,
+  kPrepareAck = 5,
+  kCommitReq = 6,
+  kCommitAck = 7,
 };
 
-inline constexpr uint32_t kNumMessageClasses = 4;
+inline constexpr uint32_t kNumMessageClasses = 8;
 
 constexpr bool IsRequestClass(MessageClass c) {
-  return c == MessageClass::kIndexOp || c == MessageClass::kMemOp;
+  return c == MessageClass::kIndexOp || c == MessageClass::kMemOp ||
+         c == MessageClass::kPrepareReq || c == MessageClass::kCommitReq;
 }
 
 /// Stable lowercase name used for stats paths (fabric/<class>/...).
@@ -52,6 +62,10 @@ constexpr const char* MessageClassName(MessageClass c) {
     case MessageClass::kMemOp: return "mem_op";
     case MessageClass::kIndexResult: return "index_result";
     case MessageClass::kMemResult: return "mem_result";
+    case MessageClass::kPrepareReq: return "prepare_req";
+    case MessageClass::kPrepareAck: return "prepare_ack";
+    case MessageClass::kCommitReq: return "commit_req";
+    case MessageClass::kCommitAck: return "commit_ack";
   }
   return "unknown";
 }
@@ -109,10 +123,46 @@ struct MemResult {
   uint64_t value = 0;
 };
 
+/// 2PC phase 1: the coordinator (the softcore committing a multi-chip
+/// transaction) asks a participant worker on a foreign chip to vote on
+/// transaction `txn_ts` — globally unique, `(begin_cycle << 8) | worker`.
+struct PrepareReq {
+  db::Timestamp txn_ts = 0;
+};
+
+/// 2PC phase 1 response: the participant's vote. A "no" vote forces the
+/// coordinator to abort everywhere.
+struct PrepareAck {
+  db::Timestamp txn_ts = 0;
+  bool vote_commit = true;
+};
+
+/// 2PC phase 2: the coordinator's decision, carrying the write-set entries
+/// the participant's chip owns. Entries travel WITH the decision so an
+/// abort applies even when the matching PrepareReq was lost — the
+/// participant needs no per-transaction state before this message.
+struct CommitReq {
+  db::Timestamp txn_ts = 0;
+  bool commit = false;
+  std::vector<cc::WriteSetEntry> entries;
+};
+
+/// 2PC phase 2 response: the participant applied (or replayed its recorded
+/// decision for) `txn_ts`. Re-sent on duplicate CommitReq delivery.
+struct CommitAck {
+  db::Timestamp txn_ts = 0;
+};
+
 /// Routing/timing metadata, owned once per message. The transport and the
 /// reliability layer operate on nothing else.
 struct Header {
   db::WorkerId origin = 0;  // initiating worker: results route back to it
+  /// Worker that put this packet on the wire — stamped by the sender at
+  /// every fabric send (Reply echoes the request header, then the
+  /// responding worker re-stamps). 2PC coordinators match acks to
+  /// participants by it; workers classify returning cross-chip traffic
+  /// for the in-flight window by it. 0 until first stamped.
+  db::WorkerId src = 0;
   uint32_t cp_index = 0;    // physical CP register at the origin
   uint32_t txn_slot = 0;    // origin context slot (write-set routing)
   /// Cycle the origin worker put the REQUEST on the wire (0 = local
@@ -126,13 +176,19 @@ struct Header {
 
 struct Envelope {
   Header hdr;
-  std::variant<IndexOp, MemOp, IndexResult, MemResult> payload;
+  std::variant<IndexOp, MemOp, IndexResult, MemResult, PrepareReq,
+               PrepareAck, CommitReq, CommitAck>
+      payload;
 
   Envelope() = default;
   Envelope(Header h, IndexOp p) : hdr(h), payload(p) {}
   Envelope(Header h, MemOp p) : hdr(h), payload(p) {}
   Envelope(Header h, IndexResult p) : hdr(h), payload(p) {}
   Envelope(Header h, MemResult p) : hdr(h), payload(p) {}
+  Envelope(Header h, PrepareReq p) : hdr(h), payload(p) {}
+  Envelope(Header h, PrepareAck p) : hdr(h), payload(p) {}
+  Envelope(Header h, CommitReq p) : hdr(h), payload(std::move(p)) {}
+  Envelope(Header h, CommitAck p) : hdr(h), payload(p) {}
 
   MessageClass cls() const { return MessageClass(payload.index()); }
   bool is_request() const { return IsRequestClass(cls()); }
@@ -147,6 +203,18 @@ struct Envelope {
   }
   MemResult& mem_result() { return std::get<MemResult>(payload); }
   const MemResult& mem_result() const { return std::get<MemResult>(payload); }
+  PrepareReq& prepare_req() { return std::get<PrepareReq>(payload); }
+  const PrepareReq& prepare_req() const {
+    return std::get<PrepareReq>(payload);
+  }
+  PrepareAck& prepare_ack() { return std::get<PrepareAck>(payload); }
+  const PrepareAck& prepare_ack() const {
+    return std::get<PrepareAck>(payload);
+  }
+  CommitReq& commit_req() { return std::get<CommitReq>(payload); }
+  const CommitReq& commit_req() const { return std::get<CommitReq>(payload); }
+  CommitAck& commit_ack() { return std::get<CommitAck>(payload); }
+  const CommitAck& commit_ack() const { return std::get<CommitAck>(payload); }
 
   /// Builds a reply to `req` carrying `result`: the header is echoed
   /// (origin, cp_index, txn_slot, sent_at) so the response routes back to
@@ -169,9 +237,11 @@ struct Envelope {
 class IssuePort {
  public:
   virtual ~IssuePort() = default;
-  /// Returns false only when a local request could not be accepted this
-  /// cycle (coprocessor at its in-flight cap, DRAM backpressure) — the
-  /// caller keeps the envelope and retries. Fabric sends never block.
+  /// Returns false only when a request could not be accepted this cycle —
+  /// locally (coprocessor at its in-flight cap, DRAM backpressure) or, for
+  /// cross-chip destinations, when the worker's inter-chip in-flight window
+  /// is full — the caller keeps the envelope and retries. Same-chip fabric
+  /// sends never block.
   virtual bool Issue(db::WorkerId dst, const Envelope& env) = 0;
 };
 

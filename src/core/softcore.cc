@@ -135,12 +135,15 @@ void Softcore::Tick(uint64_t now) {
       return;
     }
     case State::kDispatchRetry:
-      if (port_->Issue(worker_id_, pending_op_)) {
+      if (port_->Issue(pending_partition_, pending_op_)) {
         ++contexts_[cur_ctx_].outstanding_db;
         state_ = State::kRunning;
         busy_until_ = now + 1;
       } else {
-        counters_.Add("dispatch_stall_cycles");
+        counters_.Add(
+            ChipOfWorker(pending_partition_) != ChipOfWorker(worker_id_)
+                ? "interchip_window_stall_cycles"
+                : "dispatch_stall_cycles");
       }
       return;
     case State::kSwitching: {
@@ -152,6 +155,72 @@ void Softcore::Tick(uint64_t now) {
                              : ctx.proc->program.commit_entry();
       }
       state_ = State::kRunning;
+      return;
+    }
+    case State::kTwoPcPrepare: {
+      for (TwoPcRun::Participant& p : twopc_.parts) {
+        if (p.acked || p.sent) continue;
+        comm::Header h;
+        h.origin = worker_id_;
+        h.txn_slot = cur_ctx_;
+        if (!port_->Issue(p.worker,
+                          comm::Envelope(h, comm::PrepareReq{twopc_.ts}))) {
+          // Inter-chip send window full; retry the remaining participants
+          // next cycle.
+          counters_.Add("interchip_window_stall_cycles");
+          return;
+        }
+        p.sent = true;
+      }
+      if (twopc_.acks == twopc_.parts.size()) {
+        twopc_.decision_commit = !twopc_.vote_abort;
+        EnterDecisionPhase(now);
+        return;
+      }
+      if (now >= twopc_.deadline) {
+        // Vote round trip overdue: presume a participant unreachable and
+        // abort everywhere. Participants hold no locks pre-decision, so a
+        // unilateral coordinator abort is always safe.
+        twopc_.decision_commit = false;
+        counters_.Add("twopc_prepare_timeouts");
+        EnterDecisionPhase(now);
+        return;
+      }
+      counters_.Add("twopc_prepare_wait_cycles");
+      return;
+    }
+    case State::kTwoPcDecide: {
+      for (TwoPcRun::Participant& p : twopc_.parts) {
+        if (p.acked || p.sent) continue;
+        comm::Header h;
+        h.origin = worker_id_;
+        h.txn_slot = cur_ctx_;
+        comm::CommitReq req;
+        req.txn_ts = twopc_.ts;
+        req.commit = twopc_.decision_commit;
+        req.entries = p.entries;
+        if (!port_->Issue(p.worker, comm::Envelope(h, std::move(req)))) {
+          counters_.Add("interchip_window_stall_cycles");
+          return;
+        }
+        p.sent = true;
+      }
+      if (twopc_.acks == twopc_.parts.size()) {
+        FinishTxn(now, twopc_.decision_commit);
+        return;
+      }
+      if (now >= twopc_.next_resend) {
+        // The decision must reach every participant; re-send to the
+        // unacked ones (their decision record makes re-application a
+        // no-op + re-ack).
+        for (TwoPcRun::Participant& p : twopc_.parts) {
+          if (!p.acked) p.sent = false;
+        }
+        counters_.Add("twopc_decision_resends");
+        twopc_.next_resend = now + config_.two_pc.decision_resend_cycles;
+        return;
+      }
+      counters_.Add("twopc_decision_wait_cycles");
       return;
     }
   }
@@ -435,6 +504,7 @@ void Softcore::Execute(uint64_t now) {
         counters_.Add("commit_wait_cycles");
         return;  // all DB instructions must have returned
       }
+      if (StartTwoPc(now, /*want_commit=*/true)) return;
       for (const cc::WriteSetEntry& e : ctx.write_set) {
         if (!dram_->IsLocalTo(e.tuple_addr, worker_id_)) {
           // Remote tuple: publication executes on the owning island (it
@@ -464,6 +534,7 @@ void Softcore::Execute(uint64_t now) {
         counters_.Add("abort_wait_cycles");
         return;  // late results may still add write-set entries
       }
+      if (StartTwoPc(now, /*want_commit=*/false)) return;
       for (const cc::WriteSetEntry& e : ctx.write_set) {
         if (!dram_->IsLocalTo(e.tuple_addr, worker_id_)) {
           comm::Envelope env =
@@ -533,17 +604,140 @@ void Softcore::ExecuteDb(uint64_t now, const isa::Instruction& inst) {
   ++ctx.pc;
   busy_until_ = now + timing_.db_dispatch_cycles;
 
-  // One dispatch surface for both destinations: Issue can only reject a
-  // LOCAL request (coprocessor at its in-flight cap); fabric sends never
-  // block.
+  // One dispatch surface for both destinations: Issue rejects a LOCAL
+  // request when the coprocessor is at its in-flight cap, and a CROSS-CHIP
+  // request when the worker's inter-chip send window is full; same-chip
+  // fabric sends never block.
   comm::Envelope env(hdr, op);
   if (!port_->Issue(partition, env)) {
     pending_op_ = env;
+    pending_partition_ = partition;
     state_ = State::kDispatchRetry;
     return;
   }
   ++ctx.outstanding_db;
   if (partition != worker_id_) counters_.Add("remote_dispatches");
+}
+
+bool Softcore::StartTwoPc(uint64_t now, bool want_commit) {
+  if (config_.two_pc.workers_per_chip == 0) return false;
+  TxnContext& ctx = contexts_[cur_ctx_];
+  const uint32_t my_chip = ChipOfWorker(worker_id_);
+  twopc_.parts.clear();
+  for (const cc::WriteSetEntry& e : ctx.write_set) {
+    const uint32_t owner = dram_->OwnerPartition(e.tuple_addr);
+    if (ChipOfWorker(owner) == my_chip) continue;
+    TwoPcRun::Participant* part = nullptr;
+    for (TwoPcRun::Participant& p : twopc_.parts) {
+      if (p.worker == owner) {
+        part = &p;
+        break;
+      }
+    }
+    if (part == nullptr) {
+      twopc_.parts.push_back(TwoPcRun::Participant{});
+      part = &twopc_.parts.back();
+      part->worker = db::WorkerId(owner);
+    }
+    part->entries.push_back(e);
+  }
+  if (twopc_.parts.empty()) return false;
+  twopc_.ts = ctx.ts;
+  twopc_.acks = 0;
+  twopc_.vote_abort = false;
+  counters_.Add("twopc_started");
+  if (!want_commit) {
+    // The coordinator already decided abort (handler divert): phase 1
+    // gathers votes only to decide, so it is skipped entirely.
+    twopc_.decision_commit = false;
+    EnterDecisionPhase(now);
+    return true;
+  }
+  twopc_.deadline = now + config_.two_pc.prepare_timeout_cycles;
+  state_ = State::kTwoPcPrepare;
+  return true;
+}
+
+void Softcore::EnterDecisionPhase(uint64_t now) {
+  TxnContext& ctx = contexts_[cur_ctx_];
+  const uint32_t my_chip = ChipOfWorker(worker_id_);
+  const bool commit = twopc_.decision_commit;
+  // Chip-local entries follow the classic publication paths; foreign-chip
+  // entries travel inside the CommitReq and apply at the participant.
+  uint64_t local_applies = 0;
+  for (const cc::WriteSetEntry& e : ctx.write_set) {
+    if (ChipOfWorker(dram_->OwnerPartition(e.tuple_addr)) != my_chip) {
+      continue;
+    }
+    if (!dram_->IsLocalTo(e.tuple_addr, worker_id_)) {
+      comm::Envelope env = MakeMemOp(
+          commit ? comm::MemOp::Kind::kCommit : comm::MemOp::Kind::kAbort,
+          e.tuple_addr);
+      env.mem_op().write_kind = e.kind;
+      if (commit) env.mem_op().commit_ts = ctx.ts;
+      port_->Issue(dram_->OwnerPartition(e.tuple_addr), env);
+      counters_.Add(commit ? "remote_commit_publishes"
+                           : "remote_abort_rollbacks");
+      continue;
+    }
+    if (commit) {
+      cc::ApplyCommit(dram_, e, ctx.ts);
+    } else {
+      cc::ApplyAbort(dram_, e);
+    }
+    dram_->Issue(now, e.tuple_addr, true, nullptr, 0);
+    ++local_applies;
+  }
+  db::TxnBlock block(dram_, ctx.block_base);
+  block.set_state(commit ? db::TxnState::kCommitted : db::TxnState::kAborted);
+  if (commit) block.set_commit_ts(ctx.ts);
+  dram_->Issue(now, ctx.block_base, true, nullptr, 0);
+  busy_until_ = now + timing_.cpu_instruction_cycles + local_applies;
+  for (TwoPcRun::Participant& p : twopc_.parts) {
+    p.sent = false;
+    p.acked = false;
+  }
+  twopc_.acks = 0;
+  twopc_.next_resend = now + config_.two_pc.decision_resend_cycles;
+  state_ = State::kTwoPcDecide;
+  counters_.Add(commit ? "twopc_commits" : "twopc_aborts");
+}
+
+void Softcore::HandlePrepareAck(uint64_t now, const comm::Envelope& env) {
+  (void)now;
+  const comm::PrepareAck& ack = env.prepare_ack();
+  if (state_ != State::kTwoPcPrepare || ack.txn_ts != twopc_.ts) {
+    counters_.Add("twopc_stale_acks");
+    return;
+  }
+  for (TwoPcRun::Participant& p : twopc_.parts) {
+    if (p.worker != env.hdr.src) continue;
+    if (!p.acked) {
+      p.acked = true;
+      ++twopc_.acks;
+      if (!ack.vote_commit) twopc_.vote_abort = true;
+    }
+    return;
+  }
+  counters_.Add("twopc_stale_acks");
+}
+
+void Softcore::HandleCommitAck(uint64_t now, const comm::Envelope& env) {
+  (void)now;
+  const comm::CommitAck& ack = env.commit_ack();
+  if (state_ != State::kTwoPcDecide || ack.txn_ts != twopc_.ts) {
+    counters_.Add("twopc_stale_acks");
+    return;
+  }
+  for (TwoPcRun::Participant& p : twopc_.parts) {
+    if (p.worker != env.hdr.src) continue;
+    if (!p.acked) {
+      p.acked = true;
+      ++twopc_.acks;
+    }
+    return;
+  }
+  counters_.Add("twopc_stale_acks");
 }
 
 void Softcore::FinishTxn(uint64_t now, bool committed) {
@@ -683,6 +877,22 @@ uint64_t Softcore::NextWakeCycle(uint64_t now) const {
       return cp_valid_[contexts_[cur_ctx_].cp_base + pending_inst_.rs1]
                  ? now + 1
                  : sim::kNeverWakes;
+    case State::kTwoPcPrepare: {
+      for (const TwoPcRun::Participant& p : twopc_.parts) {
+        if (!p.acked && !p.sent) return now + 1;  // send loop acts
+      }
+      if (twopc_.acks == twopc_.parts.size()) return now + 1;
+      // Acks wake through the worker's fabric delivery; the only
+      // self-scheduled event is the vote timeout.
+      return twopc_.deadline;
+    }
+    case State::kTwoPcDecide: {
+      for (const TwoPcRun::Participant& p : twopc_.parts) {
+        if (!p.acked && !p.sent) return now + 1;
+      }
+      if (twopc_.acks == twopc_.parts.size()) return now + 1;
+      return twopc_.next_resend;
+    }
   }
   return now + 1;
 }
@@ -691,6 +901,16 @@ void Softcore::SkipCycles(uint64_t now, uint64_t count) {
   if (busy_until_ > now + 1) return;  // timer cycles have no accounting
   if (state_ == State::kWaitCp) {
     counters_.Add("ret_wait_cycles", count);
+    return;
+  }
+  if (state_ == State::kTwoPcPrepare) {
+    // Only the all-sent ack wait is ever skipped (unsent participants pin
+    // the wake to now + 1); mirrors the per-tick wait counter exactly.
+    counters_.Add("twopc_prepare_wait_cycles", count);
+    return;
+  }
+  if (state_ == State::kTwoPcDecide) {
+    counters_.Add("twopc_decision_wait_cycles", count);
     return;
   }
   if (state_ == State::kRunning) {

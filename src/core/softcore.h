@@ -50,6 +50,31 @@ class Softcore {
     uint32_t max_contexts = 32;
     uint32_t n_gp_regs = 256;
     uint32_t n_cp_regs = 256;
+
+    /// Multi-chip two-phase commit (DESIGN.md section 14). Workers are
+    /// grouped into chips of `workers_per_chip` (matching the fabric's
+    /// ClusterConfig); a COMMIT/ABORT whose write-set touches a foreign
+    /// chip runs 2PC — PrepareReq/PrepareAck voting, then CommitReq
+    /// carrying the decision plus that chip's write-set entries — instead
+    /// of the fire-and-forget kMemOp publication used within a chip.
+    /// 0 = single chip, 2PC never engages.
+    struct TwoPc {
+      uint32_t workers_per_chip = 0;
+      /// Coordinator abort deadline for the vote phase. Must exceed the
+      /// inter-chip round trip plus fabric retransmit timeouts by a wide
+      /// margin or fault-free transactions spuriously abort.
+      uint64_t prepare_timeout_cycles = 50000;
+      /// Decision re-send period while CommitAcks are missing. The
+      /// decision can never be abandoned (participants must learn it), so
+      /// this resends forever; exactly-once apply lives at the
+      /// participant. Keep above the fabric retransmit timeout.
+      uint64_t decision_resend_cycles = 8192;
+      /// Worker-side cap on in-flight cross-chip requests (kIndexOp /
+      /// kPrepareReq / kCommitReq); a full window rejects the Issue and
+      /// the softcore retries, charged as interchip backpressure.
+      uint32_t interchip_window = 32;
+    };
+    TwoPc two_pc;
   };
 
   struct BatchStats {
@@ -79,6 +104,12 @@ class Softcore {
   /// routes kMemResult envelopes here rather than through WriteCp.
   void CompleteRemoteLoad(uint64_t now, const comm::Envelope& result);
 
+  /// 2PC coordinator ack intake (kPrepareAck / kCommitAck envelopes routed
+  /// by the worker). Acks for a transaction that already finished — late
+  /// duplicates after fabric retransmission — are counted and dropped.
+  void HandlePrepareAck(uint64_t now, const comm::Envelope& env);
+  void HandleCommitAck(uint64_t now, const comm::Envelope& env);
+
   void Tick(uint64_t now);
   bool Idle() const;
 
@@ -104,6 +135,7 @@ class Softcore {
     kDramWait,         // ingest or LOAD waiting on (or rejected by) DRAM
     kCpWait,           // RET blocked on a pending CP register
     kDispatchBlocked,  // local coprocessor at its in-flight cap
+    kInterchipWait,    // 2PC vote/decision round trip or full send window
     kIdle,             // no work
   };
   WaitKind wait_kind(uint64_t now) const {
@@ -119,11 +151,23 @@ class Softcore {
       case State::kWaitCp:
         return WaitKind::kCpWait;
       case State::kDispatchRetry:
-        return WaitKind::kDispatchBlocked;
+        return ChipOfWorker(pending_partition_) != ChipOfWorker(worker_id_)
+                   ? WaitKind::kInterchipWait
+                   : WaitKind::kDispatchBlocked;
+      case State::kTwoPcPrepare:
+      case State::kTwoPcDecide:
+        return WaitKind::kInterchipWait;
       case State::kIdle:
         return WaitKind::kIdle;
     }
     return WaitKind::kIdle;
+  }
+
+  /// Chip index of a worker under the 2PC grouping (0 when off).
+  uint32_t ChipOfWorker(uint32_t w) const {
+    return config_.two_pc.workers_per_chip > 0
+               ? w / config_.two_pc.workers_per_chip
+               : 0;
   }
 
   /// Dumps execution counters and batch statistics under `scope`.
@@ -137,8 +181,10 @@ class Softcore {
     kRunning,     // executing instructions
     kMemWait,     // LOAD waiting on DRAM
     kWaitCp,      // RET blocked on a pending CP register
-    kDispatchRetry,  // local coprocessor was at capacity
+    kDispatchRetry,  // local coprocessor at capacity / send window full
     kSwitching,   // context switch in progress
+    kTwoPcPrepare,  // 2PC coordinator: sending PrepareReqs / awaiting votes
+    kTwoPcDecide,   // 2PC coordinator: sending decision / awaiting acks
   };
 
   enum class Phase : uint8_t { kLogic, kHandlers };
@@ -182,6 +228,16 @@ class Softcore {
   /// Builds a raw-memory kMemOp envelope (remote LOAD/STORE/commit
   /// publication) addressed by the caller to the partition owning `addr`.
   comm::Envelope MakeMemOp(comm::MemOp::Kind kind, sim::Addr addr);
+  /// Engages 2PC for the current context's COMMIT/ABORT when its write-set
+  /// spans foreign chips: groups those entries per participant worker and
+  /// enters the vote phase (commit) or goes straight to the decision phase
+  /// (abort — no votes needed). Returns false when 2PC is off or all
+  /// entries are chip-local, leaving the caller on the classic path.
+  bool StartTwoPc(uint64_t now, bool want_commit);
+  /// Applies the decision to every chip-local write-set entry (existing
+  /// local / same-chip kMemOp paths), stamps the transaction block, and
+  /// arms the decision send loop toward the foreign participants.
+  void EnterDecisionPhase(uint64_t now);
   void ResetBatch();
   void CompleteRet(uint64_t now, const isa::Instruction& inst);
   /// Dynamic scheduling helpers.
@@ -228,6 +284,25 @@ class Softcore {
   sim::Addr pending_block_ = sim::kNullAddr;
   uint32_t switch_target_ = 0;
   Phase switch_phase_ = Phase::kLogic;
+
+  /// The single active 2PC run (the commit phase revisits transactions
+  /// serially, so at most one COMMIT/ABORT is ever in flight).
+  struct TwoPcRun {
+    db::Timestamp ts = 0;
+    bool decision_commit = false;
+    bool vote_abort = false;  // any participant voted no
+    uint64_t deadline = 0;     // prepare-phase abort deadline
+    uint64_t next_resend = 0;  // decision-phase re-send deadline
+    uint32_t acks = 0;
+    struct Participant {
+      db::WorkerId worker = 0;
+      std::vector<cc::WriteSetEntry> entries;
+      bool sent = false;   // current phase's request is on the wire
+      bool acked = false;  // current phase's ack arrived
+    };
+    std::vector<Participant> parts;
+  };
+  TwoPcRun twopc_;
 
   BatchStats stats_;
   CounterSet counters_;

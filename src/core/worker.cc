@@ -14,6 +14,7 @@ PartitionWorker::PartitionWorker(db::Database* db, db::WorkerId id,
       id_(id),
       fabric_(fabric),
       dram_(db->dram()) {
+  two_pc_ = softcore_config.two_pc;
   coproc_ = std::make_unique<index::IndexCoprocessor>(db, id, coproc_config);
   softcore_ = std::make_unique<Softcore>(db, id, timing, softcore_config,
                                          this);
@@ -22,13 +23,30 @@ PartitionWorker::PartitionWorker(db::Database* db, db::WorkerId id,
 bool PartitionWorker::Issue(db::WorkerId dst, const comm::Envelope& env) {
   if (dst != id_) {
     // Fabric send. Requests get the wire-out cycle stamped for RTT
-    // measurement; responses echo the request's stamp untouched.
+    // measurement; responses echo the request's stamp untouched. Every
+    // fabric send (re-)stamps hdr.src with this worker's id so receivers
+    // can attribute the packet (2PC ack matching, window accounting).
+    const comm::MessageClass cls = env.cls();
+    if (ChipOfWorker(dst) != ChipOfWorker(id_) &&
+        (cls == comm::MessageClass::kIndexOp ||
+         cls == comm::MessageClass::kPrepareReq ||
+         cls == comm::MessageClass::kCommitReq)) {
+      // Cross-chip request: bounded in-flight window per worker. A full
+      // window rejects the Issue — the caller retries, charging the
+      // interchip-backpressure bucket. Responses and posted kMemOps are
+      // exempt (rejecting them would wedge the request/response pairing).
+      if (interchip_inflight_ >= two_pc_.interchip_window) return false;
+      ++interchip_inflight_;
+    }
     comm::Envelope stamped = env;
     if (stamped.is_request()) stamped.hdr.sent_at = now_;
+    stamped.hdr.src = id_;
     fabric_->Send(now_, id_, dst, stamped);
     return true;
   }
-  // Local apply, dispatched purely on message class.
+  // Local apply, dispatched purely on message class. Responses that round-
+  // tripped a foreign chip (src stamped by a cross-chip responder, sent_at
+  // proving a fabric request) release one inter-chip window slot.
   switch (env.cls()) {
     case comm::MessageClass::kIndexOp:
       return coproc_->Submit(env);
@@ -37,6 +55,10 @@ bool PartitionWorker::Issue(db::WorkerId dst, const comm::Envelope& env) {
     case comm::MessageClass::kIndexResult:
       if (env.hdr.sent_at != 0) {
         remote_rtt_.Add(double(now_ - env.hdr.sent_at));
+        if (ChipOfWorker(env.hdr.src) != ChipOfWorker(id_) &&
+            interchip_inflight_ > 0) {
+          --interchip_inflight_;
+        }
       }
       softcore_->WriteCp(env);
       return true;
@@ -45,6 +67,39 @@ bool PartitionWorker::Issue(db::WorkerId dst, const comm::Envelope& env) {
         remote_rtt_.Add(double(now_ - env.hdr.sent_at));
       }
       softcore_->CompleteRemoteLoad(now_, env);
+      return true;
+    case comm::MessageClass::kPrepareReq: {
+      // 2PC participant vote. Concurrency conflicts surface at Update time
+      // (the owning coprocessor rejects the lock), so a reachable
+      // participant always votes commit; the vote's job is to prove
+      // liveness to the coordinator before it publishes a decision.
+      comm::PrepareAck ack;
+      ack.txn_ts = env.prepare_req().txn_ts;
+      ack.vote_commit = true;
+      Issue(env.hdr.origin, comm::Envelope::Reply(env, ack));
+      return true;
+    }
+    case comm::MessageClass::kCommitReq:
+      return HandleCommitReq(now_, env);
+    case comm::MessageClass::kPrepareAck:
+      if (env.hdr.sent_at != 0) {
+        remote_rtt_.Add(double(now_ - env.hdr.sent_at));
+        if (ChipOfWorker(env.hdr.src) != ChipOfWorker(id_) &&
+            interchip_inflight_ > 0) {
+          --interchip_inflight_;
+        }
+      }
+      softcore_->HandlePrepareAck(now_, env);
+      return true;
+    case comm::MessageClass::kCommitAck:
+      if (env.hdr.sent_at != 0) {
+        remote_rtt_.Add(double(now_ - env.hdr.sent_at));
+        if (ChipOfWorker(env.hdr.src) != ChipOfWorker(id_) &&
+            interchip_inflight_ > 0) {
+          --interchip_inflight_;
+        }
+      }
+      softcore_->HandleCommitAck(now_, env);
       return true;
   }
   return true;
@@ -121,6 +176,9 @@ void PartitionWorker::Tick(uint64_t cycle) {
     case Softcore::WaitKind::kDispatchBlocked:
       ++cycles_.backpressure;
       break;
+    case Softcore::WaitKind::kInterchipWait:
+      ++cycles_.interchip_stall;
+      break;
     case Softcore::WaitKind::kCpWait:
     case Softcore::WaitKind::kIdle:
       // The core is not the limiter; attribute the cycle to whatever the
@@ -185,6 +243,9 @@ void PartitionWorker::SkipCycles(uint64_t now, uint64_t count) {
     case Softcore::WaitKind::kDispatchBlocked:
       cycles_.backpressure += count;
       break;
+    case Softcore::WaitKind::kInterchipWait:
+      cycles_.interchip_stall += count;
+      break;
     case Softcore::WaitKind::kCpWait:
     case Softcore::WaitKind::kIdle:
       if (coproc_->hazard_stalled()) {
@@ -198,6 +259,34 @@ void PartitionWorker::SkipCycles(uint64_t now, uint64_t count) {
       }
       break;
   }
+}
+
+bool PartitionWorker::HandleCommitReq(uint64_t cycle,
+                                      const comm::Envelope& env) {
+  const comm::CommitReq& req = env.commit_req();
+  auto [it, first_delivery] = twopc_decisions_.emplace(req.txn_ts, req.commit);
+  if (first_delivery) {
+    // Exactly-once apply: publish (or roll back) every entry the
+    // coordinator shipped for this chip. Writes are posted, exactly like
+    // same-chip remote commit publications in HandleMemOp.
+    for (const cc::WriteSetEntry& e : req.entries) {
+      if (req.commit) {
+        cc::ApplyCommit(dram_, e, req.txn_ts);
+      } else {
+        cc::ApplyAbort(dram_, e);
+      }
+      dram_->Issue(cycle, e.tuple_addr, true, nullptr, 0);
+    }
+    twopc_participant_applies_ += req.entries.size();
+  } else {
+    // Duplicate decision (retransmit or coordinator resend after a lost
+    // ack): the recorded decision stands, nothing re-applies.
+    ++twopc_dup_decisions_;
+  }
+  // Always ack — the resend exists precisely because the first ack may
+  // have been lost.
+  Issue(env.hdr.origin, comm::Envelope::Reply(env, comm::CommitAck{req.txn_ts}));
+  return true;
 }
 
 bool PartitionWorker::HandleMemOp(uint64_t cycle, const comm::Envelope& env) {
@@ -241,6 +330,14 @@ void PartitionWorker::CollectStats(StatsScope scope) const {
   cyc.SetCounter("backpressure", cycles_.backpressure);
   cyc.SetCounter("idle", cycles_.idle);
   if (cycles_.frozen > 0) cyc.SetCounter("frozen", cycles_.frozen);
+  if (cycles_.interchip_stall > 0) {
+    cyc.SetCounter("interchip_stall", cycles_.interchip_stall);
+  }
+  if (two_pc_.workers_per_chip > 0) {
+    StatsScope tp = scope.Sub("twopc_participant");
+    tp.SetCounter("applies", twopc_participant_applies_);
+    tp.SetCounter("dup_decisions", twopc_dup_decisions_);
+  }
   scope.SetSummary("remote_rtt_cycles", remote_rtt_);
   softcore_->CollectStats(scope.Sub("softcore"));
   coproc_->CollectStats(scope.Sub("coproc"));

@@ -84,6 +84,10 @@ class PartitionWorker : public sim::Component, public comm::IssuePort {
     /// Cycles lost to an injected worker freeze (fault injection only;
     /// reported only when nonzero so unfaulted runs keep the 5-bucket sum).
     uint64_t frozen = 0;
+    /// Cycles blocked on the inter-chip tier: 2PC vote/decision round
+    /// trips and full send-window backpressure (multi-chip runs only;
+    /// reported only when nonzero, like `frozen`).
+    uint64_t interchip_stall = 0;
   };
   const CycleBreakdown& cycles() const { return cycles_; }
 
@@ -103,6 +107,16 @@ class PartitionWorker : public sim::Component, public comm::IssuePort {
   /// FIFO.
   bool HandleMemOp(uint64_t cycle, const comm::Envelope& env);
 
+  /// 2PC participant: applies (or replays the recorded decision for) a
+  /// coordinator's CommitReq exactly once, then acks — every duplicate
+  /// delivery re-acks so a lost first ack cannot wedge the coordinator.
+  bool HandleCommitReq(uint64_t cycle, const comm::Envelope& env);
+
+  /// Chip index of a worker under the 2PC grouping (0 when off).
+  uint32_t ChipOfWorker(db::WorkerId w) const {
+    return two_pc_.workers_per_chip > 0 ? w / two_pc_.workers_per_chip : 0;
+  }
+
   db::WorkerId id_;
   comm::CommFabric* fabric_;
   sim::DramMemory* dram_;
@@ -117,6 +131,19 @@ class PartitionWorker : public sim::Component, public comm::IssuePort {
   sim::MemResponseQueue mem_inbox_;
   std::map<uint64_t, comm::Envelope> mem_pending_;
   uint64_t mem_cookie_next_ = 1;
+
+  // --- Multi-chip state (Softcore::Config::TwoPc; inert when off) -------
+  Softcore::Config::TwoPc two_pc_;
+  /// Outstanding cross-chip requests (kIndexOp / kPrepareReq / kCommitReq)
+  /// this worker has on the wire; a full window rejects further Issues.
+  /// Decremented when the matching response returns from a foreign chip.
+  uint32_t interchip_inflight_ = 0;
+  /// Participant decision record: txn ts -> decision. Exactly-once apply
+  /// under duplicated CommitReqs; the map never forgets, so replays only
+  /// re-ack.
+  std::map<db::Timestamp, bool> twopc_decisions_;
+  uint64_t twopc_participant_applies_ = 0;
+  uint64_t twopc_dup_decisions_ = 0;
 };
 
 }  // namespace bionicdb::core

@@ -187,6 +187,12 @@ comm::FaultDecision FaultScheduler::OnPacket(uint64_t now,
   const bool is_request = comm::IsRequestClass(cls);
   comm::FaultDecision fd;
   if (!config_.comm_faults_enabled()) return fd;
+  if (config_.comm_class_mask != 0 &&
+      (config_.comm_class_mask & (1u << uint32_t(cls))) == 0) {
+    // Masked-out class: no fault, and no RNG consumed — the packet stream
+    // of the targeted classes is independent of untargeted traffic volume.
+    return fd;
+  }
   if (config_.comm_drop_rate > 0 &&
       packet_rng_.NextBool(config_.comm_drop_rate)) {
     fd.drop = true;

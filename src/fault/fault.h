@@ -61,6 +61,13 @@ struct FaultConfig {
   double comm_dup_rate = 0;
   double comm_delay_rate = 0;
   uint64_t comm_delay_cycles = 64;
+  /// Message-class filter for comm faults: bit c makes MessageClass c
+  /// eligible (0 = every class eligible, the default). Masked-out packets
+  /// return the no-fault decision before any RNG draw, so a masked run's
+  /// packet stream consumes randomness only for the targeted classes —
+  /// the 2PC fault tests use this to aim drops/dups at PrepareAck or
+  /// CommitReq without perturbing the index/memory traffic underneath.
+  uint32_t comm_class_mask = 0;
 
   // --- Worker faults (per cycle) ----------------------------------------
   /// Probability a random worker freezes for `worker_freeze_cycles`.

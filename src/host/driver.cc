@@ -189,6 +189,100 @@ ClosedLoopResult RunClosedLoop(core::BionicDb* engine,
   return result;
 }
 
+ClusterRunResult RunClusterClosedLoop(core::BionicDb* engine,
+                                      uint32_t workers_per_chip,
+                                      const TxnFactory& factory,
+                                      const ClosedLoopOptions& options) {
+  struct Outstanding {
+    sim::Addr block;
+    uint64_t submitted_at;
+  };
+  const uint32_t workers = engine->database().n_partitions();
+  const uint32_t wpc = workers_per_chip > 0 ? workers_per_chip : workers;
+  const uint32_t n_chips = (workers + wpc - 1) / wpc;
+  std::vector<std::vector<Outstanding>> outstanding(workers);
+  std::vector<uint64_t> remaining(workers, options.txns_per_worker);
+
+  ClusterRunResult result;
+  result.chips.resize(n_chips);
+  sim::DramMemory* dram = &engine->simulator().dram();
+  const auto wall_start = std::chrono::steady_clock::now();
+  const uint64_t start_cycle = engine->now();
+  const uint64_t deadline = start_cycle + options.max_cycles;
+  const uint64_t target = uint64_t(workers) * options.txns_per_worker;
+  uint64_t committed_total = 0;
+
+  auto chip_of = [&](uint32_t w) -> ClusterRunResult::ChipResult& {
+    return result.chips[w / wpc];
+  };
+  auto refill = [&](db::WorkerId w) {
+    while (outstanding[w].size() < options.inflight_per_worker &&
+           remaining[w] > 0) {
+      sim::Addr block = factory(w);
+      engine->Submit(w, block);
+      outstanding[w].push_back(Outstanding{block, engine->now()});
+      ++chip_of(w).submitted;
+      --remaining[w];
+    }
+  };
+  for (uint32_t w = 0; w < workers; ++w) refill(w);
+
+  while (committed_total < target && engine->now() < deadline) {
+    engine->Step(options.check_quantum_cycles);
+    for (uint32_t w = 0; w < workers; ++w) {
+      auto& queue = outstanding[w];
+      for (size_t i = 0; i < queue.size();) {
+        db::TxnBlock block(dram, queue[i].block);
+        db::TxnState state = block.state();
+        if (state == db::TxnState::kCommitted) {
+          chip_of(w).latency_cycles.Add(
+              double(engine->now() - queue[i].submitted_at));
+          ++chip_of(w).committed;
+          ++committed_total;
+          queue[i] = queue.back();
+          queue.pop_back();
+          continue;
+        }
+        if (state == db::TxnState::kAborted && options.retry_aborts) {
+          block.set_state(db::TxnState::kPending);
+          engine->Submit(w, queue[i].block);
+          ++chip_of(w).retries;
+        } else if (state == db::TxnState::kAborted) {
+          ++chip_of(w).failed;
+          queue[i] = queue.back();
+          queue.pop_back();
+          continue;
+        }
+        ++i;
+      }
+      refill(w);
+    }
+  }
+  if (committed_total < target) {
+    for (uint32_t w = 0; w < workers; ++w) {
+      chip_of(w).failed += outstanding[w].size();
+    }
+  }
+  // Cluster totals: sum the per-chip rows exactly once, and merge the
+  // per-chip latency digests (count-weighted by construction — merging
+  // digests is the only correct way to get a cluster p99; averaging
+  // per-chip p99s is not).
+  for (const auto& chip : result.chips) {
+    result.submitted += chip.submitted;
+    result.committed += chip.committed;
+    result.failed += chip.failed;
+    result.retries += chip.retries;
+    result.latency_cycles.MergeFrom(chip.latency_cycles);
+  }
+  result.cycles = engine->now() - start_cycle;
+  result.tps =
+      engine->options().timing.Throughput(result.committed, result.cycles);
+  result.wall_seconds = SecondsSince(wall_start);
+  CheckAccounting("RunClusterClosedLoop", result.submitted,
+                  result.committed + result.failed);
+  return result;
+}
+
 OpenLoopResult RunOpenLoop(core::BionicDb* engine, const TxnFactory& factory,
                            const OpenLoopOptions& options) {
   struct Outstanding {

@@ -112,6 +112,48 @@ ClosedLoopResult RunClosedLoop(core::BionicDb* engine,
                                const TxnFactory& factory,
                                const ClosedLoopOptions& options);
 
+// --- Cluster-aware closed-loop driving ------------------------------------
+
+/// Closed-loop result for a sharded multi-chip engine: the same loop as
+/// RunClosedLoop, with every outcome additionally attributed to the chip
+/// whose worker ran the transaction. The cluster-level latency summary is
+/// the count-weighted merge (Summary::MergeFrom) of the per-chip summaries
+/// — merging the digests, never averaging per-chip quantiles — and the
+/// cluster totals are the sums of the per-chip rows, counted exactly once.
+struct ClusterRunResult {
+  uint64_t submitted = 0;
+  uint64_t committed = 0;
+  uint64_t failed = 0;
+  uint64_t retries = 0;
+  uint64_t cycles = 0;
+  double tps = 0;
+  double wall_seconds = 0;
+  Summary latency_cycles;
+
+  struct ChipResult {
+    uint64_t submitted = 0;
+    uint64_t committed = 0;
+    uint64_t failed = 0;
+    uint64_t retries = 0;
+    Summary latency_cycles;
+  };
+  std::vector<ChipResult> chips;
+
+  double SimCyclesPerSecond() const {
+    return wall_seconds > 0 ? double(cycles) / wall_seconds : 0;
+  }
+};
+
+/// RunClosedLoop for a sharded engine: `workers_per_chip` groups the
+/// engine's worker id space into chips (it must match the engine's cluster
+/// configuration; pass the engine's total worker count or 0 for a single
+/// chip). submitted == committed + failed holds on return, per chip and in
+/// total.
+ClusterRunResult RunClusterClosedLoop(core::BionicDb* engine,
+                                      uint32_t workers_per_chip,
+                                      const TxnFactory& factory,
+                                      const ClosedLoopOptions& options);
+
 // --- Open-loop driving with admission control -----------------------------
 
 struct OpenLoopOptions {

@@ -45,6 +45,17 @@ struct TimingConfig {
   /// Cycles to Prepare + Dispatch a DB instruction to the coprocessor.
   uint32_t db_dispatch_cycles = 2;
 
+  /// One-way latency of the inter-chip fabric tier (NIC/PCIe class — a
+  /// 2 µs network hop is 250 cycles at 125 MHz). Applies on top of the
+  /// on-chip hops at each end when a packet crosses chips; only meaningful
+  /// when comm::ClusterConfig partitions the workers into chips.
+  uint32_t interchip_latency_cycles = 250;
+
+  /// Cycles an inter-chip link is occupied serialising one packet
+  /// (bandwidth model): back-to-back packets on the same directed
+  /// chip-pair link queue behind each other at this gap.
+  uint32_t interchip_issue_gap_cycles = 4;
+
   /// Event-driven fast path: when every registered block agrees (via
   /// Component::NextWakeCycle) that the next interesting cycle is now + k,
   /// the simulator warps the clock by k and bulk-charges the skipped cycles

@@ -27,6 +27,7 @@
 #define BIONICDB_SIM_EPOCH_H_
 
 #include <cstdint>
+#include <vector>
 
 namespace bionicdb::sim {
 
@@ -39,10 +40,33 @@ class EpochFabric {
   /// parallel execution must fall back to the serial path.
   virtual uint64_t MinHopLatency() const = 0;
 
+  /// Per-tier lookahead: minimum one-way hop latency over packets SENT BY
+  /// `island`. On a tiered fabric (on-chip hops vs inter-chip links) this
+  /// lets the barrier bound each island by ITS cheapest outgoing link —
+  /// min over islands i of (next wake of i + MinHopLatencyFrom(i)) — so a
+  /// slow inter-chip tier widens epochs instead of the global minimum
+  /// clamping the whole cluster. Defaults to the global bound, which is
+  /// always conservative.
+  virtual uint64_t MinHopLatencyFrom(uint32_t island) const {
+    (void)island;
+    return MinHopLatency();
+  }
+
   /// Earliest in-flight packet delivery cycle (kNeverWakes when none).
   /// Caps the epoch: arrivals mutate fabric and island state, so they must
   /// land exactly where the plan predicted them.
   virtual uint64_t NextDeliveryCycle() const = 0;
+
+  /// Per-destination refinement of NextDeliveryCycle: fills the pre-sized
+  /// `per_island` vector with the earliest in-flight delivery cycle bound
+  /// for each island (kNeverWakes where none). An island with no pending
+  /// arrivals need not cap its own wake at another island's delivery — its
+  /// epoch contribution starts at its own next event. The default fills
+  /// every slot with the global bound, which is always conservative.
+  virtual void NextDeliveryCyclesTo(std::vector<uint64_t>* per_island) const {
+    const uint64_t global = NextDeliveryCycle();
+    for (uint64_t& c : *per_island) c = global;
+  }
 
   /// Earliest fabric-internal event that is NOT a packet delivery
   /// (retransmission deadlines). Also caps the epoch: a retransmit puts a

@@ -209,21 +209,34 @@ bool Simulator::AllIdle() const {
 }
 
 uint64_t Simulator::EpochEnd(uint64_t from, uint64_t limit) const {
-  // E: the first cycle at which any island can possibly act — the earliest
-  // island wake or in-flight packet delivery. No island send can happen
-  // before E, so no unplanned delivery can land before E + W; the epoch may
-  // safely extend to E + W - 1.
-  uint64_t e = epoch_fabric_->NextDeliveryCycle();
+  // Per-tier lookahead (DESIGN.md section 14): island i's first possible
+  // action is E_i — its earliest inbound delivery, lane wake or component
+  // wake — and nothing it sends from cycle s >= E_i can land before
+  // s + MinHopLatencyFrom(i). The epoch may therefore extend to
+  //   Tend = min over non-quiescent islands i of (E_i + L_i - 1),
+  // which is >= the old global bound min(E) + min(L) - 1: an island whose
+  // only peers sit across a slow inter-chip link contributes a wide bound
+  // instead of the on-chip minimum clamping the whole cluster.
+  if (min_hop_from_.size() != islands_.size()) {
+    min_hop_from_.resize(islands_.size());
+    for (const Island& isl : islands_) {
+      min_hop_from_[isl.id] = epoch_fabric_->MinHopLatencyFrom(isl.id);
+    }
+    deliver_scratch_.resize(islands_.size());
+  }
+  epoch_fabric_->NextDeliveryCyclesTo(&deliver_scratch_);
+  uint64_t tend = kNeverWakes;
   for (const Island& isl : islands_) {
+    uint64_t e = deliver_scratch_[isl.id];
     e = std::min(e, dram_.LaneNextWake(isl.id, from));
     for (size_t ci : isl.comps) {
       e = std::min(e,
                    std::max(components_[ci]->NextWakeCycle(from), from + 1));
     }
-  }
-  uint64_t tend = kNeverWakes;
-  if (e != kNeverWakes) {
-    tend = e > kNeverWakes - min_hop_ ? kNeverWakes : e + min_hop_ - 1;
+    if (e == kNeverWakes) continue;  // quiescent island: it cannot send
+    const uint64_t hop = min_hop_from_[isl.id];
+    tend = std::min(tend,
+                    e > kNeverWakes - hop ? kNeverWakes : e + hop - 1);
   }
   // Fabric-internal events (retransmission deadlines) put unplanned packets
   // on the wire; cap the epoch so they can only fire on its final cycle,

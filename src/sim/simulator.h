@@ -242,7 +242,13 @@ class Simulator {
   std::vector<Island> islands_;
   EpochFabric* epoch_fabric_ = nullptr;
   size_t fabric_index_ = SIZE_MAX;  // fabric's slot in components_
-  uint64_t min_hop_ = 0;            // cached lookahead W
+  uint64_t min_hop_ = 0;            // cached global lookahead W
+  /// Per-island lookahead cache (MinHopLatencyFrom, topology-constant) and
+  /// the per-island delivery-bound scratch, both sized lazily on the first
+  /// EpochEnd. Mutable: EpochEnd is const and only the coordinator calls
+  /// it, outside any epoch.
+  mutable std::vector<uint64_t> min_hop_from_;
+  mutable std::vector<uint64_t> deliver_scratch_;
   std::function<void(uint64_t, uint64_t)> epoch_observer_;
 
   // Thread pool, lazily started on the first parallel epoch. The caller

@@ -101,6 +101,44 @@ isa::Program MultisiteProgram(uint32_t n) {
   return b.Build().value();
 }
 
+// Layout: per access i, key at 16i and target partition at 16i + 8; new
+// values at [16n, 16n + 8u); UNDO slots at [16n + 8u, 16n + 16u). Same
+// commit discipline as UpdateMixProgram: all RETs before any in-place
+// Store, so a rejected access aborts with nothing to restore.
+isa::Program MultisiteUpdateProgram(uint32_t n, uint32_t u) {
+  ProgramBuilder b;
+  const int32_t newval_base = int32_t(16 * n);
+  const int32_t undo_base = int32_t(16 * n + 8 * u);
+  b.Logic();
+  for (uint32_t i = 0; i < n; ++i) {
+    b.Load(1, 0, int32_t(16 * i + 8));
+    ProgramBuilder::DbArgs args{.table_id = Ycsb::kTable,
+                                .cp = isa::Reg(i),
+                                .key_offset = int32_t(16 * i),
+                                .part_reg = 1};
+    if (i < u) {
+      b.Update(args);
+    } else {
+      b.Search(args);
+    }
+  }
+  b.Yield();
+  b.Commit();
+  for (uint32_t i = 0; i < n; ++i) {
+    b.Ret(isa::Reg(i < u ? 2 + i : 1), isa::Reg(i));
+  }
+  for (uint32_t i = 0; i < u; ++i) {
+    isa::Reg addr = isa::Reg(2 + i);
+    b.Load(1, addr, 0);                             // old value
+    b.Store(1, 0, undo_base + int32_t(8 * i));      // UNDO backup
+    b.Load(1, 0, newval_base + int32_t(8 * i));     // new value
+    b.Store(1, addr, 0);                            // in-place update
+  }
+  b.CommitTxn();
+  b.Abort().AbortTxn();
+  return b.Build().value();
+}
+
 }  // namespace
 
 Ycsb::Ycsb(core::BionicDb* engine, const YcsbOptions& options)
@@ -143,6 +181,12 @@ Status Ycsb::Setup() {
       program = MultisiteProgram(n);
       block_data_size_ = 16ull * n;
       break;
+    case YcsbOptions::Mode::kMultisiteUpdate: {
+      uint32_t u = std::min(options_.updates_per_txn, n);
+      program = MultisiteUpdateProgram(n, u);
+      block_data_size_ = 16ull * n + 16ull * u;
+      break;
+    }
   }
   BIONICDB_RETURN_IF_ERROR(
       engine_->RegisterProcedure(kTxnType, program, block_data_size_));
@@ -214,6 +258,51 @@ sim::Addr Ycsb::MakeTxn(Rng* rng, db::WorkerId worker) {
         }
         block.WriteKeyU64(int64_t(16 * i), RandomKey(rng, target));
         block.WriteU64(int64_t(16 * i + 8), target);
+      }
+      break;
+    }
+    case YcsbOptions::Mode::kMultisiteUpdate: {
+      const uint32_t parts = engine_->database().n_partitions();
+      const uint32_t wpc = options_.workers_per_chip;
+      const uint32_t n_chips = wpc > 0 ? (parts + wpc - 1) / wpc : 1;
+      // The multisite coin is only flipped when there is more than one
+      // chip, so single-chip runs consume the identical RNG stream at
+      // every fraction (their throughput is the fraction-independent
+      // baseline of the scale-out sweep).
+      const bool multisite =
+          n_chips > 1 && rng->NextBool(options_.multisite_fraction);
+      const uint32_t u = std::min(options_.updates_per_txn, n);
+      std::vector<uint64_t> keys;
+      std::vector<db::PartitionId> targets;
+      while (keys.size() < n) {
+        const uint32_t i = uint32_t(keys.size());
+        db::PartitionId target = worker;
+        if (multisite && i < u && (i % 2) == 0) {
+          // Even update slots write a foreign-chip partition: every
+          // multisite transaction carries at least one remote write leg
+          // (slot 0), so it cannot commit without the 2PC round.
+          const uint32_t my_chip = worker / wpc;
+          uint32_t chip = uint32_t(rng->NextUint64(n_chips - 1));
+          if (chip >= my_chip) ++chip;
+          const uint32_t base = chip * wpc;
+          const uint32_t span = std::min(wpc, parts - base);
+          target = db::PartitionId(base + rng->NextUint64(span));
+        }
+        // Distinct keys within the transaction (same CC blind-reject
+        // rationale as kUpdateMix; cross-partition keys are distinct by
+        // construction of the per-partition key ranges).
+        const uint64_t k = RandomKey(rng, target);
+        if (std::find(keys.begin(), keys.end(), k) == keys.end()) {
+          keys.push_back(k);
+          targets.push_back(target);
+        }
+      }
+      for (uint32_t i = 0; i < n; ++i) {
+        block.WriteKeyU64(int64_t(16 * i), keys[i]);
+        block.WriteU64(int64_t(16 * i + 8), targets[i]);
+      }
+      for (uint32_t i = 0; i < u; ++i) {
+        block.WriteU64(int64_t(16 * n + 8 * i), rng->Next());
       }
       break;
     }

@@ -28,6 +28,14 @@ struct YcsbOptions {
     kUpdateMix,  // reads + in-place updates (YCSB-A/B flavour)
     kScanOnly,   // modified YCSB-E
     kMultisite,  // read-only with explicit per-access partition routing
+    /// Update mix with explicit per-access partition routing across a
+    /// sharded cluster: a `multisite_fraction` of transactions write at
+    /// least one tuple owned by a foreign chip, forcing the engine's
+    /// two-phase distributed commit. Single-chip runs (workers_per_chip
+    /// = 0 or one chip) never draw the multisite coin, so their RNG
+    /// stream — and therefore their results — are identical across
+    /// fractions.
+    kMultisiteUpdate,
   };
 
   Mode mode = Mode::kReadOnly;
@@ -38,6 +46,11 @@ struct YcsbOptions {
   uint32_t scan_len = 50;          // kScanOnly
   /// kMultisite: probability that an access targets a remote partition.
   double remote_fraction = 0.75;
+  /// kMultisiteUpdate: probability that a transaction spans chips.
+  double multisite_fraction = 0.1;
+  /// kMultisiteUpdate: chip grouping (must match the engine's
+  /// Softcore::Config::TwoPc::workers_per_chip; 0 = single chip).
+  uint32_t workers_per_chip = 0;
   bool zipfian = false;            // uniform by default (paper uses uniform)
 };
 

@@ -104,8 +104,9 @@ TEST(MessagingLatencyModel, ReproducesTable3) {
 TEST(CommFabric, MultiNodeCrossingPaysNetworkLatency) {
   CommFabric::ClusterConfig cluster;
   cluster.workers_per_node = 4;
-  cluster.inter_node_cycles = 250;
-  CommFabric fabric(8, Cfg(), Topology::kCrossbar, cluster);
+  sim::TimingConfig timing = Cfg();
+  timing.interchip_latency_cycles = 250;
+  CommFabric fabric(8, timing, Topology::kCrossbar, cluster);
   // Intra-node: plain on-chip hop.
   EXPECT_EQ(fabric.HopLatency(0, 3), 3u);
   EXPECT_EQ(fabric.HopLatency(5, 7), 3u);
@@ -117,8 +118,9 @@ TEST(CommFabric, MultiNodeCrossingPaysNetworkLatency) {
 TEST(CommFabric, ShortPathMessagesOvertakeLongOnes) {
   CommFabric::ClusterConfig cluster;
   cluster.workers_per_node = 2;
-  cluster.inter_node_cycles = 100;
-  CommFabric fabric(4, Cfg(), Topology::kCrossbar, cluster);
+  sim::TimingConfig timing = Cfg();
+  timing.interchip_latency_cycles = 100;
+  CommFabric fabric(4, timing, Topology::kCrossbar, cluster);
   fabric.Send(0, /*src=*/2, /*dst=*/1, Op(1));  // cross-node, slow
   fabric.Send(0, /*src=*/0, /*dst=*/1, Op(2));  // on-chip, fast
   fabric.Tick(10);
@@ -134,8 +136,9 @@ TEST(CommFabric, RingUnderClusterConfig) {
   // on-chip hop at each end — even when they are ring neighbours.
   CommFabric::ClusterConfig cluster;
   cluster.workers_per_node = 4;
-  cluster.inter_node_cycles = 250;
-  CommFabric fabric(8, Cfg(), Topology::kRing, cluster);
+  sim::TimingConfig timing = Cfg();
+  timing.interchip_latency_cycles = 250;
+  CommFabric fabric(8, timing, Topology::kRing, cluster);
   EXPECT_EQ(fabric.HopLatency(0, 1), 3u);    // ring neighbours, same node
   EXPECT_EQ(fabric.HopLatency(0, 3), 9u);    // 3 ring steps, same node
   EXPECT_EQ(fabric.HopLatency(4, 7), 9u);    // second node, same rule

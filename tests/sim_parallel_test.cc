@@ -167,6 +167,110 @@ TEST(SimParallelEpoch, CrossBarrierDeliveryAtExactSerialCycle) {
   EXPECT_EQ(parallel.final_now, serial.final_now);
 }
 
+/// Never ticks, never wakes: a quiescent island the epoch scheduler must
+/// skip when computing the conservative lookahead bound.
+class QuiescentComponent : public sim::Component {
+ public:
+  QuiescentComponent() : sim::Component("quiet") {}
+  void Tick(uint64_t) override {}
+  bool Idle() const override { return true; }
+  uint64_t NextWakeCycle(uint64_t) const override { return sim::kNeverWakes; }
+};
+
+TEST(SimParallelEpoch, PerTierLookaheadBounds) {
+  // Three workers in chips {0,1} and {2}: the per-link-pair minimum is the
+  // on-chip hop for islands with a same-chip peer, but the full inter-chip
+  // hop (one-way link latency plus an on-chip hop at each end) for the
+  // island whose every peer is across the cluster tier.
+  sim::TimingConfig cfg = Parallel(2);
+  comm::CommFabric fabric(3, cfg, comm::Topology::kCrossbar,
+                          comm::CommFabric::ClusterConfig{2});
+  const uint64_t onchip = fabric.HopLatency(0, 1);
+  const uint64_t interchip = fabric.HopLatency(2, 0);
+  EXPECT_GT(interchip, onchip);
+  EXPECT_GE(interchip, uint64_t(cfg.interchip_latency_cycles));
+  EXPECT_EQ(fabric.MinHopLatencyFrom(0), onchip);
+  EXPECT_EQ(fabric.MinHopLatencyFrom(1), onchip);
+  EXPECT_EQ(fabric.MinHopLatencyFrom(2), interchip);
+  // The global minimum (the single-tier bound) is still the on-chip hop.
+  EXPECT_EQ(fabric.MinHopLatency(), onchip);
+}
+
+TEST(SimParallelEpoch, InterchipTierWidensEpochsForIsolatedIsland) {
+  // Only the lone chip-1 island is active; both chip-0 islands are
+  // quiescent. A global-minimum lookahead would clamp every epoch to the
+  // on-chip hop; the per-link-pair rule knows the soonest cross-island
+  // effect must ride the inter-chip tier, so epochs widen to hundreds of
+  // cycles — the scaling story of the cluster PDES barrier.
+  sim::TimingConfig cfg = Parallel(2);
+  sim::Simulator sim(cfg);
+  sim.dram().ConfigurePartitions(3);
+  comm::CommFabric fabric(3, cfg, comm::Topology::kCrossbar,
+                          comm::CommFabric::ClusterConfig{2});
+  sim.AddComponent(&fabric);
+  sim.SetEpochFabric(&fabric, &fabric);
+  QuiescentComponent q0, q1;
+  BusyComponent busy;
+  sim.AddComponent(&q0, 0);
+  sim.AddComponent(&q1, 1);
+  sim.AddComponent(&busy, 2);
+
+  const uint64_t onchip = fabric.MinHopLatency();
+  const uint64_t interchip = fabric.MinHopLatencyFrom(2);
+  std::vector<std::pair<uint64_t, uint64_t>> epochs;
+  sim.set_epoch_observer(
+      [&](uint64_t from, uint64_t to) { epochs.emplace_back(from, to); });
+
+  const uint64_t kCycles = 4 * interchip;
+  sim.Step(kCycles);
+  EXPECT_EQ(sim.now(), kCycles);
+  EXPECT_EQ(busy.ticks_, kCycles);
+  ASSERT_FALSE(epochs.empty());
+  uint64_t expect_from = 0;
+  uint64_t widest = 0;
+  for (const auto& [from, to] : epochs) {
+    EXPECT_EQ(from, expect_from);
+    EXPECT_GT(to, from);
+    EXPECT_LE(to - from, interchip);  // conservative bound still holds
+    widest = std::max(widest, to - from);
+    expect_from = to;
+  }
+  EXPECT_EQ(expect_from, kCycles);
+  // The whole point: at least one epoch ran past the on-chip bound.
+  EXPECT_GT(widest, onchip);
+}
+
+CrossBarrierRun RunCrossChipBarrier(uint32_t parallel_hosts) {
+  // Two single-worker chips: the one-shot packet rides the inter-chip tier
+  // (finite-bandwidth link, one-way latency) across an epoch barrier.
+  sim::TimingConfig cfg;
+  cfg.parallel_hosts = parallel_hosts;
+  sim::Simulator sim(cfg);
+  sim.dram().ConfigurePartitions(2);
+  comm::CommFabric fabric(2, cfg, comm::Topology::kCrossbar,
+                          comm::CommFabric::ClusterConfig{1});
+  sim.AddComponent(&fabric);
+  sim.SetEpochFabric(&fabric, &fabric);
+  OneShotSender sender(&fabric, 10);
+  RecordingReceiver receiver(&fabric);
+  sim.AddComponent(&sender, 0);
+  sim.AddComponent(&receiver, 1);
+  EXPECT_TRUE(sim.RunUntilIdle(10'000));
+  return {receiver.arrivals_, sim.now(), fabric.HopLatency(0, 1)};
+}
+
+TEST(SimParallelEpoch, CrossChipBarrierDeliveryAtExactSerialCycle) {
+  // Same exactness contract as the on-chip test, on the inter-chip tier:
+  // send + full cross-chip hop, bit-identical between serial and parallel,
+  // with the link-occupancy bookkeeping included.
+  CrossBarrierRun serial = RunCrossChipBarrier(0);
+  CrossBarrierRun parallel = RunCrossChipBarrier(2);
+  ASSERT_EQ(serial.arrivals.size(), 1u);
+  EXPECT_EQ(serial.arrivals[0], 10 + serial.hop);
+  EXPECT_EQ(parallel.arrivals, serial.arrivals);
+  EXPECT_EQ(parallel.final_now, serial.final_now);
+}
+
 // --- Engine differential runs ------------------------------------------
 
 struct Outcome {
