@@ -20,12 +20,19 @@
 //    batched dispatch keeps the softcore busy-polling the coprocessor's
 //    in-flight cap (dense wake points); reported so readers see the
 //    realistic (smaller) win.
+//  * dense — the adversarial case for warping: YCSB-C with near-SRAM DRAM
+//    latency and deep softcore contexts, so the workers are busy nearly
+//    every cycle and there is almost nothing to skip. This leg is the
+//    per-cycle ticking stress test the simulator-performance work (and
+//    scripts/perf_gate.py) tracks.
 //  * parallel_multisite — 4-partition multisite YCSB, event-driven serial
 //    vs 4 host-thread islands (TimingConfig::parallel_hosts, DESIGN.md
 //    section 11), again asserted bit-identical. The >= 1.5x speedup floor
 //    is only enforced when the host actually has >= 4 hardware threads
 //    (CI runners and laptops qualify; a 1-core container still reports
 //    the number but cannot be expected to beat its own serial run).
+#include <algorithm>
+#include <chrono>
 #include <cstdlib>
 
 #include "bench/bench_util.h"
@@ -242,16 +249,51 @@ void RunParallelLeg(const BenchArgs& args, TablePrinter* table,
   }
 }
 
+/// Fixed-work host calibration microloop: a deterministic xorshift chain
+/// whose iterations/second gauge a machine's single-thread integer speed.
+/// scripts/perf_gate.py divides sim-cycles/s by this before comparing a
+/// fresh report against the checked-in baseline, so a slower CI runner
+/// does not read as a simulator regression. Best-of-3 so a scheduler
+/// hiccup degrades toward the true machine speed, not away from it.
+void RunCalibration(bench::BenchReport* report) {
+  constexpr uint64_t kIters = 20'000'000;
+  double best_ops = 0;
+  uint64_t sink = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    uint64_t x = 0x9e3779b97f4a7c15ULL;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (uint64_t i = 0; i < kIters; ++i) {
+      x ^= x << 13;
+      x ^= x >> 7;
+      x ^= x << 17;
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    sink += x;  // keep the loop observable
+    const double secs = std::chrono::duration<double>(t1 - t0).count();
+    if (secs > 0) best_ops = std::max(best_ops, double(kIters) / secs);
+  }
+  StatsRegistry& reg = report->AddRun("calibration");
+  reg.SetGauge("host_ops_per_second", best_ops);
+  reg.SetCounter("iterations", kIters);
+  reg.SetCounter("checksum", sink & 0xffff);
+}
+
 void Run(const BenchArgs& args, bench::BenchReport* report) {
   bench::PrintHeader("sim_speed",
                      "event-driven cycle skipping vs per-cycle ticking");
   TablePrinter table({"workload", "mode", "cycles", "wall (ms)",
                       "Mcycles/s", "skipped %", "speedup"});
+  RunCalibration(report);
   // 4x the HC-2's already-high random-access latency + a fully
   // dependency-serialized workload (one context, one access per txn):
   // nearly every cycle is a quiescent DRAM wait.
   RunLeg(args, Leg{"dram_heavy", 1, 1, 1, 380}, &table, report);
   RunLeg(args, Leg{"default", args.smoke ? 2u : 4u, 32, 16, 95}, &table,
+         report);
+  // Dense activity: near-SRAM latency keeps every pipeline stage fed, so
+  // the stall fraction collapses and per-cycle ticking throughput is pure
+  // simulator overhead (the perf-gate's most sensitive probe).
+  RunLeg(args, Leg{"dense", args.smoke ? 2u : 4u, 64, 8, 12}, &table,
          report);
   RunParallelLeg(args, &table, report);
   table.Print();

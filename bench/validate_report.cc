@@ -13,7 +13,13 @@
 //  * every open-loop run (marked by run/offered_tps) carries the latency
 //    SLO gauges (run/latency/p50|p99|p999, ordered), run/goodput and
 //    run/shed, with shed <= submitted, goodput <= offered load, and
-//    submitted == committed + failed + shed.
+//    submitted == committed + failed + shed;
+//  * every simulator-speed summary run (label "speed/<leg>") carries
+//    positive cycles and a positive sim_cycles_per_second for at least one
+//    simulation mode, and any report containing speed runs also carries a
+//    "calibration" run with positive host_ops_per_second — the perf-gate
+//    normalization denominator (scripts/perf_gate.py refuses reports
+//    without it, so catch the omission here first).
 //
 // Usage: validate_report <path> [<path>...]; exits non-zero on the first
 // failed file.
@@ -255,6 +261,32 @@ bool CheckClusterMonotonicity(const std::string& path,
   return true;
 }
 
+/// Simulator-speed summary runs ("speed/<leg>") feed the CI perf ratchet:
+/// each must report the leg's simulated cycle count and a positive
+/// cycles-per-second gauge for at least one simulation mode, or the gate
+/// downstream has nothing to compare.
+bool CheckSpeedRun(const std::string& path, const std::string& label,
+                   const json::Value& stats) {
+  double cycles;
+  if (!Num(stats, "cycles", &cycles) || cycles <= 0) {
+    return Fail(path, "speed run '" + label + "': missing positive cycles");
+  }
+  static const char* kModes[] = {"cycle_accurate", "event_driven",
+                                 "parallel"};
+  for (const char* mode : kModes) {
+    double cps;
+    if (Num(stats, std::string(mode) + "/sim_cycles_per_second", &cps)) {
+      if (cps <= 0) {
+        return Fail(path, "speed run '" + label + "': non-positive " +
+                              mode + "/sim_cycles_per_second");
+      }
+      return true;
+    }
+  }
+  return Fail(path, "speed run '" + label +
+                        "': no mode reports sim_cycles_per_second");
+}
+
 bool CheckWorkerBreakdown(const std::string& path, const std::string& label,
                           const std::string& worker,
                           const json::Value& cycles) {
@@ -315,6 +347,8 @@ bool ValidateFile(const std::string& path) {
 
   size_t engine_runs = 0;
   size_t workers_checked = 0;
+  size_t speed_runs = 0;
+  double calibration_ops = 0;
   std::vector<ClusterRunPoint> cluster_points;
   for (const json::Value& run : runs->array()) {
     const json::Value* label_v = run.Find("label");
@@ -324,6 +358,14 @@ bool ValidateFile(const std::string& path) {
       return Fail(path, "run without string 'label' + object 'stats'");
     }
     const std::string& label = label_v->string();
+    if (label.rfind("speed/", 0) == 0) {
+      if (!CheckSpeedRun(path, label, *stats)) return false;
+      ++speed_runs;
+    }
+    if (label == "calibration" &&
+        !Num(*stats, "host_ops_per_second", &calibration_ops)) {
+      return Fail(path, "calibration run: missing host_ops_per_second");
+    }
     const json::Value* workers = stats->Find("workers");
     if (workers == nullptr) continue;  // analytic run: no engine tree
     ++engine_runs;
@@ -364,6 +406,11 @@ bool ValidateFile(const std::string& path) {
     }
   }
   if (!CheckClusterMonotonicity(path, cluster_points)) return false;
+  if (speed_runs > 0 && calibration_ops <= 0) {
+    return Fail(path, "report has speed/* runs but no calibration run with "
+                      "positive host_ops_per_second (perf-gate "
+                      "normalization denominator)");
+  }
   std::printf("%s: OK (%zu runs, %zu engine runs, %zu worker breakdowns, "
               "%zu cluster runs)\n",
               path.c_str(), runs->array().size(), engine_runs,

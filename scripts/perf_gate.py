@@ -1,0 +1,177 @@
+#!/usr/bin/env python3
+"""CI perf ratchet for the simulator-speed bench.
+
+Compares a freshly produced BENCH_sim_speed.json against the checked-in
+baseline (BENCH_baseline/sim_speed.json) and fails when any leg's
+simulation speed regressed by more than the threshold (default 20%).
+
+Raw cycles-per-second numbers are not comparable across machines, so both
+reports carry a `calibration` run: a fixed CPU-bound microloop whose
+ops/second gauge measures the host itself. The gate compares *normalized*
+speed — sim_cycles_per_second divided by the same report's calibration
+ops/second — which cancels the host-speed factor and leaves the simulator's
+work-per-cycle, the quantity the ratchet is meant to protect.
+
+Multiple current reports may be passed; the gate takes the best normalized
+speed per (leg, mode) across them, so a noisy CI run can retry the bench
+and pass max-of-N to absorb scheduling jitter.
+
+Exit codes: 0 = pass, 1 = regression (or schema problem), 2 = usage error.
+On improvement past the ratchet margin the gate still passes but prints a
+suggestion to refresh the baseline, keeping the ratchet tight.
+
+--self-test re-runs the comparison with every current speed scaled by 0.75
+(a synthetic 25% slowdown) and asserts the gate *trips*; CI runs it next to
+the real gate so a silently-toothless gate is itself a failure.
+
+Stdlib only; no third-party imports.
+"""
+
+import argparse
+import json
+import sys
+
+THRESHOLD_DEFAULT = 0.80   # fail below this current/baseline normalized ratio
+RATCHET_DEFAULT = 1.25     # suggest a baseline refresh above this
+
+
+def load_report(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        sys.exit(f"perf_gate: cannot read {path}: {e}")
+
+
+def runs_by_label(report, path):
+    runs = report.get("runs")
+    if not isinstance(runs, list):
+        sys.exit(f"perf_gate: {path}: no 'runs' array")
+    return {r.get("label", ""): r.get("stats", {}) for r in runs}
+
+
+def calibration_ops(runs, path):
+    calib = runs.get("calibration", {})
+    ops = calib.get("host_ops_per_second")
+    if not isinstance(ops, (int, float)) or ops <= 0:
+        print(f"perf_gate: {path}: missing calibration/host_ops_per_second "
+              "(report predates the calibration microloop?)", file=sys.stderr)
+        sys.exit(1)
+    return float(ops)
+
+
+def normalized_speeds(runs, path):
+    """{(leg, mode): sim_cycles_per_second / calibration_ops} for every
+    speed/<leg> run mode that reports a positive speed."""
+    calib = calibration_ops(runs, path)
+    out = {}
+    for label, stats in runs.items():
+        if not label.startswith("speed/"):
+            continue
+        leg = label[len("speed/"):]
+        for mode in ("cycle_accurate", "event_driven"):
+            tree = stats.get(mode)
+            if not isinstance(tree, dict):
+                continue
+            cps = tree.get("sim_cycles_per_second")
+            if isinstance(cps, (int, float)) and cps > 0:
+                out[(leg, mode)] = float(cps) / calib
+    if not out:
+        print(f"perf_gate: {path}: no speed/* runs with "
+              "sim_cycles_per_second gauges", file=sys.stderr)
+        sys.exit(1)
+    return out
+
+
+def evaluate(baseline, currents, threshold, ratchet):
+    """Returns (failures, rows); rows = (key, base, cur, ratio)."""
+    # Best normalized speed per key across the provided current reports.
+    best = {}
+    for cur in currents:
+        for key, v in cur.items():
+            if key not in best or v > best[key]:
+                best[key] = v
+
+    failures = []
+    rows = []
+    for key in sorted(baseline):
+        base = baseline[key]
+        if key not in best:
+            failures.append(f"{key[0]}/{key[1]}: present in baseline but "
+                            "missing from the current report")
+            continue
+        ratio = best[key] / base
+        rows.append((key, base, best[key], ratio))
+        if ratio < threshold:
+            failures.append(
+                f"{key[0]}/{key[1]}: normalized speed ratio {ratio:.3f} "
+                f"< {threshold:.2f} "
+                f"({(1 - ratio) * 100:.1f}% regression vs baseline)")
+    return failures, rows
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("current", nargs="+",
+                    help="freshly produced BENCH_sim_speed.json (one or "
+                         "more; best-of-N per leg is gated)")
+    ap.add_argument("--baseline", required=True,
+                    help="checked-in BENCH_baseline/sim_speed.json")
+    ap.add_argument("--threshold", type=float, default=THRESHOLD_DEFAULT,
+                    help="minimum current/baseline normalized ratio "
+                         f"(default {THRESHOLD_DEFAULT})")
+    ap.add_argument("--ratchet", type=float, default=RATCHET_DEFAULT,
+                    help="suggest a baseline refresh when every ratio "
+                         f"exceeds this (default {RATCHET_DEFAULT})")
+    ap.add_argument("--self-test", action="store_true",
+                    help="scale current speeds by 0.75 and assert the gate "
+                         "trips (exit 0 iff the synthetic regression fails)")
+    args = ap.parse_args()
+    if not 0 < args.threshold < 1:
+        ap.error("--threshold must be in (0, 1)")
+
+    base_runs = runs_by_label(load_report(args.baseline), args.baseline)
+    baseline = normalized_speeds(base_runs, args.baseline)
+    currents = []
+    for path in args.current:
+        currents.append(
+            normalized_speeds(runs_by_label(load_report(path), path), path))
+
+    if args.self_test:
+        slowed = [{k: v * 0.75 for k, v in cur.items()} for cur in currents]
+        failures, _ = evaluate(baseline, slowed, args.threshold, args.ratchet)
+        if failures:
+            print("perf_gate --self-test: OK — synthetic 25% slowdown trips "
+                  f"the gate ({len(failures)} leg(s) flagged)")
+            return 0
+        print("perf_gate --self-test: FAILED — a 25% slowdown passed the "
+              "gate; the ratchet has no teeth", file=sys.stderr)
+        return 1
+
+    failures, rows = evaluate(baseline, currents, args.threshold, args.ratchet)
+
+    print(f"{'leg/mode':<34} {'baseline':>10} {'current':>10} {'ratio':>7}")
+    for (leg, mode), base, cur, ratio in rows:
+        print(f"{leg + '/' + mode:<34} {base:10.4g} {cur:10.4g} {ratio:7.3f}")
+    print("(speeds shown normalized: sim_cycles_per_second / "
+          "calibration host_ops_per_second)")
+
+    if failures:
+        print("\nperf_gate: FAIL", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        print("  If this slowdown is intended and justified, refresh "
+              "BENCH_baseline/sim_speed.json from this run.", file=sys.stderr)
+        return 1
+
+    if rows and all(r[3] > args.ratchet for r in rows):
+        print(f"\nperf_gate: PASS — every leg is >{args.ratchet:.2f}x the "
+              "baseline; consider tightening the ratchet by refreshing "
+              "BENCH_baseline/sim_speed.json from this run.")
+    else:
+        print("\nperf_gate: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

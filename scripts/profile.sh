@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Profile the simulator hot path with gprof (DESIGN.md section 15.4).
+#
+# Builds the `profile` preset (RelWithDebInfo, frame pointers, -pg),
+# runs a bench binary — bench/sim_speed by default, since its dense leg
+# is the cycle-accurate stress case the perf work targets — and prints
+# the flat profile plus the top of the call graph. gprof is used because
+# it needs no kernel perf-event access, so the same workflow runs in
+# containers and CI; pass any extra arguments through to the bench
+# (e.g. --smoke for a quick look).
+#
+#   scripts/profile.sh                 # full sim_speed under gprof
+#   scripts/profile.sh --smoke         # reduced legs
+#   BENCH=sim_sweep scripts/profile.sh # profile a different bench
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BENCH="${BENCH:-sim_speed}"
+BUILD=build-profile
+
+cmake --preset profile >/dev/null
+cmake --build "$BUILD" -j "$(nproc)" --target "$BENCH" >/dev/null
+
+# -pg writes gmon.out into the working directory of the profiled process.
+cd "$BUILD/bench"
+"./$BENCH" "$@"
+if [[ ! -f gmon.out ]]; then
+  echo "profile.sh: no gmon.out produced — was the profile preset built with -pg?" >&2
+  exit 1
+fi
+
+echo
+echo "=== gprof flat profile (top 30) ==="
+gprof -b -p "./$BENCH" gmon.out | head -40
+echo
+echo "=== gprof call graph (top entries) ==="
+gprof -b -q "./$BENCH" gmon.out | head -60

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Fleet sweep runner: drives the sim_sweep bench and digests its report.
+
+sim_sweep fans a configuration grid (workers x DRAM latency x simulation
+mode) out over host cores through host::RunSweep and merges every point
+into one BENCH_sim_sweep.json. This wrapper runs the binary, then reads
+the merged report back and prints a per-point digest plus fleet totals —
+the ad-hoc entry point for "how fast is the simulator across the grid
+right now" without hand-assembling bench invocations.
+
+    scripts/sweep.py --build build-release            # full grid
+    scripts/sweep.py --build build --smoke            # reduced grid
+    scripts/sweep.py --report path/to/BENCH_sim_sweep.json   # digest only
+
+Stdlib only; no third-party imports.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+
+def digest(report_path):
+    try:
+        with open(report_path, "r", encoding="utf-8") as f:
+            report = json.load(f)
+    except (OSError, ValueError) as e:
+        sys.exit(f"sweep: cannot read {report_path}: {e}")
+    runs = [r for r in report.get("runs", [])
+            if r.get("label", "").startswith("sweep/")]
+    if not runs:
+        sys.exit(f"sweep: {report_path} has no sweep/* runs")
+
+    header = f"{'point':<28} {'cycles':>12} {'committed':>10} " \
+             f"{'wall_s':>8} {'Mcyc/s':>8}"
+    print(header)
+    print("-" * len(header))
+    total_cycles = 0
+    total_committed = 0
+    total_wall = 0.0
+    for r in sorted(runs, key=lambda r: r["label"]):
+        s = r.get("stats", {})
+        run = s.get("run", {})
+        cycles = run.get("cycles", 0)
+        committed = run.get("committed", 0)
+        wall = run.get("wall_seconds", 0.0)
+        cps = run.get("sim_cycles_per_second", 0.0)
+        total_cycles += cycles
+        total_committed += committed
+        total_wall += wall
+        print(f"{r['label'][len('sweep/'):]:<28} {cycles:>12} "
+              f"{committed:>10} {wall:>8.3f} {cps / 1e6:>8.2f}")
+    print("-" * len(header))
+    print(f"{len(runs)} points; {total_cycles} simulated cycles, "
+          f"{total_committed} committed txns, {total_wall:.2f}s of "
+          "single-point wall clock", end="")
+    if total_wall > 0:
+        print(f" ({total_cycles / total_wall / 1e6:.2f} Mcycles/s "
+              "aggregate simulation rate)")
+    else:
+        print()
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--build", default="build-release",
+                    help="build directory containing bench/sim_sweep "
+                         "(default build-release)")
+    ap.add_argument("--report",
+                    help="digest an existing BENCH_sim_sweep.json instead "
+                         "of running the bench")
+    ap.add_argument("--smoke", action="store_true",
+                    help="pass --smoke to sim_sweep (reduced grid)")
+    ap.add_argument("--quick", action="store_true",
+                    help="pass --quick to sim_sweep (reduced txn counts)")
+    args = ap.parse_args()
+
+    if args.report:
+        digest(args.report)
+        return 0
+
+    bench_dir = os.path.join(args.build, "bench")
+    binary = os.path.join(bench_dir, "sim_sweep")
+    if not os.path.exists(binary):
+        sys.exit(f"sweep: {binary} not found — build it first "
+                 f"(cmake --build {args.build} --target sim_sweep)")
+    cmd = [os.path.abspath(binary)]
+    if args.smoke:
+        cmd.append("--smoke")
+    if args.quick:
+        cmd.append("--quick")
+    # The bench writes BENCH_sim_sweep.json into its working directory.
+    rc = subprocess.call(cmd, cwd=bench_dir)
+    if rc != 0:
+        sys.exit(f"sweep: sim_sweep exited with {rc}")
+    print()
+    digest(os.path.join(bench_dir, "BENCH_sim_sweep.json"))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -60,7 +60,7 @@ uint64_t CommFabric::MinHopLatencyFrom(uint32_t island) const {
 }
 
 void CommFabric::Transmit(uint64_t now, db::WorkerId src, db::WorkerId dst,
-                          const Envelope& env, std::deque<InFlight>* wire) {
+                          const Envelope& env, sim::RingQueue<InFlight>* wire) {
   uint64_t depart = now;
   const uint32_t src_chip = ChipOf(src);
   const uint32_t dst_chip = ChipOf(dst);
@@ -132,53 +132,61 @@ void CommFabric::SendNow(uint64_t now, db::WorkerId src, db::WorkerId dst,
   counters_.Add(is_request ? "requests_sent" : "responses_sent");
 }
 
-void CommFabric::DeliverWire(uint64_t cycle, std::deque<InFlight>* wire,
-                             std::vector<std::deque<Envelope>>* inboxes) {
+void CommFabric::DeliverWire(uint64_t cycle, sim::RingQueue<InFlight>* wire,
+                             std::vector<sim::RingQueue<Envelope>>* inboxes) {
   // Latencies differ per (src,dst) path (ring distance, node crossings),
   // so the wire is scanned rather than popped FIFO: a short-path message
   // may physically overtake a long-path one. Per-path ordering is
   // preserved because same-path messages share latency and the scan keeps
-  // relative order.
-  for (auto it = wire->begin(); it != wire->end();) {
-    if (it->deliver_at <= cycle) {
-      if (reliability_.enabled && it->env.hdr.seq != 0) {
-        // Ack every arrival (even duplicates, so a lost first ack still
-        // quiesces the sender) but deliver only the first copy.
-        ack_wire_.push_back({cycle + HopLatency(it->dst, it->src), it->src,
-                             it->env.hdr.seq});
-        if (!delivered_seqs_.insert(it->env.hdr.seq).second) {
-          counters_.Add("duplicates_suppressed");
-          it = wire->erase(it);
-          continue;
-        }
-      }
-      // First delivery of this logical packet: counted here in ALL modes
-      // (serial/event-driven Tick, and EndEpoch's authoritative replay
-      // where inboxes == nullptr), never in DeliverStamps.
-      ++class_delivered_[size_t(it->env.cls())];
-      if (ChipOf(it->src) != ChipOf(it->dst)) {
-        ++links_[size_t(ChipOf(it->src)) * n_chips_ + ChipOf(it->dst)]
-              .delivered;
-      }
-      if (inboxes != nullptr) (*inboxes)[it->dst].push_back(it->env);
-      it = wire->erase(it);
-    } else {
-      ++it;
+  // relative order — the in-place compaction below shifts keepers forward
+  // without reordering them (and without deque's block churn).
+  const size_t n = wire->size();
+  size_t kept = 0;
+  for (size_t i = 0; i < n; ++i) {
+    InFlight& f = (*wire)[i];
+    if (f.deliver_at > cycle) {
+      if (kept != i) (*wire)[kept] = std::move(f);
+      ++kept;
+      continue;
     }
+    if (reliability_.enabled && f.env.hdr.seq != 0) {
+      // Ack every arrival (even duplicates, so a lost first ack still
+      // quiesces the sender) but deliver only the first copy.
+      ack_wire_.push_back(
+          {cycle + HopLatency(f.dst, f.src), f.src, f.env.hdr.seq});
+      if (!delivered_seqs_.insert(f.env.hdr.seq).second) {
+        counters_.Add("duplicates_suppressed");
+        continue;
+      }
+    }
+    // First delivery of this logical packet: counted here in ALL modes
+    // (serial/event-driven Tick, and EndEpoch's authoritative replay
+    // where inboxes == nullptr), never in DeliverStamps.
+    ++class_delivered_[size_t(f.env.cls())];
+    if (ChipOf(f.src) != ChipOf(f.dst)) {
+      ++links_[size_t(ChipOf(f.src)) * n_chips_ + ChipOf(f.dst)].delivered;
+    }
+    if (inboxes != nullptr) (*inboxes)[f.dst].push_back(std::move(f.env));
   }
+  wire->truncate(kept);
 }
 
 void CommFabric::RetireAcks(uint64_t cycle) {
-  // Arrived acks retire the sender's unacked copies.
-  for (auto it = ack_wire_.begin(); it != ack_wire_.end();) {
-    if (it->deliver_at <= cycle) {
-      unacked_requests_.erase(it->seq);
-      unacked_responses_.erase(it->seq);
-      it = ack_wire_.erase(it);
-    } else {
-      ++it;
+  // Arrived acks retire the sender's unacked copies (same in-place
+  // compaction as DeliverWire: relative order preserved, no allocation).
+  const size_t n = ack_wire_.size();
+  size_t kept = 0;
+  for (size_t i = 0; i < n; ++i) {
+    InFlightAck& a = ack_wire_[i];
+    if (a.deliver_at > cycle) {
+      if (kept != i) ack_wire_[kept] = a;
+      ++kept;
+      continue;
     }
+    unacked_requests_.erase(a.seq);
+    unacked_responses_.erase(a.seq);
   }
+  ack_wire_.truncate(kept);
 }
 
 void CommFabric::RunRetransmits(uint64_t cycle) {
@@ -203,8 +211,12 @@ void CommFabric::RunRetransmits(uint64_t cycle) {
 }
 
 void CommFabric::Tick(uint64_t cycle) {
-  DeliverWire(cycle, &request_wire_, &request_inbox_);
-  DeliverWire(cycle, &response_wire_, &response_inbox_);
+  // Empty-wire fast path: single-site workloads (and any cycle with no
+  // packets in flight) skip the delivery scans entirely.
+  if (!request_wire_.empty()) DeliverWire(cycle, &request_wire_, &request_inbox_);
+  if (!response_wire_.empty()) {
+    DeliverWire(cycle, &response_wire_, &response_inbox_);
+  }
   if (!reliability_.enabled) return;
   RetireAcks(cycle);
   RunRetransmits(cycle);
@@ -240,7 +252,7 @@ uint64_t CommFabric::NextDeliveryCycle() const {
 void CommFabric::NextDeliveryCyclesTo(
     std::vector<uint64_t>* per_island) const {
   std::fill(per_island->begin(), per_island->end(), sim::kNeverWakes);
-  auto scan = [per_island](const std::deque<InFlight>& wire) {
+  auto scan = [per_island](const sim::RingQueue<InFlight>& wire) {
     for (const auto& p : wire) {
       if (p.dst < per_island->size()) {
         (*per_island)[p.dst] = std::min((*per_island)[p.dst], p.deliver_at);
@@ -271,7 +283,7 @@ void CommFabric::BeginEpoch(uint64_t from, uint64_t to) {
   // Sequences are fabric-unique across both wires, so one overlay serves
   // both plans.
   std::unordered_set<uint64_t> planned;
-  auto plan = [&](const std::deque<InFlight>& wire, auto& stamped) {
+  auto plan = [&](const sim::RingQueue<InFlight>& wire, auto& stamped) {
     std::vector<const InFlight*> due;
     for (const auto& p : wire) {
       if (p.deliver_at <= to) {
@@ -280,7 +292,7 @@ void CommFabric::BeginEpoch(uint64_t from, uint64_t to) {
       }
     }
     // Serial delivery order: by cycle, then wire order within a cycle
-    // (stable sort preserves the deque scan order on ties).
+    // (stable sort preserves the wire scan order on ties).
     std::stable_sort(due.begin(), due.end(),
                      [](const InFlight* a, const InFlight* b) {
                        return a->deliver_at < b->deliver_at;

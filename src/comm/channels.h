@@ -27,6 +27,7 @@
 #include "comm/envelope.h"
 #include "common/stats.h"
 #include "db/types.h"
+#include "sim/arena.h"
 #include "sim/component.h"
 #include "sim/config.h"
 #include "sim/epoch.h"
@@ -101,11 +102,11 @@ class CommFabric : public sim::Component, public sim::EpochFabric {
 
   /// Delivered inbound request packets for `worker` (drained by its
   /// background unit).
-  std::deque<Envelope>& requests(db::WorkerId worker) {
+  sim::RingQueue<Envelope>& requests(db::WorkerId worker) {
     return request_inbox_[worker];
   }
   /// Delivered inbound response packets for `worker`.
-  std::deque<Envelope>& responses(db::WorkerId worker) {
+  sim::RingQueue<Envelope>& responses(db::WorkerId worker) {
     return response_inbox_[worker];
   }
 
@@ -207,7 +208,7 @@ class CommFabric : public sim::Component, public sim::EpochFabric {
   /// fault hook, then places the packet (and any injected duplicate) on
   /// the wire.
   void Transmit(uint64_t now, db::WorkerId src, db::WorkerId dst,
-                const Envelope& env, std::deque<InFlight>* wire);
+                const Envelope& env, sim::RingQueue<InFlight>* wire);
 
   /// Chip index of a worker (0 when the cluster tier is off).
   uint32_t ChipOf(db::WorkerId w) const {
@@ -241,8 +242,8 @@ class CommFabric : public sim::Component, public sim::EpochFabric {
   /// (epoch replay). `inboxes == nullptr` skips the inbox push — in epoch
   /// replay the destination island already consumed the payload via its
   /// stamp, so only fabric-side bookkeeping (acks, dedup, counters) runs.
-  void DeliverWire(uint64_t cycle, std::deque<InFlight>* wire,
-                   std::vector<std::deque<Envelope>>* inboxes);
+  void DeliverWire(uint64_t cycle, sim::RingQueue<InFlight>* wire,
+                   std::vector<sim::RingQueue<Envelope>>* inboxes);
   void RetireAcks(uint64_t cycle);
   void RunRetransmits(uint64_t cycle);
   void ReplayStagedSends(uint64_t cycle);
@@ -265,10 +266,10 @@ class CommFabric : public sim::Component, public sim::EpochFabric {
   };
   std::vector<LinkState> links_;
 
-  std::deque<InFlight> request_wire_;
-  std::deque<InFlight> response_wire_;
-  std::vector<std::deque<Envelope>> request_inbox_;
-  std::vector<std::deque<Envelope>> response_inbox_;
+  sim::RingQueue<InFlight> request_wire_;
+  sim::RingQueue<InFlight> response_wire_;
+  std::vector<sim::RingQueue<Envelope>> request_inbox_;
+  std::vector<sim::RingQueue<Envelope>> response_inbox_;
 
   // Reliability state. std::map keeps retransmission scan order
   // deterministic; requests scan before responses (RunRetransmits), so the
@@ -276,7 +277,7 @@ class CommFabric : public sim::Component, public sim::EpochFabric {
   ChannelFaultHook* fault_hook_ = nullptr;
   ReliabilityConfig reliability_;
   uint64_t next_seq_ = 0;
-  std::deque<InFlightAck> ack_wire_;
+  sim::RingQueue<InFlightAck> ack_wire_;
   std::map<uint64_t, Unacked> unacked_requests_;
   std::map<uint64_t, Unacked> unacked_responses_;
   std::unordered_set<uint64_t> delivered_seqs_;

@@ -125,8 +125,36 @@ class CounterSet {
   const std::map<std::string, uint64_t>& counters() const { return counters_; }
   void Clear() { counters_.clear(); }
 
+  /// Pointer to `name`'s slot, creating the entry (at its current value,
+  /// default 0) if absent. std::map nodes are pointer-stable, so the slot
+  /// stays valid until the set is cleared or destroyed. FastCounter's
+  /// lazy-bind hook.
+  uint64_t* Slot(const std::string& name) { return &counters_[name]; }
+
  private:
   std::map<std::string, uint64_t> counters_;
+};
+
+/// Cached handle to one CounterSet entry, for counters bumped on per-cycle
+/// or per-op hot paths. The first Add resolves the map slot (creating the
+/// entry, exactly as CounterSet::Add would); later Adds bump through the
+/// cached pointer with no string hashing or tree walk. Presence semantics
+/// therefore match plain Add calls bit-for-bit: a counter appears in the
+/// stats JSON only if the hot path actually reached it. The handle must
+/// not outlive its CounterSet, and Clear() on the set invalidates it.
+class FastCounter {
+ public:
+  FastCounter(CounterSet* set, const char* name) : set_(set), name_(name) {}
+
+  void Add(uint64_t delta = 1) {
+    if (slot_ == nullptr) slot_ = set_->Slot(name_);
+    *slot_ += delta;
+  }
+
+ private:
+  CounterSet* set_;
+  const char* name_;
+  uint64_t* slot_ = nullptr;
 };
 
 /// Hierarchical metric registry: every metric lives at a '/'-separated

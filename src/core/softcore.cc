@@ -101,7 +101,7 @@ void Softcore::Tick(uint64_t now) {
       if (dram_->Issue(now, pending_block_, false, &mem_resp_, 0)) {
         state_ = State::kFetchBlock;
       } else {
-        counters_.Add("ingest_dram_stall");
+        fc_ingest_dram_stall_.Add();
       }
       return;
     case State::kFetchBlock:
@@ -130,7 +130,7 @@ void Softcore::Tick(uint64_t now) {
         CompleteRet(now, pending_inst_);
         state_ = State::kRunning;
       } else {
-        counters_.Add("ret_wait_cycles");
+        fc_ret_wait_.Add();
       }
       return;
     }
@@ -140,10 +140,10 @@ void Softcore::Tick(uint64_t now) {
         state_ = State::kRunning;
         busy_until_ = now + 1;
       } else {
-        counters_.Add(
-            ChipOfWorker(pending_partition_) != ChipOfWorker(worker_id_)
-                ? "interchip_window_stall_cycles"
-                : "dispatch_stall_cycles");
+        (ChipOfWorker(pending_partition_) != ChipOfWorker(worker_id_)
+             ? fc_interchip_window_stall_
+             : fc_dispatch_stall_)
+            .Add();
       }
       return;
     case State::kSwitching: {
@@ -167,7 +167,7 @@ void Softcore::Tick(uint64_t now) {
                           comm::Envelope(h, comm::PrepareReq{twopc_.ts}))) {
           // Inter-chip send window full; retry the remaining participants
           // next cycle.
-          counters_.Add("interchip_window_stall_cycles");
+          fc_interchip_window_stall_.Add();
           return;
         }
         p.sent = true;
@@ -186,7 +186,7 @@ void Softcore::Tick(uint64_t now) {
         EnterDecisionPhase(now);
         return;
       }
-      counters_.Add("twopc_prepare_wait_cycles");
+      fc_twopc_prepare_wait_.Add();
       return;
     }
     case State::kTwoPcDecide: {
@@ -200,7 +200,7 @@ void Softcore::Tick(uint64_t now) {
         req.commit = twopc_.decision_commit;
         req.entries = p.entries;
         if (!port_->Issue(p.worker, comm::Envelope(h, std::move(req)))) {
-          counters_.Add("interchip_window_stall_cycles");
+          fc_interchip_window_stall_.Add();
           return;
         }
         p.sent = true;
@@ -220,7 +220,7 @@ void Softcore::Tick(uint64_t now) {
         twopc_.next_resend = now + config_.two_pc.decision_resend_cycles;
         return;
       }
-      counters_.Add("twopc_decision_wait_cycles");
+      fc_twopc_decision_wait_.Add();
       return;
     }
   }
@@ -239,7 +239,7 @@ bool Softcore::TryAdmit(uint64_t now) {
   // processing flow in Fig. 2). A backpressure reject retries next cycle —
   // it must NOT close the batch.
   if (!dram_->Issue(now, block, false, &mem_resp_, 0)) {
-    counters_.Add("ingest_dram_stall");
+    fc_ingest_dram_stall_.Add();
     state_ = State::kIngestRetry;
     return true;
   }
@@ -311,7 +311,7 @@ void Softcore::BeginTxn(uint64_t now) {
   state_ = State::kRunning;
   // Catalogue fetch (BRAM) + first IFetch.
   busy_until_ = now + timing_.cpu_instruction_cycles;
-  counters_.Add("txns_admitted");
+  fc_txns_admitted_.Add();
 }
 
 void Softcore::CompleteRet(uint64_t now, const isa::Instruction& inst) {
@@ -407,7 +407,7 @@ void Softcore::Execute(uint64_t now) {
       if (!dram_->Issue(now, addr, false, &mem_resp_, 0)) {
         // Retry the issue next tick by staying at this instruction.
         --ctx.pc;
-        counters_.Add("load_dram_stall");
+        fc_load_dram_stall_.Add();
         return;
       }
       state_ = State::kMemWait;
@@ -501,7 +501,7 @@ void Softcore::Execute(uint64_t now) {
     }
     case Opcode::kCommit: {
       if (ctx.outstanding_db > 0) {
-        counters_.Add("commit_wait_cycles");
+        fc_commit_wait_.Add();
         return;  // all DB instructions must have returned
       }
       if (StartTwoPc(now, /*want_commit=*/true)) return;
@@ -531,7 +531,7 @@ void Softcore::Execute(uint64_t now) {
     }
     case Opcode::kAbort: {
       if (ctx.outstanding_db > 0) {
-        counters_.Add("abort_wait_cycles");
+        fc_abort_wait_.Add();
         return;  // late results may still add write-set entries
       }
       if (StartTwoPc(now, /*want_commit=*/false)) return;
@@ -900,17 +900,17 @@ uint64_t Softcore::NextWakeCycle(uint64_t now) const {
 void Softcore::SkipCycles(uint64_t now, uint64_t count) {
   if (busy_until_ > now + 1) return;  // timer cycles have no accounting
   if (state_ == State::kWaitCp) {
-    counters_.Add("ret_wait_cycles", count);
+    fc_ret_wait_.Add(count);
     return;
   }
   if (state_ == State::kTwoPcPrepare) {
     // Only the all-sent ack wait is ever skipped (unsent participants pin
     // the wake to now + 1); mirrors the per-tick wait counter exactly.
-    counters_.Add("twopc_prepare_wait_cycles", count);
+    fc_twopc_prepare_wait_.Add(count);
     return;
   }
   if (state_ == State::kTwoPcDecide) {
-    counters_.Add("twopc_decision_wait_cycles", count);
+    fc_twopc_decision_wait_.Add(count);
     return;
   }
   if (state_ == State::kRunning) {
@@ -920,8 +920,9 @@ void Softcore::SkipCycles(uint64_t now, uint64_t count) {
     const TxnContext& ctx = contexts_[cur_ctx_];
     const isa::Instruction& inst = ctx.proc->program.at(ctx.pc);
     stats_.instructions += count;
-    counters_.Add(inst.opcode == isa::Opcode::kCommit ? "commit_wait_cycles"
-                                                      : "abort_wait_cycles",
+    (inst.opcode == isa::Opcode::kCommit ? fc_commit_wait_
+                                                  : fc_abort_wait_)
+        .Add(
                   count);
   }
 }

@@ -21,7 +21,6 @@
 #define BIONICDB_CORE_SOFTCORE_H_
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "common/stats.h"
@@ -33,6 +32,7 @@
 #include "isa/program.h"
 #include "sim/component.h"
 #include "sim/config.h"
+#include "sim/arena.h"
 #include "sim/memory.h"
 
 namespace bionicdb::core {
@@ -253,7 +253,7 @@ class Softcore {
   Config config_;
   comm::IssuePort* port_;
 
-  std::deque<sim::Addr> input_queue_;
+  sim::RingQueue<sim::Addr> input_queue_;
   sim::MemResponseQueue mem_resp_;
 
   // Register files (BRAM).
@@ -306,6 +306,22 @@ class Softcore {
 
   BatchStats stats_;
   CounterSet counters_;
+  // Lazy slot handles for per-cycle wait/stall counters (FastCounter):
+  // these are bumped every stalled cycle, where a string-keyed map walk
+  // dominated the dense-activity profile.
+  FastCounter fc_ret_wait_{&counters_, "ret_wait_cycles"};
+  FastCounter fc_dispatch_stall_{&counters_, "dispatch_stall_cycles"};
+  FastCounter fc_interchip_window_stall_{&counters_,
+                                         "interchip_window_stall_cycles"};
+  FastCounter fc_commit_wait_{&counters_, "commit_wait_cycles"};
+  FastCounter fc_abort_wait_{&counters_, "abort_wait_cycles"};
+  FastCounter fc_ingest_dram_stall_{&counters_, "ingest_dram_stall"};
+  FastCounter fc_load_dram_stall_{&counters_, "load_dram_stall"};
+  FastCounter fc_txns_admitted_{&counters_, "txns_admitted"};
+  FastCounter fc_twopc_prepare_wait_{&counters_,
+                                     "twopc_prepare_wait_cycles"};
+  FastCounter fc_twopc_decision_wait_{&counters_,
+                                      "twopc_decision_wait_cycles"};
 };
 
 }  // namespace bionicdb::core

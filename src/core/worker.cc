@@ -133,14 +133,14 @@ void PartitionWorker::Tick(uint64_t cycle) {
   // softcore and a remote peer are the same Issue call.
   auto& results = coproc_->results();
   while (!results.empty()) {
-    comm::Envelope r = results.front();
+    comm::Envelope r = std::move(results.front());
     results.pop_front();
     Issue(r.hdr.origin, r);
   }
 
   // Answer remote LOADs whose DRAM read completed this cycle.
   while (!mem_inbox_.empty()) {
-    sim::MemResponse resp = mem_inbox_.front();
+    sim::MemResponse resp = std::move(mem_inbox_.front());
     mem_inbox_.pop_front();
     auto it = mem_pending_.find(resp.cookie);
     assert(it != mem_pending_.end());

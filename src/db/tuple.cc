@@ -56,11 +56,19 @@ sim::Addr AllocateTuple(sim::DramMemory* dram, uint8_t height,
 
 int CompareKeyToTuple(const sim::DramMemory& dram, const uint8_t* key,
                       uint16_t key_len, const TupleAccessor& tuple) {
-  uint16_t tlen = tuple.key_len();
+  const uint16_t tlen = tuple.key_len();
+  const sim::Addr taddr = tuple.key_addr();
   uint16_t n = std::min(key_len, tlen);
-  for (uint16_t i = 0; i < n; ++i) {
-    uint8_t tb = dram.Read8(tuple.key_addr() + i);
-    if (key[i] != tb) return key[i] < tb ? -1 : 1;
+  uint16_t i = 0;
+  while (i < n) {
+    // Compare against the tuple key's page span directly: one page lookup
+    // per (at most two) spans instead of a timing-free Read8 per byte.
+    uint64_t span = 0;
+    const uint8_t* tb = dram.ReadSpan(taddr + i, &span);
+    const uint16_t chunk = uint16_t(std::min<uint64_t>(span, n - i));
+    const int cmp = std::memcmp(key + i, tb, chunk);
+    if (cmp != 0) return cmp < 0 ? -1 : 1;
+    i = uint16_t(i + chunk);
   }
   if (key_len == tlen) return 0;
   return key_len < tlen ? -1 : 1;

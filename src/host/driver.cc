@@ -1,5 +1,6 @@
 #include "host/driver.h"
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -431,6 +432,34 @@ void RecordOpenLoopStats(const OpenLoopResult& result, StatsScope scope,
     scope.SetGauge("wall_seconds", result.wall_seconds);
     scope.SetGauge("sim_cycles_per_second", result.SimCyclesPerSecond());
   }
+}
+
+std::vector<SweepResult> RunSweep(std::vector<SweepJob> jobs,
+                                  uint32_t max_hosts) {
+  std::vector<SweepResult> results(jobs.size());
+  for (size_t i = 0; i < jobs.size(); ++i) results[i].label = jobs[i].label;
+  if (jobs.empty()) return results;
+  uint32_t width = max_hosts == 0 ? HostHardwareThreads()
+                                  : std::min(max_hosts, HostHardwareThreads());
+  width = uint32_t(std::min<size_t>(width, jobs.size()));
+  if (width == 0) width = 1;
+  // Shared claim cursor: each worker owns whichever jobs it claims, and a
+  // job's registry is touched only by that worker until the joins below
+  // publish everything to the caller.
+  std::atomic<size_t> next{0};
+  auto work = [&] {
+    for (;;) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= jobs.size()) return;
+      jobs[i].run(&results[i].stats);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(width - 1);
+  for (uint32_t k = 1; k < width; ++k) pool.emplace_back(work);
+  work();  // the calling thread is worker 0
+  for (std::thread& t : pool) t.join();
+  return results;
 }
 
 }  // namespace bionicdb::host

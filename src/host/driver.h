@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -233,6 +234,36 @@ OpenLoopResult RunOpenLoop(core::BionicDb* engine, const TxnFactory& factory,
 /// tests compare the simulated portion byte-for-byte.
 void RecordOpenLoopStats(const OpenLoopResult& result, StatsScope scope,
                          bool include_wall_clock = true);
+
+// --- Fleet-scale sweep fan-out -------------------------------------------
+
+/// One sweep configuration: `run` builds its own engine, drives the
+/// workload, and writes everything the report should carry for this point
+/// into the registry. The body must be self-contained (no shared mutable
+/// state with other jobs) — each job owns a full simulated machine.
+struct SweepJob {
+  std::string label;
+  std::function<void(StatsRegistry*)> run;
+};
+
+/// One finished sweep point, in job order.
+struct SweepResult {
+  std::string label;
+  StatsRegistry stats;
+};
+
+/// Runs every job, fanning out across host cores with the same
+/// spawn-on-demand worker scheme the parallel-island simulator pool uses:
+/// the calling thread is worker 0 and spawned threads claim jobs from a
+/// shared cursor, so an N-point sweep costs max(points/cores) engine runs
+/// of wall clock instead of their sum. Results come back in job order
+/// regardless of completion order, and each job's registry is written only
+/// by the thread that ran it, so a sweep's merged report is deterministic
+/// for a fixed job list. `max_hosts` caps the fan-out (0 = all hardware
+/// threads); jobs running concurrently must each stay serial inside
+/// (TimingConfig::parallel_hosts == 0) or the two pools fight for cores.
+std::vector<SweepResult> RunSweep(std::vector<SweepJob> jobs,
+                                  uint32_t max_hosts = 0);
 
 }  // namespace bionicdb::host
 

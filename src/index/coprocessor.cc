@@ -29,8 +29,8 @@ bool IndexCoprocessor::Submit(const comm::Envelope& env) {
   }
   // Background = shipped here by a remote initiator; the header is the
   // single source of truth for remoteness (origin != serving partition).
-  counters_.Add(env.hdr.origin != partition_ ? "background_ops"
-                                             : "foreground_ops");
+  (env.hdr.origin != partition_ ? fc_background_ops_ : fc_foreground_ops_)
+      .Add();
   if (schema->index == db::IndexKind::kHash) {
     return hash_->Accept(env);
   }

@@ -86,6 +86,10 @@ class IndexCoprocessor : public sim::Component {
   std::unique_ptr<HashPipeline> hash_;
   std::unique_ptr<SkiplistPipeline> skiplist_;
   CounterSet counters_;
+  // Per-op admission counters, bumped for every accepted envelope
+  // (common/stats.h FastCounter).
+  FastCounter fc_foreground_ops_{&counters_, "foreground_ops"};
+  FastCounter fc_background_ops_{&counters_, "background_ops"};
 };
 
 }  // namespace bionicdb::index

@@ -23,16 +23,17 @@
 #ifndef BIONICDB_INDEX_DB_OP_H_
 #define BIONICDB_INDEX_DB_OP_H_
 
-#include <deque>
-
 #include "comm/envelope.h"
+#include "sim/arena.h"
 
 namespace bionicdb::index {
 
 /// Completed-result staging shared by the hash and skiplist pipelines,
 /// drained by the worker each tick (one-cycle result-routing latency, as in
-/// the per-cycle hardware model).
-using ResultQueue = std::deque<comm::Envelope>;
+/// the per-cycle hardware model). A ring rather than a deque: the queue
+/// cycles every tick at dense activity, and deque block churn was a
+/// measurable steady-state allocation source (tests/hot_path_alloc_test).
+using ResultQueue = sim::RingQueue<comm::Envelope>;
 
 }  // namespace bionicdb::index
 

@@ -84,10 +84,12 @@ void HashPipeline::PostWrite(uint64_t now, sim::Addr addr) {
 void HashPipeline::Tick(uint64_t now) {
   tick_dram_stall_ = false;
   tick_hazard_stall_ = false;
-  if (active_ > 0 || !pending_in_.empty()) {
-    ++busy_cycles_;
-    occupancy_sum_ += active_;
-  }
+  // Idle early-out (see SkiplistPipeline::Tick): queued work anywhere in
+  // the pipeline implies a held slot, so idle means every stage scan would
+  // be a no-op.
+  if (active_ == 0 && pending_in_.empty()) return;
+  ++busy_cycles_;
+  occupancy_sum_ += active_;
   // Downstream stages first so queues drain before upstream refills them.
   TickDirtyWaiters(now);
   for (uint32_t u = 0; u < config_.n_traverse_units; ++u) {
@@ -110,12 +112,12 @@ void HashPipeline::TickKeyFetch(uint64_t now) {
   if (!dram_->Issue(now, pool_[slot].req.index_op().key_addr, false,
                     &hash_resp_, slot)) {
     FreeSlot(slot);
-    counters_.Add("keyfetch_dram_stall");
+    fc_keyfetch_dram_stall_.Add();
     tick_dram_stall_ = true;
     return;
   }
   pending_in_.pop_front();
-  counters_.Add("ops_admitted");
+  fc_ops_admitted_.Add();
 }
 
 bool HashPipeline::TryPassHashStage(uint64_t now, uint32_t slot) {
@@ -126,7 +128,7 @@ bool HashPipeline::TryPassHashStage(uint64_t now, uint32_t slot) {
   const bool is_insert = op.req.index_op().op == isa::Opcode::kInsert;
   if (config_.hazard_prevention) {
     if (lock_table_.HeldByOther(bucket, slot)) {
-      counters_.Add("hash_lock_stall_cycles");
+      fc_hash_lock_stall_.Add();
       tick_hazard_stall_ = true;
       return false;
     }
@@ -140,7 +142,7 @@ bool HashPipeline::TryPassHashStage(uint64_t now, uint32_t slot) {
   // insert-after-insert hazard observable when prevention is disabled.
   if (!dram_->Issue(now, op.bucket_slot, false, dest, slot,
                     /*snapshot_words=*/1)) {
-    counters_.Add("hash_dram_stall");
+    fc_hash_dram_stall_.Add();
     tick_dram_stall_ = true;
     return false;
   }
@@ -159,12 +161,12 @@ void HashPipeline::TickHash(uint64_t now) {
   Op& op = pool_[slot];
   // Functional key fetch (keys in transaction blocks are immutable while
   // the transaction runs).
-  std::vector<uint8_t> key(op.req.index_op().key_len);
+  sim::InlineVec<uint8_t, 48> key(op.req.index_op().key_len);
   dram_->ReadBytes(op.req.index_op().key_addr, key.data(), key.size());
   op.hash = db::HashTableLayout::HashKey(key.data(), uint16_t(key.size()));
   op.bucket_slot =
       db_->hash_index(op.req.index_op().table, partition_)->BucketSlot(op.hash);
-  counters_.Add("hash_stage_ops");
+  fc_hash_stage_.Add();
   if (!TryPassHashStage(now, slot)) hash_blocked_ = slot;
 }
 
@@ -177,7 +179,7 @@ void HashPipeline::TickInstall(uint64_t now) {
     install_ack_.pop_front();
     Op& op = pool_[slot];
     db::TupleAccessor t(dram_, op.new_tuple);
-    counters_.Add("install_stage_ops");
+    fc_install_stage_.Add();
     Emit(slot, isa::CpStatus::kOk, t.payload_addr(), cc::WriteKind::kInsert,
          op.new_tuple);
     return;
@@ -202,7 +204,7 @@ void HashPipeline::TickInstall(uint64_t now) {
   // off and a racing insert's head write has not completed (Fig. 6a).
   sim::Addr old_head = resp.data[0];
 
-  std::vector<uint8_t> key(op.req.index_op().key_len);
+  sim::InlineVec<uint8_t, 48> key(op.req.index_op().key_len);
   dram_->ReadBytes(op.req.index_op().key_addr, key.data(), key.size());
   std::vector<uint8_t> payload(op.req.index_op().payload_len);
   if (!payload.empty()) {
@@ -245,7 +247,7 @@ void HashPipeline::TickHeadFetch(uint64_t now) {
   uint32_t slot = uint32_t(resp.cookie);
   Op& op = pool_[slot];
   sim::Addr head = resp.data[0];
-  counters_.Add("headfetch_stage_ops");
+  fc_headfetch_stage_.Add();
   if (head == sim::kNullAddr) {
     Emit(slot, isa::CpStatus::kNotFound, 0, cc::WriteKind::kNone,
          sim::kNullAddr);
@@ -254,7 +256,7 @@ void HashPipeline::TickHeadFetch(uint64_t now) {
   op.cur = head;
   if (!dram_->Issue(now, head, false, &keycomp_resp_, slot)) {
     headfetch_blocked_ = slot;
-    counters_.Add("headfetch_dram_stall");
+    fc_headfetch_dram_stall_.Add();
     tick_dram_stall_ = true;
   }
 }
@@ -351,7 +353,7 @@ bool HashPipeline::CompareOrAdvance(uint64_t now, uint32_t slot) {
     return true;
   }
   db::TupleAccessor t(dram_, op.cur);
-  std::vector<uint8_t> key(op.req.index_op().key_len);
+  sim::InlineVec<uint8_t, 48> key(op.req.index_op().key_len);
   dram_->ReadBytes(op.req.index_op().key_addr, key.data(), key.size());
   if (db::CompareKeyToTuple(*dram_, key.data(), uint16_t(key.size()), t) ==
       0) {
@@ -389,7 +391,7 @@ void HashPipeline::TickKeyComp(uint64_t now) {
   sim::MemResponse resp = std::move(keycomp_resp_.front());
   keycomp_resp_.pop_front();
   uint32_t slot = uint32_t(resp.cookie);
-  counters_.Add("keycomp_stage_ops");
+  fc_keycomp_stage_.Add();
   if (!CompareOrAdvance(now, slot)) EnqueueTraverse(slot);
 }
 
@@ -400,7 +402,7 @@ void HashPipeline::TickTraverse(uint64_t now, uint32_t unit_idx) {
     // Take the next op; op.cur already names the node to fetch.
     uint32_t slot = unit.in.front();
     if (!dram_->Issue(now, pool_[slot].cur, false, &unit.resp, slot)) {
-      counters_.Add("traverse_dram_stall");
+      fc_traverse_dram_stall_.Add();
       tick_dram_stall_ = true;
       return;
     }
@@ -415,7 +417,7 @@ void HashPipeline::TickTraverse(uint64_t now, uint32_t unit_idx) {
     if (dram_->Issue(now, pool_[slot].cur, false, &unit.resp, slot)) {
       unit.waiting = true;
     } else {
-      counters_.Add("traverse_dram_stall");
+      fc_traverse_dram_stall_.Add();
       tick_dram_stall_ = true;
     }
     return;
@@ -423,7 +425,7 @@ void HashPipeline::TickTraverse(uint64_t now, uint32_t unit_idx) {
   if (unit.resp.empty()) return;
   unit.resp.pop_front();
   uint32_t slot = *unit.cur_op;
-  counters_.Add("traverse_stage_ops");
+  fc_traverse_stage_.Add();
   if (CompareOrAdvance(now, slot)) {
     unit.cur_op.reset();
     unit.waiting = false;
@@ -433,7 +435,7 @@ void HashPipeline::TickTraverse(uint64_t now, uint32_t unit_idx) {
   // the paper describes in section 4.4.1).
   if (!dram_->Issue(now, pool_[slot].cur, false, &unit.resp, slot)) {
     unit.waiting = false;
-    counters_.Add("traverse_dram_stall");
+    fc_traverse_dram_stall_.Add();
       tick_dram_stall_ = true;
   }
 }
@@ -493,7 +495,7 @@ void HashPipeline::SkipCycles(uint64_t now, uint64_t count) {
   }
   bool hazard = false;
   if (HashBlockedOnLock()) {
-    counters_.Add("hash_lock_stall_cycles", count);
+    fc_hash_lock_stall_.Add(count);
     hazard = true;
   }
   if (!dirty_waiters_.empty()) hazard = true;

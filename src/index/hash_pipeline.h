@@ -32,7 +32,6 @@
 #define BIONICDB_INDEX_HASH_PIPELINE_H_
 
 #include <cstdint>
-#include <deque>
 #include <optional>
 #include <vector>
 
@@ -42,6 +41,7 @@
 #include "index/lock_table.h"
 #include "sim/component.h"
 #include "sim/config.h"
+#include "sim/arena.h"
 #include "sim/memory.h"
 
 namespace bionicdb::index {
@@ -163,7 +163,7 @@ class HashPipeline {
   std::vector<Op> pool_;
   std::vector<uint32_t> free_slots_;
   uint32_t active_ = 0;
-  std::deque<comm::Envelope> pending_in_;
+  sim::RingQueue<comm::Envelope> pending_in_;
 
   LockTable lock_table_;
 
@@ -172,7 +172,7 @@ class HashPipeline {
   /// paper suggests populating several "for balanced dataflow" on
   /// chain-heavy workloads.
   struct TraverseUnit {
-    std::deque<uint32_t> in;
+    sim::RingQueue<uint32_t> in;
     std::optional<uint32_t> cur_op;
     bool waiting = false;  // a chain read is in flight
     sim::MemResponseQueue resp;
@@ -200,6 +200,20 @@ class HashPipeline {
   std::vector<DirtyWaiter> dirty_waiters_;
 
   CounterSet counters_;
+  // Lazy slot handles for counters on the per-op/per-cycle hot path
+  // (common/stats.h FastCounter): bound on first increment, so JSON
+  // presence matches the plain string Adds they replace.
+  FastCounter fc_ops_admitted_{&counters_, "ops_admitted"};
+  FastCounter fc_hash_stage_{&counters_, "hash_stage_ops"};
+  FastCounter fc_headfetch_stage_{&counters_, "headfetch_stage_ops"};
+  FastCounter fc_keycomp_stage_{&counters_, "keycomp_stage_ops"};
+  FastCounter fc_traverse_stage_{&counters_, "traverse_stage_ops"};
+  FastCounter fc_install_stage_{&counters_, "install_stage_ops"};
+  FastCounter fc_hash_lock_stall_{&counters_, "hash_lock_stall_cycles"};
+  FastCounter fc_hash_dram_stall_{&counters_, "hash_dram_stall"};
+  FastCounter fc_keyfetch_dram_stall_{&counters_, "keyfetch_dram_stall"};
+  FastCounter fc_headfetch_dram_stall_{&counters_, "headfetch_dram_stall"};
+  FastCounter fc_traverse_dram_stall_{&counters_, "traverse_dram_stall"};
   // Cycle accounting (plain fields: these are touched every tick, where a
   // string-keyed counter lookup would be measurable).
   uint64_t busy_cycles_ = 0;     // ticks with ops in flight or queued

@@ -33,7 +33,6 @@
 #define BIONICDB_INDEX_SKIPLIST_PIPELINE_H_
 
 #include <cstdint>
-#include <deque>
 #include <optional>
 #include <vector>
 
@@ -44,6 +43,7 @@
 #include "index/lock_table.h"
 #include "sim/component.h"
 #include "sim/config.h"
+#include "sim/arena.h"
 #include "sim/memory.h"
 
 namespace bionicdb::index {
@@ -136,7 +136,7 @@ class SkiplistPipeline {
   struct Stage {
     int hi = 0;
     int lo = 0;
-    std::deque<uint32_t> in;
+    sim::RingQueue<uint32_t> in;
     std::optional<uint32_t> cur_op;
     Wait wait = Wait::kNone;
     sim::Addr pending_next = sim::kNullAddr;
@@ -144,7 +144,7 @@ class SkiplistPipeline {
   };
 
   struct Scanner {
-    std::deque<uint32_t> in;
+    sim::RingQueue<uint32_t> in;
     std::optional<uint32_t> cur_op;
     bool waiting = false;
     sim::MemResponseQueue resp;
@@ -158,7 +158,7 @@ class SkiplistPipeline {
 
   db::SkiplistLayout* Layout(const Op& op) const;
   static std::vector<uint64_t> LinksFromSnapshot(
-      const std::vector<uint64_t>& words);
+      const sim::MemWords& words);
 
   void TickKeyFetch(uint64_t now);
   void TickStage(uint64_t now, uint32_t stage_idx);
@@ -170,7 +170,7 @@ class SkiplistPipeline {
   void Advance(uint64_t now, Stage* stage);
   /// Handles the arrival of the candidate next tower in `resp_data`.
   void NextArrived(uint64_t now, Stage* stage,
-                   const std::vector<uint64_t>& words);
+                   const sim::MemWords& words);
   /// Hands the op to the next stage / terminal action when level < lo.
   void LeaveStage(uint64_t now, Stage* stage);
   /// Bottom-of-list terminal work: point-op visibility, insert install, or
@@ -189,7 +189,7 @@ class SkiplistPipeline {
   std::vector<Op> pool_;
   std::vector<uint32_t> free_slots_;
   uint32_t active_ = 0;
-  std::deque<comm::Envelope> pending_in_;
+  sim::RingQueue<comm::Envelope> pending_in_;
   sim::MemResponseQueue keyfetch_resp_;
 
   std::vector<Stage> stages_;

@@ -8,23 +8,13 @@ namespace bionicdb::sim {
 
 namespace {
 
-/// Small direct-mapped thread-local page cache in front of the shared page
-/// table, so the hot functional read/write path takes the shared_mutex only
-/// on a miss. Entries are tagged with the owning DramMemory's generation;
-/// pages are never freed while the owner lives, so a hit is always valid.
-struct PageCacheEntry {
-  uint64_t owner_gen = 0;
-  uint64_t page = 0;
-  uint8_t* ptr = nullptr;
-};
-constexpr size_t kPageCacheSlots = 8;
-thread_local PageCacheEntry tls_page_cache[kPageCacheSlots];
-
 std::atomic<uint64_t> next_memory_generation{1};
 
 }  // namespace
 
 thread_local uint32_t DramMemory::tls_partition_ = DramMemory::kHostPartition;
+thread_local DramMemory::PageCacheEntry
+    DramMemory::tls_page_cache_[DramMemory::kPageCacheSlots];
 
 DramMemory::DramMemory(const TimingConfig& config)
     : config_(config),
@@ -63,31 +53,30 @@ Addr DramMemory::Allocate(uint64_t size, uint64_t align) {
 }
 
 uint8_t* DramMemory::PageFor(Addr addr) {
+  // Page-cache miss path: PagePtr (inline, memory.h) already rejected the
+  // thread-local cache entry for this page.
   uint64_t page = addr >> kPageBits;
-  PageCacheEntry& slot = tls_page_cache[page % kPageCacheSlots];
-  if (slot.owner_gen == generation_ && slot.page == page) return slot.ptr;
   uint8_t* ptr = nullptr;
   {
     std::shared_lock<std::shared_mutex> read_lock(pages_mu_);
     auto it = pages_.find(page);
-    if (it != pages_.end()) ptr = it->second.get();
+    if (it != pages_.end()) ptr = it->second;
   }
   if (ptr == nullptr) {
-    auto mem = std::make_unique<uint8_t[]>(kPageSize);
-    std::memset(mem.get(), 0, kPageSize);
     std::unique_lock<std::shared_mutex> write_lock(pages_mu_);
     // Another thread may have materialised the page between the locks;
-    // emplace keeps the first copy either way.
-    ptr = pages_.emplace(page, std::move(mem)).first->second.get();
+    // only the first emplace allocates. Arena slabs are zero-initialised
+    // and never reset, so fresh pages read as zeros, matching real DRAM.
+    auto [it, inserted] = pages_.emplace(page, nullptr);
+    if (inserted) {
+      it->second =
+          static_cast<uint8_t*>(page_arena_.Alloc(kPageSize, /*align=*/64));
+    }
+    ptr = it->second;
   }
-  slot = PageCacheEntry{generation_, page, ptr};
+  tls_page_cache_[page % kPageCacheSlots] =
+      PageCacheEntry{generation_, page, ptr};
   return ptr;
-}
-
-const uint8_t* DramMemory::PageForRead(Addr addr) const {
-  // Reads of never-written pages see zeros; materialise lazily via the
-  // non-const path to keep the accessor simple.
-  return const_cast<DramMemory*>(this)->PageFor(addr);
 }
 
 void DramMemory::WriteBytes(Addr addr, const void* src, uint64_t len) {
@@ -95,7 +84,7 @@ void DramMemory::WriteBytes(Addr addr, const void* src, uint64_t len) {
   while (len > 0) {
     uint64_t off = addr & (kPageSize - 1);
     uint64_t chunk = std::min(len, kPageSize - off);
-    std::memcpy(PageFor(addr) + off, s, chunk);
+    std::memcpy(PagePtr(addr) + off, s, chunk);
     addr += chunk;
     s += chunk;
     len -= chunk;
@@ -107,36 +96,11 @@ void DramMemory::ReadBytes(Addr addr, void* dst, uint64_t len) const {
   while (len > 0) {
     uint64_t off = addr & (kPageSize - 1);
     uint64_t chunk = std::min(len, kPageSize - off);
-    std::memcpy(d, PageForRead(addr) + off, chunk);
+    std::memcpy(d, PagePtr(addr) + off, chunk);
     addr += chunk;
     d += chunk;
     len -= chunk;
   }
-}
-
-uint64_t DramMemory::Read64(Addr addr) const {
-  uint64_t v;
-  ReadBytes(addr, &v, 8);
-  return v;
-}
-void DramMemory::Write64(Addr addr, uint64_t value) {
-  WriteBytes(addr, &value, 8);
-}
-uint32_t DramMemory::Read32(Addr addr) const {
-  uint32_t v;
-  ReadBytes(addr, &v, 4);
-  return v;
-}
-void DramMemory::Write32(Addr addr, uint32_t value) {
-  WriteBytes(addr, &value, 4);
-}
-uint8_t DramMemory::Read8(Addr addr) const {
-  uint8_t v;
-  ReadBytes(addr, &v, 1);
-  return v;
-}
-void DramMemory::Write8(Addr addr, uint8_t value) {
-  WriteBytes(addr, &value, 1);
 }
 
 uint32_t DramMemory::ChannelOf(Addr addr) const {
@@ -209,6 +173,7 @@ bool DramMemory::Issue(uint64_t now, Addr addr, bool is_write,
   lane.pending.push(Pending{complete_at, lane.seq++, addr, cookie, is_write,
                             /*apply_write=*/false, /*write_value=*/0,
                             snapshot_words, sink});
+  if (complete_at < lane.next_ready) lane.next_ready = complete_at;
   return true;
 }
 
@@ -224,6 +189,7 @@ bool DramMemory::IssueWrite64(uint64_t now, Addr addr, uint64_t value,
                             /*is_write=*/true,
                             /*apply_write=*/true, value, /*snapshot_words=*/0,
                             sink});
+  if (complete_at < lane.next_ready) lane.next_ready = complete_at;
   return true;
 }
 
@@ -263,11 +229,7 @@ void DramMemory::CollectStats(StatsScope scope, uint64_t now) const {
   }
 }
 
-void DramMemory::Tick(uint64_t now) {
-  for (uint32_t i = 0; i < lanes_.size(); ++i) TickLane(i, now);
-}
-
-void DramMemory::TickLane(uint32_t lane_idx, uint64_t now) {
+void DramMemory::DrainLane(uint32_t lane_idx, uint64_t now) {
   Lane& lane = lanes_[lane_idx];
   while (!lane.pending.empty() && lane.pending.top().complete_at <= now) {
     const Pending& p = lane.pending.top();
@@ -286,6 +248,8 @@ void DramMemory::TickLane(uint32_t lane_idx, uint64_t now) {
     lane.pending.pop();
     --lane.in_flight;
   }
+  lane.next_ready =
+      lane.pending.empty() ? kNeverReady : lane.pending.top().complete_at;
 }
 
 }  // namespace bionicdb::sim

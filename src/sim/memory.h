@@ -31,14 +31,13 @@
 
 #include <cstdint>
 #include <cstring>
-#include <deque>
-#include <memory>
 #include <queue>
 #include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "common/stats.h"
+#include "sim/arena.h"
 #include "sim/config.h"
 
 namespace bionicdb::sim {
@@ -46,6 +45,14 @@ namespace bionicdb::sim {
 /// Address type within the simulated DRAM. 0 is the null address.
 using Addr = uint64_t;
 constexpr Addr kNullAddr = 0;
+
+/// Word snapshot attached to a completed read. Single-word snapshots (the
+/// overwhelmingly common case: tuple headers, bucket heads) live inline;
+/// only full skiplist tower snapshots spill to the heap.
+// Inline capacity covers the largest snapshot any pipeline requests (a
+// full skiplist tower: header + kSkiplistMaxHeight links), so steady-state
+// DRAM responses never touch the heap.
+using MemWords = InlineVec<uint64_t, 24>;
 
 /// Completion record delivered to the requester when a memory request
 /// finishes. `cookie` is an opaque requester-defined value identifying what
@@ -59,11 +66,11 @@ struct MemResponse {
   /// faithful: a read serviced before a concurrent in-flight write returns
   /// the old contents, exactly like real DRAM, even though the functional
   /// store itself is always "current".
-  std::vector<uint64_t> data;
+  MemWords data;
 };
 
 /// Requesters own one of these; DRAM pushes completions into it.
-using MemResponseQueue = std::deque<MemResponse>;
+using MemResponseQueue = RingQueue<MemResponse>;
 
 /// Fault-injection surface of the DRAM model (implemented by
 /// fault::FaultScheduler). All methods are consulted only when a hook is
@@ -106,6 +113,8 @@ class DramMemory {
   /// Thread-local partition context value meaning "the host" — allocations
   /// go to the shared arena 0, timed accesses to lane 0.
   static constexpr uint32_t kHostPartition = UINT32_MAX;
+  /// Lane::next_ready sentinel: no request in flight on the lane.
+  static constexpr uint64_t kNeverReady = UINT64_MAX;
 
   explicit DramMemory(const TimingConfig& config);
 
@@ -135,6 +144,15 @@ class DramMemory {
    private:
     uint32_t saved_;
   };
+
+  /// Raw thread-local partition context (what PartitionScope saves and
+  /// restores). The simulator's per-cycle component loop uses these
+  /// directly so one save/restore pair brackets the whole loop instead of
+  /// constructing a scope per component per cycle.
+  static uint32_t PartitionContext() { return tls_partition_; }
+  static void SetPartitionContext(uint32_t partition) {
+    tls_partition_ = partition;
+  }
 
   /// Arena index owning `addr` (0 = host/shared, r+1 = partition r).
   uint32_t ArenaOf(Addr addr) const {
@@ -169,12 +187,63 @@ class DramMemory {
   void WriteBytes(Addr addr, const void* src, uint64_t len);
   void ReadBytes(Addr addr, void* dst, uint64_t len) const;
 
-  uint64_t Read64(Addr addr) const;
-  void Write64(Addr addr, uint64_t value);
-  uint32_t Read32(Addr addr) const;
-  void Write32(Addr addr, uint32_t value);
-  uint8_t Read8(Addr addr) const;
-  void Write8(Addr addr, uint8_t value);
+  // Fixed-width accessors, inline with a single-page fast path: a hit in
+  // the thread-local page cache resolves to one memcpy with no function
+  // call. Accesses straddling a 64 KiB page boundary (and cache misses)
+  // take the out-of-line path.
+  uint64_t Read64(Addr addr) const {
+    const uint64_t off = addr & (kPageSize - 1);
+    if (off <= kPageSize - 8) {
+      uint64_t v;
+      std::memcpy(&v, PagePtr(addr) + off, 8);
+      return v;
+    }
+    uint64_t v;
+    ReadBytes(addr, &v, 8);
+    return v;
+  }
+  void Write64(Addr addr, uint64_t value) {
+    const uint64_t off = addr & (kPageSize - 1);
+    if (off <= kPageSize - 8) {
+      std::memcpy(PagePtr(addr) + off, &value, 8);
+      return;
+    }
+    WriteBytes(addr, &value, 8);
+  }
+  uint32_t Read32(Addr addr) const {
+    const uint64_t off = addr & (kPageSize - 1);
+    if (off <= kPageSize - 4) {
+      uint32_t v;
+      std::memcpy(&v, PagePtr(addr) + off, 4);
+      return v;
+    }
+    uint32_t v;
+    ReadBytes(addr, &v, 4);
+    return v;
+  }
+  void Write32(Addr addr, uint32_t value) {
+    const uint64_t off = addr & (kPageSize - 1);
+    if (off <= kPageSize - 4) {
+      std::memcpy(PagePtr(addr) + off, &value, 4);
+      return;
+    }
+    WriteBytes(addr, &value, 4);
+  }
+  uint8_t Read8(Addr addr) const {
+    return PagePtr(addr)[addr & (kPageSize - 1)];
+  }
+  void Write8(Addr addr, uint8_t value) {
+    PagePtr(addr)[addr & (kPageSize - 1)] = value;
+  }
+
+  /// Span of `addr`'s page from `addr` to the page end — a window callers
+  /// may read directly (key comparisons) without per-byte accessor calls.
+  /// The pointer stays valid for the DramMemory's lifetime.
+  const uint8_t* ReadSpan(Addr addr, uint64_t* span_len) const {
+    const uint64_t off = addr & (kPageSize - 1);
+    *span_len = kPageSize - off;
+    return PagePtr(addr) + off;
+  }
 
   /// Bytes handed out by the allocator so far (database footprint, summed
   /// over all arenas).
@@ -205,9 +274,15 @@ class DramMemory {
                     MemResponseQueue* sink, uint64_t cookie);
 
   /// Delivers all completions due at or before `now` (every lane).
-  void Tick(uint64_t now);
-  /// Per-lane tick, for island-parallel execution.
-  void TickLane(uint32_t lane, uint64_t now);
+  void Tick(uint64_t now) {
+    for (uint32_t i = 0; i < lanes_.size(); ++i) TickLane(i, now);
+  }
+  /// Per-lane tick, for island-parallel execution. Inline fast path: one
+  /// compare against the lane's cached next completion cycle.
+  void TickLane(uint32_t lane, uint64_t now) {
+    if (now < lanes_[lane].next_ready) return;
+    DrainLane(lane, now);
+  }
 
   /// True when no requests are in flight on any lane.
   bool Idle() const {
@@ -231,9 +306,8 @@ class DramMemory {
     return wake;
   }
   uint64_t LaneNextWake(uint32_t lane, uint64_t now) const {
-    const Lane& l = lanes_[lane];
-    if (l.pending.empty()) return UINT64_MAX;
-    const uint64_t ready = l.pending.top().complete_at;
+    const uint64_t ready = lanes_[lane].next_ready;
+    if (ready == kNeverReady) return UINT64_MAX;
     return ready > now ? ready : now + 1;
   }
 
@@ -334,6 +408,10 @@ class DramMemory {
     std::vector<Channel> channels;
     std::priority_queue<Pending, std::vector<Pending>, std::greater<Pending>>
         pending;
+    /// Cached pending.top().complete_at (kNeverReady when empty), so the
+    /// per-cycle TickLane probe is one hot-field compare instead of a
+    /// priority-queue touch. Maintained on every push/pop.
+    uint64_t next_ready = kNeverReady;
     uint64_t seq = 0;
     uint64_t in_flight = 0;
     uint64_t total_reads = 0;
@@ -358,6 +436,10 @@ class DramMemory {
   Channel* AdmitRequest(Lane* lane, uint64_t now, Addr addr, bool is_write,
                         uint64_t* start);
 
+  /// TickLane slow path: delivers every completion due at or before `now`
+  /// and refreshes the lane's next_ready cache.
+  void DrainLane(uint32_t lane, uint64_t now);
+
   Lane& CurrentLane() {
     if (!partitioned_ || tls_partition_ == kHostPartition) return lanes_[0];
     return lanes_[tls_partition_ < lanes_.size() ? tls_partition_ : 0];
@@ -374,11 +456,33 @@ class DramMemory {
     return total;
   }
 
+  /// Small direct-mapped thread-local cache in front of the shared page
+  /// table, so the hot functional read/write path takes the shared_mutex
+  /// only on a miss. Entries are tagged with the owning DramMemory's
+  /// generation; pages are never freed while the owner lives, so a hit is
+  /// always valid.
+  struct PageCacheEntry {
+    uint64_t owner_gen = 0;
+    uint64_t page = 0;
+    uint8_t* ptr = nullptr;
+  };
+  static constexpr size_t kPageCacheSlots = 8;
+
+  /// Resolves `addr`'s page: inline on a page-cache hit, out-of-line
+  /// (PageFor) on a miss. Const because reads of never-written pages
+  /// materialise them lazily as zero-filled, matching real DRAM.
+  uint8_t* PagePtr(Addr addr) const {
+    const uint64_t page = addr >> kPageBits;
+    const PageCacheEntry& slot = tls_page_cache_[page % kPageCacheSlots];
+    if (slot.owner_gen == generation_ && slot.page == page) return slot.ptr;
+    return const_cast<DramMemory*>(this)->PageFor(addr);
+  }
+
   uint8_t* PageFor(Addr addr);
-  const uint8_t* PageForRead(Addr addr) const;
   uint32_t ChannelOf(Addr addr) const;
 
   static thread_local uint32_t tls_partition_;
+  static thread_local PageCacheEntry tls_page_cache_[kPageCacheSlots];
 
   TimingConfig config_;
   /// Unique per-instance id tagging thread-local page-cache entries so a
@@ -387,9 +491,12 @@ class DramMemory {
   // The page table is the one structure shared across islands (an island
   // may materialise a page of the host arena while writing a scan result
   // into the initiator's transaction block). Pages are never freed, so a
-  // pointer obtained under the lock stays valid forever.
+  // pointer obtained under the lock stays valid forever. Page storage
+  // comes from a bump arena (16 pages per slab) under the same lock, so
+  // materialising a page is a pointer bump instead of a heap allocation.
   mutable std::shared_mutex pages_mu_;
-  mutable std::unordered_map<uint64_t, std::unique_ptr<uint8_t[]>> pages_;
+  mutable std::unordered_map<uint64_t, uint8_t*> pages_;
+  mutable BumpArena page_arena_{16 << kPageBits};
 
   bool partitioned_ = false;
   std::vector<Arena> arenas_;

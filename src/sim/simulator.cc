@@ -60,19 +60,41 @@ void Simulator::SetEpochFabric(EpochFabric* fabric,
 }
 
 void Simulator::TickOnce() {
-  ++now_;
-  dram_.Tick(now_);
+  const uint64_t now = ++now_;
+  dram_.Tick(now);
   ++scratch_ticks_;
-  for (size_t i = 0; i < components_.size(); ++i) {
-    // Island components tick under their partition context in every mode,
-    // so DRAM arena/lane routing is identical between serial and parallel
-    // execution (kGlobalIsland == kHostPartition for the rest).
-    DramMemory::PartitionScope scope(island_of_[i]);
-    components_[i]->Tick(now_);
+  // Hot-loop state as flat arrays (component pointer, owning island, busy
+  // scratch), walked with raw pointers so the per-cycle loop reads three
+  // parallel arrays instead of chasing vector headers per component.
+  Component* const* comps = components_.data();
+  const uint32_t* island = island_of_.data();
+  uint64_t* busy = scratch_busy_.data();
+  const size_t n = components_.size();
+  // One partition-context save/restore brackets the whole loop: island
+  // components still tick under their partition (so DRAM arena/lane
+  // routing is identical between serial and parallel execution;
+  // kGlobalIsland == kHostPartition for the rest), but without a
+  // PartitionScope construct/destruct per component per cycle.
+  const uint32_t saved = DramMemory::PartitionContext();
+  bool any_busy = false;
+  for (size_t i = 0; i < n; ++i) {
+    DramMemory::SetPartitionContext(island[i]);
+    comps[i]->Tick(now);
     // Post-tick sample: a component with outstanding work this cycle is
     // charged as busy, otherwise idle (idle = ticks - busy, on flush).
-    scratch_busy_[i] += components_[i]->Idle() ? 0 : 1;
+    const bool b = !comps[i]->Idle();
+    busy[i] += b ? 1 : 0;
+    any_busy |= b;
   }
+  DramMemory::SetPartitionContext(saved);
+  // Cached quiescence for RunUntilIdle. The per-component samples above are
+  // taken mid-loop, so a later tick can make an earlier component busy
+  // again (a sender putting a packet on the already-ticked fabric's wire) —
+  // but never the reverse: nothing a component does changes state another
+  // component's Idle() reads toward idleness. A busy sample therefore
+  // proves the machine is still running (skip the re-scan — the hot case),
+  // while an all-idle sample must be confirmed with a full post-loop scan.
+  all_idle_after_tick_ = !any_busy && AllIdle();
 }
 
 void Simulator::FlushSamples() const {
@@ -181,15 +203,37 @@ bool Simulator::RunUntilIdle(uint64_t max_cycles) {
       }
     }
   }
-  return RunLoop(
-      [this] {
-        if (!dram_.Idle()) return false;
-        for (Component* c : components_) {
-          if (!c->Idle()) return false;
-        }
-        return true;
-      },
-      limit);
+  // Serial modes: the quiescence predicate between iterations is exactly
+  // the all-idle flag TickOnce computed (no state changes between a tick
+  // and the next loop top), so the per-cycle path avoids re-scanning every
+  // component's virtual Idle() each cycle.
+  if (AllIdle()) {
+    FlushSamples();
+    return true;
+  }
+  bool fired = true;
+  if (config_.event_driven) {
+    for (;;) {
+      if (now_ >= limit) {
+        fired = false;
+        break;
+      }
+      WarpBefore(limit);
+      TickOnce();
+      if (all_idle_after_tick_) break;
+    }
+  } else {
+    for (;;) {
+      if (now_ >= limit) {
+        fired = false;
+        break;
+      }
+      TickOnce();
+      if (all_idle_after_tick_) break;
+    }
+  }
+  FlushSamples();
+  return fired;
 }
 
 // --- Parallel island execution -------------------------------------------

@@ -235,6 +235,9 @@ class Simulator {
   mutable std::vector<uint64_t> scratch_busy_;
   mutable uint64_t scratch_ticks_ = 0;
   uint64_t now_ = 0;
+  /// Quiescence of the whole machine as of the end of the last TickOnce
+  /// (see TickOnce; consumed by RunUntilIdle's serial loop).
+  bool all_idle_after_tick_ = false;
   WarpStats warp_stats_;
   CounterSet counters_;
 

@@ -168,6 +168,39 @@ Outcome RunFaultChaos(Mode mode) {
   return out;
 }
 
+/// Post-refactor differential leg for the dense-activity regime the
+/// hot-path work optimizes (bench/sim_speed's "dense" leg shape: low DRAM
+/// latency, deep context pool, short multisite transactions). High
+/// occupancy keeps the SoA tick loop, the ring-buffer queues (fabric
+/// wires/inboxes, pipeline stages, softcore input) and the arena page
+/// cache under constant pressure in all three modes at once — the
+/// configuration most likely to expose a mode-dependent leak in the
+/// steady-state allocation-free path.
+Outcome RunDenseActivity(Mode mode) {
+  core::EngineOptions opts = Options(mode, /*n_workers=*/4);
+  opts.softcore.max_contexts = 64;
+  opts.timing.dram_latency_cycles = 12;
+  core::BionicDb engine(opts);
+  workload::YcsbOptions yopts = MultisiteYcsb();
+  yopts.accesses_per_txn = 8;
+  workload::Ycsb ycsb(&engine, yopts);
+  EXPECT_TRUE(ycsb.Setup().ok());
+  Rng rng(53);
+  host::TxnList txns;
+  for (uint32_t w = 0; w < opts.n_workers; ++w) {
+    for (uint64_t i = 0; i < 40; ++i) {
+      txns.emplace_back(w, ycsb.MakeTxn(&rng, w));
+    }
+  }
+  Outcome out;
+  out.run = host::RunToCompletion(&engine, txns);
+  out.final_now = engine.now();
+  StatsRegistry reg;
+  engine.CollectStats(&reg);
+  out.stats_json = reg.ToJson();
+  return out;
+}
+
 template <typename Runner>
 void ThreeWay(Runner runner) {
   const Outcome serial = runner(Mode::kSerial);
@@ -185,6 +218,8 @@ TEST(ModeEquivalence, YcsbMultisite) { ThreeWay(RunYcsbMultisite); }
 TEST(ModeEquivalence, TpccMix) { ThreeWay(RunTpccMix); }
 
 TEST(ModeEquivalence, FaultChaos) { ThreeWay(RunFaultChaos); }
+
+TEST(ModeEquivalence, DenseActivity) { ThreeWay(RunDenseActivity); }
 
 }  // namespace
 }  // namespace bionicdb

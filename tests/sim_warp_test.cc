@@ -237,6 +237,36 @@ TEST(SimWarpEngine, TpccMix) {
   ExpectIdentical(RunTpcc(false), RunTpcc(true));
 }
 
+/// Post-refactor differential leg for the dense-activity regime the
+/// hot-path work optimizes (bench/sim_speed's "dense" leg shape: low DRAM
+/// latency, deep context pool, short transactions): high occupancy keeps
+/// the SoA tick loop, ring queues and arena page cache under constant
+/// pressure, so any warp-visible divergence they introduce lands here.
+Outcome RunDense(bool event_driven) {
+  core::EngineOptions opts;
+  opts.n_workers = 4;
+  opts.softcore.max_contexts = 64;
+  opts.timing.dram_latency_cycles = 12;
+  opts.timing.event_driven = event_driven;
+  core::BionicDb engine(opts);
+  workload::YcsbOptions yopts = SmallYcsb(workload::YcsbOptions::Mode::kMultisite);
+  yopts.accesses_per_txn = 8;
+  workload::Ycsb ycsb(&engine, yopts);
+  EXPECT_TRUE(ycsb.Setup().ok());
+  Rng rng(23);
+  host::TxnList txns;
+  for (uint32_t w = 0; w < opts.n_workers; ++w) {
+    for (uint64_t i = 0; i < 30; ++i) {
+      txns.emplace_back(w, ycsb.MakeTxn(&rng, w));
+    }
+  }
+  return Finish(&engine, host::RunToCompletion(&engine, txns));
+}
+
+TEST(SimWarpEngine, DenseActivity) {
+  ExpectIdentical(RunDense(false), RunDense(true));
+}
+
 Outcome RunChaos(bool event_driven) {
   // Every fault class enabled: DRAM spike/stuck windows, bit flips,
   // channel drop/dup/delay (which auto-enables the reliability layer),
