@@ -42,6 +42,9 @@ struct BenchArgs {
   bool smoke = false;
   uint64_t seed = 42;
   SimMode mode = SimMode::kSerial;
+  /// CC scheme filter for the CC-diversity benches: "to", "sgt", "mvcc"
+  /// or "all" (other benches ignore it).
+  std::string cc = "all";
 
   void ApplyMode(core::EngineOptions* opts) const {
     switch (mode) {
@@ -67,18 +70,37 @@ struct BenchArgs {
 
   static void PrintUsage(const char* prog, std::FILE* out) {
     std::fprintf(out,
-                 "usage: %s [--quick] [--smoke] [--seed=N] [--mode=M]\n"
+                 "usage: %s [--quick] [--smoke] [--seed=N] [--mode=M] "
+                 "[--cc=S]\n"
                  "  --quick   smaller populations/transaction counts\n"
                  "  --smoke   minimal single-config run (implies --quick)\n"
                  "  --seed=N  workload RNG seed (default 42)\n"
                  "  --mode=M  simulator mode: serial (default), event, "
                  "parallel\n"
+                 "  --cc=S    CC scheme filter: to, sgt, mvcc, all "
+                 "(default)\n"
                  "  --help    show this message\n",
                  prog);
   }
 
   static BenchArgs Parse(int argc, char** argv) {
     BenchArgs args;
+    // Valued flags may be repeated only with the same value: --mode=event
+    // --mode=serial is a conflict (which one did the caller mean?), not a
+    // silent last-one-wins.
+    const char* seen_mode = nullptr;
+    const char* seen_seed = nullptr;
+    const char* seen_cc = nullptr;
+    auto conflict = [&](const char* prev, const char* cur) {
+      if (prev != nullptr && std::strcmp(prev, cur) != 0) {
+        std::fprintf(stderr,
+                     "%s: conflicting flags '%s' and '%s' (pass each "
+                     "valued flag at most once)\n",
+                     argv[0], prev, cur);
+        PrintUsage(argv[0], stderr);
+        std::exit(2);
+      }
+    };
     for (int i = 1; i < argc; ++i) {
       if (std::strcmp(argv[i], "--quick") == 0) {
         args.quick = true;
@@ -86,6 +108,8 @@ struct BenchArgs {
         args.smoke = true;
         args.quick = true;
       } else if (std::strncmp(argv[i], "--mode=", 7) == 0) {
+        conflict(seen_mode, argv[i]);
+        seen_mode = argv[i];
         const char* m = argv[i] + 7;
         if (std::strcmp(m, "serial") == 0) {
           args.mode = SimMode::kSerial;
@@ -98,7 +122,20 @@ struct BenchArgs {
           PrintUsage(argv[0], stderr);
           std::exit(2);
         }
+      } else if (std::strncmp(argv[i], "--cc=", 5) == 0) {
+        conflict(seen_cc, argv[i]);
+        seen_cc = argv[i];
+        const char* s = argv[i] + 5;
+        if (std::strcmp(s, "to") != 0 && std::strcmp(s, "sgt") != 0 &&
+            std::strcmp(s, "mvcc") != 0 && std::strcmp(s, "all") != 0) {
+          std::fprintf(stderr, "%s: bad value in '%s'\n", argv[0], argv[i]);
+          PrintUsage(argv[0], stderr);
+          std::exit(2);
+        }
+        args.cc = s;
       } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+        conflict(seen_seed, argv[i]);
+        seen_seed = argv[i];
         char* end = nullptr;
         args.seed = std::strtoull(argv[i] + 7, &end, 10);
         if (end == argv[i] + 7 || *end != '\0') {
@@ -116,6 +153,11 @@ struct BenchArgs {
       }
     }
     return args;
+  }
+
+  /// True when `name` ("to"/"sgt"/"mvcc") passes the --cc filter.
+  bool CcEnabled(const char* name) const {
+    return cc == "all" || cc == name;
   }
 };
 

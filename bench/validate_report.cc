@@ -14,6 +14,10 @@
 //    SLO gauges (run/latency/p50|p99|p999, ordered), run/goodput and
 //    run/shed, with shed <= submitted, goodput <= offered load, and
 //    submitted == committed + failed + shed;
+//  * every CC-diversity run (label "cc/..." or "sw/...") carries the
+//    per-scheme counters (run/cc/scheme|retries|aborts|conservation_ok),
+//    conservation holds, aborts never exceed attempts, and MVCC runs never
+//    free more versions than they created;
 //  * every simulator-speed summary run (label "speed/<leg>") carries
 //    positive cycles and a positive sim_cycles_per_second for at least one
 //    simulation mode, and any report containing speed runs also carries a
@@ -134,6 +138,70 @@ bool CheckOpenLoopRun(const std::string& path, const std::string& label,
                   "%.0f != submitted %.0f",
                   label.c_str(), committed, failed, shed, submitted);
     return Fail(path, buf);
+  }
+  return true;
+}
+
+/// CC-diversity runs ("cc/<contention>/<scheme>" for the simulated engine,
+/// "sw/<contention>/<scheme>" for the software CcScheme tier) must carry
+/// the per-scheme counters bench/cc_contention promises, and the abort
+/// arithmetic must close: every abort was an attempt (initial submission
+/// or retry), the SmallBank conservation flag must be set, and MVCC runs
+/// can never free more versions than they created.
+bool CheckCcRun(const std::string& path, const std::string& label,
+                const json::Value& stats) {
+  if (label.rfind("cc/", 0) != 0 && label.rfind("sw/", 0) != 0) return true;
+  double scheme, retries, aborts, conserved, submitted, committed;
+  if (!Num(stats, "run/cc/scheme", &scheme) ||
+      !Num(stats, "run/cc/retries", &retries) ||
+      !Num(stats, "run/cc/aborts", &aborts) ||
+      !Num(stats, "run/cc/conservation_ok", &conserved)) {
+    return Fail(path, "cc run '" + label +
+                          "': missing run/cc/scheme|retries|aborts|"
+                          "conservation_ok");
+  }
+  if (!Num(stats, "run/submitted", &submitted) ||
+      !Num(stats, "run/committed", &committed)) {
+    return Fail(path,
+                "cc run '" + label + "': missing run/submitted|committed");
+  }
+  char buf[200];
+  if (conserved != 1) {
+    return Fail(path, "cc run '" + label + "': conservation_ok != 1 "
+                      "(SmallBank total assets drifted)");
+  }
+  if (committed > submitted) {
+    std::snprintf(buf, sizeof buf,
+                  "cc run '%s': committed %.0f exceeds submitted %.0f",
+                  label.c_str(), committed, submitted);
+    return Fail(path, buf);
+  }
+  if (aborts > submitted + retries) {
+    std::snprintf(buf, sizeof buf,
+                  "cc run '%s': aborts %.0f exceed attempts (submitted "
+                  "%.0f + retries %.0f)",
+                  label.c_str(), aborts, submitted, retries);
+    return Fail(path, buf);
+  }
+  if (scheme == 2) {  // mvcc
+    double created, freed;
+    if (!Num(stats, "run/cc/versions_created", &created) ||
+        !Num(stats, "run/cc/versions_freed", &freed)) {
+      return Fail(path, "mvcc run '" + label +
+                            "': missing run/cc/versions_created|freed");
+    }
+    if (freed > created) {
+      std::snprintf(buf, sizeof buf,
+                    "mvcc run '%s': versions_freed %.0f exceeds "
+                    "versions_created %.0f",
+                    label.c_str(), freed, created);
+      return Fail(path, buf);
+    }
+  }
+  if (scheme == 1 &&
+      !Num(stats, "run/cc/cycle_aborts", &retries)) {  // sgt
+    return Fail(path,
+                "sgt run '" + label + "': missing run/cc/cycle_aborts");
   }
   return true;
 }
@@ -366,6 +434,7 @@ bool ValidateFile(const std::string& path) {
         !Num(*stats, "host_ops_per_second", &calibration_ops)) {
       return Fail(path, "calibration run: missing host_ops_per_second");
     }
+    if (!CheckCcRun(path, label, *stats)) return false;
     const json::Value* workers = stats->Find("workers");
     if (workers == nullptr) continue;  // analytic run: no engine tree
     ++engine_runs;

@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""Line-coverage floor for selected source directories.
+
+Walks a --coverage (gcov-instrumented) build tree for .gcda files, asks
+gcov for JSON intermediate records, merges execution counts per source
+line across every translation unit that inlined the line, and compares
+aggregate line coverage for each watched source prefix against a
+checked-in floor (scripts/coverage_floor.txt).
+
+The floor file is `<prefix> <percent>` per line, e.g.
+
+    src/cc 85.0
+
+and the gate fails (exit 1) when any watched prefix's coverage drops
+below its floor. Raising the floor after coverage improves is the
+ratchet; CI never auto-lowers it.
+
+Merging matters: header-defined code (cc_unit.h templates, inline
+helpers) is instrumented separately in every including TU, so a line is
+counted as executed when *any* TU executed it — the same union gcovr/lcov
+compute.
+
+Stdlib + the gcov binary only; no third-party imports.
+
+Exit codes: 0 = pass, 1 = below floor (or no coverage data), 2 = usage.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+
+def find_gcda(build_dir):
+    out = []
+    for root, _dirs, files in os.walk(build_dir):
+        for f in files:
+            if f.endswith(".gcda"):
+                out.append(os.path.join(root, f))
+    return out
+
+
+def gcov_json(gcda, gcov_bin):
+    """Parse `gcov --stdout --json-format` records for one .gcda file."""
+    try:
+        proc = subprocess.run(
+            [gcov_bin, "--stdout", "--json-format", gcda],
+            capture_output=True, text=True, check=False)
+    except OSError as e:
+        sys.exit(f"coverage: cannot run {gcov_bin}: {e}")
+    records = []
+    for line in proc.stdout.splitlines():
+        line = line.strip()
+        if not line.startswith("{"):
+            continue
+        try:
+            records.append(json.loads(line))
+        except ValueError:
+            pass  # non-JSON noise from older gcov; ignore
+    return records
+
+
+def normalize(path, repo_root):
+    """Repo-relative path with forward slashes, or None if outside."""
+    p = os.path.normpath(os.path.join(repo_root, path)
+                         if not os.path.isabs(path) else path)
+    try:
+        rel = os.path.relpath(p, repo_root)
+    except ValueError:
+        return None
+    if rel.startswith(".."):
+        return None
+    return rel.replace(os.sep, "/")
+
+
+def collect(build_dir, repo_root, prefixes, gcov_bin):
+    """{source_file: {line_number: max_count_over_TUs}} for watched files."""
+    hits = {}
+    gcdas = find_gcda(build_dir)
+    if not gcdas:
+        sys.exit(f"coverage: no .gcda files under {build_dir} — was the "
+                 "build configured with --coverage and were the tests run?")
+    for gcda in gcdas:
+        for rec in gcov_json(gcda, gcov_bin):
+            for f in rec.get("files", []):
+                rel = normalize(f.get("file", ""), repo_root)
+                if rel is None:
+                    continue
+                if not any(rel == p or rel.startswith(p + "/")
+                           for p in prefixes):
+                    continue
+                lines = hits.setdefault(rel, {})
+                for ln in f.get("lines", []):
+                    n = ln.get("line_number")
+                    c = ln.get("count", 0)
+                    if isinstance(n, int):
+                        lines[n] = max(lines.get(n, 0), int(c))
+    return hits
+
+
+def read_floors(path):
+    floors = {}
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            for raw in f:
+                line = raw.split("#", 1)[0].strip()
+                if not line:
+                    continue
+                parts = line.split()
+                if len(parts) != 2:
+                    sys.exit(f"coverage: {path}: bad line {raw!r} "
+                             "(want '<prefix> <percent>')")
+                floors[parts[0].rstrip("/")] = float(parts[1])
+    except OSError as e:
+        sys.exit(f"coverage: cannot read floor file {path}: {e}")
+    if not floors:
+        sys.exit(f"coverage: {path}: no floors defined")
+    return floors
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--build", required=True,
+                    help="coverage-instrumented build directory")
+    ap.add_argument("--floor-file", default=None,
+                    help="floor spec (default scripts/coverage_floor.txt "
+                         "next to this script)")
+    ap.add_argument("--repo-root", default=None,
+                    help="repository root (default: parent of scripts/)")
+    ap.add_argument("--gcov", default=os.environ.get("GCOV", "gcov"),
+                    help="gcov binary (default $GCOV or 'gcov'; point at "
+                         "the one matching the compiler that built --build)")
+    args = ap.parse_args()
+
+    here = os.path.dirname(os.path.abspath(__file__))
+    repo_root = os.path.abspath(args.repo_root or os.path.dirname(here))
+    floor_file = args.floor_file or os.path.join(here, "coverage_floor.txt")
+    floors = read_floors(floor_file)
+
+    hits = collect(args.build, repo_root, sorted(floors), args.gcov)
+
+    failures = []
+    print(f"{'prefix':<12} {'lines':>7} {'hit':>7} {'cov%':>7} {'floor':>7}")
+    for prefix, floor in sorted(floors.items()):
+        files = {f: ln for f, ln in hits.items()
+                 if f == prefix or f.startswith(prefix + "/")}
+        total = sum(len(ln) for ln in files.values())
+        hit = sum(1 for ln in files.values() for c in ln.values() if c > 0)
+        if total == 0:
+            failures.append(f"{prefix}: no instrumented lines found (source "
+                            "not built into the coverage tree?)")
+            print(f"{prefix:<12} {0:>7} {0:>7} {'--':>7} {floor:>6.1f}%")
+            continue
+        pct = 100.0 * hit / total
+        print(f"{prefix:<12} {total:>7} {hit:>7} {pct:>6.1f}% {floor:>6.1f}%")
+        for f in sorted(files):
+            ftot = len(files[f])
+            fhit = sum(1 for c in files[f].values() if c > 0)
+            print(f"  {f:<40} {fhit}/{ftot} "
+                  f"({100.0 * fhit / max(ftot, 1):.1f}%)")
+        if pct < floor:
+            failures.append(f"{prefix}: line coverage {pct:.1f}% is below "
+                            f"the floor {floor:.1f}%")
+
+    if failures:
+        print("\ncoverage: FAIL", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        print("  Add or extend tests; never lower the floor to pass.",
+              file=sys.stderr)
+        return 1
+    print("\ncoverage: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -83,7 +83,7 @@ def normalized_speeds(runs, path):
     return out
 
 
-def evaluate(baseline, currents, threshold, ratchet):
+def evaluate(baseline, currents, threshold, ratchet, require=()):
     """Returns (failures, rows); rows = (key, base, cur, ratio)."""
     # Best normalized speed per key across the provided current reports.
     best = {}
@@ -93,6 +93,19 @@ def evaluate(baseline, currents, threshold, ratchet):
                 best[key] = v
 
     failures = []
+    # --require legs must be present in the current reports regardless of
+    # whether the baseline knows them; this keeps a bench refactor from
+    # silently dropping a leg the nightly is supposed to watch. "leg"
+    # matches any mode; "leg/mode" matches exactly one.
+    for req in require:
+        if "/" in req:
+            leg, mode = req.rsplit("/", 1)
+            hit = (leg, mode) in best
+        else:
+            hit = any(k[0] == req for k in best)
+        if not hit:
+            failures.append(f"{req}: required leg missing from the current "
+                            "report(s) (--require)")
     rows = []
     for key in sorted(baseline):
         base = baseline[key]
@@ -123,6 +136,11 @@ def main():
     ap.add_argument("--ratchet", type=float, default=RATCHET_DEFAULT,
                     help="suggest a baseline refresh when every ratio "
                          f"exceeds this (default {RATCHET_DEFAULT})")
+    ap.add_argument("--require", action="append", default=[],
+                    metavar="LEG[/MODE]",
+                    help="fail unless this leg (optionally narrowed to one "
+                         "simulation mode) appears in the current reports; "
+                         "repeatable")
     ap.add_argument("--self-test", action="store_true",
                     help="scale current speeds by 0.75 and assert the gate "
                          "trips (exit 0 iff the synthetic regression fails)")
@@ -139,7 +157,8 @@ def main():
 
     if args.self_test:
         slowed = [{k: v * 0.75 for k, v in cur.items()} for cur in currents]
-        failures, _ = evaluate(baseline, slowed, args.threshold, args.ratchet)
+        failures, _ = evaluate(baseline, slowed, args.threshold, args.ratchet,
+                               args.require)
         if failures:
             print("perf_gate --self-test: OK — synthetic 25% slowdown trips "
                   f"the gate ({len(failures)} leg(s) flagged)")
@@ -148,7 +167,8 @@ def main():
               "gate; the ratchet has no teeth", file=sys.stderr)
         return 1
 
-    failures, rows = evaluate(baseline, currents, args.threshold, args.ratchet)
+    failures, rows = evaluate(baseline, currents, args.threshold, args.ratchet,
+                              args.require)
 
     print(f"{'leg/mode':<34} {'baseline':>10} {'current':>10} {'ratio':>7}")
     for (leg, mode), base, cur, ratio in rows:

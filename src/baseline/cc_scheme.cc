@@ -1,0 +1,102 @@
+#include "baseline/cc_scheme.h"
+
+#include "baseline/silo.h"
+
+namespace bionicdb::baseline {
+
+namespace {
+
+// Thin adapter: CcDb/CcTxn over the native Silo engine. Tables are created
+// with hash indexes (the CC study is point-access only).
+class OccDb;
+
+class OccTxn : public CcTxn {
+ public:
+  OccTxn(OccDb* owner, SiloDb* db) : owner_(owner), txn_(db) {}
+
+  bool Read(uint32_t table, uint64_t key, void* out) override {
+    Record* r = txn_.Get(table, key);
+    return r != nullptr && txn_.Read(r, out);
+  }
+
+  bool Write(uint32_t table, uint64_t key, const void* value) override {
+    Record* r = txn_.Get(table, key);
+    if (r == nullptr) return false;
+    txn_.Write(table, r, value);
+    return true;
+  }
+
+  bool Commit() override;
+  void Abort() override;
+
+ private:
+  OccDb* owner_;
+  SiloTxn txn_;
+  bool done_ = false;
+};
+
+class OccDb : public CcDb {
+ public:
+  uint32_t CreateTable(const CcTableDef& def) override {
+    SiloDb::TableDef sd;
+    sd.name = def.name;
+    sd.index = SiloIndexKind::kHash;
+    sd.payload_len = def.payload_len;
+    sd.expected_records = def.expected_records;
+    return db_.CreateTable(sd);
+  }
+
+  void Load(uint32_t table, uint64_t key, const void* payload) override {
+    db_.Load(table, key, payload);
+  }
+
+  bool ReadCommitted(uint32_t table, uint64_t key, void* out) override {
+    Record* r = db_.Find(table, key);
+    if (r == nullptr) return false;
+    r->ReadConsistent(out);
+    return true;
+  }
+
+  std::unique_ptr<CcTxn> Begin() override {
+    return std::make_unique<OccTxn>(this, &db_);
+  }
+
+  void AdvanceEpoch() override { db_.AdvanceEpoch(); }
+  CcSchemeKind kind() const override { return CcSchemeKind::kOcc; }
+  uint32_t payload_len(uint32_t table) const override {
+    return db_.payload_len(table);
+  }
+
+ private:
+  SiloDb db_;
+};
+
+bool OccTxn::Commit() {
+  done_ = true;
+  if (txn_.Commit()) return true;
+  owner_->stats().aborts.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+void OccTxn::Abort() {
+  if (done_) return;
+  done_ = true;
+  txn_.Abort();
+  owner_->stats().aborts.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+std::unique_ptr<CcDb> MakeCcDb(CcSchemeKind kind) {
+  switch (kind) {
+    case CcSchemeKind::kOcc:
+      return std::make_unique<OccDb>();
+    case CcSchemeKind::kSgt:
+      return MakeSgtDb();
+    case CcSchemeKind::kMvcc:
+      return MakeMvccDb();
+  }
+  return nullptr;
+}
+
+}  // namespace bionicdb::baseline

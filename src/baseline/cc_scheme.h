@@ -1,0 +1,146 @@
+// Pluggable concurrency control for the software baseline tier.
+//
+// The Silo engine (silo.h) is the paper's comparison system and keeps its
+// native OCC protocol. For the CC-diversity study (bench/cc_contention)
+// the software tier additionally offers:
+//
+//   kOcc  — a thin adapter over SiloDb/SiloTxn (epoch TIDs, three-phase
+//           optimistic commit). Lock-free reads, abort-and-retry under
+//           contention.
+//   kSgt  — online serialization-graph testing: every rw/wr/ww conflict
+//           becomes a graph edge, a transaction aborts only when its edge
+//           would close a cycle. No false-negative aborts: every abort is
+//           witnessed by an actual cycle (exposed via EnableTrace for the
+//           property test).
+//   kMvcc — multi-version timestamp ordering: writers install pending
+//           versions, readers are served the newest committed version with
+//           wts <= ts, old versions are reclaimed by GcSweep at the
+//           min-active-timestamp watermark.
+//
+// SGT and MVCC here optimise for auditable correctness, not raw speed:
+// both serialise their bookkeeping under one mutex (the data copies happen
+// inside it too). They still win under heavy hotspot contention where
+// OCC's validate-and-retry burns work, which is exactly the regime
+// bench/cc_contention probes; the uncontended throughput crown stays with
+// OCC by construction.
+//
+// Interface shape: CcDb owns tables and committed state; CcTxn is one
+// attempt. Read/Write return false when the transaction must abort (the
+// attempt is dead either way — call Abort() and retry with a new Begin()).
+#ifndef BIONICDB_BASELINE_CC_SCHEME_H_
+#define BIONICDB_BASELINE_CC_SCHEME_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bionicdb::baseline {
+
+enum class CcSchemeKind : uint8_t { kOcc, kSgt, kMvcc };
+
+inline const char* CcSchemeKindName(CcSchemeKind k) {
+  switch (k) {
+    case CcSchemeKind::kOcc:
+      return "occ";
+    case CcSchemeKind::kSgt:
+      return "sgt";
+    case CcSchemeKind::kMvcc:
+      return "mvcc";
+  }
+  return "?";
+}
+
+struct CcTableDef {
+  std::string name;
+  uint32_t payload_len = 8;
+  uint64_t expected_records = 1 << 20;
+};
+
+/// Aggregate scheme counters (atomics: bumped from worker threads).
+struct CcSchemeStats {
+  std::atomic<uint64_t> aborts{0};         // all failed attempts
+  std::atomic<uint64_t> cycle_aborts{0};   // SGT: aborts backed by a cycle
+  std::atomic<uint64_t> versions_created{0};
+  std::atomic<uint64_t> versions_freed{0};
+  std::atomic<uint64_t> gc_runs{0};
+};
+
+/// SGT evidence log for the no-false-negative property test: every edge
+/// ever added plus, for every cycle abort, the closed path that justified
+/// it. Only populated after CcDb::EnableTrace().
+struct SgtTrace {
+  std::vector<std::pair<uint64_t, uint64_t>> edges;  // (src txn, dst txn)
+  std::vector<std::vector<uint64_t>> abort_cycles;   // closed paths
+};
+
+/// One transaction attempt; not reusable after Commit/Abort.
+class CcTxn {
+ public:
+  virtual ~CcTxn() = default;
+
+  /// Reads `payload_len(table)` bytes into `out`. False = must abort.
+  virtual bool Read(uint32_t table, uint64_t key, void* out) = 0;
+
+  /// Full-payload overwrite (buffered until commit where the scheme
+  /// requires it). False = must abort.
+  virtual bool Write(uint32_t table, uint64_t key, const void* value) = 0;
+
+  /// False = validation/cycle failure; the attempt is rolled back and the
+  /// caller should retry from Begin(). Counted in stats().aborts.
+  virtual bool Commit() = 0;
+
+  /// Abandons the attempt (also counted in stats().aborts when the abort
+  /// followed a false Read/Write — schemes count once per dead attempt).
+  virtual void Abort() = 0;
+};
+
+class CcDb {
+ public:
+  virtual ~CcDb() = default;
+
+  /// Returns the new table's id (dense, starting at 0).
+  virtual uint32_t CreateTable(const CcTableDef& def) = 0;
+
+  /// Bulk load (single-threaded setup path).
+  virtual void Load(uint32_t table, uint64_t key, const void* payload) = 0;
+
+  /// Reads the latest committed payload outside any transaction (setup /
+  /// verification path; not linearizable against running transactions).
+  virtual bool ReadCommitted(uint32_t table, uint64_t key, void* out) = 0;
+
+  virtual std::unique_ptr<CcTxn> Begin() = 0;
+
+  /// OCC: advances the Silo epoch. No-op elsewhere.
+  virtual void AdvanceEpoch() {}
+
+  /// MVCC: reclaims versions below the min-active-ts watermark. Returns
+  /// versions freed (0 for other schemes).
+  virtual uint64_t GcSweep() { return 0; }
+
+  /// SGT: start recording the evidence trace (call before any Begin()).
+  virtual void EnableTrace() {}
+  virtual const SgtTrace* trace() const { return nullptr; }
+
+  virtual CcSchemeKind kind() const = 0;
+  virtual uint32_t payload_len(uint32_t table) const = 0;
+
+  CcSchemeStats& stats() { return stats_; }
+  const CcSchemeStats& stats() const { return stats_; }
+
+ protected:
+  CcSchemeStats stats_;
+};
+
+std::unique_ptr<CcDb> MakeCcDb(CcSchemeKind kind);
+
+// Implemented in sgt.cc / mvcc.cc (cc_scheme.cc provides the OCC adapter
+// and the factory).
+std::unique_ptr<CcDb> MakeSgtDb();
+std::unique_ptr<CcDb> MakeMvccDb();
+
+}  // namespace bionicdb::baseline
+
+#endif  // BIONICDB_BASELINE_CC_SCHEME_H_

@@ -1,0 +1,187 @@
+#include "baseline/cc_workloads.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+namespace bionicdb::baseline {
+
+namespace {
+
+uint64_t GetU64(const void* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+}  // namespace
+
+CcSmallBank::CcSmallBank(CcDb* db, const CcSmallBankOptions& options)
+    : db_(db), options_(options) {}
+
+void CcSmallBank::Setup() {
+  CcTableDef def;
+  def.payload_len = 8;
+  def.expected_records = options_.accounts;
+  def.name = "savings";
+  savings_ = db_->CreateTable(def);
+  def.name = "checking";
+  checking_ = db_->CreateTable(def);
+  for (uint64_t a = 0; a < options_.accounts; ++a) {
+    db_->Load(savings_, a, &options_.initial_balance);
+    db_->Load(checking_, a, &options_.initial_balance);
+  }
+  initial_total_ = uint64_t(options_.accounts) * options_.initial_balance * 2;
+}
+
+CcSmallBank::TxnSpec CcSmallBank::MakeSpec(Rng* rng) {
+  auto account = [&]() -> uint64_t {
+    uint64_t span = options_.accounts;
+    if (options_.hotspot_accounts > 0 && options_.hotspot_fraction > 0.0 &&
+        rng->NextBool(options_.hotspot_fraction)) {
+      span = std::min<uint64_t>(options_.hotspot_accounts, span);
+    }
+    return rng->NextUint64(span);
+  };
+  const uint32_t total = options_.mix_balance + options_.mix_deposit +
+                         options_.mix_transact + options_.mix_amalgamate +
+                         options_.mix_write_check;
+  uint64_t pick = rng->NextUint64(total > 0 ? total : 1);
+  TxnSpec spec;
+  if (pick < options_.mix_balance) {
+    spec.type = 0;
+  } else if ((pick -= options_.mix_balance) < options_.mix_deposit) {
+    spec.type = 1;
+  } else if ((pick -= options_.mix_deposit) < options_.mix_transact) {
+    spec.type = 2;
+  } else if ((pick -= options_.mix_transact) < options_.mix_amalgamate) {
+    spec.type = 3;
+  } else {
+    spec.type = 4;
+  }
+  spec.a0 = account();
+  if (spec.type == 3) {
+    spec.a1 = spec.a0;
+    while (spec.a1 == spec.a0) spec.a1 = account();
+  }
+  if (spec.type == 1 || spec.type == 2) spec.amount = 1 + rng->NextUint64(100);
+  if (spec.type == 4) spec.amount = 1 + rng->NextUint64(50);
+  return spec;
+}
+
+bool CcSmallBank::Attempt(const TxnSpec& spec) {
+  std::unique_ptr<CcTxn> txn = db_->Begin();
+  uint8_t buf[8];
+  uint64_t delta = 0;
+  bool ok = true;
+  switch (spec.type) {
+    case 0: {  // Balance
+      ok = txn->Read(savings_, spec.a0, buf) &&
+           txn->Read(checking_, spec.a0, buf);
+      break;
+    }
+    case 1:    // DepositChecking
+    case 2: {  // TransactSavings
+      const uint32_t table = spec.type == 1 ? checking_ : savings_;
+      ok = txn->Read(table, spec.a0, buf);
+      if (ok) {
+        uint64_t v = GetU64(buf) + spec.amount;
+        ok = txn->Write(table, spec.a0, &v);
+      }
+      delta = spec.amount;
+      break;
+    }
+    case 3: {  // Amalgamate: move a0's funds into a1's checking
+      uint64_t sav = 0, chk = 0, dst = 0;
+      ok = txn->Read(savings_, spec.a0, buf) && ((sav = GetU64(buf)), true) &&
+           txn->Read(checking_, spec.a0, buf) && ((chk = GetU64(buf)), true) &&
+           txn->Read(checking_, spec.a1, buf) && ((dst = GetU64(buf)), true);
+      if (ok) {
+        uint64_t zero = 0, moved = dst + sav + chk;
+        ok = txn->Write(checking_, spec.a1, &moved) &&
+             txn->Write(savings_, spec.a0, &zero) &&
+             txn->Write(checking_, spec.a0, &zero);
+      }
+      break;
+    }
+    case 4: {  // WriteCheck: balance-check read, then debit checking
+      uint64_t chk = 0;
+      ok = txn->Read(savings_, spec.a0, buf) &&
+           txn->Read(checking_, spec.a0, buf) && ((chk = GetU64(buf)), true);
+      if (ok) {
+        uint64_t v = chk - spec.amount;
+        ok = txn->Write(checking_, spec.a0, &v);
+      }
+      delta = uint64_t(-int64_t(spec.amount));
+      break;
+    }
+    default:
+      break;
+  }
+  if (!ok) {
+    txn->Abort();
+    return false;
+  }
+  if (!txn->Commit()) return false;
+  delta_sum_.fetch_add(delta, std::memory_order_relaxed);
+  return true;
+}
+
+BaselineResult CcSmallBank::RunMix(uint32_t threads,
+                                   uint64_t txns_per_thread, uint64_t seed) {
+  BaselineResult result;
+  std::atomic<uint64_t> committed{0}, aborted{0};
+  std::atomic<bool> done{false};
+  // Background maintenance: Silo epoch ticks for OCC, version GC for MVCC.
+  std::thread maintenance([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      db_->AdvanceEpoch();
+      if (db_->kind() == CcSchemeKind::kMvcc) db_->GcSweep();
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (uint32_t t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      Rng rng(seed * 9176 + t * 7919 + 13);
+      for (uint64_t i = 0; i < txns_per_thread; ++i) {
+        TxnSpec spec = MakeSpec(&rng);
+        while (!Attempt(spec)) {
+          aborted.fetch_add(1, std::memory_order_relaxed);
+        }
+        committed.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  auto end = std::chrono::steady_clock::now();
+  done.store(true, std::memory_order_release);
+  maintenance.join();
+  result.seconds = std::chrono::duration<double>(end - start).count();
+  result.committed = committed.load();
+  result.aborted = aborted.load();
+  result.tps = result.seconds > 0 ? double(result.committed) / result.seconds
+                                  : 0;
+  return result;
+}
+
+uint64_t CcSmallBank::TotalAssets() {
+  uint64_t sum = 0;
+  uint8_t buf[8];
+  for (uint64_t a = 0; a < options_.accounts; ++a) {
+    if (db_->ReadCommitted(savings_, a, buf)) sum += GetU64(buf);
+    if (db_->ReadCommitted(checking_, a, buf)) sum += GetU64(buf);
+  }
+  return sum;
+}
+
+bool CcSmallBank::VerifyConservation() {
+  return TotalAssets() ==
+         initial_total_ + delta_sum_.load(std::memory_order_acquire);
+}
+
+}  // namespace bionicdb::baseline

@@ -1,0 +1,83 @@
+// SmallBank driver over the pluggable software CC schemes (cc_scheme.h) —
+// the software half of bench/cc_contention. Shared-everything: all threads
+// draw accounts from one pool, with an optional hotspot that concentrates
+// a fraction of the traffic on the first few accounts.
+//
+// The driver retries each transaction until it commits (closed-loop, like
+// workloads.cc), tracks the money-supply delta of every committed
+// transaction, and can verify the SmallBank conservation invariant
+// afterwards — a scheme that permits a lost update or dirty read fails it.
+#ifndef BIONICDB_BASELINE_CC_WORKLOADS_H_
+#define BIONICDB_BASELINE_CC_WORKLOADS_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "baseline/cc_scheme.h"
+#include "baseline/workloads.h"
+#include "common/random.h"
+
+namespace bionicdb::baseline {
+
+struct CcSmallBankOptions {
+  uint32_t accounts = 20'000;
+  uint64_t initial_balance = 10'000;
+  /// Probability that a transaction draws its account(s) from the hotspot
+  /// (the first `hotspot_accounts` ids).
+  double hotspot_fraction = 0.0;
+  uint32_t hotspot_accounts = 100;
+  // Profile mix weights (same defaults as workload/smallbank.h).
+  uint32_t mix_balance = 15;
+  uint32_t mix_deposit = 25;
+  uint32_t mix_transact = 25;
+  uint32_t mix_amalgamate = 10;
+  uint32_t mix_write_check = 25;
+};
+
+class CcSmallBank {
+ public:
+  CcSmallBank(CcDb* db, const CcSmallBankOptions& options);
+
+  /// Creates savings/checking and loads every account at initial_balance.
+  void Setup();
+
+  /// Runs the profile mix; every transaction retries until committed.
+  /// result.aborted counts the failed attempts.
+  BaselineResult RunMix(uint32_t threads, uint64_t txns_per_thread,
+                       uint64_t seed = 1);
+
+  /// Sum of all committed balances (outside any transaction; call when no
+  /// transactions are running).
+  uint64_t TotalAssets();
+
+  /// Conservation invariant: TotalAssets == initial + committed deltas
+  /// (mod 2^64).
+  bool VerifyConservation();
+
+  uint32_t savings() const { return savings_; }
+  uint32_t checking() const { return checking_; }
+
+ private:
+  /// One logical transaction: profile + inputs, fixed across retries.
+  struct TxnSpec {
+    uint32_t type;  // 0 balance, 1 deposit, 2 transact, 3 amalgamate, 4 wc
+    uint64_t a0 = 0;
+    uint64_t a1 = 0;
+    uint64_t amount = 0;
+  };
+
+  TxnSpec MakeSpec(Rng* rng);
+  /// Runs one attempt; true = committed (delta_sum_ updated).
+  bool Attempt(const TxnSpec& spec);
+
+  CcDb* db_;
+  CcSmallBankOptions options_;
+  uint32_t savings_ = 0;
+  uint32_t checking_ = 0;
+  uint64_t initial_total_ = 0;
+  std::atomic<uint64_t> delta_sum_{0};
+};
+
+}  // namespace bionicdb::baseline
+
+#endif  // BIONICDB_BASELINE_CC_WORKLOADS_H_

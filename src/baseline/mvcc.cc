@@ -1,0 +1,230 @@
+// Software multi-version timestamp ordering (MVTO) engine.
+//
+// Transactions draw a begin timestamp from a global counter. Writers
+// install *pending* versions at Write time; readers are served the newest
+// version with wts <= ts (their own pending version included), bumping its
+// rts. The classic MVTO rules:
+//
+//   read(ts):  newest version v with v.wts <= ts. If v is another
+//              transaction's pending write -> abort (no spinning under the
+//              global latch; the retry loop re-draws a fresh ts).
+//   write(ts): let v = newest version with v.wts <= ts. Abort when v is
+//              foreign-pending or v.rts > ts (a reader in (wts, ts] already
+//              missed this write). Otherwise splice a pending version with
+//              wts = ts into the chain.
+//
+// Commit flips the transaction's versions to committed; abort unsplices
+// them. GcSweep reclaims versions strictly older than the newest committed
+// version at the min-active-timestamp watermark — a held-open transaction
+// pins history exactly like the hardware unit's quiescent-point GC
+// (src/cc/cc_unit.cc).
+//
+// Read-mostly hotspots are the win here: readers of a hot record never
+// conflict with each other and only abort against in-flight writers,
+// where OCC invalidates every overlapping reader at validation.
+#include <algorithm>
+#include <cstring>
+#include <mutex>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "baseline/cc_scheme.h"
+
+namespace bionicdb::baseline {
+
+namespace {
+
+class MvccDb;
+
+class MvccTxn : public CcTxn {
+ public:
+  MvccTxn(MvccDb* db, uint64_t ts) : db_(db), ts_(ts) {}
+
+  bool Read(uint32_t table, uint64_t key, void* out) override;
+  bool Write(uint32_t table, uint64_t key, const void* value) override;
+  bool Commit() override;
+  void Abort() override;
+
+ private:
+  friend class MvccDb;
+  MvccDb* db_;
+  uint64_t ts_;
+  std::vector<std::pair<uint32_t, uint64_t>> writes_;  // (table, key)
+  bool done_ = false;
+};
+
+class MvccDb : public CcDb {
+ public:
+  uint32_t CreateTable(const CcTableDef& def) override {
+    std::lock_guard<std::mutex> g(mu_);
+    tables_.push_back(Table{def, {}});
+    return uint32_t(tables_.size() - 1);
+  }
+
+  void Load(uint32_t table, uint64_t key, const void* payload) override {
+    std::lock_guard<std::mutex> g(mu_);
+    const uint8_t* p = static_cast<const uint8_t*>(payload);
+    Rec& rec = tables_[table].recs[key];
+    rec.versions.clear();
+    rec.versions.push_back(
+        Version{0, 0, true, {p, p + tables_[table].def.payload_len}});
+  }
+
+  bool ReadCommitted(uint32_t table, uint64_t key, void* out) override {
+    std::lock_guard<std::mutex> g(mu_);
+    auto it = tables_[table].recs.find(key);
+    if (it == tables_[table].recs.end()) return false;
+    const auto& versions = it->second.versions;
+    for (auto v = versions.rbegin(); v != versions.rend(); ++v) {
+      if (v->committed) {
+        std::memcpy(out, v->value.data(), v->value.size());
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::unique_ptr<CcTxn> Begin() override {
+    std::lock_guard<std::mutex> g(mu_);
+    uint64_t ts = next_ts_++;
+    active_.insert(ts);
+    return std::make_unique<MvccTxn>(this, ts);
+  }
+
+  uint64_t GcSweep() override {
+    std::lock_guard<std::mutex> g(mu_);
+    const uint64_t watermark = active_.empty() ? next_ts_ : *active_.begin();
+    uint64_t freed = 0;
+    for (auto& table : tables_) {
+      for (auto& [key, rec] : table.recs) {
+        // Newest committed version at or below the watermark: every older
+        // version is invisible to all current and future transactions.
+        size_t keep = 0;
+        for (size_t i = 0; i < rec.versions.size(); ++i) {
+          const Version& v = rec.versions[i];
+          if (v.committed && v.wts <= watermark) keep = i;
+        }
+        if (keep > 0) {
+          rec.versions.erase(rec.versions.begin(),
+                             rec.versions.begin() + long(keep));
+          freed += keep;
+        }
+      }
+    }
+    stats_.versions_freed.fetch_add(freed, std::memory_order_relaxed);
+    stats_.gc_runs.fetch_add(1, std::memory_order_relaxed);
+    return freed;
+  }
+
+  CcSchemeKind kind() const override { return CcSchemeKind::kMvcc; }
+  uint32_t payload_len(uint32_t table) const override {
+    return tables_[table].def.payload_len;
+  }
+
+ private:
+  friend class MvccTxn;
+
+  struct Version {
+    uint64_t wts;
+    uint64_t rts;
+    bool committed;
+    std::vector<uint8_t> value;
+  };
+
+  struct Rec {
+    std::vector<Version> versions;  // wts ascending
+  };
+
+  struct Table {
+    CcTableDef def;
+    std::unordered_map<uint64_t, Rec> recs;
+  };
+
+  void FinishLocked(MvccTxn* txn) { active_.erase(txn->ts_); }
+
+  std::mutex mu_;
+  std::vector<Table> tables_;
+  std::set<uint64_t> active_;
+  uint64_t next_ts_ = 1;
+};
+
+bool MvccTxn::Read(uint32_t table, uint64_t key, void* out) {
+  std::lock_guard<std::mutex> g(db_->mu_);
+  auto it = db_->tables_[table].recs.find(key);
+  if (it == db_->tables_[table].recs.end()) return false;
+  auto& versions = it->second.versions;
+  for (auto v = versions.rbegin(); v != versions.rend(); ++v) {
+    if (v->wts > ts_) continue;
+    if (!v->committed && v->wts != ts_) return false;  // foreign pending
+    std::memcpy(out, v->value.data(), v->value.size());
+    v->rts = std::max(v->rts, ts_);
+    return true;
+  }
+  return false;
+}
+
+bool MvccTxn::Write(uint32_t table, uint64_t key, const void* value) {
+  std::lock_guard<std::mutex> g(db_->mu_);
+  auto it = db_->tables_[table].recs.find(key);
+  if (it == db_->tables_[table].recs.end()) return false;
+  auto& versions = it->second.versions;
+  // Predecessor: newest version with wts <= ts.
+  size_t pos = versions.size();
+  while (pos > 0 && versions[pos - 1].wts > ts_) --pos;
+  if (pos == 0) return false;  // history already reclaimed past our ts
+  MvccDb::Version& pred = versions[pos - 1];
+  const uint8_t* p = static_cast<const uint8_t*>(value);
+  const uint32_t len = db_->tables_[table].def.payload_len;
+  if (pred.wts == ts_) {  // our own pending version: overwrite in place
+    pred.value.assign(p, p + len);
+    return true;
+  }
+  if (!pred.committed) return false;   // foreign pending write
+  if (pred.rts > ts_) return false;    // a reader already missed us
+  versions.insert(versions.begin() + long(pos),
+                  MvccDb::Version{ts_, ts_, false, {p, p + len}});
+  writes_.emplace_back(table, key);
+  db_->stats_.versions_created.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool MvccTxn::Commit() {
+  std::lock_guard<std::mutex> g(db_->mu_);
+  if (done_) return false;
+  done_ = true;
+  for (const auto& [table, key] : writes_) {
+    auto& versions = db_->tables_[table].recs[key].versions;
+    for (auto& v : versions) {
+      if (v.wts == ts_) v.committed = true;
+    }
+  }
+  db_->FinishLocked(this);
+  return true;
+}
+
+void MvccTxn::Abort() {
+  std::lock_guard<std::mutex> g(db_->mu_);
+  if (done_) return;
+  done_ = true;
+  uint64_t freed = 0;
+  for (const auto& [table, key] : writes_) {
+    auto& versions = db_->tables_[table].recs[key].versions;
+    for (size_t i = 0; i < versions.size(); ++i) {
+      if (versions[i].wts == ts_) {
+        versions.erase(versions.begin() + long(i));
+        ++freed;
+        break;
+      }
+    }
+  }
+  db_->stats_.versions_freed.fetch_add(freed, std::memory_order_relaxed);
+  db_->stats_.aborts.fetch_add(1, std::memory_order_relaxed);
+  db_->FinishLocked(this);
+}
+
+}  // namespace
+
+std::unique_ptr<CcDb> MakeMvccDb() { return std::make_unique<MvccDb>(); }
+
+}  // namespace bionicdb::baseline

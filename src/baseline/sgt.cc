@@ -1,0 +1,366 @@
+// Software serialization-graph testing (SGT) engine.
+//
+// Online SGT: every conflict observed at operation time becomes an edge in
+// a serialization graph (src must serialise before dst); an operation that
+// would close a cycle aborts its transaction instead. This is the
+// textbook "no false negatives" scheme — unlike OCC or T/O it never aborts
+// a schedule that is in fact serializable, so under hotspot contention
+// (where OCC validation keeps failing on rw overlaps that are perfectly
+// serializable) it retains far more work.
+//
+// Edge discipline, with buffered writes installed at commit:
+//   wr  last committed writer of the record -> reader     (at Read)
+//   rw  every recorded reader of the record -> writer     (at Write)
+//   ww  last committed writer -> writer                   (at Write)
+//   rw  reader -> every still-pending writer              (at Read: the
+//       read observed the pre-image, so it precedes the pending install)
+//   ww  installer -> every other still-pending writer     (at Commit:
+//       install order decides ww direction between concurrent writers)
+//
+// Aborted nodes drop their outgoing edges (they can't appear in a cycle);
+// reader/writer metadata is epoch-tagged and the whole graph is pruned at
+// quiescent points (no active transactions), mirroring the hardware CC
+// unit (src/cc/cc_unit.cc).
+//
+// Everything — graph, metadata and data copies — is serialised under one
+// mutex: this engine optimises for auditable correctness (the trace mode
+// feeds the no-false-negative property test), not raw speed.
+#include <algorithm>
+#include <cstring>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "baseline/cc_scheme.h"
+
+namespace bionicdb::baseline {
+
+namespace {
+
+constexpr uint64_t kNoWriter = 0;  // "ancient committed writer": no edge
+
+class SgtDb;
+
+class SgtTxn : public CcTxn {
+ public:
+  SgtTxn(SgtDb* db, uint64_t id) : db_(db), id_(id) {}
+
+  bool Read(uint32_t table, uint64_t key, void* out) override;
+  bool Write(uint32_t table, uint64_t key, const void* value) override;
+  bool Commit() override;
+  void Abort() override;
+
+ private:
+  friend class SgtDb;
+  struct Buffered {
+    uint32_t table;
+    uint64_t key;
+    std::vector<uint8_t> value;
+  };
+
+  SgtDb* db_;
+  uint64_t id_;
+  std::vector<Buffered> writes_;
+  bool dead_ = false;
+  bool done_ = false;
+};
+
+class SgtDb : public CcDb {
+ public:
+  uint32_t CreateTable(const CcTableDef& def) override {
+    std::lock_guard<std::mutex> g(mu_);
+    tables_.push_back(Table{def, {}});
+    return uint32_t(tables_.size() - 1);
+  }
+
+  void Load(uint32_t table, uint64_t key, const void* payload) override {
+    std::lock_guard<std::mutex> g(mu_);
+    Rec& rec = tables_[table].recs[key];
+    const uint8_t* p = static_cast<const uint8_t*>(payload);
+    rec.value.assign(p, p + tables_[table].def.payload_len);
+    rec.tag = prune_tag_;
+  }
+
+  bool ReadCommitted(uint32_t table, uint64_t key, void* out) override {
+    std::lock_guard<std::mutex> g(mu_);
+    auto it = tables_[table].recs.find(key);
+    if (it == tables_[table].recs.end()) return false;
+    std::memcpy(out, it->second.value.data(), it->second.value.size());
+    return true;
+  }
+
+  std::unique_ptr<CcTxn> Begin() override {
+    std::lock_guard<std::mutex> g(mu_);
+    uint64_t id = next_txn_++;
+    nodes_.emplace(id, Node{});
+    ++active_;
+    return std::make_unique<SgtTxn>(this, id);
+  }
+
+  void EnableTrace() override { tracing_ = true; }
+  const SgtTrace* trace() const override { return &trace_; }
+  CcSchemeKind kind() const override { return CcSchemeKind::kSgt; }
+  uint32_t payload_len(uint32_t table) const override {
+    return tables_[table].def.payload_len;
+  }
+
+ private:
+  friend class SgtTxn;
+
+  struct Node {
+    bool finished = false;
+    bool aborted = false;
+    std::vector<uint64_t> out;
+  };
+
+  struct Rec {
+    std::vector<uint8_t> value;
+    uint64_t last_writer = kNoWriter;
+    uint64_t tag = 0;  // stale tag => readers/pending/last_writer pruned
+    std::vector<uint64_t> readers;
+    std::vector<uint64_t> pending;
+  };
+
+  struct Table {
+    CcTableDef def;
+    std::unordered_map<uint64_t, Rec> recs;
+  };
+
+  void Touch(Rec* rec) {
+    if (rec->tag != prune_tag_) {
+      rec->readers.clear();
+      rec->pending.clear();
+      rec->last_writer = kNoWriter;
+      rec->tag = prune_tag_;
+    }
+  }
+
+  Node* FindNode(uint64_t id) {
+    auto it = nodes_.find(id);
+    return it == nodes_.end() ? nullptr : &it->second;
+  }
+
+  /// DFS over out-edges of live nodes; fills `path` (from -> ... -> to)
+  /// when a path exists.
+  bool PathExists(uint64_t from, uint64_t to, std::vector<uint64_t>* path) {
+    path->clear();
+    std::unordered_map<uint64_t, uint64_t> parent;  // node -> predecessor
+    std::vector<uint64_t> stack{from};
+    parent[from] = from;
+    while (!stack.empty()) {
+      uint64_t cur = stack.back();
+      stack.pop_back();
+      if (cur == to) {
+        for (uint64_t n = to; n != from; n = parent[n]) path->push_back(n);
+        path->push_back(from);
+        std::reverse(path->begin(), path->end());
+        return true;
+      }
+      Node* node = FindNode(cur);
+      if (node == nullptr || node->aborted) continue;
+      for (uint64_t next : node->out) {
+        if (parent.emplace(next, cur).second) stack.push_back(next);
+      }
+    }
+    return false;
+  }
+
+  /// Adds src -> dst (deduplicated) and logs it when tracing.
+  void AddEdge(uint64_t src, uint64_t dst) {
+    Node* s = FindNode(src);
+    if (s == nullptr || s->aborted) return;
+    for (uint64_t d : s->out) {
+      if (d == dst) return;
+    }
+    s->out.push_back(dst);
+    if (tracing_) trace_.edges.emplace_back(src, dst);
+  }
+
+  /// Kills `txn` because edge src -> txn->id_ (or txn->id_ -> src when
+  /// `outgoing`) closes the cycle in `path`. Logs the closing edge and the
+  /// full cycle as evidence.
+  void CycleAbort(SgtTxn* txn, uint64_t src, bool outgoing,
+                  std::vector<uint64_t>* path) {
+    if (tracing_) {
+      // The closing conflict edge (recorded even though it is never added
+      // to the live graph) plus the closed node cycle.
+      if (outgoing) {
+        trace_.edges.emplace_back(txn->id_, src);
+      } else {
+        trace_.edges.emplace_back(src, txn->id_);
+      }
+      path->push_back(path->front());
+      trace_.abort_cycles.push_back(*path);
+    }
+    stats_.cycle_aborts.fetch_add(1, std::memory_order_relaxed);
+    Die(txn);
+  }
+
+  /// Marks the attempt dead: node aborted, outgoing edges dropped, pending
+  /// write intents withdrawn. Counts one abort.
+  void Die(SgtTxn* txn) {
+    txn->dead_ = true;
+    Node* node = FindNode(txn->id_);
+    if (node != nullptr) {
+      node->aborted = true;
+      node->finished = true;
+      node->out.clear();
+    }
+    for (const auto& w : txn->writes_) {
+      Rec& rec = tables_[w.table].recs[w.key];
+      if (rec.tag != prune_tag_) continue;
+      std::erase(rec.pending, txn->id_);
+    }
+    stats_.aborts.fetch_add(1, std::memory_order_relaxed);
+    FinishLocked();
+  }
+
+  void FinishLocked() {
+    if (--active_ == 0) {
+      // Quiescent point: the whole graph is garbage (every node finished,
+      // committed cycles are impossible). Epoch-tag prune, like the
+      // hardware unit.
+      nodes_.clear();
+      ++prune_tag_;
+    }
+  }
+
+  std::mutex mu_;
+  std::vector<Table> tables_;
+  std::unordered_map<uint64_t, Node> nodes_;
+  uint64_t next_txn_ = 1;
+  uint64_t active_ = 0;
+  uint64_t prune_tag_ = 1;
+  bool tracing_ = false;
+  SgtTrace trace_;
+};
+
+bool SgtTxn::Read(uint32_t table, uint64_t key, void* out) {
+  // Read-your-writes from the local buffer.
+  for (auto it = writes_.rbegin(); it != writes_.rend(); ++it) {
+    if (it->table == table && it->key == key) {
+      std::memcpy(out, it->value.data(), it->value.size());
+      return true;
+    }
+  }
+  std::lock_guard<std::mutex> g(db_->mu_);
+  if (dead_) return false;
+  auto rit = db_->tables_[table].recs.find(key);
+  if (rit == db_->tables_[table].recs.end()) return false;
+  SgtDb::Rec& rec = rit->second;
+  db_->Touch(&rec);
+  std::vector<uint64_t> path;
+  // wr: the committed writer of the observed version precedes me.
+  if (rec.last_writer != kNoWriter && rec.last_writer != id_) {
+    if (db_->PathExists(id_, rec.last_writer, &path)) {
+      db_->CycleAbort(this, rec.last_writer, /*outgoing=*/false, &path);
+      return false;
+    }
+    db_->AddEdge(rec.last_writer, id_);
+  }
+  // rw: I read the pre-image of every still-pending writer, so I precede
+  // each of their installs.
+  for (uint64_t w : rec.pending) {
+    if (w == id_) continue;
+    if (db_->PathExists(w, id_, &path)) {
+      db_->CycleAbort(this, w, /*outgoing=*/true, &path);
+      return false;
+    }
+    db_->AddEdge(id_, w);
+  }
+  bool known = false;
+  for (uint64_t r : rec.readers) known |= (r == id_);
+  if (!known) rec.readers.push_back(id_);
+  std::memcpy(out, rec.value.data(), rec.value.size());
+  return true;
+}
+
+bool SgtTxn::Write(uint32_t table, uint64_t key, const void* value) {
+  std::lock_guard<std::mutex> g(db_->mu_);
+  if (dead_) return false;
+  auto rit = db_->tables_[table].recs.find(key);
+  if (rit == db_->tables_[table].recs.end()) return false;
+  SgtDb::Rec& rec = rit->second;
+  db_->Touch(&rec);
+  std::vector<uint64_t> path;
+  // ww: the committed writer precedes me.
+  if (rec.last_writer != kNoWriter && rec.last_writer != id_) {
+    if (db_->PathExists(id_, rec.last_writer, &path)) {
+      db_->CycleAbort(this, rec.last_writer, /*outgoing=*/false, &path);
+      return false;
+    }
+    db_->AddEdge(rec.last_writer, id_);
+  }
+  // rw: everyone who read the current version precedes my install.
+  for (uint64_t r : rec.readers) {
+    if (r == id_) continue;
+    SgtDb::Node* rn = db_->FindNode(r);
+    if (rn == nullptr || rn->aborted) continue;
+    if (db_->PathExists(id_, r, &path)) {
+      db_->CycleAbort(this, r, /*outgoing=*/false, &path);
+      return false;
+    }
+    db_->AddEdge(r, id_);
+  }
+  bool known = false;
+  for (uint64_t w : rec.pending) known |= (w == id_);
+  if (!known) rec.pending.push_back(id_);
+  const uint8_t* p = static_cast<const uint8_t*>(value);
+  for (auto& w : writes_) {
+    if (w.table == table && w.key == key) {
+      w.value.assign(p, p + db_->tables_[table].def.payload_len);
+      return true;
+    }
+  }
+  writes_.push_back(
+      Buffered{table, key, {p, p + db_->tables_[table].def.payload_len}});
+  return true;
+}
+
+bool SgtTxn::Commit() {
+  std::lock_guard<std::mutex> g(db_->mu_);
+  if (done_) return false;
+  done_ = true;
+  if (dead_) return false;
+  std::vector<uint64_t> path;
+  // Pass 1 — decide ww order against still-pending concurrent writers
+  // before publishing anything: I install first, so I precede them all.
+  for (const auto& w : writes_) {
+    SgtDb::Rec& rec = db_->tables_[w.table].recs[w.key];
+    for (uint64_t other : rec.pending) {
+      if (other == id_) continue;
+      if (db_->PathExists(other, id_, &path)) {
+        db_->CycleAbort(this, other, /*outgoing=*/true, &path);
+        return false;
+      }
+      db_->AddEdge(id_, other);
+    }
+  }
+  // Pass 2 — install.
+  for (const auto& w : writes_) {
+    SgtDb::Rec& rec = db_->tables_[w.table].recs[w.key];
+    rec.value = w.value;
+    rec.last_writer = id_;
+    std::erase(rec.pending, id_);
+  }
+  SgtDb::Node* node = db_->FindNode(id_);
+  if (node != nullptr) node->finished = true;
+  db_->FinishLocked();
+  return true;
+}
+
+void SgtTxn::Abort() {
+  std::lock_guard<std::mutex> g(db_->mu_);
+  if (done_ || dead_) {
+    done_ = true;
+    return;
+  }
+  done_ = true;
+  db_->Die(this);
+}
+
+}  // namespace
+
+std::unique_ptr<CcDb> MakeSgtDb() { return std::make_unique<SgtDb>(); }
+
+}  // namespace bionicdb::baseline

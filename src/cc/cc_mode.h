@@ -1,0 +1,42 @@
+// Concurrency-control scheme selector shared by both tiers.
+//
+// The simulated softcore tier (src/core + src/index) consults a per-partition
+// cc::CcUnit configured with one of these modes; the software baseline tier
+// (src/baseline) maps the same taxonomy onto CcSchemeKind. Keeping the enum in
+// a leaf header lets EngineOptions and bench flag parsing name a scheme
+// without pulling in the CC unit implementation.
+#ifndef BIONICDB_CC_CC_MODE_H_
+#define BIONICDB_CC_CC_MODE_H_
+
+#include <cstdint>
+
+namespace bionicdb::cc {
+
+enum class CcMode : uint8_t {
+  /// Single-version timestamp ordering (paper section 4.7): the legacy
+  /// always-on scheme. Dirty accesses are blindly rejected (optionally
+  /// parked, see HashPipeline::Config::dirty_wait_cycles).
+  kTimestamp,
+  /// Online serialization-graph testing: accesses record dependency edges
+  /// between in-flight transactions; an access is refused only when adding
+  /// its edges would close a cycle, so there are no false-negative aborts.
+  kSgt,
+  /// Timestamp-ordered multi-version reads (MVTO): writers snapshot the
+  /// pre-image into a version chain before going dirty, so readers whose
+  /// timestamp predates the latest committed write can still be served from
+  /// an older version instead of aborting.
+  kMvcc,
+};
+
+inline const char* CcModeName(CcMode m) {
+  switch (m) {
+    case CcMode::kTimestamp: return "to";
+    case CcMode::kSgt: return "sgt";
+    case CcMode::kMvcc: return "mvcc";
+  }
+  return "?";
+}
+
+}  // namespace bionicdb::cc
+
+#endif  // BIONICDB_CC_CC_MODE_H_

@@ -22,6 +22,8 @@
 #include <memory>
 #include <vector>
 
+#include "cc/cc_mode.h"
+#include "cc/cc_unit.h"
 #include "comm/channels.h"
 #include "common/stats.h"
 #include "common/status.h"
@@ -45,6 +47,11 @@ struct EngineOptions {
   /// Channel delivery guarantees (ack/retransmit/dedup). Off by default:
   /// the paper's channels are lossless and pay no protocol overhead.
   comm::ReliabilityConfig reliability;
+  /// Concurrency-control scheme for the simulated tier (cc/cc_unit.h).
+  /// kTimestamp keeps the historical T/O behaviour bit-for-bit (no CC
+  /// units are even constructed); kSgt/kMvcc give every partition its own
+  /// CC unit wired into that worker's softcore and index pipelines.
+  cc::CcMode cc_mode = cc::CcMode::kTimestamp;
   uint64_t seed = 42;
 };
 
@@ -56,6 +63,10 @@ class BionicDb {
   sim::Simulator& simulator() { return *sim_; }
   const EngineOptions& options() const { return options_; }
   PartitionWorker& worker(uint32_t i) { return *workers_[i]; }
+  /// Partition i's CC unit, or nullptr in kTimestamp mode (no units).
+  const cc::CcUnit* cc_unit(uint32_t i) const {
+    return i < cc_units_.size() ? cc_units_[i].get() : nullptr;
+  }
   comm::CommFabric& fabric() { return *fabric_; }
 
   /// Uploads a pre-compiled stored procedure to every worker's catalogue.
@@ -95,6 +106,11 @@ class BionicDb {
   std::unique_ptr<sim::Simulator> sim_;
   std::unique_ptr<db::Database> database_;
   std::unique_ptr<comm::CommFabric> fabric_;
+  /// One CC unit per partition when cc_mode != kTimestamp (empty
+  /// otherwise). Owned here and injected into each worker's softcore and
+  /// coprocessor configs by pointer; units hold only partition-local state
+  /// touched from the owning island's tick path (PDES-safe).
+  std::vector<std::unique_ptr<cc::CcUnit>> cc_units_;
   std::vector<std::unique_ptr<PartitionWorker>> workers_;
 };
 

@@ -35,6 +35,10 @@
 #include "sim/arena.h"
 #include "sim/memory.h"
 
+namespace bionicdb::cc {
+class CcUnit;
+}  // namespace bionicdb::cc
+
 namespace bionicdb::core {
 
 class Softcore {
@@ -75,6 +79,12 @@ class Softcore {
       uint32_t interchip_window = 32;
     };
     TwoPc two_pc;
+
+    /// Partition-local concurrency-control unit (engine-owned; see
+    /// cc/cc_unit.h). Null or kTimestamp mode keeps the historical T/O
+    /// behaviour bit-for-bit; kSgt/kMvcc route transaction lifecycle
+    /// events (begin / commit-validate / finish) through the unit.
+    cc::CcUnit* cc_unit = nullptr;
   };
 
   struct BatchStats {

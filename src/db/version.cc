@@ -1,0 +1,25 @@
+#include "db/version.h"
+
+#include <vector>
+
+namespace bionicdb::db {
+
+sim::Addr SnapshotVersion(sim::DramMemory* dram, const TupleAccessor& tuple,
+                          sim::Addr next, sim::Addr reuse) {
+  const uint32_t payload_len = tuple.payload_len();
+  sim::Addr addr = reuse;
+  if (addr == sim::kNullAddr) {
+    addr = dram->Allocate(VersionFootprint(payload_len));
+  }
+  VersionAccessor v(dram, addr);
+  v.set_write_ts(tuple.write_ts());
+  v.set_next(next);
+  if (payload_len > 0) {
+    std::vector<uint8_t> buf(payload_len);
+    dram->ReadBytes(tuple.payload_addr(), buf.data(), payload_len);
+    dram->WriteBytes(v.payload_addr(), buf.data(), payload_len);
+  }
+  return addr;
+}
+
+}  // namespace bionicdb::db

@@ -1,0 +1,64 @@
+// On-DRAM version-chain nodes for the MVCC (MVTO) concurrency-control mode.
+//
+// A version node freezes the committed image of a tuple's payload at the
+// moment a newer writer marks the tuple dirty. Nodes of one tuple form a
+// singly-linked chain ordered newest-first by write timestamp:
+//
+//   offset  0  write_ts (8)   timestamp of the writer that produced this image
+//   offset  8  next     (8)   next-older version node, or kNullAddr
+//   offset 16  payload bytes  (same payload_len as the owning tuple)
+//
+// The chain head pointer lives in the partition's cc::CcUnit (the 24-byte
+// tuple header has no spare slot and is shared with the plain T/O mode, so
+// the layout on the hot path is unchanged when MVCC is off).
+#ifndef BIONICDB_DB_VERSION_H_
+#define BIONICDB_DB_VERSION_H_
+
+#include <cstdint>
+
+#include "db/tuple.h"
+#include "db/types.h"
+#include "sim/memory.h"
+
+namespace bionicdb::db {
+
+constexpr uint64_t kVersionHeaderSize = 16;
+
+/// Typed view over a version node in simulated DRAM.
+class VersionAccessor {
+ public:
+  VersionAccessor(sim::DramMemory* dram, sim::Addr addr)
+      : dram_(dram), addr_(addr) {}
+
+  sim::Addr addr() const { return addr_; }
+  bool null() const { return addr_ == sim::kNullAddr; }
+
+  Timestamp write_ts() const { return dram_->Read64(addr_ + 0); }
+  void set_write_ts(Timestamp ts) { dram_->Write64(addr_ + 0, ts); }
+
+  sim::Addr next() const { return dram_->Read64(addr_ + 8); }
+  void set_next(sim::Addr a) { dram_->Write64(addr_ + 8, a); }
+
+  sim::Addr payload_addr() const { return addr_ + kVersionHeaderSize; }
+
+ private:
+  sim::DramMemory* dram_;
+  sim::Addr addr_;
+};
+
+/// Total DRAM footprint of a version node for a tuple payload of this size.
+inline uint64_t VersionFootprint(uint32_t payload_len) {
+  return kVersionHeaderSize + PadTo8(payload_len);
+}
+
+/// Snapshots `tuple`'s committed image (payload bytes + write_ts) into a
+/// version node and links it in front of `next`. When `reuse` is non-null
+/// the node is written in place (GC freelist reuse); otherwise a fresh node
+/// is allocated from the caller's partition arena. Returns the node address.
+/// Functional only — the caller charges the DRAM read/write traffic.
+sim::Addr SnapshotVersion(sim::DramMemory* dram, const TupleAccessor& tuple,
+                          sim::Addr next, sim::Addr reuse);
+
+}  // namespace bionicdb::db
+
+#endif  // BIONICDB_DB_VERSION_H_

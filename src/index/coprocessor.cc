@@ -1,5 +1,7 @@
 #include "index/coprocessor.h"
 
+#include "cc/cc_unit.h"
+
 namespace bionicdb::index {
 
 IndexCoprocessor::IndexCoprocessor(db::Database* db,
@@ -8,10 +10,12 @@ IndexCoprocessor::IndexCoprocessor(db::Database* db,
       db_(db),
       partition_(partition),
       config_(config) {
-  hash_ = std::make_unique<HashPipeline>(db, partition, config.hash,
+  config_.hash.cc_unit = config_.cc_unit;
+  config_.skiplist.cc_unit = config_.cc_unit;
+  hash_ = std::make_unique<HashPipeline>(db, partition, config_.hash,
                                          &results_);
   skiplist_ = std::make_unique<SkiplistPipeline>(db, partition,
-                                                 config.skiplist, &results_);
+                                                 config_.skiplist, &results_);
 }
 
 bool IndexCoprocessor::Submit(const comm::Envelope& env) {
@@ -47,6 +51,9 @@ void IndexCoprocessor::CollectStats(StatsScope scope) const {
   scope.MergeCounterSet(counters_);
   hash_->CollectStats(scope.Sub("hash"));
   skiplist_->CollectStats(scope.Sub("skiplist"));
+  if (config_.cc_unit != nullptr) {
+    config_.cc_unit->CollectStats(scope.Sub("cc"));
+  }
 }
 
 }  // namespace bionicdb::index

@@ -28,6 +28,10 @@ class IndexCoprocessor : public sim::Component {
     uint32_t max_inflight = 16;
     HashPipeline::Config hash;
     SkiplistPipeline::Config skiplist;
+    /// Partition-local CC unit (engine-owned). Propagated into both
+    /// pipeline configs at construction; also the hook for the cc stats
+    /// subtree in CollectStats.
+    cc::CcUnit* cc_unit = nullptr;
   };
 
   IndexCoprocessor(db::Database* db, db::PartitionId partition,

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "cc/cc_unit.h"
 #include "cc/visibility.h"
 #include "db/hash_layout.h"
 #include "db/tuple.h"
@@ -286,22 +287,48 @@ void HashPipeline::FinishAccess(uint64_t now, uint32_t slot,
       mode = cc::AccessMode::kRead;
       break;
   }
-  cc::VisibilityResult vr = cc::CheckVisibility(&t, op.req.index_op().ts, mode);
+  cc::VisibilityResult vr;
+  sim::Addr payload_override = sim::kNullAddr;
+  if (config_.cc_unit == nullptr ||
+      config_.cc_unit->mode() == cc::CcMode::kTimestamp) {
+    // Default T/O path, kept inline and allocation-free.
+    vr = cc::CheckVisibility(&t, op.req.index_op().ts, mode);
+  } else {
+    cc::CcUnit::AccessResult ar =
+        config_.cc_unit->CheckAccess(&t, op.req.index_op().ts, mode);
+    vr = ar.vis;
+    payload_override = ar.payload_override;
+    // Version-chain walks / snapshot copies consume DRAM bandwidth on this
+    // partition's lane; charge them as posted bursts.
+    for (uint32_t i = 0; i < ar.charge_bursts; ++i) {
+      PostWrite(now, tuple_addr + 64ull * i);
+    }
+  }
   if (vr.header_dirtied) PostWrite(now, tuple_addr);
   if (vr.status != isa::CpStatus::kOk) {
-    if (vr.dirty_conflict && config_.dirty_wait_cycles > 0) {
+    uint32_t wait_cycles = config_.dirty_wait_cycles;
+    if (wait_cycles == 0 && config_.cc_unit != nullptr &&
+        config_.cc_unit->mode() == cc::CcMode::kSgt) {
+      // SGT prefers waiting out a live writer over aborting: only real
+      // cycles (detected by the unit) reject without a dirty_conflict.
+      wait_cycles = cc::CcUnit::kDefaultDirtyWaitCycles;
+    }
+    if (vr.dirty_conflict && wait_cycles > 0) {
       // Wait-on-dirty CC policy: park until the uncommitted writer
       // publishes or rolls back; a timeout falls back to the blind reject.
       counters_.Add("dirty_waits");
       dirty_waiters_.push_back(
-          DirtyWaiter{slot, tuple_addr, now + config_.dirty_wait_cycles,
+          DirtyWaiter{slot, tuple_addr, now + wait_cycles,
                       now + config_.dirty_poll_interval});
       return;
     }
     Emit(slot, vr.status, 0, cc::WriteKind::kNone, sim::kNullAddr);
     return;
   }
-  Emit(slot, isa::CpStatus::kOk, t.payload_addr(), kind, tuple_addr);
+  const uint64_t payload = payload_override != sim::kNullAddr
+                               ? payload_override
+                               : t.payload_addr();
+  Emit(slot, isa::CpStatus::kOk, payload, kind, tuple_addr);
 }
 
 void HashPipeline::TickDirtyWaiters(uint64_t now) {
@@ -321,7 +348,19 @@ void HashPipeline::TickDirtyWaiters(uint64_t now) {
       // One polling read of the tuple header (bandwidth accounting).
       dram_->Issue(now, w.tuple, false, nullptr, 0);
       w.next_poll = now + config_.dirty_poll_interval;
-      if (!db::TupleAccessor(dram_, w.tuple).dirty()) {
+      bool wake = !db::TupleAccessor(dram_, w.tuple).dirty();
+      // The mark's owner can also change while parked: a live local
+      // writer taking over a tuple we parked on as unknown-dirty. Further
+      // waiting is futile (that writer's commit sits behind the batch
+      // barrier this parked access holds open), but CheckAccess can now
+      // commit-order the access against the known writer — retry it.
+      if (!wake && config_.cc_unit != nullptr &&
+          config_.cc_unit->WaitFutile(w.tuple,
+                                      pool_[w.slot].req.index_op().ts)) {
+        counters_.Add("dirty_wait_owner_wakeups");
+        wake = true;
+      }
+      if (wake) {
         retry.push_back(w);
         w = dirty_waiters_.back();
         dirty_waiters_.pop_back();

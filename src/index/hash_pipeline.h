@@ -44,6 +44,10 @@
 #include "sim/arena.h"
 #include "sim/memory.h"
 
+namespace bionicdb::cc {
+class CcUnit;
+}  // namespace bionicdb::cc
+
 namespace bionicdb::index {
 
 class HashPipeline {
@@ -66,6 +70,10 @@ class HashPipeline {
     /// behaviour.
     uint32_t dirty_wait_cycles = 0;
     uint32_t dirty_poll_interval = 16;
+    /// Partition-local CC unit (engine-owned). Null or kTimestamp keeps
+    /// the historical inline T/O check; kSgt/kMvcc route the terminal
+    /// visibility step through cc::CcUnit::CheckAccess.
+    cc::CcUnit* cc_unit = nullptr;
   };
 
   HashPipeline(db::Database* db, db::PartitionId partition,

@@ -4,6 +4,7 @@
 
 #include <cassert>
 
+#include "cc/cc_unit.h"
 #include "cc/visibility.h"
 #include "db/tuple.h"
 
@@ -397,13 +398,32 @@ void SkiplistPipeline::FinishAccess(uint64_t now, uint32_t slot,
       mode = cc::AccessMode::kRead;
       break;
   }
-  cc::VisibilityResult vr = cc::CheckVisibility(&t, op.req.index_op().ts, mode);
+  cc::VisibilityResult vr;
+  sim::Addr payload_override = sim::kNullAddr;
+  if (config_.cc_unit == nullptr ||
+      config_.cc_unit->mode() == cc::CcMode::kTimestamp) {
+    vr = cc::CheckVisibility(&t, op.req.index_op().ts, mode);
+  } else {
+    // The skiplist pipeline has no dirty-waiter park machinery, so a
+    // dirty_conflict surfaces as a plain rejection here (range workloads
+    // retry through the softcore, exactly like the T/O blind reject).
+    cc::CcUnit::AccessResult ar =
+        config_.cc_unit->CheckAccess(&t, op.req.index_op().ts, mode);
+    vr = ar.vis;
+    payload_override = ar.payload_override;
+    for (uint32_t i = 0; i < ar.charge_bursts; ++i) {
+      PostWrite(now, tuple_addr + 64ull * i);
+    }
+  }
   if (vr.header_dirtied) PostWrite(now, tuple_addr);
   if (vr.status != isa::CpStatus::kOk) {
     Emit(slot, vr.status, 0, cc::WriteKind::kNone, sim::kNullAddr);
     return;
   }
-  Emit(slot, isa::CpStatus::kOk, t.payload_addr(), kind, tuple_addr);
+  const uint64_t payload = payload_override != sim::kNullAddr
+                               ? payload_override
+                               : t.payload_addr();
+  Emit(slot, isa::CpStatus::kOk, payload, kind, tuple_addr);
 }
 
 void SkiplistPipeline::Terminal(uint64_t now, uint32_t slot) {

@@ -46,6 +46,10 @@
 #include "sim/arena.h"
 #include "sim/memory.h"
 
+namespace bionicdb::cc {
+class CcUnit;
+}  // namespace bionicdb::cc
+
 namespace bionicdb::index {
 
 class SkiplistPipeline {
@@ -55,6 +59,8 @@ class SkiplistPipeline {
     uint32_t n_stages = 8;
     uint32_t n_scanners = 1;
     bool hazard_prevention = true;
+    /// Partition-local CC unit (engine-owned); see HashPipeline::Config.
+    cc::CcUnit* cc_unit = nullptr;
   };
 
   SkiplistPipeline(db::Database* db, db::PartitionId partition,

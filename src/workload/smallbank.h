@@ -1,0 +1,109 @@
+// SmallBank: the contention-heavy OLTP workload (Alomari et al., the
+// standard serializability-stress benchmark).
+//
+// Two tables — savings and checking — keyed by account id, 8-byte balance
+// payloads. Five transaction profiles:
+//
+//   Balance          read savings + checking, store the sum        (read)
+//   DepositChecking  checking += delta                             (write)
+//   TransactSavings  savings  += delta                             (write)
+//   Amalgamate       move all of account A's funds to B.checking   (3 writes)
+//   WriteCheck       read savings, checking -= amount              (rw)
+//
+// Contention comes from a hotspot: a configurable fraction of transactions
+// draw their accounts from the first `hotspot_accounts` ids of the
+// partition, so a small hotspot + write-heavy mix produces the dirty/ts
+// conflicts that separate the CC schemes (bench/cc_contention).
+//
+// Conservation invariant: every profile moves money by a known net delta
+// (+d, +d, 0, -amount, 0), so after any run
+//
+//   sum(savings + checking)  ==  initial_total + sum(committed deltas)
+//
+// modulo 2^64 (balances are uint64 with wrap-around). The helper
+// VerifyConservation re-derives committed deltas from the transaction
+// blocks' commit states, so lost updates / dirty reads surface as a sum
+// mismatch regardless of interleaving.
+#ifndef BIONICDB_WORKLOAD_SMALLBANK_H_
+#define BIONICDB_WORKLOAD_SMALLBANK_H_
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "core/engine.h"
+
+namespace bionicdb::workload {
+
+struct SmallBankOptions {
+  uint32_t accounts_per_partition = 10'000;
+  uint64_t initial_balance = 10'000;
+  /// Probability that a transaction draws its account(s) from the hotspot.
+  double hotspot_fraction = 0.0;
+  /// Hotspot size in accounts (first ids of each partition's range).
+  uint32_t hotspot_accounts = 100;
+  /// Profile mix weights (need not sum to 100).
+  uint32_t mix_balance = 15;
+  uint32_t mix_deposit = 25;
+  uint32_t mix_transact = 25;
+  uint32_t mix_amalgamate = 10;
+  uint32_t mix_write_check = 25;
+};
+
+class SmallBank {
+ public:
+  // Table ids are catalogue-dense (0, 1): a SmallBank engine instance owns
+  // its catalogue, so these don't clash with the other workloads' tables.
+  static constexpr db::TableId kSavings = 0;
+  static constexpr db::TableId kChecking = 1;
+
+  // One stored procedure per profile.
+  static constexpr db::TxnTypeId kBalance = 200;
+  static constexpr db::TxnTypeId kDepositChecking = 201;
+  static constexpr db::TxnTypeId kTransactSavings = 202;
+  static constexpr db::TxnTypeId kAmalgamate = 203;
+  static constexpr db::TxnTypeId kWriteCheck = 204;
+
+  SmallBank(core::BionicDb* engine, const SmallBankOptions& options);
+
+  /// Creates both tables, registers the five procedures and bulk-loads
+  /// `accounts_per_partition` accounts per partition at initial_balance.
+  Status Setup();
+
+  /// Builds one transaction block for `worker` (profile drawn from the mix
+  /// weights, accounts from the hotspot with hotspot_fraction probability).
+  sim::Addr MakeTxn(Rng* rng, db::WorkerId worker);
+
+  /// Host driver TxnFactory shape; `rng` and this object must outlive it.
+  std::function<sim::Addr(db::WorkerId)> Factory(Rng* rng);
+
+  /// Functional sum of every account's savings + checking (mod 2^64).
+  uint64_t TotalAssets() const;
+
+  /// Net money-supply delta of a committed block of this type (0 for
+  /// profiles that only move money between accounts).
+  int64_t CommittedDelta(sim::Addr block) const;
+
+  /// Checks the conservation invariant over a finished run: walks the
+  /// submitted blocks, sums the deltas of the committed ones and compares
+  /// against TotalAssets(). `txns` is the host::TxnList shape.
+  bool VerifyConservation(
+      const std::vector<std::pair<db::WorkerId, sim::Addr>>& txns) const;
+
+  uint64_t initial_total() const { return initial_total_; }
+  const SmallBankOptions& options() const { return options_; }
+
+ private:
+  uint64_t RandomAccount(Rng* rng, db::WorkerId worker);
+
+  core::BionicDb* engine_;
+  SmallBankOptions options_;
+  uint64_t initial_total_ = 0;
+};
+
+}  // namespace bionicdb::workload
+
+#endif  // BIONICDB_WORKLOAD_SMALLBANK_H_
