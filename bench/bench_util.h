@@ -45,6 +45,11 @@ struct BenchArgs {
   /// CC scheme filter for the CC-diversity benches: "to", "sgt", "mvcc"
   /// or "all" (other benches ignore it).
   std::string cc = "all";
+  /// Index batch size override for the batched-traversal benches (0 =
+  /// keep each leg's default; other benches ignore it).
+  uint32_t batch = 0;
+  /// Scan length override for the range-scan legs (0 = leg default).
+  uint32_t scan_len = 0;
 
   void ApplyMode(core::EngineOptions* opts) const {
     switch (mode) {
@@ -71,15 +76,20 @@ struct BenchArgs {
   static void PrintUsage(const char* prog, std::FILE* out) {
     std::fprintf(out,
                  "usage: %s [--quick] [--smoke] [--seed=N] [--mode=M] "
-                 "[--cc=S]\n"
-                 "  --quick   smaller populations/transaction counts\n"
-                 "  --smoke   minimal single-config run (implies --quick)\n"
-                 "  --seed=N  workload RNG seed (default 42)\n"
-                 "  --mode=M  simulator mode: serial (default), event, "
+                 "[--cc=S] [--batch=N] [--scan-len=N]\n"
+                 "  --quick      smaller populations/transaction counts\n"
+                 "  --smoke      minimal single-config run (implies "
+                 "--quick)\n"
+                 "  --seed=N     workload RNG seed (default 42)\n"
+                 "  --mode=M     simulator mode: serial (default), event, "
                  "parallel\n"
-                 "  --cc=S    CC scheme filter: to, sgt, mvcc, all "
+                 "  --cc=S       CC scheme filter: to, sgt, mvcc, all "
                  "(default)\n"
-                 "  --help    show this message\n",
+                 "  --batch=N    index batch-size override for the "
+                 "batched-traversal benches (0 = leg default)\n"
+                 "  --scan-len=N scan-length override for the range-scan "
+                 "legs (0 = leg default)\n"
+                 "  --help       show this message\n",
                  prog);
   }
 
@@ -91,6 +101,8 @@ struct BenchArgs {
     const char* seen_mode = nullptr;
     const char* seen_seed = nullptr;
     const char* seen_cc = nullptr;
+    const char* seen_batch = nullptr;
+    const char* seen_scan_len = nullptr;
     auto conflict = [&](const char* prev, const char* cur) {
       if (prev != nullptr && std::strcmp(prev, cur) != 0) {
         std::fprintf(stderr,
@@ -133,6 +145,28 @@ struct BenchArgs {
           std::exit(2);
         }
         args.cc = s;
+      } else if (std::strncmp(argv[i], "--batch=", 8) == 0) {
+        conflict(seen_batch, argv[i]);
+        seen_batch = argv[i];
+        char* end = nullptr;
+        unsigned long v = std::strtoul(argv[i] + 8, &end, 10);
+        if (end == argv[i] + 8 || *end != '\0' || v > 1u << 20) {
+          std::fprintf(stderr, "%s: bad value in '%s'\n", argv[0], argv[i]);
+          PrintUsage(argv[0], stderr);
+          std::exit(2);
+        }
+        args.batch = uint32_t(v);
+      } else if (std::strncmp(argv[i], "--scan-len=", 11) == 0) {
+        conflict(seen_scan_len, argv[i]);
+        seen_scan_len = argv[i];
+        char* end = nullptr;
+        unsigned long v = std::strtoul(argv[i] + 11, &end, 10);
+        if (end == argv[i] + 11 || *end != '\0' || v > 1u << 20) {
+          std::fprintf(stderr, "%s: bad value in '%s'\n", argv[0], argv[i]);
+          PrintUsage(argv[0], stderr);
+          std::exit(2);
+        }
+        args.scan_len = uint32_t(v);
       } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
         conflict(seen_seed, argv[i]);
         seen_seed = argv[i];

@@ -14,6 +14,9 @@
 //    SLO gauges (run/latency/p50|p99|p999, ordered), run/goodput and
 //    run/shed, with shed <= submitted, goodput <= offered load, and
 //    submitted == committed + failed + shed;
+//  * every batched-traversal run (marked by run/index/batch/
+//    batches_flushed) carries the burst coalescing counters and the
+//    probes-per-batch median, with coalesced <= total accesses;
 //  * every CC-diversity run (label "cc/..." or "sw/...") carries the
 //    per-scheme counters (run/cc/scheme|retries|aborts|conservation_ok),
 //    conservation holds, aborts never exceed attempts, and MVCC runs never
@@ -137,6 +140,45 @@ bool CheckOpenLoopRun(const std::string& path, const std::string& label,
                   "open-loop run '%s': committed %.0f + failed %.0f + shed "
                   "%.0f != submitted %.0f",
                   label.c_str(), committed, failed, shed, submitted);
+    return Fail(path, buf);
+  }
+  return true;
+}
+
+/// Batched-traversal runs (identified by run/index/batch/batches_flushed,
+/// emitted only for TraversalMode::kBatched engines) must carry the burst
+/// coalescing counters and the probes-per-batch median, and the burst
+/// arithmetic must close: a row hit is a subset of the issued accesses,
+/// so coalesced can never exceed total, and a run that flushed batches
+/// must have collected at least one probe per batch.
+bool CheckBatchRun(const std::string& path, const std::string& label,
+                   const json::Value& stats) {
+  double flushed;
+  if (!Num(stats, "run/index/batch/batches_flushed", &flushed)) {
+    return true;  // per-op run: no batch block
+  }
+  double total, coalesced, p50;
+  if (!Num(stats, "run/index/batch/burst_total_accesses", &total) ||
+      !Num(stats, "run/index/batch/burst_coalesced_accesses", &coalesced) ||
+      !Num(stats, "run/index/batch/probes_per_batch_p50", &p50)) {
+    return Fail(path, "batched run '" + label +
+                          "': missing run/index/batch/"
+                          "burst_total_accesses|burst_coalesced_accesses|"
+                          "probes_per_batch_p50");
+  }
+  char buf[200];
+  if (coalesced > total) {
+    std::snprintf(buf, sizeof buf,
+                  "batched run '%s': burst_coalesced_accesses %.0f exceeds "
+                  "burst_total_accesses %.0f",
+                  label.c_str(), coalesced, total);
+    return Fail(path, buf);
+  }
+  if (flushed > 0 && p50 < 1) {
+    std::snprintf(buf, sizeof buf,
+                  "batched run '%s': %.0f batches flushed but "
+                  "probes_per_batch_p50 %.2f < 1",
+                  label.c_str(), flushed, p50);
     return Fail(path, buf);
   }
   return true;
@@ -456,6 +498,7 @@ bool ValidateFile(const std::string& path) {
     }
     if (!CheckFabricClasses(path, label, *stats)) return false;
     if (!CheckOpenLoopRun(path, label, *stats)) return false;
+    if (!CheckBatchRun(path, label, *stats)) return false;
     ClusterRunPoint point;
     if (!CheckClusterRun(path, label, *stats, &point)) return false;
     if (point.n_chips > 0) cluster_points.push_back(point);

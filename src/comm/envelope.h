@@ -88,6 +88,7 @@ struct IndexOp {
   uint32_t payload_len = 0;
   sim::Addr out_buf = sim::kNullAddr;      // SCAN: result buffer
   uint32_t scan_count = 0;                 // SCAN: max tuples
+  uint8_t batch_flags = 0;                 // isa::kBatchFlag* framing bits
 };
 
 /// One raw-memory operation shipped to the partition that owns `addr`.

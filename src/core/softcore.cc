@@ -592,8 +592,11 @@ void Softcore::ExecuteDb(uint64_t now, const isa::Instruction& inst) {
   }
   if (inst.opcode == isa::Opcode::kScan) {
     op.out_buf = data + inst.aux_offset;
-    op.scan_count = inst.scan_count;
+    op.scan_count = inst.scan_reg != isa::kNoReg
+                        ? uint32_t(Gp(cur_ctx_, inst.scan_reg))
+                        : inst.scan_count;
   }
+  op.batch_flags = inst.batch_flags;
   comm::Header hdr;
   hdr.origin = worker_id_;
   hdr.cp_index = ctx.cp_base + inst.cp;

@@ -12,6 +12,12 @@ IndexCoprocessor::IndexCoprocessor(db::Database* db,
       config_(config) {
   config_.hash.cc_unit = config_.cc_unit;
   config_.skiplist.cc_unit = config_.cc_unit;
+  config_.hash.traversal = config_.traversal;
+  config_.skiplist.traversal = config_.traversal;
+  config_.hash.batch_size = config_.batch_size;
+  config_.skiplist.batch_size = config_.batch_size;
+  config_.hash.batch_timeout_cycles = config_.batch_timeout_cycles;
+  config_.skiplist.batch_timeout_cycles = config_.batch_timeout_cycles;
   hash_ = std::make_unique<HashPipeline>(db, partition, config_.hash,
                                          &results_);
   skiplist_ = std::make_unique<SkiplistPipeline>(db, partition,

@@ -26,6 +26,12 @@ class IndexCoprocessor : public sim::Component {
  public:
   struct Config {
     uint32_t max_inflight = 16;
+    /// Per-pipeline traversal strategy (DESIGN.md section 17). Propagated
+    /// into both pipeline configs at construction, alongside the batch
+    /// collector knobs below.
+    TraversalMode traversal = TraversalMode::kPerOp;
+    uint32_t batch_size = 8;
+    uint64_t batch_timeout_cycles = 128;
     HashPipeline::Config hash;
     SkiplistPipeline::Config skiplist;
     /// Partition-local CC unit (engine-owned). Propagated into both

@@ -30,6 +30,19 @@ HashPipeline::HashPipeline(db::Database* db, db::PartitionId partition,
   for (uint32_t i = 0; i < config.pool_size; ++i) {
     free_slots_.push_back(config.pool_size - 1 - i);
   }
+  if (config_.traversal == TraversalMode::kBatched) {
+    // A batch can never fill past the slot pool, and at least one probe
+    // per batch keeps the collector well-defined.
+    config_.batch_size =
+        std::max(1u, std::min(config_.batch_size, config_.pool_size));
+    // Enough batch contexts for the collect/keys/buckets/nodes phases to
+    // overlap (inter-op pipelining); the slot pool is the real capacity.
+    batches_.resize(4);
+    for (Batch& b : batches_) {
+      b.members.reserve(config_.batch_size);
+      b.node_members.reserve(config_.batch_size);
+    }
+  }
 }
 
 bool HashPipeline::Accept(const comm::Envelope& env) {
@@ -100,7 +113,254 @@ void HashPipeline::Tick(uint64_t now) {
   TickHeadFetch(now);
   TickInstall(now);
   TickHash(now);
-  TickKeyFetch(now);
+  if (config_.traversal == TraversalMode::kBatched) {
+    // Inserts still flow KeyFetch -> Hash -> Install above; the batch
+    // units replace the search-side HeadFetch/KeyComp flow.
+    TickBatchExec(now);
+    TickBatchAdmit(now);
+  } else {
+    TickKeyFetch(now);
+  }
+}
+
+void HashPipeline::FlushCollect() {
+  Batch& b = batches_[collect_];
+  b.phase = Batch::Phase::kKeys;
+  ++batches_flushed_;
+  probes_per_batch_.Add(double(b.members.size()));
+  collect_ = kNoBatch;
+}
+
+void HashPipeline::RetireBatch(Batch* b) {
+  b->phase = Batch::Phase::kIdle;
+  b->members.clear();
+  b->node_members.clear();
+  b->deferred.clear();
+  b->next_issue = 0;
+  b->outstanding = 0;
+  b->live = 0;
+  b->burst.Reset();
+}
+
+void HashPipeline::TickBatchAdmit(uint64_t now) {
+  if (!pending_in_.empty() && !free_slots_.empty()) {
+    const comm::Envelope& env = pending_in_.front();
+    if (env.index_op().op == isa::Opcode::kInsert) {
+      // Inserts keep the per-op install path: they mutate the bucket chain
+      // under the hazard lock, and reordering installs inside a batch
+      // would change which insert wins the bucket head.
+      uint32_t slot = AllocSlot(env);
+      if (!dram_->Issue(now, pool_[slot].req.index_op().key_addr, false,
+                        &hash_resp_, slot)) {
+        FreeSlot(slot);
+        fc_keyfetch_dram_stall_.Add();
+        tick_dram_stall_ = true;
+      } else {
+        pending_in_.pop_front();
+        fc_ops_admitted_.Add();
+      }
+    } else {
+      if (collect_ == kNoBatch) {
+        for (uint32_t i = 0; i < uint32_t(batches_.size()); ++i) {
+          if (batches_[i].phase == Batch::Phase::kIdle) {
+            batches_[i].phase = Batch::Phase::kCollect;
+            collect_ = i;
+            break;
+          }
+        }
+      }
+      if (collect_ != kNoBatch) {
+        Batch& b = batches_[collect_];
+        // The key read overlaps collection; consecutive keys of one
+        // framed transaction batch sit in the same block, so these
+        // already coalesce.
+        uint32_t slot = AllocSlot(env);
+        if (!b.burst.Issue(dram_, now, pool_[slot].req.index_op().key_addr,
+                           /*is_write=*/false, &batch_key_resp_, slot,
+                           /*snapshot_words=*/0, &burst_total_,
+                           &burst_coalesced_)) {
+          FreeSlot(slot);
+          fc_keyfetch_dram_stall_.Add();
+          tick_dram_stall_ = true;
+        } else {
+          pending_in_.pop_front();
+          fc_ops_admitted_.Add();
+          pool_[slot].batch = collect_;
+          if (b.members.empty()) {
+            b.flush_deadline = now + config_.batch_timeout_cycles;
+          }
+          b.members.push_back(slot);
+          ++b.outstanding;
+          ++b.live;
+          if (b.members.size() >= config_.batch_size) {
+            ++batch_flush_full_;
+            FlushCollect();
+          } else if (pool_[slot].req.index_op().batch_flags &
+                     isa::kBatchFlagEnd) {
+            ++batch_flush_end_;
+            FlushCollect();
+          }
+        }
+      }
+    }
+  }
+  if (collect_ != kNoBatch && !batches_[collect_].members.empty() &&
+      now >= batches_[collect_].flush_deadline) {
+    ++batch_flush_timeout_;
+    FlushCollect();
+  }
+}
+
+void HashPipeline::IssueBatchReads(uint64_t now, uint32_t batch_idx) {
+  Batch& b = batches_[batch_idx];
+  if (b.phase == Batch::Phase::kBuckets) {
+    // Lock-deferred members retry first: a lock released this tick (the
+    // insert's install completed upstream in the tick order) unblocks
+    // them before fresh issues extend the burst train.
+    for (size_t i = 0; i < b.deferred.size();) {
+      uint32_t slot = b.deferred[i];
+      Op& op = pool_[slot];
+      uint64_t bucket = db_->hash_index(op.req.index_op().table, partition_)
+                            ->BucketIndex(op.hash);
+      if (lock_table_.HeldByOther(bucket, slot)) {
+        fc_hash_lock_stall_.Add();
+        tick_hazard_stall_ = true;
+        ++i;
+        continue;
+      }
+      if (!b.burst.Issue(dram_, now, op.bucket_slot, false, &batch_data_resp_,
+                         slot, /*snapshot_words=*/1, &burst_total_,
+                         &burst_coalesced_)) {
+        fc_hash_dram_stall_.Add();
+        tick_dram_stall_ = true;
+        return;
+      }
+      ++b.outstanding;
+      b.deferred[i] = b.deferred.back();
+      b.deferred.pop_back();
+    }
+    while (b.next_issue < b.members.size()) {
+      uint32_t slot = b.members[b.next_issue];
+      Op& op = pool_[slot];
+      if (config_.hazard_prevention) {
+        uint64_t bucket = db_->hash_index(op.req.index_op().table, partition_)
+                              ->BucketIndex(op.hash);
+        if (lock_table_.HeldByOther(bucket, slot)) {
+          b.deferred.push_back(slot);
+          ++b.next_issue;
+          fc_hash_lock_stall_.Add();
+          tick_hazard_stall_ = true;
+          continue;
+        }
+      }
+      if (!b.burst.Issue(dram_, now, op.bucket_slot, false, &batch_data_resp_,
+                         slot, /*snapshot_words=*/1, &burst_total_,
+                         &burst_coalesced_)) {
+        fc_hash_dram_stall_.Add();
+        tick_dram_stall_ = true;
+        return;
+      }
+      ++b.outstanding;
+      ++b.next_issue;
+    }
+  } else {  // Phase::kNodes
+    while (b.next_issue < b.node_members.size()) {
+      uint32_t slot = b.node_members[b.next_issue];
+      if (!b.burst.Issue(dram_, now, pool_[slot].cur, false, &batch_data_resp_,
+                         slot, /*snapshot_words=*/0, &burst_total_,
+                         &burst_coalesced_)) {
+        fc_traverse_dram_stall_.Add();
+        tick_dram_stall_ = true;
+        return;
+      }
+      ++b.outstanding;
+      ++b.next_issue;
+    }
+  }
+}
+
+void HashPipeline::TickBatchExec(uint64_t now) {
+  // Key responses: the Hash-stage work, run per response. The batch unit's
+  // comparator works through queued responses within the cycle — the
+  // responses themselves already arrived spread over DRAM service time.
+  while (!batch_key_resp_.empty()) {
+    sim::MemResponse resp = std::move(batch_key_resp_.front());
+    batch_key_resp_.pop_front();
+    uint32_t slot = uint32_t(resp.cookie);
+    Op& op = pool_[slot];
+    sim::InlineVec<uint8_t, 48> key(op.req.index_op().key_len);
+    dram_->ReadBytes(op.req.index_op().key_addr, key.data(), key.size());
+    op.hash = db::HashTableLayout::HashKey(key.data(), uint16_t(key.size()));
+    op.bucket_slot = db_->hash_index(op.req.index_op().table, partition_)
+                         ->BucketSlot(op.hash);
+    fc_hash_stage_.Add();
+    --batches_[op.batch].outstanding;
+  }
+  // Bucket-head and chain-node responses, disambiguated by the owning
+  // batch's phase (a batch never advances with responses outstanding).
+  while (!batch_data_resp_.empty()) {
+    sim::MemResponse resp = std::move(batch_data_resp_.front());
+    batch_data_resp_.pop_front();
+    uint32_t slot = uint32_t(resp.cookie);
+    Op& op = pool_[slot];
+    Batch& b = batches_[op.batch];
+    --b.outstanding;
+    if (b.phase == Batch::Phase::kBuckets) {
+      fc_headfetch_stage_.Add();
+      sim::Addr head = resp.data[0];
+      if (head == sim::kNullAddr) {
+        --b.live;
+        Emit(slot, isa::CpStatus::kNotFound, 0, cc::WriteKind::kNone,
+             sim::kNullAddr);
+      } else {
+        op.cur = head;
+        b.node_members.push_back(slot);
+      }
+    } else {
+      fc_keycomp_stage_.Add();
+      // The member leaves batch custody here either way: a match (or
+      // corruption / end-of-chain) finished it, and a mismatch hands the
+      // chain continuation to the per-op Traverse units.
+      --b.live;
+      if (!CompareOrAdvance(now, slot)) EnqueueTraverse(slot);
+    }
+  }
+  // Phase FSMs, in batch-index order (deterministic across modes).
+  for (uint32_t bi = 0; bi < uint32_t(batches_.size()); ++bi) {
+    Batch& b = batches_[bi];
+    if (b.phase == Batch::Phase::kKeys && b.outstanding == 0) {
+      // Per-level sort: order probes by bucket slot so the bucket reads
+      // issue as an ascending-address burst train. stable_sort keeps
+      // admission order among equal buckets.
+      std::stable_sort(b.members.begin(), b.members.end(),
+                       [this](uint32_t a, uint32_t c) {
+                         return pool_[a].bucket_slot < pool_[c].bucket_slot;
+                       });
+      b.phase = Batch::Phase::kBuckets;
+      b.next_issue = 0;
+      b.burst.Reset();
+    }
+    if (b.phase == Batch::Phase::kBuckets) {
+      IssueBatchReads(now, bi);
+      if (b.next_issue == b.members.size() && b.deferred.empty() &&
+          b.outstanding == 0) {
+        std::stable_sort(b.node_members.begin(), b.node_members.end(),
+                         [this](uint32_t a, uint32_t c) {
+                           return pool_[a].cur < pool_[c].cur;
+                         });
+        b.phase = Batch::Phase::kNodes;
+        b.next_issue = 0;
+        b.burst.Reset();
+      }
+    }
+    if (b.phase == Batch::Phase::kNodes) {
+      IssueBatchReads(now, bi);
+      if (b.next_issue == b.node_members.size() && b.outstanding == 0 &&
+          b.live == 0) {
+        RetireBatch(&b);
+      }
+    }
+  }
 }
 
 void HashPipeline::TickKeyFetch(uint64_t now) {
@@ -510,6 +770,48 @@ uint64_t HashPipeline::NextWakeCycle(uint64_t now) const {
   // KeyFetch admits (or retries a rejected admission) whenever an op is
   // queued and a slot is free.
   if (!pending_in_.empty() && !free_slots_.empty()) return now + 1;
+  uint64_t batch_wake = sim::kNeverWakes;
+  if (config_.traversal == TraversalMode::kBatched) {
+    if (!batch_key_resp_.empty() || !batch_data_resp_.empty()) return now + 1;
+    for (const Batch& b : batches_) {
+      switch (b.phase) {
+        case Batch::Phase::kIdle:
+          break;
+        case Batch::Phase::kCollect:
+          // A partial batch is quiescent until its timeout flush (new
+          // arrivals wake the pipeline via pending_in_ above).
+          if (!b.members.empty()) {
+            batch_wake = std::min(batch_wake, b.flush_deadline);
+          }
+          break;
+        case Batch::Phase::kKeys:
+          // All key responses in: the sort + phase advance runs next tick.
+          if (b.outstanding == 0) return now + 1;
+          break;
+        case Batch::Phase::kBuckets: {
+          // Unissued members are DRAM-reject retries (every tick bumps
+          // reject counters); lock-deferred members are quiescent until
+          // the holding insert's install completes (a DRAM wake).
+          if (b.next_issue < b.members.size()) return now + 1;
+          for (uint32_t slot : b.deferred) {
+            const Op& op = pool_[slot];
+            if (!lock_table_.HeldByOther(
+                    db_->hash_index(op.req.index_op().table, partition_)
+                        ->BucketIndex(op.hash),
+                    slot)) {
+              return now + 1;
+            }
+          }
+          if (b.deferred.empty() && b.outstanding == 0) return now + 1;
+          break;
+        }
+        case Batch::Phase::kNodes:
+          if (b.next_issue < b.node_members.size()) return now + 1;
+          if (b.outstanding == 0) return now + 1;
+          break;
+      }
+    }
+  }
   for (const TraverseUnit& u : traverse_units_) {
     if (u.cur_op.has_value()) {
       if (!u.waiting || !u.resp.empty()) return now + 1;
@@ -519,7 +821,7 @@ uint64_t HashPipeline::NextWakeCycle(uint64_t now) const {
   }
   // Dirty waiters are pure hazard-stall accounting between their polling
   // reads; polls and deadlines are fixed future cycles.
-  uint64_t wake = sim::kNeverWakes;
+  uint64_t wake = batch_wake;
   for (const DirtyWaiter& w : dirty_waiters_) {
     wake = std::min(wake, std::min(w.deadline, w.next_poll));
   }
@@ -537,6 +839,17 @@ void HashPipeline::SkipCycles(uint64_t now, uint64_t count) {
     fc_hash_lock_stall_.Add(count);
     hazard = true;
   }
+  if (config_.traversal == TraversalMode::kBatched) {
+    for (const Batch& b : batches_) {
+      if (b.phase != Batch::Phase::kBuckets) continue;
+      // Deferred members stay lock-held across a skipped window (a lock
+      // release is a DRAM wake): replay the per-tick retry counting.
+      for (size_t i = 0; i < b.deferred.size(); ++i) {
+        fc_hash_lock_stall_.Add(count);
+        hazard = true;
+      }
+    }
+  }
   if (!dirty_waiters_.empty()) hazard = true;
   tick_dram_stall_ = false;
   tick_hazard_stall_ = hazard;
@@ -550,6 +863,18 @@ void HashPipeline::CollectStats(StatsScope scope) const {
                      ? double(occupancy_sum_) / double(busy_cycles_)
                      : 0);
   scope.MergeCounterSet(counters_);
+  // Batch scope emitted only in kBatched mode so per-op stats JSON stays
+  // byte-identical to pre-batch builds.
+  if (config_.traversal == TraversalMode::kBatched) {
+    StatsScope b = scope.Sub("batch");
+    b.SetCounter("batches_flushed", batches_flushed_);
+    b.SetCounter("flush_full", batch_flush_full_);
+    b.SetCounter("flush_timeout", batch_flush_timeout_);
+    b.SetCounter("flush_batch_end", batch_flush_end_);
+    b.SetCounter("burst_total_accesses", burst_total_);
+    b.SetCounter("burst_coalesced_accesses", burst_coalesced_);
+    b.SetSummary("probes_per_batch", probes_per_batch_);
+  }
 }
 
 }  // namespace bionicdb::index

@@ -74,6 +74,18 @@ class HashPipeline {
     /// the historical inline T/O check; kSgt/kMvcc route the terminal
     /// visibility step through cc::CcUnit::CheckAccess.
     cc::CcUnit* cc_unit = nullptr;
+    /// Traversal strategy (DESIGN.md section 17). kBatched collects
+    /// non-insert probes into bucket-sorted batches whose DRAM accesses
+    /// coalesce into row-hit bursts; kPerOp is the paper pipeline.
+    /// Inserts always take the per-op install path (they mutate the
+    /// bucket chain under the hazard lock).
+    TraversalMode traversal = TraversalMode::kPerOp;
+    /// kBatched: probes per batch; the collector flushes when full.
+    uint32_t batch_size = 8;
+    /// kBatched: a partial batch flushes this many cycles after its first
+    /// probe arrived. Bounds tail latency and guarantees progress when the
+    /// softcore holds its commit barrier behind a collected probe.
+    uint64_t batch_timeout_cycles = 128;
   };
 
   HashPipeline(db::Database* db, db::PartitionId partition,
@@ -119,12 +131,15 @@ class HashPipeline {
   void CollectStats(StatsScope scope) const;
 
  private:
+  static constexpr uint32_t kNoBatch = UINT32_MAX;
+
   struct Op {
     comm::Envelope req;  // the kIndexOp envelope being served
     uint64_t hash = 0;
     sim::Addr bucket_slot = sim::kNullAddr;
     sim::Addr cur = sim::kNullAddr;        // current chain node
     sim::Addr new_tuple = sim::kNullAddr;  // INSERT: tuple being installed
+    uint32_t batch = kNoBatch;             // kBatched: owning batch index
     bool holds_lock = false;
     bool in_use = false;
   };
@@ -206,6 +221,54 @@ class HashPipeline {
     uint64_t next_poll;
   };
   std::vector<DirtyWaiter> dirty_waiters_;
+
+  // --- kBatched traversal state (DESIGN.md section 17) -----------------
+  //
+  // A batch flows collect -> keys -> buckets -> nodes. Key reads are
+  // issued at admission (they overlap collection); after the flush the
+  // batch sorts its members by bucket slot and issues the bucket reads as
+  // one burst train (same-row successors charged at the DRAM row-hit
+  // cost), then does the same for the first chain nodes sorted by
+  // address. Chain continuations beyond the first node hand off to the
+  // per-op Traverse units, and every match still runs FinishAccess —
+  // visibility/CC per tuple, exactly as kPerOp.
+  struct Batch {
+    enum class Phase : uint8_t { kIdle, kCollect, kKeys, kBuckets, kNodes };
+    Phase phase = Phase::kIdle;
+    std::vector<uint32_t> members;       // slots, admission order then sorted
+    std::vector<uint32_t> node_members;  // members with a non-null head
+    std::vector<uint32_t> deferred;      // bucket reads stalled on a hazard lock
+    uint32_t next_issue = 0;             // first member without an issued read
+    uint32_t outstanding = 0;            // reads in flight for this batch
+    uint32_t live = 0;                   // members still in batch custody
+    uint64_t flush_deadline = 0;
+    BurstIssuer burst;
+  };
+
+  /// Admits the head of pending_in_ in kBatched mode: inserts go down the
+  /// per-op install path, everything else joins the collecting batch.
+  void TickBatchAdmit(uint64_t now);
+  /// Drains batch response queues and advances every batch's phase FSM.
+  void TickBatchExec(uint64_t now);
+  void FlushCollect();
+  void RetireBatch(Batch* b);
+  /// Issues the sorted burst train for a batch's current phase; returns
+  /// false on DRAM backpressure (retry next tick from the same member).
+  void IssueBatchReads(uint64_t now, uint32_t batch_idx);
+
+  std::vector<Batch> batches_;
+  uint32_t collect_ = kNoBatch;  // batch currently collecting, if any
+  sim::MemResponseQueue batch_key_resp_;
+  sim::MemResponseQueue batch_data_resp_;
+  // Batch stats, plain fields emitted only in kBatched mode so per-op
+  // stats JSON stays byte-identical to pre-batch builds.
+  uint64_t batches_flushed_ = 0;
+  uint64_t batch_flush_full_ = 0;
+  uint64_t batch_flush_timeout_ = 0;
+  uint64_t batch_flush_end_ = 0;
+  uint64_t burst_total_ = 0;
+  uint64_t burst_coalesced_ = 0;
+  Summary probes_per_batch_;
 
   CounterSet counters_;
   // Lazy slot handles for counters on the per-op/per-cycle hot path

@@ -45,6 +45,12 @@ SkiplistPipeline::SkiplistPipeline(db::Database* db,
     hi -= width;
   }
   assert(stages_.back().lo == 0);
+  if (config_.traversal == TraversalMode::kBatched) {
+    config_.batch_size = std::max<uint32_t>(
+        1, std::min(config_.batch_size, config_.pool_size));
+    batches_.resize(4);
+    for (Batch& b : batches_) b.members.reserve(config_.batch_size);
+  }
 }
 
 bool SkiplistPipeline::Accept(const comm::Envelope& env) {
@@ -125,7 +131,13 @@ void SkiplistPipeline::Tick(uint64_t now) {
   for (int s = int(config_.n_stages) - 1; s >= 0; --s) {
     TickStage(now, uint32_t(s));
   }
-  TickKeyFetch(now);
+  if (config_.traversal == TraversalMode::kBatched) {
+    // Inserts still flow through the staged path above; probes batch.
+    TickBatchExec(now);
+    TickBatchAdmit(now);
+  } else {
+    TickKeyFetch(now);
+  }
 }
 
 void SkiplistPipeline::TickInstalls(uint64_t now) {
@@ -187,6 +199,274 @@ void SkiplistPipeline::TickKeyFetch(uint64_t now) {
   }
   pending_in_.pop_front();
   counters_.Add("ops_admitted");
+}
+
+void SkiplistPipeline::TickBatchAdmit(uint64_t now) {
+  // Insert keys arriving through the per-op key-fetch path enter stage 0,
+  // exactly as in kPerOp mode.
+  if (!keyfetch_resp_.empty()) {
+    sim::MemResponse resp = std::move(keyfetch_resp_.front());
+    keyfetch_resp_.pop_front();
+    uint32_t slot = uint32_t(resp.cookie);
+    Op& op = pool_[slot];
+    op.key.resize(op.req.index_op().key_len);
+    dram_->ReadBytes(op.req.index_op().key_addr, op.key.data(), op.key.size());
+    op.cur = Layout(op)->head();
+    op.level = stages_[0].hi;
+    op.new_height = Layout(op)->NextHeight();
+    stages_[0].in.push_back(slot);
+  }
+  // Admit one op per cycle.
+  if (!pending_in_.empty() && !free_slots_.empty()) {
+    const comm::Envelope& env = pending_in_.front();
+    if (env.index_op().op == isa::Opcode::kInsert) {
+      uint32_t slot = AllocSlot(env);
+      if (!dram_->Issue(now, pool_[slot].req.index_op().key_addr, false,
+                        &keyfetch_resp_, slot)) {
+        FreeSlot(slot);
+        counters_.Add("keyfetch_dram_stall");
+        tick_dram_stall_ = true;
+      } else {
+        pending_in_.pop_front();
+        counters_.Add("ops_admitted");
+      }
+    } else {
+      if (collect_ == UINT32_MAX) {
+        for (uint32_t i = 0; i < uint32_t(batches_.size()); ++i) {
+          if (batches_[i].phase == Batch::Phase::kIdle) {
+            collect_ = i;
+            break;
+          }
+        }
+      }
+      // All four contexts busy -> admission stalls until one retires.
+      if (collect_ != UINT32_MAX) {
+        Batch& b = batches_[collect_];
+        uint32_t slot = AllocSlot(env);
+        Op& op = pool_[slot];
+        // The key read is issued AT admission so it overlaps collection;
+        // keys inside one framed transaction block are address-sequential,
+        // so the burst path coalesces them into row hits.
+        if (!b.burst.Issue(dram_, now, op.req.index_op().key_addr, false,
+                           &b.key_resp, slot, 0, &burst_total_,
+                           &burst_coalesced_)) {
+          FreeSlot(slot);
+          counters_.Add("keyfetch_dram_stall");
+          tick_dram_stall_ = true;
+        } else {
+          if (b.members.empty()) {
+            b.phase = Batch::Phase::kCollect;
+            b.flush_deadline = now + config_.batch_timeout_cycles;
+          }
+          b.members.push_back(slot);
+          ++b.outstanding;
+          ++b.live;
+          pending_in_.pop_front();
+          counters_.Add("ops_admitted");
+          if (uint32_t(b.members.size()) >= config_.batch_size) {
+            ++batch_flush_full_;
+            FlushCollect();
+          } else if (op.req.index_op().batch_flags & isa::kBatchFlagEnd) {
+            ++batch_flush_end_;
+            FlushCollect();
+          }
+        }
+      }
+    }
+  }
+  // Flush timeout: no probe waits in the collector past its deadline.
+  if (collect_ != UINT32_MAX &&
+      batches_[collect_].phase == Batch::Phase::kCollect &&
+      now >= batches_[collect_].flush_deadline) {
+    ++batch_flush_timeout_;
+    FlushCollect();
+  }
+}
+
+void SkiplistPipeline::FlushCollect() {
+  Batch& b = batches_[collect_];
+  b.phase = Batch::Phase::kKeys;
+  ++batches_flushed_;
+  probes_per_batch_.Add(double(b.members.size()));
+  collect_ = UINT32_MAX;
+}
+
+void SkiplistPipeline::RetireBatch(Batch* b) {
+  b->phase = Batch::Phase::kIdle;
+  b->members.clear();
+  b->outstanding = 0;
+  b->live = 0;
+  b->level = 0;
+  b->fetch_queue.clear();
+  b->towers.clear();
+  b->burst.Reset();
+}
+
+void SkiplistPipeline::RequestFetch(Batch* b, sim::Addr addr, bool verify) {
+  auto [it, inserted] = b->towers.try_emplace(addr);
+  if (!inserted) return;  // already queued, in flight, or cached
+  it->second.st = Batch::Tower::St::kQueued;
+  it->second.verify = verify;
+  b->fetch_queue.push_back(addr);
+}
+
+void SkiplistPipeline::TickBatchExec(uint64_t now) {
+  for (Batch& b : batches_) {
+    if (b.phase == Batch::Phase::kIdle) continue;
+    // Key responses land while the batch is still collecting: cache the
+    // key bytes and park the member at the top level.
+    while (!b.key_resp.empty()) {
+      uint32_t slot = uint32_t(b.key_resp.front().cookie);
+      b.key_resp.pop_front();
+      Op& op = pool_[slot];
+      op.key.resize(op.req.index_op().key_len);
+      dram_->ReadBytes(op.req.index_op().key_addr, op.key.data(),
+                       op.key.size());
+      op.cur = Layout(op)->head();
+      op.level = db::kSkiplistMaxHeight - 1;
+      --b.outstanding;
+    }
+    while (!b.fetch_resp.empty()) {
+      sim::Addr addr = sim::Addr(b.fetch_resp.front().cookie);
+      b.fetch_resp.pop_front();
+      auto it = b.towers.find(addr);
+      it->second.st =
+          it->second.verify && !dram_->VerifyTupleGuard(addr)
+              ? Batch::Tower::St::kCorrupt
+              : Batch::Tower::St::kReady;
+      --b.outstanding;
+    }
+    if (b.phase == Batch::Phase::kKeys && b.outstanding == 0) {
+      // Level-wise sort: members ordered by (table, key) so the per-level
+      // fetch trains walk rising addresses on bulk-loaded lists.
+      std::stable_sort(
+          b.members.begin(), b.members.end(),
+          [this](uint32_t x, uint32_t y) {
+            const Op& a = pool_[x];
+            const Op& c = pool_[y];
+            if (a.req.index_op().table != c.req.index_op().table) {
+              return a.req.index_op().table < c.req.index_op().table;
+            }
+            return std::lexicographical_compare(a.key.begin(), a.key.end(),
+                                                c.key.begin(), c.key.end());
+          });
+      b.level = db::kSkiplistMaxHeight - 1;
+      b.phase = Batch::Phase::kWalk;
+    }
+    if (b.phase == Batch::Phase::kWalk) {
+      while (WalkBatch(now, &b)) {
+      }
+    }
+  }
+}
+
+bool SkiplistPipeline::WalkBatch(uint64_t now, Batch* b) {
+  // Advance every live member at the current level through the batch's
+  // tower cache; a member blocks on the first tower not yet fetched.
+  for (uint32_t idx = 0; idx < uint32_t(b->members.size()); ++idx) {
+    uint32_t slot = b->members[idx];
+    if (slot == kNoMember) continue;
+    Op& op = pool_[slot];
+    while (op.level == b->level) {
+      auto cur_it = b->towers.find(op.cur);
+      if (cur_it == b->towers.end()) {
+        // Heads carry no tuple integrity guard, so no verify.
+        RequestFetch(b, op.cur, /*verify=*/false);
+        break;
+      }
+      if (cur_it->second.st == Batch::Tower::St::kQueued ||
+          cur_it->second.st == Batch::Tower::St::kInflight) {
+        break;
+      }
+      if (cur_it->second.st == Batch::Tower::St::kCorrupt) {
+        counters_.Add("corruption_detected");
+        b->members[idx] = kNoMember;
+        --b->live;
+        Emit(slot, isa::CpStatus::kCorrupted, 0, cc::WriteKind::kNone,
+             sim::kNullAddr);
+        break;
+      }
+      sim::Addr next =
+          db::TupleAccessor(dram_, op.cur).next(uint32_t(op.level));
+      if (next == sim::kNullAddr) {
+        if (op.level == 0) {
+          op.preds[0] = op.cur;
+          op.succs[0] = sim::kNullAddr;
+        }
+        --op.level;  // end of level: descend (per-level barrier)
+        break;
+      }
+      auto it = b->towers.find(next);
+      if (it == b->towers.end()) {
+        RequestFetch(b, next, /*verify=*/true);
+        break;
+      }
+      if (it->second.st == Batch::Tower::St::kQueued ||
+          it->second.st == Batch::Tower::St::kInflight) {
+        break;
+      }
+      if (it->second.st == Batch::Tower::St::kCorrupt) {
+        counters_.Add("corruption_detected");
+        b->members[idx] = kNoMember;
+        --b->live;
+        Emit(slot, isa::CpStatus::kCorrupted, 0, cc::WriteKind::kNone,
+             sim::kNullAddr);
+        break;
+      }
+      int cmp = CompareProbe(op, next);
+      if (cmp > 0) {
+        op.cur = next;  // probe beyond `next`: move right (cached, free)
+        continue;
+      }
+      if (op.level == 0) {
+        op.preds[0] = op.cur;
+        op.succs[0] = next;
+      }
+      --op.level;
+      break;
+    }
+  }
+  // Issue the fetch train in discovery order (member-sorted -> burst
+  // coalescing). Each unique tower is one timed DRAM access per batch.
+  uint32_t issued = 0;
+  for (sim::Addr addr : b->fetch_queue) {
+    if (!b->burst.Issue(dram_, now, addr, false, &b->fetch_resp, addr, 0,
+                        &burst_total_, &burst_coalesced_)) {
+      counters_.Add("batch_fetch_dram_stall");
+      tick_dram_stall_ = true;
+      break;
+    }
+    b->towers[addr].st = Batch::Tower::St::kInflight;
+    ++b->outstanding;
+    ++issued;
+    counters_.Add("tower_visits");
+  }
+  b->fetch_queue.erase(b->fetch_queue.begin(),
+                       b->fetch_queue.begin() + issued);
+  if (b->outstanding != 0 || !b->fetch_queue.empty()) return false;
+  if (b->live == 0) {
+    RetireBatch(b);
+    return false;
+  }
+  // Per-level barrier: every live member below the level?
+  for (uint32_t slot : b->members) {
+    if (slot != kNoMember && pool_[slot].level >= b->level) return false;
+  }
+  if (b->level > 0) {
+    --b->level;
+    return true;  // walk the next level this tick on cached towers
+  }
+  // Terminal round in member order: point ops run visibility/CC per tuple
+  // through the shared FinishAccess path; scans hand off to the scanners.
+  for (uint32_t idx = 0; idx < uint32_t(b->members.size()); ++idx) {
+    uint32_t slot = b->members[idx];
+    if (slot == kNoMember) continue;
+    b->members[idx] = kNoMember;
+    --b->live;
+    Terminal(now, slot);
+  }
+  RetireBatch(b);
+  return false;
 }
 
 void SkiplistPipeline::TickStage(uint64_t now, uint32_t stage_idx) {
@@ -485,12 +765,17 @@ void SkiplistPipeline::Terminal(uint64_t now, uint32_t slot) {
     case isa::Opcode::kScan: {
       op.cur = op.succs[0];
       op.collected = 0;
-      // Shortest-queue scanner assignment (round-robin tie-break).
-      uint32_t best = scanner_rr_ % config_.n_scanners;
+      // Shortest-queue scanner assignment (round-robin tie-break). The
+      // rotation advances only when the tie-break actually decided the
+      // pick: advancing it on strict shortest-queue overrides too would
+      // skew later ties toward low indices under equal queues.
+      uint32_t start = scanner_rr_ % config_.n_scanners;
+      uint32_t best = start;
       for (uint32_t i = 0; i < config_.n_scanners; ++i) {
         if (scanners_[i].in.size() < scanners_[best].in.size()) best = i;
       }
-      scanner_rr_ = (scanner_rr_ + 1) % config_.n_scanners;
+      if (best == start) scanner_rr_ = (scanner_rr_ + 1) % config_.n_scanners;
+      ++scanners_[best].dispatched;
       scanners_[best].in.push_back(slot);
       return;
     }
@@ -570,12 +855,26 @@ void SkiplistPipeline::TickScanner(uint64_t now, uint32_t scanner_idx) {
     Emit(slot, isa::CpStatus::kOk, n, cc::WriteKind::kNone, sim::kNullAddr);
     return;
   }
+  sim::Addr prev = op.cur;
   op.cur = next;
-  if (!dram_->Issue(now, op.cur, false, &sc.resp, slot,
-                    kTowerSnapshotWords)) {
+  // Batched traversal charges the next hop at row-hit cost when it stays
+  // in the same DRAM row: bulk-loaded bottom lists are address-sequential,
+  // so long scans degrade into sequential bursts (paper HC-2).
+  const bool row_hit = config_.traversal == TraversalMode::kBatched &&
+                       dram_->SameRow(prev, next);
+  const bool ok =
+      row_hit ? dram_->IssueRowHit(now, op.cur, false, &sc.resp, slot,
+                                   kTowerSnapshotWords)
+              : dram_->Issue(now, op.cur, false, &sc.resp, slot,
+                             kTowerSnapshotWords);
+  if (ok && config_.traversal == TraversalMode::kBatched) {
+    ++burst_total_;
+    if (row_hit) ++burst_coalesced_;
+  }
+  if (!ok) {
     // Retry next tick: stay waiting with an empty response queue.
     counters_.Add("scanner_dram_stall");
-      tick_dram_stall_ = true;
+    tick_dram_stall_ = true;
     sc.waiting = false;
     return;
   }
@@ -625,6 +924,30 @@ uint64_t SkiplistPipeline::NextWakeCycle(uint64_t now) const {
       return now + 1;
     }
   }
+  if (config_.traversal == TraversalMode::kBatched) {
+    uint64_t wake = sim::kNeverWakes;
+    for (const Batch& b : batches_) {
+      if (b.phase == Batch::Phase::kIdle) continue;
+      if (!b.key_resp.empty() || !b.fetch_resp.empty()) return now + 1;
+      switch (b.phase) {
+        case Batch::Phase::kCollect:
+          // Quiescent until the flush timeout (or a new admission, which
+          // the pending_in_ check above already covers).
+          wake = std::min(wake, b.flush_deadline);
+          break;
+        case Batch::Phase::kKeys:
+          if (b.outstanding == 0) return now + 1;  // sort + walk act
+          break;  // pure DRAM wait on key reads
+        case Batch::Phase::kWalk:
+          // Unissued fetches retry every tick; a drained walk acts.
+          if (!b.fetch_queue.empty() || b.outstanding == 0) return now + 1;
+          break;
+        default:
+          break;
+      }
+    }
+    if (wake != sim::kNeverWakes) return std::max(wake, now + 1);
+  }
   return sim::kNeverWakes;
 }
 
@@ -665,6 +988,18 @@ void SkiplistPipeline::CollectStats(StatsScope scope) const {
                      ? double(occupancy_sum_) / double(busy_cycles_)
                      : 0);
   scope.MergeCounterSet(counters_);
+  // Batched-only subtree: per-op runs keep their stats JSON byte-identical
+  // to a build without the batch unit.
+  if (config_.traversal == TraversalMode::kBatched) {
+    StatsScope b = scope.Sub("batch");
+    b.SetCounter("batches_flushed", batches_flushed_);
+    b.SetCounter("flush_full", batch_flush_full_);
+    b.SetCounter("flush_timeout", batch_flush_timeout_);
+    b.SetCounter("flush_batch_end", batch_flush_end_);
+    b.SetCounter("burst_total_accesses", burst_total_);
+    b.SetCounter("burst_coalesced_accesses", burst_coalesced_);
+    b.SetSummary("probes_per_batch", probes_per_batch_);
+  }
 }
 
 }  // namespace bionicdb::index

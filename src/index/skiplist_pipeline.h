@@ -33,6 +33,7 @@
 #define BIONICDB_INDEX_SKIPLIST_PIPELINE_H_
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <vector>
 
@@ -59,6 +60,15 @@ class SkiplistPipeline {
     uint32_t n_stages = 8;
     uint32_t n_scanners = 1;
     bool hazard_prevention = true;
+    /// Traversal strategy (DESIGN.md section 17). kBatched collects
+    /// non-insert probes into level-wise batches: one timed DRAM fetch per
+    /// unique tower per batch (members walk shared fetches functionally),
+    /// issued key-sorted so the BurstIssuer coalesces same-row reads.
+    /// Inserts keep the staged per-op path in both modes — the recorded
+    /// insert path and hazard locks do not batch.
+    TraversalMode traversal = TraversalMode::kPerOp;
+    uint32_t batch_size = 8;
+    uint64_t batch_timeout_cycles = 128;
     /// Partition-local CC unit (engine-owned); see HashPipeline::Config.
     cc::CcUnit* cc_unit = nullptr;
   };
@@ -104,6 +114,12 @@ class SkiplistPipeline {
   /// Level range covered by stage `i` (exposed for tests).
   std::pair<int, int> StageRange(uint32_t i) const {
     return {stages_[i].lo, stages_[i].hi};
+  }
+
+  /// Scans ever assigned to scanner `i` (exposed for tests: the
+  /// shortest-queue/round-robin dispatcher must not starve a scanner).
+  uint64_t ScannerDispatched(uint32_t i) const {
+    return scanners_[i].dispatched;
   }
 
  private:
@@ -154,6 +170,37 @@ class SkiplistPipeline {
     std::optional<uint32_t> cur_op;
     bool waiting = false;
     sim::MemResponseQueue resp;
+    uint64_t dispatched = 0;  // scans ever assigned to this scanner
+  };
+
+  /// Departed-member sentinel inside Batch::members (emitted mid-batch or
+  /// handed to a scanner; the pool slot may already be reused).
+  static constexpr uint32_t kNoMember = UINT32_MAX;
+
+  /// One level-wise batch context (kBatched). Four contexts overlap so a
+  /// flushed batch walks levels while the next one collects — the
+  /// inter-operation pipelining leg of the bench ablation.
+  struct Batch {
+    enum class Phase : uint8_t { kIdle, kCollect, kKeys, kWalk };
+    /// Per-batch tower cache entry: queued/in-flight timed fetches and the
+    /// functional outcome once the response lands.
+    struct Tower {
+      enum class St : uint8_t { kQueued, kInflight, kReady, kCorrupt };
+      St st = St::kQueued;
+      bool verify = true;  // heads have no integrity guard
+    };
+    Phase phase = Phase::kIdle;
+    std::vector<uint32_t> members;  // key-sorted after flush; kNoMember gaps
+    uint32_t outstanding = 0;       // key reads / tower fetches in flight
+    uint32_t live = 0;              // members still walking
+    int level = 0;                  // current level of the level-wise walk
+    uint64_t flush_deadline = 0;
+    std::vector<sim::Addr> fetch_queue;  // unissued tower fetches, in
+                                         // member-sorted discovery order
+    std::map<sim::Addr, Tower> towers;
+    BurstIssuer burst;
+    sim::MemResponseQueue key_resp;
+    sim::MemResponseQueue fetch_resp;
   };
 
   uint32_t AllocSlot(const comm::Envelope& env);
@@ -170,6 +217,28 @@ class SkiplistPipeline {
   void TickStage(uint64_t now, uint32_t stage_idx);
   void TickScanner(uint64_t now, uint32_t scanner_idx);
   void TickInstalls(uint64_t now);
+
+  // --- kBatched traversal (DESIGN.md section 17) -----------------------
+  /// Admits one op per cycle in batched mode: inserts take the per-op
+  /// key-fetch path; probes join the collecting batch (key read issued at
+  /// admission through the batch's BurstIssuer). Also applies the
+  /// collector's flush timeout.
+  void TickBatchAdmit(uint64_t now);
+  /// Drains batch responses and drives every non-idle batch's walk.
+  void TickBatchExec(uint64_t now);
+  /// Seals the collecting batch: no more members, walk starts once the
+  /// outstanding key reads land.
+  void FlushCollect();
+  void RetireBatch(Batch* b);
+  /// Records a once-per-batch timed fetch of `addr` (deduped through the
+  /// batch tower cache); `verify` guards the integrity check (heads have
+  /// no tuple guard).
+  void RequestFetch(Batch* b, sim::Addr addr, bool verify);
+  /// Advances every live member at the batch's current level using the
+  /// tower cache, queues missing fetches, and applies the per-level
+  /// barrier (descend / terminal round / retire). Returns true while
+  /// repeated invocation this tick can still make progress.
+  bool WalkBatch(uint64_t now, Batch* b);
 
   /// Drives the op inside a stage until it needs DRAM, stalls on a lock, or
   /// leaves the stage.
@@ -201,6 +270,19 @@ class SkiplistPipeline {
   std::vector<Stage> stages_;
   std::vector<Scanner> scanners_;
   uint32_t scanner_rr_ = 0;
+
+  // Batched-traversal state (empty/zero in kPerOp mode).
+  std::vector<Batch> batches_;
+  uint32_t collect_ = UINT32_MAX;  // batch index currently collecting
+  // Batch stats (plain fields, emitted only in kBatched mode so per-op
+  // stats JSON stays identical to the per-op-only build).
+  uint64_t batches_flushed_ = 0;
+  uint64_t batch_flush_full_ = 0;
+  uint64_t batch_flush_timeout_ = 0;
+  uint64_t batch_flush_end_ = 0;
+  uint64_t burst_total_ = 0;
+  uint64_t burst_coalesced_ = 0;
+  Summary probes_per_batch_;
 
   // Inserts whose link writes are in flight (locks still held).
   sim::MemResponseQueue install_ack_;

@@ -66,6 +66,14 @@ using Reg = uint8_t;
 /// Sentinel for "no register operand".
 constexpr Reg kNoReg = 0xff;
 
+/// Instruction::batch_flags bits (DB instructions only): kBatchFlagMember
+/// marks an op framed inside a ProgramBuilder BeginBatch()/EndBatch()
+/// group; kBatchFlagEnd additionally marks the group's last op, hinting
+/// the index pipeline's batch collector to flush early instead of waiting
+/// out its timeout.
+constexpr uint8_t kBatchFlagMember = 0x1;
+constexpr uint8_t kBatchFlagEnd = 0x2;
+
 /// One decoded BionicDB instruction.
 struct Instruction {
   Opcode opcode = Opcode::kNop;
@@ -87,6 +95,10 @@ struct Instruction {
   uint16_t key_len = 0;       // key length in bytes; 0 = table schema default
   int32_t aux_offset = 0;     // INSERT: payload offset; SCAN: output buffer
   uint32_t scan_count = 0;    // SCAN: maximum tuples to collect
+  Reg scan_reg = kNoReg;      // SCAN: GP register overriding scan_count
+                              // (per-transaction scan lengths); kNoReg
+                              // keeps the immediate
+  uint8_t batch_flags = 0;    // kBatchFlag* framing bits
 
   /// One-line human-readable rendering (the disassembler).
   std::string ToString() const;

@@ -57,7 +57,15 @@ std::string Instruction::ToString() const {
     }
     if (opcode == Opcode::kInsert) os << ", payload@" << aux_offset;
     if (opcode == Opcode::kScan) {
-      os << ", out@" << aux_offset << ", count=" << scan_count;
+      os << ", out@" << aux_offset << ", count=";
+      if (scan_reg != kNoReg) {
+        os << RegName(scan_reg);
+      } else {
+        os << scan_count;
+      }
+    }
+    if (batch_flags & kBatchFlagMember) {
+      os << ((batch_flags & kBatchFlagEnd) ? " [batch-end]" : " [batch]");
     }
     return os.str();
   }
@@ -170,8 +178,18 @@ Status Program::Validate() const {
           return Status::InvalidArgument(
               "DB instruction inside a handler at pc " + std::to_string(pc));
         }
+        if ((inst.batch_flags & kBatchFlagEnd) != 0 &&
+            (inst.batch_flags & kBatchFlagMember) == 0) {
+          return Status::InvalidArgument(
+              "batch-end flag outside a batch group at pc " +
+              std::to_string(pc));
+        }
         break;
       default:
+        if (inst.batch_flags != 0) {
+          return Status::InvalidArgument(
+              "batch flags on a CPU instruction at pc " + std::to_string(pc));
+        }
         break;
     }
   }
@@ -381,7 +399,27 @@ ProgramBuilder& ProgramBuilder::EmitDb(Opcode op, const DbArgs& args) {
   i.partition = args.partition;
   i.aux_offset = args.aux_offset;
   i.scan_count = args.scan_count;
+  i.scan_reg = args.scan_reg;
+  if (in_batch_) {
+    i.batch_flags = kBatchFlagMember;
+    batch_last_db_ = int64_t(code_.size());
+  }
   return Emit(i);
+}
+
+ProgramBuilder& ProgramBuilder::BeginBatch() {
+  in_batch_ = true;
+  batch_last_db_ = -1;
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::EndBatch() {
+  if (in_batch_ && batch_last_db_ >= 0) {
+    code_[uint64_t(batch_last_db_)].batch_flags |= kBatchFlagEnd;
+  }
+  in_batch_ = false;
+  batch_last_db_ = -1;
+  return *this;
 }
 
 ProgramBuilder& ProgramBuilder::Insert(const DbArgs& a) {
@@ -426,6 +464,7 @@ StatusOr<Program> ProgramBuilder::Build() {
     track(inst.rd);
     track(inst.rs2);
     track(inst.part_reg);
+    track(inst.scan_reg);
     if (inst.opcode == Opcode::kRet) {
       // rs1 of RET is a CP register.
       max_cp = std::max(max_cp, uint32_t(inst.rs1) + 1);

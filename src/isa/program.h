@@ -113,6 +113,8 @@ class ProgramBuilder {
     int32_t partition = -1;     // ...or immediate; -1 = local partition
     int32_t aux_offset = 0;     // insert payload / scan output buffer
     uint32_t scan_count = 0;
+    Reg scan_reg = kNoReg;      // scan count from a GP register (overrides
+                                // the immediate when not kNoReg)
   };
 
   ProgramBuilder& Insert(const DbArgs& args);
@@ -120,6 +122,14 @@ class ProgramBuilder {
   ProgramBuilder& Scan(const DbArgs& args);
   ProgramBuilder& Update(const DbArgs& args);
   ProgramBuilder& Remove(const DbArgs& args);
+
+  /// Batch op framing: DB instructions emitted between BeginBatch() and
+  /// EndBatch() carry kBatchFlagMember, and the group's last DB
+  /// instruction also carries kBatchFlagEnd — the index pipelines' batch
+  /// collectors flush on that hint instead of waiting out their timeout.
+  /// Framing is advisory: per-op pipelines ignore the flags entirely.
+  ProgramBuilder& BeginBatch();
+  ProgramBuilder& EndBatch();
 
   /// Resolves labels, computes register usage and validates the result.
   StatusOr<Program> Build();
@@ -141,6 +151,8 @@ class ProgramBuilder {
   bool has_logic_ = false;
   bool has_commit_ = false;
   bool has_abort_ = false;
+  bool in_batch_ = false;
+  int64_t batch_last_db_ = -1;  // pc of the open group's last DB op
 };
 
 }  // namespace bionicdb::isa

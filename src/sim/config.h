@@ -30,6 +30,20 @@ struct TimingConfig {
   /// Cycles a channel is occupied issuing one request (bandwidth model).
   uint32_t dram_issue_gap_cycles = 1;
 
+  /// Latency of a DRAM access that hits the row already open from the
+  /// previous access in the same burst train (sequential-burst cost). The
+  /// HC-2 controllers stream sequential DDR2 bursts at close to full
+  /// bandwidth once a row is open, so a row-hit access skips the
+  /// activate/precharge round trip baked into dram_latency_cycles. Used by
+  /// the batched index traversal path (DramMemory::IssueRowHit); per-op
+  /// traversal never charges this.
+  uint32_t dram_row_hit_latency_cycles = 12;
+
+  /// Row span (bytes) two addresses must share for a follow-up access to
+  /// qualify for the row-hit cost. Power of two; 2 KiB matches a DDR2
+  /// device row as seen through one controller.
+  uint64_t dram_row_bytes = 2048;
+
   /// One-way hop latency of the on-chip message-passing fabric (24 ns at
   /// 125 MHz = 3 cycles; a request/response pair costs 6 cycles, Table 3).
   uint32_t onchip_hop_cycles = 3;

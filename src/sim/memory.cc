@@ -177,6 +177,22 @@ bool DramMemory::Issue(uint64_t now, Addr addr, bool is_write,
   return true;
 }
 
+bool DramMemory::IssueRowHit(uint64_t now, Addr addr, bool is_write,
+                             MemResponseQueue* sink, uint64_t cookie,
+                             uint32_t snapshot_words) {
+  Lane& lane = CurrentLane();
+  uint64_t start = 0;
+  if (AdmitRequest(&lane, now, addr, is_write, &start) == nullptr) {
+    return false;
+  }
+  uint64_t complete_at = start + config_.dram_row_hit_latency_cycles;
+  lane.pending.push(Pending{complete_at, lane.seq++, addr, cookie, is_write,
+                            /*apply_write=*/false, /*write_value=*/0,
+                            snapshot_words, sink});
+  if (complete_at < lane.next_ready) lane.next_ready = complete_at;
+  return true;
+}
+
 bool DramMemory::IssueWrite64(uint64_t now, Addr addr, uint64_t value,
                               MemResponseQueue* sink, uint64_t cookie) {
   Lane& lane = CurrentLane();

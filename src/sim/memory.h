@@ -265,6 +265,21 @@ class DramMemory {
   bool Issue(uint64_t now, Addr addr, bool is_write, MemResponseQueue* sink,
              uint64_t cookie, uint32_t snapshot_words = 0);
 
+  /// Same contract as Issue, but charged at the row-hit (sequential-burst)
+  /// latency instead of the random-access latency. Callers — the batched
+  /// traversal units — decide row-hit eligibility themselves via SameRow
+  /// against the previous address in their burst train, which keeps the
+  /// DRAM model stateless and deterministic across simulation modes.
+  bool IssueRowHit(uint64_t now, Addr addr, bool is_write,
+                   MemResponseQueue* sink, uint64_t cookie,
+                   uint32_t snapshot_words = 0);
+
+  /// True when two addresses fall within the same DRAM row span and a
+  /// back-to-back access to `b` after `a` qualifies for the row-hit cost.
+  bool SameRow(Addr a, Addr b) const {
+    return (a / config_.dram_row_bytes) == (b / config_.dram_row_bytes);
+  }
+
   /// A write whose FUNCTIONAL effect lands at service-completion time, with
   /// an acknowledgment response. This is the ordering-sensitive write path:
   /// index-structure pointer updates use it so that racing reads serviced

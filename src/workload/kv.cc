@@ -7,14 +7,16 @@ namespace bionicdb::workload {
 
 namespace {
 
-isa::Program BulkSearchProgram(uint32_t n) {
+isa::Program BulkSearchProgram(uint32_t n, bool framed) {
   isa::ProgramBuilder b;
   b.Logic();
+  if (framed) b.BeginBatch();
   for (uint32_t i = 0; i < n; ++i) {
     b.Search({.table_id = KvBench::kTable,
               .cp = isa::Reg(i),
               .key_offset = int32_t(8 * i)});
   }
+  if (framed) b.EndBatch();
   b.Yield();
   b.Commit();
   for (uint32_t i = 0; i < n; ++i) b.Ret(1, isa::Reg(i));
@@ -41,14 +43,16 @@ isa::Program BulkInsertProgram(uint32_t n, uint32_t payload_len) {
   return b.Build().value();
 }
 
-isa::Program BulkRemoveProgram(uint32_t n) {
+isa::Program BulkRemoveProgram(uint32_t n, bool framed) {
   isa::ProgramBuilder b;
   b.Logic();
+  if (framed) b.BeginBatch();
   for (uint32_t i = 0; i < n; ++i) {
     b.Remove({.table_id = KvBench::kTable,
               .cp = isa::Reg(i),
               .key_offset = int32_t(8 * i)});
   }
+  if (framed) b.EndBatch();
   b.Yield();
   b.Commit();
   for (uint32_t i = 0; i < n; ++i) b.Ret(1, isa::Reg(i));
@@ -84,12 +88,12 @@ Status KvBench::Setup() {
 
   const uint32_t n = options_.ops_per_txn;
   BIONICDB_RETURN_IF_ERROR(engine_->RegisterProcedure(
-      kSearchTxn, BulkSearchProgram(n), 8ull * n));
+      kSearchTxn, BulkSearchProgram(n, options_.batch_framing), 8ull * n));
   BIONICDB_RETURN_IF_ERROR(engine_->RegisterProcedure(
       kInsertTxn, BulkInsertProgram(n, options_.payload_len),
       8ull * n + uint64_t(options_.payload_len) * n));
-  BIONICDB_RETURN_IF_ERROR(
-      engine_->RegisterProcedure(kRemoveTxn, BulkRemoveProgram(n), 8ull * n));
+  BIONICDB_RETURN_IF_ERROR(engine_->RegisterProcedure(
+      kRemoveTxn, BulkRemoveProgram(n, options_.batch_framing), 8ull * n));
 
   std::vector<uint8_t> payload(options_.payload_len, 0xab);
   const uint64_t r = options_.preload_per_partition;
@@ -105,9 +109,17 @@ Status KvBench::Setup() {
 sim::Addr KvBench::MakeSearchTxn(Rng* rng, db::WorkerId worker) {
   db::TxnBlock block = engine_->AllocateBlock(kSearchTxn);
   const uint64_t r = options_.preload_per_partition;
+  const uint64_t base = uint64_t(worker) * r;
+  if (options_.dense) {
+    const uint32_t n = options_.ops_per_txn;
+    const uint64_t start = rng->NextUint64(r > n ? r - n + 1 : 1);
+    for (uint32_t i = 0; i < n; ++i) {
+      block.WriteKeyU64(int64_t(8 * i), base + start + i);
+    }
+    return block.base();
+  }
   for (uint32_t i = 0; i < options_.ops_per_txn; ++i) {
-    block.WriteKeyU64(int64_t(8 * i),
-                      uint64_t(worker) * r + rng->NextUint64(r));
+    block.WriteKeyU64(int64_t(8 * i), base + rng->NextUint64(r));
   }
   return block.base();
 }

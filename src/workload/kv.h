@@ -23,6 +23,16 @@ struct KvOptions {
   uint32_t payload_len = 8;
   /// Tuples bulk-loaded per partition before measuring searches.
   uint64_t preload_per_partition = 100'000;
+  /// Wraps the search/remove op groups in BeginBatch()/EndBatch() so a
+  /// kBatched index pipeline flushes on the group end (inserts never
+  /// batch, so the insert procedure is left unframed).
+  bool batch_framing = false;
+  /// Dense probes: every search transaction reads `ops_per_txn`
+  /// SEQUENTIAL preloaded keys from a random start (the UCSB batch-get
+  /// shape). Adjacent keys are adjacent tuples after bulk load, so a
+  /// batched pipeline's sorted node reads coalesce into DRAM row hits;
+  /// false keeps independent uniform keys.
+  bool dense = false;
 };
 
 class KvBench {

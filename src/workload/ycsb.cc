@@ -14,14 +14,16 @@ using isa::ProgramBuilder;
 // Register conventions: r0 = transaction-block data base (hardware), r1 =
 // scratch, r2.. = per-update tuple addresses in the update-mix program.
 
-isa::Program ReadOnlyProgram(uint32_t n) {
+isa::Program ReadOnlyProgram(uint32_t n, bool framed = false) {
   ProgramBuilder b;
   b.Logic();
+  if (framed) b.BeginBatch();
   for (uint32_t i = 0; i < n; ++i) {
     b.Search({.table_id = Ycsb::kTable,
               .cp = isa::Reg(i),
               .key_offset = int32_t(8 * i)});
   }
+  if (framed) b.EndBatch();
   b.Yield();
   b.Commit();
   for (uint32_t i = 0; i < n; ++i) b.Ret(1, isa::Reg(i));
@@ -31,11 +33,12 @@ isa::Program ReadOnlyProgram(uint32_t n) {
 }
 
 // Layout: [0, 8n) keys; [8n, 8n+8u) new values; [8n+8u, 8n+16u) UNDO slots.
-isa::Program UpdateMixProgram(uint32_t n, uint32_t u) {
+isa::Program UpdateMixProgram(uint32_t n, uint32_t u, bool framed = false) {
   ProgramBuilder b;
   const int32_t newval_base = int32_t(8 * n);
   const int32_t undo_base = int32_t(8 * n + 8 * u);
   b.Logic();
+  if (framed) b.BeginBatch();
   for (uint32_t i = 0; i < n; ++i) {
     ProgramBuilder::DbArgs args{.table_id = Ycsb::kTable,
                                 .cp = isa::Reg(i),
@@ -46,6 +49,7 @@ isa::Program UpdateMixProgram(uint32_t n, uint32_t u) {
       b.Search(args);
     }
   }
+  if (framed) b.EndBatch();
   b.Yield();
   b.Commit();
   // All RETs first: any failure aborts before a single byte is modified,
@@ -67,16 +71,29 @@ isa::Program UpdateMixProgram(uint32_t n, uint32_t u) {
   return b.Build().value();
 }
 
-// Layout: key at 0; result buffer (8 B per collected tuple) at 16.
-isa::Program ScanProgram(uint32_t scan_len) {
+// Layout: key at 0; per-txn scan length at 8 (variable variant only);
+// result buffer (8 B per collected tuple) at 16.
+isa::Program ScanProgram(uint32_t scan_len, bool variable = false) {
   ProgramBuilder b;
-  b.Logic()
-      .Scan({.table_id = Ycsb::kTable,
-             .cp = 0,
-             .key_offset = 0,
-             .aux_offset = 16,
-             .scan_count = scan_len})
-      .Yield();
+  b.Logic();
+  if (variable) {
+    // Widened YCSB-E: the scan length comes from the transaction block
+    // through the scan_reg override; scan_count stays the cap.
+    b.Load(2, 0, 8);
+    b.Scan({.table_id = Ycsb::kTable,
+            .cp = 0,
+            .key_offset = 0,
+            .aux_offset = 16,
+            .scan_count = scan_len,
+            .scan_reg = 2});
+  } else {
+    b.Scan({.table_id = Ycsb::kTable,
+            .cp = 0,
+            .key_offset = 0,
+            .aux_offset = 16,
+            .scan_count = scan_len});
+  }
+  b.Yield();
   b.Commit().Ret(1, 0).CommitTxn();
   b.Abort().AbortTxn();
   return b.Build().value();
@@ -174,9 +191,20 @@ Status Ycsb::Setup() {
       break;
     }
     case YcsbOptions::Mode::kScanOnly:
-      program = ScanProgram(options_.scan_len);
+      program = ScanProgram(options_.scan_len,
+                            /*variable=*/options_.scan_len_min > 0);
       block_data_size_ = 16 + 8ull * options_.scan_len;
       break;
+    case YcsbOptions::Mode::kBatchGet:
+      program = ReadOnlyProgram(n, /*framed=*/true);
+      block_data_size_ = 8ull * n;
+      break;
+    case YcsbOptions::Mode::kBatchPut: {
+      uint32_t u = std::min(options_.updates_per_txn, n);
+      program = UpdateMixProgram(n, u, /*framed=*/true);
+      block_data_size_ = 8ull * n + 16ull * u;
+      break;
+    }
     case YcsbOptions::Mode::kMultisite:
       program = MultisiteProgram(n);
       block_data_size_ = 16ull * n;
@@ -216,11 +244,13 @@ sim::Addr Ycsb::MakeTxn(Rng* rng, db::WorkerId worker) {
   const uint32_t n = options_.accesses_per_txn;
   switch (options_.mode) {
     case YcsbOptions::Mode::kReadOnly:
+    case YcsbOptions::Mode::kBatchGet:
       for (uint32_t i = 0; i < n; ++i) {
         block.WriteKeyU64(int64_t(8 * i), RandomKey(rng, worker));
       }
       break;
-    case YcsbOptions::Mode::kUpdateMix: {
+    case YcsbOptions::Mode::kUpdateMix:
+    case YcsbOptions::Mode::kBatchPut: {
       // Distinct keys within the transaction: re-touching a tuple this
       // transaction already dirtied is blindly rejected by the CC
       // (section 4.7), which would make the block unretryable.
@@ -246,6 +276,10 @@ sim::Addr Ycsb::MakeTxn(Rng* rng, db::WorkerId worker) {
       uint64_t start = rng->NextUint64(
           span > options_.scan_len ? span - options_.scan_len : 1);
       block.WriteKeyU64(0, uint64_t(worker) * span + start);
+      if (options_.scan_len_min > 0) {
+        uint64_t lo = std::min(options_.scan_len_min, options_.scan_len);
+        block.WriteU64(8, lo + rng->NextUint64(options_.scan_len - lo + 1));
+      }
       break;
     }
     case YcsbOptions::Mode::kMultisite: {

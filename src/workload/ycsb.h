@@ -36,6 +36,13 @@ struct YcsbOptions {
     /// stream — and therefore their results — are identical across
     /// fractions.
     kMultisiteUpdate,
+    /// UCSB-style bulk point ops with batch framing: the transaction's
+    /// DB instructions are wrapped in BeginBatch()/EndBatch() so a
+    /// kBatched index pipeline flushes on the group end instead of
+    /// waiting out its collector timeout. kBatchGet is kReadOnly framed;
+    /// kBatchPut is kUpdateMix framed (same UNDO commit discipline).
+    kBatchGet,
+    kBatchPut,
   };
 
   Mode mode = Mode::kReadOnly;
@@ -44,6 +51,11 @@ struct YcsbOptions {
   uint32_t accesses_per_txn = 16;
   uint32_t updates_per_txn = 8;    // kUpdateMix: first N accesses update
   uint32_t scan_len = 50;          // kScanOnly
+  /// kScanOnly: when >0, every transaction draws its scan length
+  /// uniformly from [scan_len_min, scan_len] and passes it through the
+  /// Scan op's scan_reg register override (the widened YCSB-E variant);
+  /// 0 keeps the fixed scan_len immediate.
+  uint32_t scan_len_min = 0;
   /// kMultisite: probability that an access targets a remote partition.
   double remote_fraction = 0.75;
   /// kMultisiteUpdate: probability that a transaction spans chips.

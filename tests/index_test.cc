@@ -5,6 +5,8 @@
 // fully suppressed when enabled.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "db/database.h"
 #include "db/tuple.h"
 #include "index/coprocessor.h"
@@ -16,7 +18,8 @@ namespace {
 class IndexPipelineTest : public ::testing::Test {
  protected:
   void Init(db::IndexKind kind, uint32_t hash_buckets = 1 << 10,
-            bool hazard_prevention = true, uint32_t max_inflight = 16) {
+            bool hazard_prevention = true, uint32_t max_inflight = 16,
+            uint32_t n_scanners = 1) {
     sim_ = std::make_unique<sim::Simulator>(sim::TimingConfig());
     db_ = std::make_unique<db::Database>(&sim_->dram(), 1);
     db::TableSchema schema;
@@ -30,6 +33,7 @@ class IndexPipelineTest : public ::testing::Test {
     cfg.max_inflight = max_inflight;
     cfg.hash.hazard_prevention = hazard_prevention;
     cfg.skiplist.hazard_prevention = hazard_prevention;
+    cfg.skiplist.n_scanners = n_scanners;
     coproc_ = std::make_unique<IndexCoprocessor>(db_.get(), 0, cfg);
     sim_->AddComponent(coproc_.get());
     // A scratch area holding keys/payloads the ops reference.
@@ -278,6 +282,47 @@ TEST_F(IndexPipelineTest, SkiplistInsertHazardPrevented) {
   for (int i = 0; i < kN; ++i) {
     EXPECT_NE(db_->FindU64(0, 0, 1000 + i), sim::kNullAddr) << i;
   }
+}
+
+// The shortest-queue dispatcher breaks ties round-robin, and the rotation
+// must advance exactly when the tie-break decided the pick: scans arriving
+// at equal (usually empty) queues then spread across every scanner instead
+// of piling onto scanner 0.
+TEST_F(IndexPipelineTest, ScanDispatchSpreadsAcrossScanners) {
+  constexpr uint32_t kScanners = 4;
+  Init(db::IndexKind::kSkiplist, /*hash_buckets=*/0,
+       /*hazard_prevention=*/true, /*max_inflight=*/16, kScanners);
+  uint64_t payload = 7;
+  for (uint64_t k = 0; k < 200; ++k) {
+    ASSERT_TRUE(db_->LoadU64(0, 0, k, &payload, 8).ok());
+  }
+  constexpr int kScans = 32;
+  std::vector<comm::Envelope> ops;
+  for (int i = 0; i < kScans; ++i) {
+    comm::Envelope scan = MakeOp(isa::Opcode::kScan, uint64_t(i * 4),
+                                 uint32_t(i));
+    scan.index_op().scan_count = 4;
+    scan.index_op().out_buf = scratch_ + (1 << 16) + uint64_t(i) * 64;
+    ops.push_back(scan);
+  }
+  auto results = RunOps(ops);
+  ASSERT_EQ(results.size(), size_t(kScans));
+  for (const auto& r : results) {
+    EXPECT_EQ(r.index_result().status, isa::CpStatus::kOk);
+  }
+  auto& pipe = coproc_->skiplist_pipeline();
+  uint64_t total = 0, min_d = UINT64_MAX, max_d = 0;
+  for (uint32_t s = 0; s < kScanners; ++s) {
+    uint64_t d = pipe.ScannerDispatched(s);
+    total += d;
+    min_d = std::min(min_d, d);
+    max_d = std::max(max_d, d);
+  }
+  EXPECT_EQ(total, uint64_t(kScans));
+  // Every scanner must take a fair share: no starvation, and no scanner
+  // hoarding more than twice its proportional load.
+  EXPECT_GE(min_d, uint64_t(kScans) / (2 * kScanners));
+  EXPECT_LE(max_d, uint64_t(2 * kScans) / kScanners);
 }
 
 TEST_F(IndexPipelineTest, SkiplistStageRangesCoverAllLevels) {
